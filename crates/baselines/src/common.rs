@@ -1,0 +1,97 @@
+//! Shared vocabulary for the multi-set index structures.
+
+use objstore::Oid;
+use pagestore::Result;
+
+/// A set (class) identifier — the paper's second experiment follows
+/// Kilger & Moerkotte in calling classes "sets".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SetId(pub u16);
+
+impl SetId {
+    /// Big-endian byte encoding (order-preserving).
+    pub fn to_bytes(self) -> [u8; 2] {
+        self.0.to_be_bytes()
+    }
+}
+
+/// Pages touched by one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Distinct pages read (the experiments' metric).
+    pub pages: u64,
+    /// Total node visits including revisits.
+    pub visits: u64,
+}
+
+/// The operations the experiment harness drives against every structure
+/// (U-index and baselines alike): a multi-set index over opaque
+/// order-preserving keys.
+pub trait SetIndex {
+    /// Insert an `(key, set, oid)` posting.
+    fn insert(&mut self, key: &[u8], set: SetId, oid: Oid) -> Result<()>;
+
+    /// Remove a posting; returns whether it existed.
+    fn remove(&mut self, key: &[u8], set: SetId, oid: Oid) -> Result<bool>;
+
+    /// All postings with exactly this key in any of `sets`
+    /// (`sets` is sorted). Results are sorted by `(set, oid)`.
+    fn exact(&mut self, key: &[u8], sets: &[SetId]) -> Result<(Vec<(SetId, Oid)>, QueryCost)>;
+
+    /// All postings with `lo <= key < hi` in any of `sets`. Results are
+    /// sorted by `(set, oid)`.
+    fn range(
+        &mut self,
+        lo: &[u8],
+        hi: &[u8],
+        sets: &[SetId],
+    ) -> Result<(Vec<(SetId, Oid)>, QueryCost)>;
+
+    /// Live pages occupied by the structure (storage-cost comparisons).
+    fn total_pages(&self) -> usize;
+
+    /// Human-readable structure name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Serialize an OID list (shared by directory-style structures).
+pub(crate) fn write_oids(buf: &mut Vec<u8>, oids: &[Oid]) {
+    buf.extend_from_slice(&(oids.len() as u32).to_le_bytes());
+    for o in oids {
+        buf.extend_from_slice(&o.to_bytes());
+    }
+}
+
+/// Deserialize an OID list written by [`write_oids`].
+pub(crate) fn read_oids(buf: &[u8], pos: &mut usize) -> Option<Vec<Oid>> {
+    let n = u32::from_le_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+    *pos += 4;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let b: [u8; 4] = buf.get(*pos..*pos + 4)?.try_into().ok()?;
+        out.push(Oid::from_bytes(b));
+        *pos += 4;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oid_list_roundtrip() {
+        let oids: Vec<Oid> = (0..17u32).map(Oid).collect();
+        let mut buf = Vec::new();
+        write_oids(&mut buf, &oids);
+        let mut pos = 0;
+        assert_eq!(read_oids(&buf, &mut pos), Some(oids));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn setid_order() {
+        assert!(SetId(1).to_bytes() < SetId(2).to_bytes());
+        assert!(SetId(255).to_bytes() < SetId(256).to_bytes());
+    }
+}

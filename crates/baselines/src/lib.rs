@@ -1,0 +1,40 @@
+//! Baseline OODB index structures the paper compares against (§2, §4.4, §5):
+//!
+//! * [`ChTree`] — the classic **class-hierarchy index** (Kim, Bertino,
+//!   Dale): one B+-tree on attribute values, each key holding a *set
+//!   directory* of per-class OID lists (key grouping). Long lists overflow
+//!   into chained pages.
+//! * [`HTree`] — the **H-tree** of Low, Lu & Ooi: one B+-tree per class
+//!   (set grouping); a multi-set query fans out over the queried trees.
+//!   The inter-tree nesting links of the original are simplified away (the
+//!   experiments use it only qualitatively).
+//! * [`CgTree`] — the **CG-tree** of Kilger & Moerkotte, the paper's
+//!   experimental baseline: key-ordered directory over partitions, per-set
+//!   leaf pages with multiple keys per page (set grouping within
+//!   key-ordered partitions), non-NULL-only directory records, best
+//!   splitting key. See module docs for the implementation notes.
+//! * [`NestedIndex`] / [`PathIndex`] — Kim & Bertino's nested and path
+//!   indexes on a reference chain.
+//! * [`Nix`] — Bertino & Foscoli's nested-inherited index: per-value
+//!   directories over *all* classes along the path plus auxiliary
+//!   parent-pointer structures.
+//!
+//! All structures store their nodes in [`pagestore`] pages, so query costs
+//! are measured identically to the U-index: distinct pages touched per
+//! query.
+
+mod cgtree;
+mod chtree;
+mod common;
+mod htree;
+mod nix;
+mod pathindex;
+
+pub use cgtree::{CgConfig, CgTree};
+pub use chtree::ChTree;
+pub use common::{QueryCost, SetId, SetIndex};
+pub use htree::HTree;
+pub use nix::Nix;
+pub use pathindex::{NestedIndex, PathIndex};
+
+pub use pagestore::{Error, Result};

@@ -1,0 +1,50 @@
+//! Ablation A3: wall-clock comparison of all multi-set structures on the
+//! same workload (page-count comparisons live in the `compare` binary).
+
+use baselines::{CgConfig, CgTree, ChTree, HTree, SetIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workload::queries::{pick_near, pick_range};
+use workload::uniform::{generate_postings, key_bytes, KeyCount, UniformConfig, UIndexSet};
+
+fn bench_baselines(c: &mut Criterion) {
+    let cfg = UniformConfig {
+        num_objects: 30_000,
+        num_sets: 8,
+        keys: KeyCount::Distinct(1000),
+        seed: 5,
+    };
+    let postings = generate_postings(&cfg);
+    let mut structures: Vec<Box<dyn SetIndex>> = vec![
+        Box::new(UIndexSet::build(8, &postings).unwrap()),
+        Box::new(ChTree::build(1024, 1 << 16, &mut postings.clone()).unwrap()),
+        Box::new(HTree::build(1024, 1 << 16, &mut postings.clone()).unwrap()),
+        Box::new(CgTree::build(CgConfig::default(), &mut postings.clone()).unwrap()),
+    ];
+
+    let mut group = c.benchmark_group("baselines");
+    for s in structures.iter_mut() {
+        let name = s.name();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(BenchmarkId::new("exact_4sets", name), |b| {
+            b.iter(|| {
+                let key = key_bytes(rng.gen_range(0..1000));
+                let sets = pick_near(&mut rng, 8, 4);
+                s.exact(&key, &sets).unwrap().0.len()
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_function(BenchmarkId::new("range2pct_2sets", name), |b| {
+            b.iter(|| {
+                let (lo, hi) = pick_range(&mut rng, 1000, 0.02);
+                let sets = pick_near(&mut rng, 8, 2);
+                s.range(&lo, &hi, &sets).unwrap().0.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

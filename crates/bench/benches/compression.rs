@@ -1,0 +1,71 @@
+//! Ablation A2: front compression on vs off (§4.2 storage-cost claim).
+//! Measures build and scan times; the node-count effect is printed once.
+
+use btree::{BTree, BTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagestore::{BufferPool, MemStore};
+
+fn items(n: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+    // U-index-like keys: long shared prefixes (index id + value + code).
+    (0..n)
+        .map(|i| {
+            (
+                format!("idx0/color={:04}/class=C{:02}/oid={:08}", i % 50, i % 12, i)
+                    .into_bytes(),
+                Vec::new(),
+            )
+        })
+        .collect()
+}
+
+fn build(compress: bool, items: &[(Vec<u8>, Vec<u8>)]) -> BTree<MemStore> {
+    let cfg = if compress {
+        BTreeConfig::default()
+    } else {
+        BTreeConfig::default().without_compression()
+    };
+    let pool = BufferPool::new(MemStore::new(1024), 1 << 16);
+    let mut sorted = items.to_vec();
+    sorted.sort();
+    BTree::bulk_load(pool, cfg, sorted).expect("bulk")
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let data = items(50_000);
+    // Report the storage effect once.
+    for compress in [true, false] {
+        let mut t = build(compress, &data);
+        let stats = t.verify().expect("verify");
+        eprintln!(
+            "front_compression={compress}: {} nodes ({} leaves), height {}",
+            stats.total_nodes(),
+            stats.leaf_nodes,
+            stats.height
+        );
+    }
+    let mut group = c.benchmark_group("compression");
+    for compress in [true, false] {
+        group.bench_function(BenchmarkId::new("bulk_build", compress), |b| {
+            b.iter(|| build(compress, &data).len())
+        });
+        let mut tree = build(compress, &data);
+        group.bench_function(BenchmarkId::new("point_lookup", compress), |b| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = i.wrapping_add(7919);
+                tree.get(&data[(i % 50_000) as usize].0).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("range_scan", compress), |b| {
+            b.iter(|| {
+                tree.range(b"idx0/color=0010", b"idx0/color=0020")
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Ablation A1: the paper's parallel retrieval algorithm vs plain forward
+//! scanning (wall-clock this time; the page counts are in `table1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use objstore::Value;
+use uindex::{ClassSel, Query, ValuePred};
+use workload::vehicle::generate;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut w = generate(7, 6000, 10).expect("generate");
+    let classes = w.classes;
+    let mut group = c.benchmark_group("scan");
+    let queries = [
+        (
+            "exact/subtree",
+            Query::on(w.color_index)
+                .value(ValuePred::eq(Value::Str("Red".into())))
+                .class_at(0, ClassSel::SubTree(classes.bus)),
+        ),
+        (
+            "range/dispersed-classes",
+            Query::on(w.color_index)
+                .value(ValuePred::In(vec![
+                    Value::Str("Red".into()),
+                    Value::Str("Blue".into()),
+                    Value::Str("Green".into()),
+                ]))
+                .class_at(
+                    0,
+                    ClassSel::AnyOf(vec![
+                        ClassSel::SubTree(classes.compact),
+                        ClassSel::SubTree(classes.service_auto),
+                    ]),
+                ),
+        ),
+        (
+            "path/combined",
+            Query::on(w.age_index)
+                .value(ValuePred::at_least(Value::Int(51)))
+                .class_at(1, ClassSel::SubTree(classes.auto_company))
+                .class_at(2, ClassSel::SubTree(classes.automobile)),
+        ),
+    ];
+    for (name, q) in queries {
+        group.bench_function(BenchmarkId::new("parallel", name), |b| {
+            b.iter(|| w.db.query(&q).unwrap().len())
+        });
+        let fq = q.clone().forward_scan();
+        group.bench_function(BenchmarkId::new("forward", name), |b| {
+            b.iter(|| w.db.query(&fq).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

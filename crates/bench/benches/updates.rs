@@ -1,0 +1,115 @@
+//! Update-cost benchmarks (§3.5/§4.2): single inserts/deletes per
+//! structure, maintained path updates (the "president switches companies"
+//! case), and batched vs unbatched B-tree updates.
+
+use baselines::{CgConfig, CgTree, ChTree, SetId, SetIndex};
+use btree::{BTree, BTreeConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use objstore::{Oid, Value};
+use pagestore::{BufferPool, MemStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workload::uniform::{generate_postings, key_bytes, KeyCount, UniformConfig, UIndexSet};
+use workload::vehicle::generate;
+
+fn bench_set_index_updates(c: &mut Criterion) {
+    let cfg = UniformConfig {
+        num_objects: 20_000,
+        num_sets: 8,
+        keys: KeyCount::Distinct(1000),
+        seed: 5,
+    };
+    let postings = generate_postings(&cfg);
+    let mut structures: Vec<Box<dyn SetIndex>> = vec![
+        Box::new(UIndexSet::build(8, &postings).unwrap()),
+        Box::new(ChTree::build(1024, 1 << 16, &mut postings.clone()).unwrap()),
+        Box::new(CgTree::build(CgConfig::default(), &mut postings.clone()).unwrap()),
+    ];
+    let mut group = c.benchmark_group("updates");
+    for s in structures.iter_mut() {
+        let name = s.name();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut next_oid = 1_000_000u32;
+        group.bench_function(BenchmarkId::new("insert_delete", name), |b| {
+            b.iter(|| {
+                next_oid += 1;
+                let key = key_bytes(rng.gen_range(0..1000));
+                let set = SetId(rng.gen_range(0..8));
+                s.insert(&key, set, Oid(next_oid)).unwrap();
+                s.remove(&key, set, Oid(next_oid)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_maintained_updates(c: &mut Criterion) {
+    let mut w = generate(3, 3000, 10).expect("generate");
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut group = c.benchmark_group("maintained");
+    let vehicles = w.vehicles.clone();
+    let employees = w.employees.clone();
+    let companies = w.companies.clone();
+    group.bench_function("repaint_vehicle", |b| {
+        b.iter(|| {
+            let v = vehicles[rng.gen_range(0..vehicles.len())];
+            let color = workload::vehicle::COLORS[rng.gen_range(0..10)];
+            w.db.set_attr(v, "Color", Value::Str(color.into())).unwrap()
+        })
+    });
+    group.bench_function("president_switches_company", |b| {
+        b.iter(|| {
+            let company = companies[rng.gen_range(0..companies.len())];
+            let pres = employees[rng.gen_range(0..employees.len())];
+            w.db.set_attr(company, "President", Value::Ref(pres)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..20_000u32)
+        .map(|i| (format!("key-{i:08}").into_bytes(), Vec::new()))
+        .collect();
+    group.bench_function("sorted_batch_insert", |b| {
+        b.iter_batched(
+            || {
+                let pool = BufferPool::new(MemStore::new(1024), 1 << 16);
+                BTree::create(pool, BTreeConfig::default()).unwrap()
+            },
+            |mut tree| tree.insert_batch(items.clone()).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    let mut shuffled = items.clone();
+    let mut rng = StdRng::seed_from_u64(23);
+    for i in (1..shuffled.len()).rev() {
+        shuffled.swap(i, rng.gen_range(0..=i));
+    }
+    group.bench_function("random_single_inserts", |b| {
+        b.iter_batched(
+            || {
+                let pool = BufferPool::new(MemStore::new(1024), 1 << 16);
+                BTree::create(pool, BTreeConfig::default()).unwrap()
+            },
+            |mut tree| {
+                for (k, v) in &shuffled {
+                    tree.insert(k, v).unwrap();
+                }
+                tree.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_index_updates,
+    bench_maintained_updates,
+    bench_batched
+);
+criterion_main!(benches);

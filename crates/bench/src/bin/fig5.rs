@@ -1,0 +1,16 @@
+//! Figure 5: exact-match queries, U-index (near / non-near sets) vs
+//! CG-tree, over 8- and 40-set hierarchies and three key cardinalities.
+//!
+//! Usage: `cargo run --release -p bench --bin fig5`
+//! (`OBJECTS` and `REPS` shrink the run for smoke tests).
+
+use bench::{num_objects, run_figure, QueryKind};
+
+fn main() {
+    run_figure(
+        "Figure 5 — Exact Match Query",
+        QueryKind::Exact,
+        num_objects(),
+        51,
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 6: range queries over 10% of the keyspace.
+//!
+//! Usage: `cargo run --release -p bench --bin fig6`
+
+use bench::{num_objects, run_figure, QueryKind};
+
+fn main() {
+    run_figure(
+        "Figure 6 — Range Query (10% of Keyspace)",
+        QueryKind::Range(0.10),
+        num_objects(),
+        61,
+    );
+}

@@ -1,0 +1,14 @@
+//! Figure 7: range queries over 2% of the keyspace.
+//!
+//! Usage: `cargo run --release -p bench --bin fig7`
+
+use bench::{num_objects, run_figure, QueryKind};
+
+fn main() {
+    run_figure(
+        "Figure 7 — Range Query (2% of Keyspace)",
+        QueryKind::Range(0.02),
+        num_objects(),
+        71,
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 8: narrow range queries (0.5% and 0.2% of the keyspace) for the
+//! 1000-key configuration, plus the near vs non-near detail panels at 10%.
+//!
+//! Usage: `cargo run --release -p bench --bin fig8`
+
+use bench::{num_objects, print_panel, run_panel, QueryKind};
+use workload::uniform::KeyCount;
+
+fn main() {
+    let objects = num_objects();
+    println!(
+        "# Figure 8 — Narrow ranges and set-adjacency detail ({objects} objects, {} reps)",
+        bench::reps()
+    );
+    for (name, frac) in [("0.5% of keyspace", 0.005), ("0.2% of keyspace", 0.002)] {
+        for num_sets in [40u16, 8] {
+            let points = run_panel(
+                QueryKind::Range(frac),
+                objects,
+                num_sets,
+                KeyCount::Distinct(1000),
+                81,
+            );
+            print_panel(
+                &format!("Range {name} — {num_sets} sets, 1000 different keys"),
+                &points,
+            );
+        }
+    }
+    // Near vs non-near detail (the bottom panels of the paper's Figure 8):
+    // 10% range, 1000 keys.
+    for num_sets in [40u16, 8] {
+        let points = run_panel(
+            QueryKind::Range(0.10),
+            objects,
+            num_sets,
+            KeyCount::Distinct(1000),
+            82,
+        );
+        print_panel(
+            &format!(
+                "Near vs non-near sets — range 10%, {num_sets} sets, 1000 different keys"
+            ),
+            &points,
+        );
+    }
+}

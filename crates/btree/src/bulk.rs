@@ -1,0 +1,266 @@
+//! Bulk loading and batch updates.
+//!
+//! Bulk loading builds a packed tree bottom-up from a sorted stream — this is
+//! how the experiment databases are indexed, mirroring a freshly built index
+//! in the paper. Batch insertion sorts its input first so that updates to
+//! clustered key regions (the paper's batched path-update case, §3.5, citing
+//! Tsur & Gudes' B-tree reorganization work) hit each leaf once.
+
+use pagestore::{BufferPool, Error, PageId, PageStore, Result};
+
+use crate::codec::{common_prefix_len, truncate_separator, varint_len};
+use crate::config::{BTreeConfig, Capacity};
+use crate::node::{Entry, InternalNode, LeafNode, Node, INTERIOR_HEADER, LEAF_HEADER};
+use crate::tree::BTree;
+
+impl<S: PageStore> BTree<S> {
+    /// Build a tree from strictly-ascending `(key, value)` pairs.
+    ///
+    /// Leaves are packed to capacity; the final node of each level is
+    /// redistributed with its left neighbour if it would otherwise be
+    /// underfull, so the result satisfies all [`BTree::verify`] invariants.
+    pub fn bulk_load<I>(pool: BufferPool<S>, config: BTreeConfig, items: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let mut tree = BTree::create(pool, config)?;
+        tree.bulk_replace(items)?;
+        Ok(tree)
+    }
+
+    /// Fill an **empty** tree from strictly-ascending pairs, packing pages
+    /// like [`BTree::bulk_load`]. Fails if the tree is not empty.
+    pub fn bulk_replace<I>(&mut self, items: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        if !self.is_empty() {
+            return Err(Error::Corrupt("bulk_replace requires an empty tree".into()));
+        }
+        let tree = self;
+        let config = *tree.config();
+        let empty_root = tree.root();
+        let compress = config.front_compression;
+        let page_size = tree.pool().page_size();
+        let max_entry = tree.max_entry_size();
+
+        // ---- pack the leaf level (no page ids yet) ----
+        let mut leaves: Vec<LeafNode> = Vec::new();
+        let mut cur = LeafNode {
+            entries: Vec::new(),
+            next: PageId::NULL,
+        };
+        let mut cur_size = LEAF_HEADER;
+        let mut prev_key: Option<Vec<u8>> = None;
+        let mut count: u64 = 0;
+
+        for (key, value) in items {
+            if let Some(p) = &prev_key {
+                if p.as_slice() >= key.as_slice() {
+                    return Err(Error::Corrupt(
+                        "bulk_load input not strictly ascending".into(),
+                    ));
+                }
+            }
+            if key.len() + value.len() > max_entry {
+                return Err(Error::Corrupt("bulk_load entry too large".into()));
+            }
+            let plen = if compress && !cur.entries.is_empty() {
+                common_prefix_len(prev_key.as_deref().unwrap_or(&[]), &key)
+            } else {
+                0
+            };
+            let esize = varint_len(plen as u32)
+                + varint_len((key.len() - plen) as u32)
+                + (key.len() - plen)
+                + varint_len(value.len() as u32)
+                + value.len();
+            let full = match config.capacity {
+                Capacity::Bytes => !cur.entries.is_empty() && cur_size + esize > page_size,
+                Capacity::Entries(m) => cur.entries.len() >= m,
+            };
+            if full {
+                leaves.push(std::mem::replace(
+                    &mut cur,
+                    LeafNode {
+                        entries: Vec::new(),
+                        next: PageId::NULL,
+                    },
+                ));
+                cur_size = LEAF_HEADER
+                    + varint_len(0)
+                    + varint_len(key.len() as u32)
+                    + key.len()
+                    + varint_len(value.len() as u32)
+                    + value.len();
+            } else {
+                cur_size += esize;
+            }
+            prev_key = Some(key.clone());
+            cur.entries.push(Entry { key, value });
+            count += 1;
+        }
+        if !cur.entries.is_empty() || leaves.is_empty() {
+            leaves.push(cur);
+        }
+
+        // Redistribute an underfull tail leaf with its left neighbour.
+        if leaves.len() >= 2 && tree.is_underfull_node(&Node::Leaf(leaves.last().unwrap().clone()))
+        {
+            let tail = leaves.pop().unwrap();
+            let prev = leaves.last_mut().unwrap();
+            prev.entries.extend(tail.entries);
+            if !tree.fits(&Node::Leaf(prev.clone())) {
+                let k = tree.leaf_split_index(prev)?;
+                let right_entries = prev.entries.split_off(k);
+                leaves.push(LeafNode {
+                    entries: right_entries,
+                    next: PageId::NULL,
+                });
+            }
+        }
+
+        // Allocate ids, chain, write.
+        let mut leaf_ids = Vec::with_capacity(leaves.len());
+        for _ in 0..leaves.len() {
+            let (id, _) = tree.pool_mut().allocate()?;
+            leaf_ids.push(id);
+        }
+        for (i, leaf) in leaves.iter_mut().enumerate() {
+            leaf.next = if i + 1 < leaf_ids.len() {
+                leaf_ids[i + 1]
+            } else {
+                PageId::NULL
+            };
+            tree.store_node(leaf_ids[i], &Node::Leaf(leaf.clone()))?;
+        }
+
+        // Separators between adjacent leaves.
+        let mut seps: Vec<Vec<u8>> = leaves
+            .windows(2)
+            .map(|w| {
+                let left_max = &w[0].entries.last().expect("packed leaf non-empty").key;
+                let right_min = &w[1].entries[0].key;
+                if config.suffix_truncation {
+                    truncate_separator(left_max, right_min)
+                } else {
+                    right_min.clone()
+                }
+            })
+            .collect();
+        let mut level = leaf_ids;
+
+        // ---- pack interior levels until a single root remains ----
+        while level.len() > 1 {
+            let mut nodes: Vec<InternalNode> = Vec::new();
+            let mut proms: Vec<Vec<u8>> = Vec::new();
+            let mut cur = InternalNode {
+                seps: Vec::new(),
+                children: vec![level[0]],
+            };
+            let mut cur_size = INTERIOR_HEADER;
+            let mut prev_sep: Option<&Vec<u8>> = None;
+            for (i, sep) in seps.iter().enumerate() {
+                let child = level[i + 1];
+                let plen = match (prev_sep, compress) {
+                    (Some(p), true) if !cur.seps.is_empty() => common_prefix_len(p, sep),
+                    _ => 0,
+                };
+                let esize = varint_len(plen as u32)
+                    + varint_len((sep.len() - plen) as u32)
+                    + (sep.len() - plen)
+                    + 4;
+                let full = match config.capacity {
+                    Capacity::Bytes => !cur.seps.is_empty() && cur_size + esize > page_size,
+                    Capacity::Entries(m) => cur.seps.len() >= m,
+                };
+                if full {
+                    nodes.push(std::mem::replace(
+                        &mut cur,
+                        InternalNode {
+                            seps: Vec::new(),
+                            children: vec![child],
+                        },
+                    ));
+                    proms.push(sep.clone());
+                    cur_size = INTERIOR_HEADER;
+                } else {
+                    cur.seps.push(sep.clone());
+                    cur.children.push(child);
+                    cur_size += esize;
+                }
+                prev_sep = Some(sep);
+            }
+            nodes.push(cur);
+
+            // Redistribute an underfull tail interior node.
+            if nodes.len() >= 2
+                && tree.is_underfull_node(&Node::Internal(nodes.last().unwrap().clone()))
+            {
+                let tail = nodes.pop().unwrap();
+                let between = proms.pop().expect("promoted sep exists");
+                let prev = nodes.last_mut().unwrap();
+                prev.seps.push(between);
+                prev.seps.extend(tail.seps);
+                prev.children.extend(tail.children);
+                if !tree.fits(&Node::Internal(prev.clone())) {
+                    let p = tree.internal_split_index(prev)?;
+                    let right_seps = prev.seps.split_off(p + 1);
+                    let promoted = prev.seps.pop().expect("valid promote");
+                    let right_children = prev.children.split_off(p + 1);
+                    nodes.push(InternalNode {
+                        seps: right_seps,
+                        children: right_children,
+                    });
+                    proms.push(promoted);
+                }
+            }
+
+            let mut ids = Vec::with_capacity(nodes.len());
+            for node in &nodes {
+                let (id, _) = tree.pool_mut().allocate()?;
+                tree.store_node(id, &Node::Internal(node.clone()))?;
+                ids.push(id);
+            }
+            level = ids;
+            seps = proms;
+        }
+
+        // Install the root; drop the placeholder empty leaf if superseded.
+        let new_root = level[0];
+        if new_root != empty_root {
+            tree.pool_mut().free(empty_root)?;
+        }
+        tree.set_root_len(new_root, count);
+        Ok(())
+    }
+
+    /// Insert many `(key, value)` pairs, sorting them first so clustered
+    /// regions are updated with good page locality (batched updates, §3.5).
+    ///
+    /// Returns the number of keys that were newly inserted (not replaced).
+    pub fn insert_batch(&mut self, mut items: Vec<(Vec<u8>, Vec<u8>)>) -> Result<u64> {
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut fresh = 0;
+        for (k, v) in items {
+            if self.insert(&k, &v)?.is_none() {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Delete many keys, sorting them first for page locality.
+    ///
+    /// Returns the number of keys actually removed.
+    pub fn delete_batch(&mut self, mut keys: Vec<Vec<u8>>) -> Result<u64> {
+        keys.sort();
+        let mut removed = 0;
+        for k in keys {
+            if self.delete(&k)?.is_some() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}

@@ -1,0 +1,136 @@
+//! Byte-level helpers: varints, common prefixes, separator truncation.
+
+use pagestore::{Error, Result};
+
+/// Append `v` as a LEB128 varint.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Size in bytes of `v` as a varint.
+pub fn varint_len(v: u32) -> usize {
+    match v {
+        0..=0x7F => 1,
+        0x80..=0x3FFF => 2,
+        0x4000..=0x1F_FFFF => 3,
+        0x20_0000..=0x0FFF_FFFF => 4,
+        _ => 5,
+    }
+}
+
+/// Read a LEB128 varint at `*pos`, advancing it.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let mut v: u32 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| Error::Corrupt("varint past end of page".into()))?;
+        *pos += 1;
+        if shift >= 32 {
+            return Err(Error::Corrupt("varint overflow".into()));
+        }
+        v |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Length of the longest common prefix of `a` and `b`.
+#[inline]
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+/// Shortest separator `t` with `left_max < t <= right_min`.
+///
+/// This is prefix-B-tree suffix truncation: interior nodes only need enough
+/// of a key to route correctly, which keeps them dense. Requires
+/// `left_max < right_min`.
+pub fn truncate_separator(left_max: &[u8], right_min: &[u8]) -> Vec<u8> {
+    debug_assert!(left_max < right_min, "separator inputs out of order");
+    let cp = common_prefix_len(left_max, right_min);
+    // `right_min[..cp + 1]` always works: it differs from (or extends past)
+    // `left_max` at position `cp` and is a prefix of `right_min`.
+    let end = (cp + 1).min(right_min.len());
+    right_min[..end].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 300, 16383, 16384, 1 << 20, u32::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u32, 5, 127, 128, 16383, 16384, 1 << 21, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 300);
+        let mut pos = 0;
+        assert!(read_varint(&buf[..1], &mut pos).is_err());
+    }
+
+    #[test]
+    fn common_prefix() {
+        assert_eq!(common_prefix_len(b"", b""), 0);
+        assert_eq!(common_prefix_len(b"abc", b"abd"), 2);
+        assert_eq!(common_prefix_len(b"abc", b"abc"), 3);
+        assert_eq!(common_prefix_len(b"abc", b"abcdef"), 3);
+        assert_eq!(common_prefix_len(b"xyz", b"abc"), 0);
+    }
+
+    #[test]
+    fn separator_truncation() {
+        // Differ at first byte.
+        assert_eq!(truncate_separator(b"apple", b"banana"), b"b".to_vec());
+        // Common prefix then divergence.
+        assert_eq!(truncate_separator(b"abcX", b"abcZ"), b"abcZ".to_vec());
+        // Left is a strict prefix of right.
+        assert_eq!(truncate_separator(b"abc", b"abcdef"), b"abcd".to_vec());
+        // Adjacent keys of length 1.
+        assert_eq!(truncate_separator(b"a", b"b"), b"b".to_vec());
+    }
+
+    #[test]
+    fn separator_is_valid_for_many_pairs() {
+        let keys: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("pre{:05}", i * 7).into_bytes())
+            .collect();
+        for w in keys.windows(2) {
+            let t = truncate_separator(&w[0], &w[1]);
+            assert!(w[0].as_slice() < t.as_slice());
+            assert!(t.as_slice() <= w[1].as_slice());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Forward cursors over the leaf level.
+//!
+//! A [`Cursor`] holds the decoded node of its current leaf (shared with the
+//! tree's decode cache), so stepping within a leaf costs no page fetches;
+//! moving to the next leaf (or re-seeking) goes through the buffer pool and
+//! is accounted normally. Cursors are invalidated by any mutation of the
+//! tree.
+
+use std::rc::Rc;
+
+use pagestore::{PageId, PageStore, Result};
+
+use crate::node::Node;
+use crate::tree::BTree;
+
+/// A position in the leaf level of a [`BTree`].
+pub struct Cursor {
+    leaf: PageId,
+    slot: usize,
+    cached: Option<(PageId, Rc<Node>)>,
+}
+
+impl<S: PageStore> BTree<S> {
+    /// Position a cursor at the first entry with key `>= key`.
+    pub fn seek(&mut self, key: &[u8]) -> Result<Cursor> {
+        let mut id = self.root;
+        loop {
+            let node = self.load_cached(id)?;
+            match &*node {
+                Node::Internal(int) => id = int.children[int.route(key)],
+                Node::Leaf(leaf) => {
+                    let slot = leaf.entries.partition_point(|e| e.key.as_slice() < key);
+                    return Ok(Cursor {
+                        leaf: id,
+                        slot,
+                        cached: Some((id, node.clone())),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Position a cursor at the smallest key in the tree.
+    pub fn seek_first(&mut self) -> Result<Cursor> {
+        self.seek(&[])
+    }
+
+    /// The entry under the cursor, advancing across leaf boundaries as
+    /// needed. Returns `None` when the cursor is past the last entry.
+    pub fn cursor_entry(&mut self, cur: &mut Cursor) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        loop {
+            let needs_load = match &cur.cached {
+                Some((id, _)) => *id != cur.leaf,
+                None => true,
+            };
+            if needs_load {
+                let node = self.load_cached(cur.leaf)?;
+                cur.cached = Some((cur.leaf, node));
+            }
+            let (_, node) = cur.cached.as_ref().expect("just loaded");
+            let Node::Leaf(leaf) = &**node else {
+                return Err(pagestore::Error::Corrupt(
+                    "cursor leaf is not a leaf".into(),
+                ));
+            };
+            if cur.slot < leaf.entries.len() {
+                let e = &leaf.entries[cur.slot];
+                return Ok(Some((e.key.clone(), e.value.clone())));
+            }
+            if leaf.next.is_null() {
+                return Ok(None);
+            }
+            cur.leaf = leaf.next;
+            cur.slot = 0;
+        }
+    }
+
+    /// Step the cursor to the next entry.
+    pub fn cursor_advance(&mut self, cur: &mut Cursor) {
+        cur.slot += 1;
+    }
+
+    /// Collect all entries with `lo <= key < hi`.
+    pub fn range(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut cur = self.seek(lo)?;
+        while let Some((k, v)) = self.cursor_entry(&mut cur)? {
+            if k.as_slice() >= hi {
+                break;
+            }
+            out.push((k, v));
+            self.cursor_advance(&mut cur);
+        }
+        Ok(out)
+    }
+
+    /// Collect all entries whose key starts with `prefix`.
+    pub fn prefix_scan(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut cur = self.seek(prefix)?;
+        while let Some((k, v)) = self.cursor_entry(&mut cur)? {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            out.push((k, v));
+            self.cursor_advance(&mut cur);
+        }
+        Ok(out)
+    }
+
+    /// Collect every entry in key order (test/debug helper).
+    pub fn scan_all(&mut self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut cur = self.seek_first()?;
+        while let Some(e) = self.cursor_entry(&mut cur)? {
+            out.push(e);
+            self.cursor_advance(&mut cur);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,439 @@
+//! In-memory node representation and its (front-compressed) page encoding.
+//!
+//! Page layouts (all integers little-endian):
+//!
+//! ```text
+//! leaf:     [tag=1][next_leaf u32][count u16][entry]*
+//!           entry = varint prefix_len, varint suffix_len, suffix,
+//!                   varint value_len, value
+//! interior: [tag=0][count u16][child_0 u32][sep-entry]*
+//!           sep-entry = varint prefix_len, varint suffix_len, suffix,
+//!                       child u32
+//! ```
+//!
+//! `prefix_len` is the number of leading bytes shared with the *previous*
+//! key in the node (always 0 for the first entry, and for every entry when
+//! front compression is disabled).
+
+use pagestore::{Error, PageId, Result};
+
+use crate::codec::{common_prefix_len, read_varint, varint_len, write_varint};
+
+const TAG_INTERIOR: u8 = 0;
+const TAG_LEAF: u8 = 1;
+
+/// Fixed header size of a leaf page (tag + next pointer + count).
+pub const LEAF_HEADER: usize = 1 + 4 + 2;
+/// Fixed header size of an interior page (tag + count + first child).
+pub const INTERIOR_HEADER: usize = 1 + 2 + 4;
+
+/// A key/value pair stored in a leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Full (decompressed) key bytes.
+    pub key: Vec<u8>,
+    /// Value bytes; may be empty (the U-index stores key-only entries).
+    pub value: Vec<u8>,
+}
+
+/// A decoded leaf node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafNode {
+    /// Entries in strictly increasing key order.
+    pub entries: Vec<Entry>,
+    /// The next leaf in key order, or [`PageId::NULL`] for the last leaf.
+    pub next: PageId,
+}
+
+/// A decoded interior node: `children.len() == seps.len() + 1`.
+///
+/// Routing: a key `k` goes to `children[i]` where `i` is the number of
+/// separators `<= k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalNode {
+    /// Separator keys (possibly suffix-truncated), strictly increasing.
+    pub seps: Vec<Vec<u8>>,
+    /// Child page ids.
+    pub children: Vec<PageId>,
+}
+
+impl InternalNode {
+    /// Index of the child a key routes to.
+    pub fn route(&self, key: &[u8]) -> usize {
+        // partition_point returns the number of separators <= key.
+        self.seps.partition_point(|s| s.as_slice() <= key)
+    }
+}
+
+/// A decoded B-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf level.
+    Leaf(LeafNode),
+    /// Interior level.
+    Internal(InternalNode),
+}
+
+impl Node {
+    /// A fresh empty leaf.
+    pub fn empty_leaf() -> Node {
+        Node::Leaf(LeafNode {
+            entries: Vec::new(),
+            next: PageId::NULL,
+        })
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// Number of entries (leaf) or separators (interior).
+    pub fn count(&self) -> usize {
+        match self {
+            Node::Leaf(l) => l.entries.len(),
+            Node::Internal(i) => i.seps.len(),
+        }
+    }
+
+    /// Exact size of the encoded form.
+    pub fn encoded_size(&self, compress: bool) -> usize {
+        match self {
+            Node::Leaf(l) => {
+                let mut size = LEAF_HEADER;
+                let mut prev: &[u8] = &[];
+                for e in &l.entries {
+                    let plen = if compress {
+                        common_prefix_len(prev, &e.key)
+                    } else {
+                        0
+                    };
+                    size += entry_size(plen, e.key.len(), Some(e.value.len()));
+                    prev = &e.key;
+                }
+                size
+            }
+            Node::Internal(n) => {
+                let mut size = INTERIOR_HEADER;
+                let mut prev: &[u8] = &[];
+                for s in &n.seps {
+                    let plen = if compress {
+                        common_prefix_len(prev, s)
+                    } else {
+                        0
+                    };
+                    size += entry_size(plen, s.len(), None);
+                    prev = s;
+                }
+                size
+            }
+        }
+    }
+
+    /// Encode into `page`, zero-padding the tail.
+    ///
+    /// Fails with [`Error::Corrupt`] if the encoding does not fit — callers
+    /// must split before storing.
+    pub fn encode(&self, page: &mut [u8], compress: bool) -> Result<()> {
+        let mut buf = Vec::with_capacity(page.len());
+        match self {
+            Node::Leaf(l) => {
+                if l.entries.len() > u16::MAX as usize {
+                    return Err(Error::Corrupt("too many leaf entries".into()));
+                }
+                buf.push(TAG_LEAF);
+                buf.extend_from_slice(&l.next.to_bytes());
+                buf.extend_from_slice(&(l.entries.len() as u16).to_le_bytes());
+                let mut prev: &[u8] = &[];
+                for e in &l.entries {
+                    let plen = if compress {
+                        common_prefix_len(prev, &e.key)
+                    } else {
+                        0
+                    };
+                    write_varint(&mut buf, plen as u32);
+                    write_varint(&mut buf, (e.key.len() - plen) as u32);
+                    buf.extend_from_slice(&e.key[plen..]);
+                    write_varint(&mut buf, e.value.len() as u32);
+                    buf.extend_from_slice(&e.value);
+                    prev = &e.key;
+                }
+            }
+            Node::Internal(n) => {
+                if n.children.len() != n.seps.len() + 1 {
+                    return Err(Error::Corrupt("interior child/sep mismatch".into()));
+                }
+                if n.seps.len() > u16::MAX as usize {
+                    return Err(Error::Corrupt("too many separators".into()));
+                }
+                buf.push(TAG_INTERIOR);
+                buf.extend_from_slice(&(n.seps.len() as u16).to_le_bytes());
+                buf.extend_from_slice(&n.children[0].to_bytes());
+                let mut prev: &[u8] = &[];
+                for (s, child) in n.seps.iter().zip(&n.children[1..]) {
+                    let plen = if compress {
+                        common_prefix_len(prev, s)
+                    } else {
+                        0
+                    };
+                    write_varint(&mut buf, plen as u32);
+                    write_varint(&mut buf, (s.len() - plen) as u32);
+                    buf.extend_from_slice(&s[plen..]);
+                    buf.extend_from_slice(&child.to_bytes());
+                    prev = s;
+                }
+            }
+        }
+        if buf.len() > page.len() {
+            return Err(Error::Corrupt(format!(
+                "node encoding {} bytes exceeds page size {}",
+                buf.len(),
+                page.len()
+            )));
+        }
+        page[..buf.len()].copy_from_slice(&buf);
+        page[buf.len()..].fill(0);
+        Ok(())
+    }
+
+    /// Decode a node from page bytes.
+    pub fn decode(page: &[u8]) -> Result<Node> {
+        let tag = *page
+            .first()
+            .ok_or_else(|| Error::Corrupt("empty page".into()))?;
+        match tag {
+            TAG_LEAF => {
+                if page.len() < LEAF_HEADER {
+                    return Err(Error::Corrupt("leaf header truncated".into()));
+                }
+                let next = PageId::from_bytes(page[1..5].try_into().unwrap());
+                let count = u16::from_le_bytes(page[5..7].try_into().unwrap()) as usize;
+                let mut pos = LEAF_HEADER;
+                let mut entries = Vec::with_capacity(count);
+                let mut prev: Vec<u8> = Vec::new();
+                for _ in 0..count {
+                    let plen = read_varint(page, &mut pos)? as usize;
+                    let slen = read_varint(page, &mut pos)? as usize;
+                    if plen > prev.len() || pos + slen > page.len() {
+                        return Err(Error::Corrupt("bad leaf entry lengths".into()));
+                    }
+                    let mut key = Vec::with_capacity(plen + slen);
+                    key.extend_from_slice(&prev[..plen]);
+                    key.extend_from_slice(&page[pos..pos + slen]);
+                    pos += slen;
+                    let vlen = read_varint(page, &mut pos)? as usize;
+                    if pos + vlen > page.len() {
+                        return Err(Error::Corrupt("bad leaf value length".into()));
+                    }
+                    let value = page[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    prev = key.clone();
+                    entries.push(Entry { key, value });
+                }
+                Ok(Node::Leaf(LeafNode { entries, next }))
+            }
+            TAG_INTERIOR => {
+                if page.len() < INTERIOR_HEADER {
+                    return Err(Error::Corrupt("interior header truncated".into()));
+                }
+                let count = u16::from_le_bytes(page[1..3].try_into().unwrap()) as usize;
+                let first_child = PageId::from_bytes(page[3..7].try_into().unwrap());
+                let mut pos = INTERIOR_HEADER;
+                let mut seps = Vec::with_capacity(count);
+                let mut children = Vec::with_capacity(count + 1);
+                children.push(first_child);
+                let mut prev: Vec<u8> = Vec::new();
+                for _ in 0..count {
+                    let plen = read_varint(page, &mut pos)? as usize;
+                    let slen = read_varint(page, &mut pos)? as usize;
+                    if plen > prev.len() || pos + slen > page.len() {
+                        return Err(Error::Corrupt("bad separator lengths".into()));
+                    }
+                    let mut sep = Vec::with_capacity(plen + slen);
+                    sep.extend_from_slice(&prev[..plen]);
+                    sep.extend_from_slice(&page[pos..pos + slen]);
+                    pos += slen;
+                    if pos + 4 > page.len() {
+                        return Err(Error::Corrupt("child pointer truncated".into()));
+                    }
+                    children.push(PageId::from_bytes(page[pos..pos + 4].try_into().unwrap()));
+                    pos += 4;
+                    prev = sep.clone();
+                    seps.push(sep);
+                }
+                Ok(Node::Internal(InternalNode { seps, children }))
+            }
+            t => Err(Error::Corrupt(format!("unknown node tag {t}"))),
+        }
+    }
+}
+
+fn entry_size(plen: usize, key_len: usize, value_len: Option<usize>) -> usize {
+    let slen = key_len - plen;
+    let mut size = varint_len(plen as u32) + varint_len(slen as u32) + slen;
+    match value_len {
+        Some(v) => size += varint_len(v as u32) + v,
+        None => size += 4, // child pointer
+    }
+    size
+}
+
+/// Per-entry encoded sizes used to pick byte-balanced split points.
+///
+/// Returns `(compressed, uncompressed_first)` for each item: `compressed[i]`
+/// is the entry's size when preceded by item `i-1`; `uncompressed_first[i]`
+/// is its size as the first entry of a node (prefix length 0).
+pub(crate) fn segment_sizes<'a, I>(
+    items: I,
+    value_lens: Option<&[usize]>,
+    compress: bool,
+) -> (Vec<usize>, Vec<usize>)
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let keys: Vec<&[u8]> = items.into_iter().collect();
+    let mut compressed = Vec::with_capacity(keys.len());
+    let mut first = Vec::with_capacity(keys.len());
+    let mut prev: &[u8] = &[];
+    for (i, k) in keys.iter().enumerate() {
+        let vlen = value_lens.map(|v| v[i]);
+        let plen = if compress {
+            common_prefix_len(prev, k)
+        } else {
+            0
+        };
+        compressed.push(entry_size(plen, k.len(), vlen));
+        first.push(entry_size(0, k.len(), vlen));
+        prev = k;
+    }
+    (compressed, first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(keys: &[&str]) -> Node {
+        Node::Leaf(LeafNode {
+            entries: keys
+                .iter()
+                .map(|k| Entry {
+                    key: k.as_bytes().to_vec(),
+                    value: format!("v-{k}").into_bytes(),
+                })
+                .collect(),
+            next: PageId(7),
+        })
+    }
+
+    #[test]
+    fn leaf_roundtrip_compressed() {
+        let node = leaf(&["apple", "applesauce", "apricot", "banana"]);
+        let mut page = vec![0u8; 256];
+        node.encode(&mut page, true).unwrap();
+        let back = Node::decode(&page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn leaf_roundtrip_uncompressed() {
+        let node = leaf(&["apple", "applesauce", "apricot", "banana"]);
+        let mut page = vec![0u8; 256];
+        node.encode(&mut page, false).unwrap();
+        let back = Node::decode(&page).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn compression_shrinks_shared_prefixes() {
+        let node = leaf(&[
+            "shared-prefix-aaaa",
+            "shared-prefix-aaab",
+            "shared-prefix-aaac",
+            "shared-prefix-aaad",
+        ]);
+        let c = node.encoded_size(true);
+        let u = node.encoded_size(false);
+        assert!(
+            c + 3 * ("shared-prefix-aaa".len() - 2) <= u,
+            "compressed {c} not much smaller than uncompressed {u}"
+        );
+    }
+
+    #[test]
+    fn encoded_size_is_exact() {
+        for compress in [true, false] {
+            let node = leaf(&["a", "ab", "abc", "b", "ba"]);
+            let mut page = vec![0u8; 512];
+            node.encode(&mut page, compress).unwrap();
+            // Re-encode into a buffer of exactly the reported size: must fit.
+            let size = node.encoded_size(compress);
+            let mut tight = vec![0u8; size];
+            node.encode(&mut tight, compress).unwrap();
+            // One byte less must fail.
+            let mut small = vec![0u8; size - 1];
+            assert!(node.encode(&mut small, compress).is_err());
+        }
+    }
+
+    #[test]
+    fn interior_roundtrip() {
+        let node = Node::Internal(InternalNode {
+            seps: vec![b"m".to_vec(), b"mm".to_vec(), b"t".to_vec()],
+            children: vec![PageId(1), PageId(2), PageId(3), PageId(4)],
+        });
+        let mut page = vec![0u8; 128];
+        node.encode(&mut page, true).unwrap();
+        assert_eq!(Node::decode(&page).unwrap(), node);
+    }
+
+    #[test]
+    fn empty_nodes_roundtrip() {
+        let mut page = vec![0u8; 64];
+        let node = Node::empty_leaf();
+        node.encode(&mut page, true).unwrap();
+        assert_eq!(Node::decode(&page).unwrap(), node);
+
+        let node = Node::Internal(InternalNode {
+            seps: vec![],
+            children: vec![PageId(9)],
+        });
+        node.encode(&mut page, true).unwrap();
+        assert_eq!(Node::decode(&page).unwrap(), node);
+    }
+
+    #[test]
+    fn routing() {
+        let n = InternalNode {
+            seps: vec![b"g".to_vec(), b"p".to_vec()],
+            children: vec![PageId(0), PageId(1), PageId(2)],
+        };
+        assert_eq!(n.route(b"a"), 0);
+        assert_eq!(n.route(b"f"), 0);
+        assert_eq!(n.route(b"g"), 1); // key == separator goes right
+        assert_eq!(n.route(b"o"), 1);
+        assert_eq!(n.route(b"p"), 2);
+        assert_eq!(n.route(b"z"), 2);
+    }
+
+    #[test]
+    fn decode_garbage_fails() {
+        assert!(Node::decode(&[]).is_err());
+        assert!(Node::decode(&[9u8; 32]).is_err());
+        // Leaf claiming more entries than present.
+        let mut page = vec![0u8; 32];
+        page[0] = TAG_LEAF;
+        page[5] = 200;
+        assert!(Node::decode(&page).is_err());
+    }
+
+    #[test]
+    fn interior_mismatch_rejected() {
+        let node = Node::Internal(InternalNode {
+            seps: vec![b"x".to_vec()],
+            children: vec![PageId(1)], // should be 2 children
+        });
+        let mut page = vec![0u8; 64];
+        assert!(node.encode(&mut page, true).is_err());
+    }
+}

@@ -1,0 +1,548 @@
+//! The B+-tree proper: create, get, insert, delete with rebalancing.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pagestore::{BufferPool, Error, PageId, PageStore, Result};
+
+use crate::codec::truncate_separator;
+use crate::config::{BTreeConfig, Capacity};
+use crate::node::{
+    segment_sizes, Entry, InternalNode, LeafNode, Node, INTERIOR_HEADER, LEAF_HEADER,
+};
+
+/// A B+-tree over a buffer pool. See the crate docs for the feature set.
+pub struct BTree<S: PageStore> {
+    pub(crate) pool: BufferPool<S>,
+    pub(crate) config: BTreeConfig,
+    pub(crate) root: PageId,
+    len: u64,
+    /// Decoded-node cache. Purely a CPU optimization: every access still
+    /// goes through [`BufferPool::fetch`] first, so page-read accounting is
+    /// unaffected; the cache only skips re-decoding bytes that have not
+    /// changed. Entries are invalidated on every write/free of their page.
+    node_cache: HashMap<PageId, Rc<Node>>,
+}
+
+/// Decoded nodes kept at most; beyond this the cache is cleared (simple and
+/// sufficient for the experiment working sets).
+const NODE_CACHE_CAP: usize = 1 << 16;
+
+pub(crate) enum Ins {
+    Done(Option<Vec<u8>>),
+    Split {
+        sep: Vec<u8>,
+        right: PageId,
+        old: Option<Vec<u8>>,
+    },
+}
+
+enum Del {
+    NotFound,
+    Done(Vec<u8>),
+    Underflow(Vec<u8>),
+}
+
+impl<S: PageStore> BTree<S> {
+    /// Create an empty tree in `pool`.
+    pub fn create(mut pool: BufferPool<S>, config: BTreeConfig) -> Result<Self> {
+        let (root, page) = pool.allocate()?;
+        Node::empty_leaf().encode(&mut page.write(), config.front_compression)?;
+        drop(page);
+        Ok(BTree {
+            pool,
+            config,
+            root,
+            len: 0,
+            node_cache: HashMap::new(),
+        })
+    }
+
+    /// Re-attach to an existing tree rooted at `root` holding `len` entries
+    /// (the caller is responsible for persisting those two facts).
+    pub fn open(pool: BufferPool<S>, config: BTreeConfig, root: PageId, len: u64) -> Self {
+        BTree {
+            pool,
+            config,
+            root,
+            len,
+            node_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of entries in the tree.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root page id.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &BTreeConfig {
+        &self.config
+    }
+
+    /// The underlying buffer pool (for statistics).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.pool
+    }
+
+    /// Mutable access to the buffer pool (e.g. `begin_query`).
+    pub fn pool_mut(&mut self) -> &mut BufferPool<S> {
+        &mut self.pool
+    }
+
+    /// Largest `key.len() + value.len()` accepted by [`BTree::insert`].
+    ///
+    /// A third of a page guarantees a valid split always exists (two
+    /// maximal entries per half) while still admitting sizeable inline
+    /// values such as the CG-tree's 40-set directory records.
+    pub fn max_entry_size(&self) -> usize {
+        self.pool.page_size() / 3
+    }
+
+    pub(crate) fn set_root_len(&mut self, root: PageId, len: u64) {
+        self.root = root;
+        self.len = len;
+    }
+
+    /// Load a node for reading. The page fetch is always performed (and
+    /// counted); decoding is skipped when the cached copy is still valid.
+    pub(crate) fn load_cached(&mut self, id: PageId) -> Result<Rc<Node>> {
+        let page = self.pool.fetch(id)?;
+        if let Some(node) = self.node_cache.get(&id) {
+            return Ok(node.clone());
+        }
+        let node = Rc::new(Node::decode(&page.read())?);
+        if self.node_cache.len() >= NODE_CACHE_CAP {
+            self.node_cache.clear();
+        }
+        self.node_cache.insert(id, node.clone());
+        Ok(node)
+    }
+
+    /// Load an owned node for mutation.
+    pub(crate) fn load(&mut self, id: PageId) -> Result<Node> {
+        let node = self.load_cached(id)?;
+        Ok((*node).clone())
+    }
+
+    pub(crate) fn store_node(&mut self, id: PageId, node: &Node) -> Result<()> {
+        self.node_cache.remove(&id);
+        let page = self.pool.fetch(id)?;
+        let result = node.encode(&mut page.write(), self.config.front_compression);
+        result
+    }
+
+    /// Free a page, dropping any cached decode of it.
+    pub(crate) fn free_page(&mut self, id: PageId) -> Result<()> {
+        self.node_cache.remove(&id);
+        self.pool.free(id)
+    }
+
+    fn page_size(&self) -> usize {
+        self.pool.page_size()
+    }
+
+    pub(crate) fn fits(&self, node: &Node) -> bool {
+        match self.config.capacity {
+            Capacity::Bytes => {
+                node.encoded_size(self.config.front_compression) <= self.page_size()
+            }
+            Capacity::Entries(m) => {
+                node.count() <= m
+                    && node.encoded_size(self.config.front_compression) <= self.page_size()
+            }
+        }
+    }
+
+    pub(crate) fn is_underfull_node(&self, node: &Node) -> bool {
+        match self.config.capacity {
+            Capacity::Bytes => {
+                node.encoded_size(self.config.front_compression) < self.page_size() / 4
+            }
+            Capacity::Entries(_) => node.count() < self.config.min_entries(),
+        }
+    }
+
+    fn separator(&self, left_max: &[u8], right_min: &[u8]) -> Vec<u8> {
+        if self.config.suffix_truncation {
+            truncate_separator(left_max, right_min)
+        } else {
+            right_min.to_vec()
+        }
+    }
+
+    // ----- lookup -------------------------------------------------------
+
+    /// Look up the value stored under `key`.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut id = self.root;
+        loop {
+            match &*self.load_cached(id)? {
+                Node::Internal(int) => id = int.children[int.route(key)],
+                Node::Leaf(leaf) => {
+                    return Ok(leaf
+                        .entries
+                        .binary_search_by(|e| e.key.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| leaf.entries[i].value.clone()));
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&mut self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    // ----- insert -------------------------------------------------------
+
+    /// Insert `key` → `value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        if key.len() + value.len() > self.max_entry_size() {
+            return Err(Error::Corrupt(format!(
+                "entry of {} bytes exceeds max entry size {}",
+                key.len() + value.len(),
+                self.max_entry_size()
+            )));
+        }
+        let result = self.insert_rec(self.root, key, value)?;
+        let old = match result {
+            Ins::Done(old) => old,
+            Ins::Split { sep, right, old } => {
+                // Grow the tree: new root with the old root and the new
+                // right sibling as children.
+                let old_root = self.root;
+                let (new_root, page) = self.pool.allocate()?;
+                self.node_cache.remove(&new_root);
+                let node = Node::Internal(InternalNode {
+                    seps: vec![sep],
+                    children: vec![old_root, right],
+                });
+                node.encode(&mut page.write(), self.config.front_compression)?;
+                drop(page);
+                self.root = new_root;
+                old
+            }
+        };
+        if old.is_none() {
+            self.len += 1;
+        }
+        Ok(old)
+    }
+
+    fn insert_rec(&mut self, id: PageId, key: &[u8], value: &[u8]) -> Result<Ins> {
+        match self.load(id)? {
+            Node::Leaf(mut leaf) => {
+                let old = match leaf.entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(
+                        &mut leaf.entries[i].value,
+                        value.to_vec(),
+                    )),
+                    Err(i) => {
+                        leaf.entries.insert(
+                            i,
+                            Entry {
+                                key: key.to_vec(),
+                                value: value.to_vec(),
+                            },
+                        );
+                        None
+                    }
+                };
+                let node = Node::Leaf(leaf);
+                if self.fits(&node) {
+                    self.store_node(id, &node)?;
+                    return Ok(Ins::Done(old));
+                }
+                let Node::Leaf(mut leaf) = node else {
+                    unreachable!()
+                };
+                let split_at = self.leaf_split_index(&leaf)?;
+                let right_entries = leaf.entries.split_off(split_at);
+                let (right_id, _) = self.pool.allocate()?;
+                let right = LeafNode {
+                    entries: right_entries,
+                    next: leaf.next,
+                };
+                leaf.next = right_id;
+                let sep = self.separator(
+                    &leaf.entries.last().expect("left non-empty").key,
+                    &right.entries[0].key,
+                );
+                self.store_node(id, &Node::Leaf(leaf))?;
+                self.store_node(right_id, &Node::Leaf(right))?;
+                Ok(Ins::Split {
+                    sep,
+                    right: right_id,
+                    old,
+                })
+            }
+            Node::Internal(mut int) => {
+                let ci = int.route(key);
+                match self.insert_rec(int.children[ci], key, value)? {
+                    Ins::Done(old) => Ok(Ins::Done(old)),
+                    Ins::Split { sep, right, old } => {
+                        int.seps.insert(ci, sep);
+                        int.children.insert(ci + 1, right);
+                        let node = Node::Internal(int);
+                        if self.fits(&node) {
+                            self.store_node(id, &node)?;
+                            return Ok(Ins::Done(old));
+                        }
+                        let Node::Internal(mut int) = node else {
+                            unreachable!()
+                        };
+                        let promote = self.internal_split_index(&int)?;
+                        // left keeps seps[..promote], children[..promote+1];
+                        // seps[promote] moves up; right gets the rest.
+                        let right_seps = int.seps.split_off(promote + 1);
+                        let promoted = int.seps.pop().expect("promote index valid");
+                        let right_children = int.children.split_off(promote + 1);
+                        let (right_id, _) = self.pool.allocate()?;
+                        let right = InternalNode {
+                            seps: right_seps,
+                            children: right_children,
+                        };
+                        self.store_node(id, &Node::Internal(int))?;
+                        self.store_node(right_id, &Node::Internal(right))?;
+                        Ok(Ins::Split {
+                            sep: promoted,
+                            right: right_id,
+                            old,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pick the index at which to split an over-full leaf so both halves fit
+    /// and are byte-balanced.
+    pub(crate) fn leaf_split_index(&self, leaf: &LeafNode) -> Result<usize> {
+        let n = leaf.entries.len();
+        debug_assert!(n >= 2, "cannot split a leaf with < 2 entries");
+        if let Capacity::Entries(_) = self.config.capacity {
+            return Ok(n / 2 + (n % 2));
+        }
+        let keys: Vec<&[u8]> = leaf.entries.iter().map(|e| e.key.as_slice()).collect();
+        let vlens: Vec<usize> = leaf.entries.iter().map(|e| e.value.len()).collect();
+        let (comp, first) =
+            segment_sizes(keys.iter().copied(), Some(&vlens), self.config.front_compression);
+        // prefix[i] = sum of comp[0..i]
+        let mut prefix = vec![0usize; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] + comp[i];
+        }
+        let total_comp = prefix[n];
+        let mut best: Option<(usize, usize)> = None; // (max_side, k)
+        for k in 1..n {
+            // left = header + first[0] + comp[1..k]; right similarly with
+            // entry k re-encoded uncompressed as its node's first entry.
+            let left_size = LEAF_HEADER + first[0] + (prefix[k] - prefix[1]);
+            let right_size = LEAF_HEADER + first[k] + (total_comp - prefix[k + 1]);
+            if left_size <= self.page_size() && right_size <= self.page_size() {
+                let worst = left_size.max(right_size);
+                if best.is_none_or(|(b, _)| worst < b) {
+                    best = Some((worst, k));
+                }
+            }
+        }
+        best.map(|(_, k)| k).ok_or_else(|| {
+            Error::Corrupt("no valid leaf split point: entry too large for page".into())
+        })
+    }
+
+    /// Pick the promote index for an over-full interior node.
+    pub(crate) fn internal_split_index(&self, int: &InternalNode) -> Result<usize> {
+        let n = int.seps.len();
+        debug_assert!(n >= 3, "cannot split interior with < 3 separators");
+        if let Capacity::Entries(_) = self.config.capacity {
+            return Ok(n / 2);
+        }
+        let (comp, first) = segment_sizes(
+            int.seps.iter().map(|s| s.as_slice()),
+            None,
+            self.config.front_compression,
+        );
+        let mut prefix = vec![0usize; n + 1];
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] + comp[i];
+        }
+        let total = prefix[n];
+        let mut best: Option<(usize, usize)> = None;
+        // Promoting index p leaves seps[..p] on the left and seps[p+1..] on
+        // the right.
+        for p in 1..n - 1 {
+            let left_size = INTERIOR_HEADER + first[0] + (prefix[p] - prefix[1]);
+            let right_size = INTERIOR_HEADER + first[p + 1] + (total - prefix[p + 2]);
+            if left_size <= self.page_size() && right_size <= self.page_size() {
+                let worst = left_size.max(right_size);
+                if best.is_none_or(|(b, _)| worst < b) {
+                    best = Some((worst, p));
+                }
+            }
+        }
+        best.map(|(_, p)| p).ok_or_else(|| {
+            Error::Corrupt("no valid interior split point: separator too large".into())
+        })
+    }
+
+    // ----- delete -------------------------------------------------------
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let result = self.delete_rec(self.root, key)?;
+        let old = match result {
+            Del::NotFound => return Ok(None),
+            Del::Done(v) | Del::Underflow(v) => v,
+        };
+        self.len -= 1;
+        // Collapse the root if it became a pass-through interior node.
+        if let Node::Internal(int) = self.load(self.root)? {
+            if int.seps.is_empty() {
+                let old_root = self.root;
+                self.root = int.children[0];
+                self.free_page(old_root)?;
+            }
+        }
+        Ok(Some(old))
+    }
+
+    fn delete_rec(&mut self, id: PageId, key: &[u8]) -> Result<Del> {
+        match self.load(id)? {
+            Node::Leaf(mut leaf) => {
+                match leaf.entries.binary_search_by(|e| e.key.as_slice().cmp(key)) {
+                    Err(_) => Ok(Del::NotFound),
+                    Ok(i) => {
+                        let old = leaf.entries.remove(i).value;
+                        let node = Node::Leaf(leaf);
+                        let under = self.is_underfull_node(&node);
+                        self.store_node(id, &node)?;
+                        Ok(if under {
+                            Del::Underflow(old)
+                        } else {
+                            Del::Done(old)
+                        })
+                    }
+                }
+            }
+            Node::Internal(mut int) => {
+                let ci = int.route(key);
+                match self.delete_rec(int.children[ci], key)? {
+                    Del::NotFound => Ok(Del::NotFound),
+                    Del::Done(v) => Ok(Del::Done(v)),
+                    Del::Underflow(v) => {
+                        self.rebalance_child(&mut int, ci)?;
+                        let node = Node::Internal(int);
+                        let under = self.is_underfull_node(&node);
+                        self.store_node(id, &node)?;
+                        Ok(if under {
+                            Del::Underflow(v)
+                        } else {
+                            Del::Done(v)
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fix up an underfull child of `int` at position `ci` by merging with or
+    /// redistributing from an adjacent sibling. `int` is mutated in place;
+    /// the caller stores it.
+    fn rebalance_child(&mut self, int: &mut InternalNode, ci: usize) -> Result<()> {
+        if int.children.len() < 2 {
+            return Ok(()); // no sibling (root child chain); nothing to do
+        }
+        // Pair the underfull child with its left sibling when possible so we
+        // always merge right-into-left.
+        let (li, ri) = if ci > 0 { (ci - 1, ci) } else { (ci, ci + 1) };
+        let left_id = int.children[li];
+        let right_id = int.children[ri];
+        let left = self.load(left_id)?;
+        let right = self.load(right_id)?;
+        match (left, right) {
+            (Node::Leaf(mut l), Node::Leaf(r)) => {
+                let merged_next = r.next;
+                l.entries.extend(r.entries);
+                let combined = Node::Leaf(LeafNode {
+                    entries: std::mem::take(&mut l.entries),
+                    next: merged_next,
+                });
+                if self.fits(&combined) {
+                    self.store_node(left_id, &combined)?;
+                    self.free_page(right_id)?;
+                    int.seps.remove(li);
+                    int.children.remove(ri);
+                } else {
+                    let Node::Leaf(mut combined) = combined else {
+                        unreachable!()
+                    };
+                    let k = self.leaf_split_index(&combined)?;
+                    let right_entries = combined.entries.split_off(k);
+                    let new_right = LeafNode {
+                        entries: right_entries,
+                        next: combined.next,
+                    };
+                    combined.next = right_id;
+                    let sep = self.separator(
+                        &combined.entries.last().expect("non-empty").key,
+                        &new_right.entries[0].key,
+                    );
+                    self.store_node(left_id, &Node::Leaf(combined))?;
+                    self.store_node(right_id, &Node::Leaf(new_right))?;
+                    int.seps[li] = sep;
+                }
+            }
+            (Node::Internal(mut l), Node::Internal(r)) => {
+                // Pull the parent separator down between the two sep lists.
+                let parent_sep = int.seps[li].clone();
+                l.seps.push(parent_sep);
+                l.seps.extend(r.seps);
+                l.children.extend(r.children);
+                let combined = Node::Internal(l);
+                if self.fits(&combined) {
+                    self.store_node(left_id, &combined)?;
+                    self.free_page(right_id)?;
+                    int.seps.remove(li);
+                    int.children.remove(ri);
+                } else {
+                    let Node::Internal(mut combined) = combined else {
+                        unreachable!()
+                    };
+                    let p = self.internal_split_index(&combined)?;
+                    let right_seps = combined.seps.split_off(p + 1);
+                    let promoted = combined.seps.pop().expect("promote valid");
+                    let right_children = combined.children.split_off(p + 1);
+                    self.store_node(left_id, &Node::Internal(combined))?;
+                    self.store_node(
+                        right_id,
+                        &Node::Internal(InternalNode {
+                            seps: right_seps,
+                            children: right_children,
+                        }),
+                    )?;
+                    int.seps[li] = promoted;
+                }
+            }
+            _ => {
+                return Err(Error::Corrupt(
+                    "sibling nodes at different levels".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,441 @@
+//! Functional tests for the B+-tree: inserts, deletes, cursors, splits,
+//! merges, both capacity models, compression on/off.
+
+use btree::{BTree, BTreeConfig};
+use pagestore::{BufferPool, MemStore};
+
+fn new_tree(page_size: usize, config: BTreeConfig) -> BTree<MemStore> {
+    let pool = BufferPool::new(MemStore::new(page_size), 4096);
+    BTree::create(pool, config).unwrap()
+}
+
+fn key(i: u32) -> Vec<u8> {
+    format!("key-{i:08}").into_bytes()
+}
+
+fn val(i: u32) -> Vec<u8> {
+    format!("value-{i}").into_bytes()
+}
+
+#[test]
+fn empty_tree_behaviour() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    assert!(t.is_empty());
+    assert_eq!(t.get(b"anything").unwrap(), None);
+    assert_eq!(t.delete(b"anything").unwrap(), None);
+    assert_eq!(t.scan_all().unwrap(), vec![]);
+    let stats = t.verify().unwrap();
+    assert_eq!(stats.height, 1);
+    assert_eq!(stats.entries, 0);
+}
+
+#[test]
+fn single_entry() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    assert_eq!(t.insert(b"k", b"v").unwrap(), None);
+    assert_eq!(t.get(b"k").unwrap(), Some(b"v".to_vec()));
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.insert(b"k", b"w").unwrap(), Some(b"v".to_vec()));
+    assert_eq!(t.len(), 1, "replace does not grow");
+    assert_eq!(t.delete(b"k").unwrap(), Some(b"w".to_vec()));
+    assert!(t.is_empty());
+    t.verify().unwrap();
+}
+
+#[test]
+fn sequential_inserts_and_lookups() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in 0..2000 {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    assert_eq!(t.len(), 2000);
+    let stats = t.verify().unwrap();
+    assert!(stats.height >= 3, "small pages force a deep tree");
+    for i in (0..2000).step_by(37) {
+        assert_eq!(t.get(&key(i)).unwrap(), Some(val(i)));
+    }
+    assert_eq!(t.get(b"key-99999999x").unwrap(), None);
+}
+
+#[test]
+fn reverse_order_inserts() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in (0..1000).rev() {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    t.verify().unwrap();
+    let all = t.scan_all().unwrap();
+    assert_eq!(all.len(), 1000);
+    for (i, (k, _)) in all.iter().enumerate() {
+        assert_eq!(k, &key(i as u32));
+    }
+}
+
+#[test]
+fn interleaved_inserts() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    // Insert evens then odds to force mid-node insertions everywhere.
+    for i in (0..1000).step_by(2) {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    for i in (1..1000).step_by(2) {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    t.verify().unwrap();
+    assert_eq!(t.len(), 1000);
+}
+
+#[test]
+fn delete_everything_both_directions() {
+    for forward in [true, false] {
+        let mut t = new_tree(256, BTreeConfig::default());
+        let n = 1200u32;
+        for i in 0..n {
+            t.insert(&key(i), &val(i)).unwrap();
+        }
+        let order: Vec<u32> = if forward {
+            (0..n).collect()
+        } else {
+            (0..n).rev().collect()
+        };
+        for (step, i) in order.iter().enumerate() {
+            assert_eq!(t.delete(&key(*i)).unwrap(), Some(val(*i)), "delete {i}");
+            if step % 97 == 0 {
+                t.verify().unwrap();
+            }
+        }
+        assert!(t.is_empty());
+        t.verify().unwrap();
+    }
+}
+
+#[test]
+fn delete_middle_out() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    let n = 800u32;
+    for i in 0..n {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    // Delete from the middle outward, stressing merges on both sides.
+    let mut order = Vec::new();
+    let (mut lo, mut hi) = (n / 2, n / 2 + 1);
+    order.push(n / 2);
+    while lo > 0 || hi < n {
+        if lo > 0 {
+            lo -= 1;
+            order.push(lo);
+        }
+        if hi < n {
+            order.push(hi);
+            hi += 1;
+        }
+    }
+    for (step, i) in order.iter().enumerate() {
+        assert!(t.delete(&key(*i)).unwrap().is_some());
+        if step % 131 == 0 {
+            t.verify().unwrap();
+        }
+    }
+    assert!(t.is_empty());
+}
+
+#[test]
+fn entry_capacity_mode_matches_paper_geometry() {
+    // The paper's experiment 1: max 10 records per node.
+    let mut t = new_tree(1024, BTreeConfig::with_max_entries(10));
+    for i in 0..2000 {
+        t.insert(&key(i), &[]).unwrap();
+    }
+    let stats = t.verify().unwrap();
+    // Every leaf holds between 5 and 10 entries.
+    assert!(stats.leaf_nodes >= 200, "leaves: {}", stats.leaf_nodes);
+    assert!(stats.leaf_nodes <= 400, "leaves: {}", stats.leaf_nodes);
+    for i in (0..2000).step_by(101) {
+        assert!(t.contains(&key(i)).unwrap());
+    }
+}
+
+#[test]
+fn compression_off_still_correct() {
+    let mut t = new_tree(256, BTreeConfig::default().without_compression());
+    for i in 0..1500 {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    t.verify().unwrap();
+    for i in (0..1500).step_by(53) {
+        assert_eq!(t.get(&key(i)).unwrap(), Some(val(i)));
+    }
+}
+
+#[test]
+fn compression_reduces_node_count() {
+    // Keys share a long prefix, so compression packs far more per page.
+    let mk = |i: u32| format!("common/long/shared/prefix/key-{i:08}").into_bytes();
+    let build = |compress: bool| {
+        let cfg = if compress {
+            BTreeConfig::default()
+        } else {
+            BTreeConfig::default().without_compression()
+        };
+        let mut t = new_tree(512, cfg);
+        for i in 0..3000 {
+            t.insert(&mk(i), &[]).unwrap();
+        }
+        t.verify().unwrap()
+    };
+    let with = build(true);
+    let without = build(false);
+    assert!(
+        with.leaf_nodes * 2 <= without.leaf_nodes,
+        "compressed {} vs uncompressed {} leaves",
+        with.leaf_nodes,
+        without.leaf_nodes
+    );
+}
+
+#[test]
+fn cursor_seek_positions() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in (0..100).map(|i| i * 10) {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    // Exact hit.
+    let mut c = t.seek(&key(500)).unwrap();
+    assert_eq!(t.cursor_entry(&mut c).unwrap().unwrap().0, key(500));
+    // Between keys: lands on the next larger.
+    let mut c = t.seek(&key(501)).unwrap();
+    assert_eq!(t.cursor_entry(&mut c).unwrap().unwrap().0, key(510));
+    // Before everything.
+    let mut c = t.seek(b"").unwrap();
+    assert_eq!(t.cursor_entry(&mut c).unwrap().unwrap().0, key(0));
+    // Past everything.
+    let mut c = t.seek(&key(100_000)).unwrap();
+    assert!(t.cursor_entry(&mut c).unwrap().is_none());
+}
+
+#[test]
+fn range_and_prefix_scans() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in 0..500 {
+        t.insert(&key(i), &val(i)).unwrap();
+    }
+    let r = t.range(&key(100), &key(110)).unwrap();
+    assert_eq!(r.len(), 10);
+    assert_eq!(r[0].0, key(100));
+    assert_eq!(r[9].0, key(109));
+
+    let p = t.prefix_scan(b"key-0000012").unwrap();
+    assert_eq!(p.len(), 10); // key-00000120 ..= key-00000129
+    assert!(p.iter().all(|(k, _)| k.starts_with(b"key-0000012")));
+
+    // Empty range.
+    assert!(t.range(&key(300), &key(300)).unwrap().is_empty());
+}
+
+#[test]
+fn bulk_load_matches_incremental() {
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..5000u32).map(|i| (key(i), val(i))).collect();
+    let pool = BufferPool::new(MemStore::new(512), 4096);
+    let mut bulk = BTree::bulk_load(pool, BTreeConfig::default(), items.clone()).unwrap();
+    let stats = bulk.verify().unwrap();
+    assert_eq!(stats.entries, 5000);
+    assert_eq!(bulk.scan_all().unwrap(), items);
+
+    let mut incr = new_tree(512, BTreeConfig::default());
+    for (k, v) in &items {
+        incr.insert(k, v).unwrap();
+    }
+    let incr_stats = incr.verify().unwrap();
+    // Bulk loading packs tighter than random splits.
+    assert!(stats.leaf_nodes <= incr_stats.leaf_nodes);
+}
+
+#[test]
+fn bulk_load_rejects_unsorted() {
+    let pool = BufferPool::new(MemStore::new(512), 64);
+    let items = vec![
+        (b"b".to_vec(), vec![]),
+        (b"a".to_vec(), vec![]),
+    ];
+    assert!(BTree::bulk_load(pool, BTreeConfig::default(), items).is_err());
+    let pool = BufferPool::new(MemStore::new(512), 64);
+    let dup = vec![
+        (b"a".to_vec(), vec![]),
+        (b"a".to_vec(), vec![]),
+    ];
+    assert!(BTree::bulk_load(pool, BTreeConfig::default(), dup).is_err());
+}
+
+#[test]
+fn bulk_load_empty_and_tiny() {
+    let pool = BufferPool::new(MemStore::new(512), 64);
+    let mut t = BTree::bulk_load(pool, BTreeConfig::default(), Vec::new()).unwrap();
+    assert!(t.is_empty());
+    t.verify().unwrap();
+
+    let pool = BufferPool::new(MemStore::new(512), 64);
+    let mut t = BTree::bulk_load(
+        pool,
+        BTreeConfig::default(),
+        vec![(b"only".to_vec(), b"one".to_vec())],
+    )
+    .unwrap();
+    assert_eq!(t.len(), 1);
+    assert_eq!(t.get(b"only").unwrap(), Some(b"one".to_vec()));
+    t.verify().unwrap();
+}
+
+#[test]
+fn bulk_load_entry_capacity() {
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..997u32).map(|i| (key(i), vec![])).collect();
+    let pool = BufferPool::new(MemStore::new(1024), 4096);
+    let mut t = BTree::bulk_load(pool, BTreeConfig::with_max_entries(10), items).unwrap();
+    let stats = t.verify().unwrap();
+    assert_eq!(stats.entries, 997);
+}
+
+#[test]
+fn batch_insert_and_delete() {
+    let mut t = new_tree(512, BTreeConfig::default());
+    let items: Vec<(Vec<u8>, Vec<u8>)> =
+        (0..1000u32).rev().map(|i| (key(i), val(i))).collect();
+    assert_eq!(t.insert_batch(items).unwrap(), 1000);
+    assert_eq!(t.len(), 1000);
+    // Re-inserting is all replacements.
+    let again: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32).map(|i| (key(i), val(i))).collect();
+    assert_eq!(t.insert_batch(again).unwrap(), 0);
+    let dels: Vec<Vec<u8>> = (0..500u32).map(key).collect();
+    assert_eq!(t.delete_batch(dels).unwrap(), 500);
+    assert_eq!(t.len(), 500);
+    t.verify().unwrap();
+}
+
+#[test]
+fn oversized_entry_rejected() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    let huge = vec![b'x'; 300];
+    assert!(t.insert(&huge, b"").is_err());
+    assert!(t.insert(b"k", &huge).is_err());
+}
+
+#[test]
+fn key_only_entries() {
+    // The U-index stores key-only entries; make sure empty values work.
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in 0..800 {
+        t.insert(&key(i), &[]).unwrap();
+    }
+    assert_eq!(t.get(&key(400)).unwrap(), Some(vec![]));
+    assert!(t.contains(&key(400)).unwrap());
+    assert!(!t.contains(b"nope").unwrap());
+    t.verify().unwrap();
+}
+
+#[test]
+fn query_page_accounting() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in 0..5000 {
+        t.insert(&key(i), &[]).unwrap();
+    }
+    let height = t.verify().unwrap().height;
+
+    // A point lookup touches exactly `height` distinct pages.
+    t.pool_mut().begin_query();
+    t.get(&key(2500)).unwrap();
+    let q = t.pool_mut().query_stats();
+    assert_eq!(q.distinct_pages as usize, height);
+
+    // A second lookup of the same key in the same query is free.
+    t.get(&key(2500)).unwrap();
+    assert_eq!(
+        t.pool_mut().query_stats().distinct_pages as usize,
+        height,
+        "revisits are not recounted"
+    );
+
+    // A range scan touches height + extra leaves.
+    t.pool_mut().begin_query();
+    let r = t.range(&key(1000), &key(1200)).unwrap();
+    assert_eq!(r.len(), 200);
+    let scan_pages = t.pool_mut().query_stats().distinct_pages as usize;
+    assert!(scan_pages > height);
+    assert!(scan_pages < height + 60, "got {scan_pages}");
+}
+
+#[test]
+fn page_reuse_after_merges() {
+    // Inserting then deleting most entries should shrink the live page set.
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in 0..2000 {
+        t.insert(&key(i), &[]).unwrap();
+    }
+    let peak = t.pool().live_pages();
+    for i in 0..1990 {
+        t.delete(&key(i)).unwrap();
+    }
+    t.verify().unwrap();
+    assert!(
+        t.pool().live_pages() < peak / 4,
+        "pages not reclaimed: {} of {}",
+        t.pool().live_pages(),
+        peak
+    );
+}
+
+#[test]
+fn long_common_prefixes_across_splits() {
+    // Pathological: keys identical except the last bytes; splits must keep
+    // separators valid.
+    let mk = |i: u32| {
+        let mut k = vec![b'z'; 40];
+        k.extend_from_slice(format!("{i:06}").as_bytes());
+        k
+    };
+    let mut t = new_tree(256, BTreeConfig::default());
+    for i in 0..2000 {
+        t.insert(&mk(i), &[]).unwrap();
+    }
+    t.verify().unwrap();
+    for i in (0..2000).step_by(71) {
+        assert!(t.contains(&mk(i)).unwrap());
+    }
+    for i in 0..2000 {
+        assert!(t.delete(&mk(i)).unwrap().is_some());
+    }
+    assert!(t.is_empty());
+}
+
+#[test]
+fn binary_keys_with_zero_bytes() {
+    let mut t = new_tree(256, BTreeConfig::default());
+    let keys: Vec<Vec<u8>> = (0..500u16)
+        .map(|i| {
+            let mut k = vec![0u8, 0, i as u8];
+            k.extend_from_slice(&i.to_be_bytes());
+            k.push(0);
+            k
+        })
+        .collect();
+    for k in &keys {
+        t.insert(k, b"v").unwrap();
+    }
+    t.verify().unwrap();
+    for k in &keys {
+        assert!(t.contains(k).unwrap());
+    }
+}
+
+#[test]
+fn stats_shape_reasonable() {
+    let mut t = new_tree(1024, BTreeConfig::default());
+    for i in 0..20_000u32 {
+        t.insert(&key(i), &[]).unwrap();
+    }
+    let s = t.verify().unwrap();
+    assert_eq!(s.entries, 20_000);
+    // ~18-byte keys, compressed, in 1 KiB pages: expect high leaf fanout.
+    let per_leaf = 20_000 / s.leaf_nodes;
+    assert!(per_leaf > 30, "per-leaf {per_leaf}");
+    assert!(s.height <= 4, "height {}", s.height);
+    assert!(s.internal_nodes < s.leaf_nodes);
+}

@@ -1,0 +1,139 @@
+//! The `uindex-cli` binary. Commands:
+//!
+//! ```text
+//! uindex-cli new   <db-dir> <schema.uschema> [data.udata]
+//! uindex-cli load  <db-dir> <data.udata>
+//! uindex-cli query <db-dir> '<uql>'
+//! uindex-cli info  <db-dir>
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use uindex::Database;
+use uindex_cli::{build_database, load_data};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: uindex-cli <new|load|query|info> ...";
+    match args.first().map(String::as_str) {
+        Some("new") => {
+            let [_, dir, schema_path, rest @ ..] = args else {
+                return Err("usage: uindex-cli new <db-dir> <schema.uschema> [data.udata]".into());
+            };
+            let schema_text =
+                std::fs::read_to_string(schema_path).map_err(|e| format!("{schema_path}: {e}"))?;
+            let data_text = match rest {
+                [data_path] => Some(
+                    std::fs::read_to_string(data_path)
+                        .map_err(|e| format!("{data_path}: {e}"))?,
+                ),
+                [] => None,
+                _ => return Err("too many arguments".into()),
+            };
+            let db = build_database(&schema_text, data_text.as_deref())
+                .map_err(|e| e.to_string())?;
+            db.save(Path::new(dir)).map_err(|e| e.to_string())?;
+            println!(
+                "created {dir}: {} classes, {} indexes, {} objects",
+                db.schema().num_classes(),
+                db.index().specs().len(),
+                db.store().len()
+            );
+            Ok(())
+        }
+        Some("load") => {
+            let [_, dir, data_path] = args else {
+                return Err("usage: uindex-cli load <db-dir> <data.udata>".into());
+            };
+            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            let data =
+                std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+            let handles = load_data(&mut db, &data).map_err(|e| e.to_string())?;
+            db.save(Path::new(dir)).map_err(|e| e.to_string())?;
+            println!("loaded {} objects into {dir}", handles.len());
+            Ok(())
+        }
+        Some("query") => {
+            let [_, dir, uql] = args else {
+                return Err("usage: uindex-cli query <db-dir> '<uql>'".into());
+            };
+            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            let (hits, stats) = db.query_uql(uql).map_err(|e| e.to_string())?;
+            for h in &hits {
+                let objs: Vec<String> = h
+                    .key
+                    .path
+                    .iter()
+                    .map(|e| {
+                        let class = db
+                            .index()
+                            .encoding()
+                            .class_by_code(&e.code)
+                            .map(|c| db.schema().class_name(c).to_string())
+                            .unwrap_or_else(|| "?".into());
+                        format!("{}={}", class, e.oid)
+                    })
+                    .collect();
+                println!("{:?}\t{}", h.key.value, objs.join("\t"));
+            }
+            eprintln!(
+                "{} hits, {} pages read, {} seeks",
+                hits.len(),
+                stats.pages_read,
+                stats.seeks
+            );
+            Ok(())
+        }
+        Some("info") => {
+            let [_, dir] = args else {
+                return Err("usage: uindex-cli info <db-dir>".into());
+            };
+            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            println!("classes:");
+            for class in db.schema().class_ids() {
+                let code = db
+                    .index()
+                    .encoding()
+                    .code(class)
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "  {:<24} code {:<12} {} direct objects",
+                    db.schema().class_name(class),
+                    code,
+                    db.store().extent(class).len()
+                );
+            }
+            println!("indexes:");
+            for (i, spec) in db.index().specs().iter().enumerate() {
+                let path: Vec<&str> = spec
+                    .positions
+                    .iter()
+                    .map(|p| db.schema().class_name(p.class))
+                    .collect();
+                println!("  [{i}] {} over {}", spec.name, path.join("/"));
+            }
+            let stats = db.index_mut().verify().map_err(|e| e.to_string())?;
+            println!(
+                "B-tree: {} entries, {} nodes ({} leaves), height {}",
+                stats.entries,
+                stats.total_nodes(),
+                stats.leaf_nodes,
+                stats.height
+            );
+            Ok(())
+        }
+        _ => Err(usage.into()),
+    }
+}

@@ -1,0 +1,327 @@
+//! Flat serialization of an [`ObjectStore`] (schema + objects).
+//!
+//! The index side of the system persists itself through the B-tree page
+//! file (see `uindex::catalog`); this module provides the matching
+//! byte-format for the object base so a whole database can be saved and
+//! reopened. The format is a simple length-prefixed record stream with a
+//! magic/version header and a CRC-protected... kept deliberately simple:
+//! corruption surfaces as a decode error, not UB.
+
+use schema::{AttrId, AttrType, ClassId, Schema};
+
+use crate::object::ObjectStore;
+use crate::oid::Oid;
+use crate::value::Value;
+use crate::{Error, Result};
+
+const MAGIC: &[u8; 8] = b"UIDXOBJ1";
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| Error::UnknownAttr("truncated object file".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error::UnknownAttr("truncated object file".into()))?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let b = self
+            .buf
+            .get(self.pos..self.pos + 8)
+            .ok_or_else(|| Error::UnknownAttr("truncated object file".into()))?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let b = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| Error::UnknownAttr("truncated object file".into()))?;
+        self.pos += n;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| Error::UnknownAttr("non-utf8 string in object file".into()))
+    }
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            buf.push(0);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(1);
+            put_str(buf, s);
+        }
+        Value::Float(f) => {
+            buf.push(2);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(3);
+            buf.push(u8::from(*b));
+        }
+        Value::Ref(o) => {
+            buf.push(4);
+            put_u32(buf, o.0);
+        }
+        Value::RefSet(os) => {
+            buf.push(5);
+            put_u32(buf, os.len() as u32);
+            for o in os {
+                put_u32(buf, o.0);
+            }
+        }
+    }
+}
+
+fn get_value(r: &mut Reader) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Int(r.u64()? as i64),
+        1 => Value::Str(r.str()?),
+        2 => Value::Float(f64::from_bits(r.u64()?)),
+        3 => Value::Bool(r.u8()? != 0),
+        4 => Value::Ref(Oid(r.u32()?)),
+        5 => {
+            let n = r.u32()? as usize;
+            let mut os = Vec::with_capacity(n);
+            for _ in 0..n {
+                os.push(Oid(r.u32()?));
+            }
+            Value::RefSet(os)
+        }
+        _ => return Err(Error::UnknownAttr("bad value tag in object file".into())),
+    })
+}
+
+impl ObjectStore {
+    /// Serialize schema + all objects to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        let schema = self.schema();
+        // Schema section.
+        put_u32(&mut buf, schema.num_classes() as u32);
+        for class in schema.class_ids() {
+            put_str(&mut buf, schema.class_name(class));
+            let parents = schema.parents(class);
+            put_u32(&mut buf, parents.len() as u32);
+            for p in parents {
+                put_u32(&mut buf, p.0);
+            }
+            let attrs: Vec<_> = schema.own_attrs(class).collect();
+            put_u32(&mut buf, attrs.len() as u32);
+            for (_, name, ty) in attrs {
+                put_str(&mut buf, name);
+                let (tag, target) = match ty {
+                    AttrType::Int => (0u8, 0u32),
+                    AttrType::Str => (1, 0),
+                    AttrType::Float => (2, 0),
+                    AttrType::Bool => (3, 0),
+                    AttrType::Ref(c) => (4, c.0),
+                    AttrType::RefSet(c) => (5, c.0),
+                };
+                buf.push(tag);
+                put_u32(&mut buf, target);
+            }
+        }
+        // Object section.
+        let oids: Vec<Oid> = self.oids().collect();
+        put_u32(&mut buf, oids.len() as u32);
+        for oid in oids {
+            let obj = self.get(oid).expect("live oid");
+            put_u32(&mut buf, oid.0);
+            put_u32(&mut buf, obj.class().0);
+            let attrs: Vec<_> = obj.attrs().collect();
+            put_u32(&mut buf, attrs.len() as u32);
+            for ((decl, attr), value) in attrs {
+                put_u32(&mut buf, decl.0);
+                put_u32(&mut buf, attr.0);
+                put_value(&mut buf, value);
+            }
+        }
+        buf
+    }
+
+    /// Rebuild a store from [`ObjectStore::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ObjectStore> {
+        if bytes.get(..8) != Some(MAGIC.as_slice()) {
+            return Err(Error::UnknownAttr("bad object file magic".into()));
+        }
+        let mut r = Reader {
+            buf: bytes,
+            pos: 8,
+        };
+        // Schema.
+        let n_classes = r.u32()? as usize;
+        struct RawClass {
+            name: String,
+            parents: Vec<u32>,
+            attrs: Vec<(String, u8, u32)>,
+        }
+        let mut raw = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let name = r.str()?;
+            let np = r.u32()? as usize;
+            let mut parents = Vec::with_capacity(np);
+            for _ in 0..np {
+                parents.push(r.u32()?);
+            }
+            let na = r.u32()? as usize;
+            let mut attrs = Vec::with_capacity(na);
+            for _ in 0..na {
+                let aname = r.str()?;
+                let tag = r.u8()?;
+                let target = r.u32()?;
+                attrs.push((aname, tag, target));
+            }
+            raw.push(RawClass {
+                name,
+                parents,
+                attrs,
+            });
+        }
+        let mut schema = Schema::new();
+        for c in &raw {
+            match c.parents.first() {
+                None => schema.add_class(&c.name)?,
+                Some(&p) => schema.add_subclass(&c.name, ClassId(p))?,
+            };
+        }
+        for (i, c) in raw.iter().enumerate() {
+            for &extra in c.parents.iter().skip(1) {
+                schema.add_parent(ClassId(i as u32), ClassId(extra))?;
+            }
+        }
+        for (i, c) in raw.iter().enumerate() {
+            for (aname, tag, target) in &c.attrs {
+                let ty = match tag {
+                    0 => AttrType::Int,
+                    1 => AttrType::Str,
+                    2 => AttrType::Float,
+                    3 => AttrType::Bool,
+                    4 => AttrType::Ref(ClassId(*target)),
+                    5 => AttrType::RefSet(ClassId(*target)),
+                    _ => return Err(Error::UnknownAttr("bad attr tag".into())),
+                };
+                schema.add_attr(ClassId(i as u32), aname, ty)?;
+            }
+        }
+        // Objects: create with explicit oids, then set attrs (two passes so
+        // references always point at existing objects).
+        let mut store = ObjectStore::new(schema);
+        let n_objects = r.u32()? as usize;
+        let mut attr_sets: Vec<(Oid, ClassId, AttrId, Value)> = Vec::new();
+        for _ in 0..n_objects {
+            let oid = Oid(r.u32()?);
+            let class = ClassId(r.u32()?);
+            store.create_with_oid(oid, class)?;
+            let na = r.u32()? as usize;
+            for _ in 0..na {
+                let decl = ClassId(r.u32()?);
+                let attr = AttrId(r.u32()?);
+                let value = get_value(&mut r)?;
+                attr_sets.push((oid, decl, attr, value));
+            }
+        }
+        for (oid, decl, attr, value) in attr_sets {
+            let name = store.schema().attr_name(decl, attr).to_string();
+            store.set_attr(oid, &name, value)?;
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::AttrType;
+
+    fn sample() -> ObjectStore {
+        let mut s = Schema::new();
+        let emp = s.add_class("Employee").unwrap();
+        s.add_attr(emp, "Age", AttrType::Int).unwrap();
+        s.add_attr(emp, "Name", AttrType::Str).unwrap();
+        let veh = s.add_class("Vehicle").unwrap();
+        s.add_attr(veh, "Owner", AttrType::Ref(emp)).unwrap();
+        s.add_attr(veh, "CoOwners", AttrType::RefSet(emp)).unwrap();
+        s.add_attr(veh, "Weight", AttrType::Float).unwrap();
+        s.add_attr(veh, "Electric", AttrType::Bool).unwrap();
+        let sport = s.add_subclass("SportsCar", veh).unwrap();
+        let mut db = ObjectStore::new(s);
+        let e1 = db.create(emp).unwrap();
+        db.set_attr(e1, "Age", Value::Int(44)).unwrap();
+        db.set_attr(e1, "Name", Value::Str("Ada".into())).unwrap();
+        let e2 = db.create(emp).unwrap();
+        db.set_attr(e2, "Age", Value::Int(-1)).unwrap();
+        let v = db.create(sport).unwrap();
+        db.set_attr(v, "Owner", Value::Ref(e1)).unwrap();
+        db.set_attr(v, "CoOwners", Value::RefSet(vec![e1, e2])).unwrap();
+        db.set_attr(v, "Weight", Value::Float(1234.5)).unwrap();
+        db.set_attr(v, "Electric", Value::Bool(true)).unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip() {
+        let db = sample();
+        let bytes = db.to_bytes();
+        let back = ObjectStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), db.len());
+        for oid in db.oids() {
+            let a = db.get(oid).unwrap();
+            let b = back.get(oid).unwrap();
+            assert_eq!(a.class(), b.class());
+            let av: Vec<_> = a.attrs().collect();
+            let bv: Vec<_> = b.attrs().collect();
+            assert_eq!(av.len(), bv.len());
+            for ((ka, va), (kb, vb)) in av.iter().zip(&bv) {
+                assert_eq!(ka, kb);
+                assert_eq!(va, vb);
+            }
+        }
+        // Reverse-reference index is rebuilt too.
+        let e1 = Oid(1);
+        assert_eq!(back.referrers(e1).len(), db.referrers(e1).len());
+        // Fresh oids do not collide with reloaded ones.
+        let mut back = back;
+        let emp = back.schema().class_by_name("Employee").unwrap();
+        let fresh = back.create(emp).unwrap();
+        assert!(fresh.0 > 3);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(ObjectStore::from_bytes(b"junk").is_err());
+        let mut bytes = sample().to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        assert!(ObjectStore::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! Typed values and their order-preserving, self-delimiting byte encoding.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::oid::Oid;
+
+/// Type tags, chosen so encodings of different kinds do not collide and
+/// sort by kind first.
+const TAG_BOOL: u8 = 0x08;
+const TAG_INT: u8 = 0x10;
+const TAG_FLOAT: u8 = 0x18;
+const TAG_STR: u8 = 0x20;
+
+/// An attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Single-valued reference (the m:1 REF relationship).
+    Ref(Oid),
+    /// Multi-valued reference; kept sorted and deduplicated.
+    RefSet(Vec<Oid>),
+}
+
+/// The kind of a [`Value`], for type checking and error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Integer.
+    Int,
+    /// String.
+    Str,
+    /// Float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Single reference.
+    Ref,
+    /// Reference set.
+    RefSet,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Int => "Int",
+            ValueKind::Str => "Str",
+            ValueKind::Float => "Float",
+            ValueKind::Bool => "Bool",
+            ValueKind::Ref => "Ref",
+            ValueKind::RefSet => "RefSet",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Value {
+    /// The value's kind.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Int(_) => ValueKind::Int,
+            Value::Str(_) => ValueKind::Str,
+            Value::Float(_) => ValueKind::Float,
+            Value::Bool(_) => ValueKind::Bool,
+            Value::Ref(_) => ValueKind::Ref,
+            Value::RefSet(_) => ValueKind::RefSet,
+        }
+    }
+
+    /// Whether this value can be an index key (references cannot).
+    pub fn is_indexable(&self) -> bool {
+        !matches!(self, Value::Ref(_) | Value::RefSet(_))
+    }
+
+    /// Order-preserving, self-delimiting encoding of an indexable value.
+    ///
+    /// Properties: for two values of the same kind, byte order equals value
+    /// order (floats use IEEE total order); and an encoding followed by any
+    /// byte other than `0xFF` (index keys follow values with the `0x00`
+    /// field separator) decodes unambiguously, so a composite key can be
+    /// parsed left to right.
+    ///
+    /// Returns `None` for reference values.
+    pub fn encode_ordered(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(10);
+        match self {
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(u8::from(*b));
+            }
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                // Flip the sign bit: negative < positive in unsigned order.
+                out.extend_from_slice(&((*i as u64) ^ (1 << 63)).to_be_bytes());
+            }
+            Value::Float(x) => {
+                out.push(TAG_FLOAT);
+                // IEEE-754 total order trick.
+                let bits = x.to_bits();
+                let ordered = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+                out.extend_from_slice(&ordered.to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                // 0x00 bytes escaped as 0x00 0xFF; terminated with 0x00.
+                for &b in s.as_bytes() {
+                    out.push(b);
+                    if b == 0 {
+                        out.push(0xFF);
+                    }
+                }
+                out.push(0x00);
+            }
+            Value::Ref(_) | Value::RefSet(_) => return None,
+        }
+        Some(out)
+    }
+
+    /// Decode an encoding produced by [`Value::encode_ordered`], returning
+    /// the value and the number of bytes consumed.
+    pub fn decode_ordered(bytes: &[u8]) -> Option<(Value, usize)> {
+        match *bytes.first()? {
+            TAG_BOOL => {
+                let b = *bytes.get(1)?;
+                Some((Value::Bool(b != 0), 2))
+            }
+            TAG_INT => {
+                let raw = u64::from_be_bytes(bytes.get(1..9)?.try_into().ok()?);
+                Some((Value::Int((raw ^ (1 << 63)) as i64), 9))
+            }
+            TAG_FLOAT => {
+                let ordered = u64::from_be_bytes(bytes.get(1..9)?.try_into().ok()?);
+                let bits = if ordered >> 63 == 1 {
+                    ordered & !(1 << 63)
+                } else {
+                    !ordered
+                };
+                Some((Value::Float(f64::from_bits(bits)), 9))
+            }
+            TAG_STR => {
+                let mut s = Vec::new();
+                let mut i = 1;
+                loop {
+                    let b = *bytes.get(i)?;
+                    i += 1;
+                    if b == 0 {
+                        match bytes.get(i) {
+                            Some(0xFF) => {
+                                s.push(0);
+                                i += 1;
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        s.push(b);
+                    }
+                }
+                Some((Value::Str(String::from_utf8(s).ok()?), i))
+            }
+            _ => None,
+        }
+    }
+
+    /// Total order consistent with [`Value::encode_ordered`] for indexable
+    /// values (used by in-memory baselines and tests).
+    pub fn cmp_ordered(&self, other: &Value) -> Ordering {
+        match (self.encode_ordered(), other.encode_ordered()) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => Ordering::Equal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let enc = v.encode_ordered().unwrap();
+        let (back, used) = Value::decode_ordered(&enc).unwrap();
+        assert_eq!(&back, v);
+        assert_eq!(used, enc.len());
+        // Self-delimiting even with trailing junk.
+        let mut padded = enc.clone();
+        padded.extend_from_slice(&[0xAB, 0xCD]);
+        let (back2, used2) = Value::decode_ordered(&padded).unwrap();
+        assert_eq!(&back2, v);
+        assert_eq!(used2, enc.len());
+    }
+
+    #[test]
+    fn roundtrips() {
+        for v in [
+            Value::Int(0),
+            Value::Int(42),
+            Value::Int(-42),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Float(0.0),
+            Value::Float(-1.5),
+            Value::Float(1e300),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Str(String::new()),
+            Value::Str("hello".into()),
+            Value::Str("with\0nul\0bytes".into()),
+        ] {
+            roundtrip(&v);
+        }
+    }
+
+    #[test]
+    fn int_order_preserved() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 7, 1_000_000, i64::MAX];
+        for w in vals.windows(2) {
+            let a = Value::Int(w[0]).encode_ordered().unwrap();
+            let b = Value::Int(w[1]).encode_ordered().unwrap();
+            assert!(a < b, "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn float_order_preserved() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            f64::INFINITY,
+        ];
+        for i in 0..vals.len() {
+            for j in i + 1..vals.len() {
+                let a = Value::Float(vals[i]).encode_ordered().unwrap();
+                let b = Value::Float(vals[j]).encode_ordered().unwrap();
+                // -0.0 and 0.0 encode distinctly (total order) but both
+                // comparisons must not invert.
+                if vals[i] < vals[j] {
+                    assert!(a < b, "{} !< {}", vals[i], vals[j]);
+                } else {
+                    assert!(a <= b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn string_order_preserved_with_nuls() {
+        let vals = ["", "a", "a\0", "a\0b", "ab", "b"];
+        for w in vals.windows(2) {
+            let a = Value::Str(w[0].into()).encode_ordered().unwrap();
+            let b = Value::Str(w[1].into()).encode_ordered().unwrap();
+            assert!(a < b, "{:?} !< {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn decoding_unambiguous_in_key_context() {
+        // In a composite index key every value is followed by the 0x00
+        // field separator; decoding must stop at exactly the value's end.
+        let strs = ["", "a", "ab", "a\0", "aa", "a\0\0b"];
+        for s in strs {
+            let v = Value::Str(s.into());
+            let enc = v.encode_ordered().unwrap();
+            let mut key = enc.clone();
+            key.push(0x00); // field separator
+            key.extend_from_slice(b"NEXTFIELD");
+            let (back, used) = Value::decode_ordered(&key).unwrap();
+            assert_eq!(back, v, "string {s:?}");
+            assert_eq!(used, enc.len(), "string {s:?}");
+        }
+    }
+
+    #[test]
+    fn refs_not_indexable() {
+        assert!(Value::Ref(Oid(1)).encode_ordered().is_none());
+        assert!(Value::RefSet(vec![]).encode_ordered().is_none());
+        assert!(Value::Int(1).is_indexable());
+        assert!(!Value::Ref(Oid(1)).is_indexable());
+    }
+
+    #[test]
+    fn kinds_sort_separately() {
+        let b = Value::Bool(true).encode_ordered().unwrap();
+        let i = Value::Int(i64::MIN).encode_ordered().unwrap();
+        let f = Value::Float(f64::NEG_INFINITY).encode_ordered().unwrap();
+        let s = Value::Str("".into()).encode_ordered().unwrap();
+        assert!(b < i && i < f && f < s);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the order-preserving value encoding: byte order must
+//! match semantic order for arbitrary values of each kind, and every
+//! encoding must round-trip (including when embedded in a longer buffer).
+
+use objstore::Value;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite floats only: NaN has no semantic order to compare against.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        ".{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn semantic_lt(a: &Value, b: &Value) -> Option<bool> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x < y),
+        (Value::Bool(x), Value::Bool(y)) => Some(x < y),
+        (Value::Float(x), Value::Float(y)) => Some(x < y),
+        (Value::Str(x), Value::Str(y)) => Some(x.as_bytes() < y.as_bytes()),
+        _ => None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_with_trailing_context(v in arb_value(), junk in proptest::collection::vec(1u8..=255, 0..8)) {
+        let enc = v.encode_ordered().unwrap();
+        // Standalone.
+        let (back, used) = Value::decode_ordered(&enc).unwrap();
+        prop_assert_eq!(&back, &v);
+        prop_assert_eq!(used, enc.len());
+        // Followed by the key field separator and arbitrary non-0xFF data
+        // (the shape inside real index keys).
+        let mut key = enc.clone();
+        key.push(0x00);
+        key.extend(junk);
+        let (back, used) = Value::decode_ordered(&key).unwrap();
+        prop_assert_eq!(&back, &v);
+        prop_assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn byte_order_matches_semantic_order(a in arb_value(), b in arb_value()) {
+        let ea = a.encode_ordered().unwrap();
+        let eb = b.encode_ordered().unwrap();
+        if let Some(lt) = semantic_lt(&a, &b) {
+            if lt {
+                prop_assert!(ea < eb, "{a:?} < {b:?} but bytes disagree");
+            }
+            if let Some(true) = semantic_lt(&b, &a) {
+                prop_assert!(eb < ea);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_values_encode_identically(v in arb_value()) {
+        let a = v.encode_ordered().unwrap();
+        let b = v.clone().encode_ordered().unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,380 @@
+use std::cell::{Ref, RefCell, RefMut};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::error::{Error, Result};
+use crate::page::PageId;
+use crate::store::PageStore;
+
+/// A frame holding one page's bytes in memory.
+struct Frame {
+    id: PageId,
+    data: Vec<u8>,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A handle to a buffered page.
+///
+/// Holding a `PageRef` pins the page: it cannot be evicted while any handle
+/// is alive. Access the bytes with [`PageRef::read`] / [`PageRef::write`]
+/// (the latter marks the page dirty).
+#[derive(Clone)]
+pub struct PageRef {
+    frame: Rc<RefCell<Frame>>,
+}
+
+impl PageRef {
+    /// The id of the buffered page.
+    pub fn id(&self) -> PageId {
+        self.frame.borrow().id
+    }
+
+    /// Borrow the page bytes immutably.
+    pub fn read(&self) -> Ref<'_, [u8]> {
+        Ref::map(self.frame.borrow(), |f| f.data.as_slice())
+    }
+
+    /// Borrow the page bytes mutably and mark the page dirty.
+    pub fn write(&self) -> RefMut<'_, [u8]> {
+        let mut f = self.frame.borrow_mut();
+        f.dirty = true;
+        RefMut::map(f, |f| f.data.as_mut_slice())
+    }
+
+    /// Whether the page has unwritten modifications.
+    pub fn is_dirty(&self) -> bool {
+        self.frame.borrow().dirty
+    }
+}
+
+/// Cumulative buffer-pool statistics since creation (or the last
+/// [`BufferPool::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pages read from the backing store (cache misses).
+    pub physical_reads: u64,
+    /// Pages written back to the backing store.
+    pub physical_writes: u64,
+    /// All fetch calls, hits and misses alike.
+    pub logical_fetches: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+    /// Pages freed.
+    pub frees: u64,
+}
+
+/// Per-query access statistics, reset by [`BufferPool::begin_query`].
+///
+/// `distinct_pages` is the paper's metric: the number of different pages the
+/// query touched, counting a page once no matter how often it is revisited —
+/// the paper's retrieval algorithm explicitly "utilizes any page which is
+/// already in memory".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Distinct pages touched since `begin_query`.
+    pub distinct_pages: u64,
+    /// Total fetch calls since `begin_query` (revisits included).
+    pub node_visits: u64,
+}
+
+/// A single-threaded buffer pool with LRU eviction, pinning via [`PageRef`]
+/// handles, and the page-access accounting the experiments report.
+pub struct BufferPool<S: PageStore> {
+    store: S,
+    frames: HashMap<PageId, Rc<RefCell<Frame>>>,
+    capacity: usize,
+    clock: u64,
+    stats: PoolStats,
+    query: QueryStats,
+    /// `touched[page] == epoch` means the page was already counted for the
+    /// current query. Indexed by raw page id; grows on demand.
+    touched: Vec<u64>,
+    epoch: u64,
+}
+
+impl<S: PageStore> BufferPool<S> {
+    /// Create a pool over `store` holding at most `capacity` unpinned frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(store: S, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        BufferPool {
+            store,
+            frames: HashMap::new(),
+            capacity,
+            clock: 0,
+            stats: PoolStats::default(),
+            query: QueryStats::default(),
+            touched: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    /// The fixed page size of the backing store.
+    pub fn page_size(&self) -> usize {
+        self.store.page_size()
+    }
+
+    /// Number of live pages in the backing store.
+    pub fn live_pages(&self) -> usize {
+        self.store.live_pages()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Zero the cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Start a new query: zeroes the per-query counters. Every page fetched
+    /// afterwards counts once towards [`QueryStats::distinct_pages`].
+    pub fn begin_query(&mut self) {
+        self.epoch += 1;
+        self.query = QueryStats::default();
+    }
+
+    /// The per-query counters accumulated since the last
+    /// [`BufferPool::begin_query`].
+    pub fn query_stats(&self) -> QueryStats {
+        self.query
+    }
+
+    fn touch_for_query(&mut self, id: PageId) {
+        self.query.node_visits += 1;
+        let idx = id.index();
+        if idx >= self.touched.len() {
+            self.touched.resize(idx + 1, 0);
+        }
+        if self.touched[idx] != self.epoch {
+            self.touched[idx] = self.epoch;
+            self.query.distinct_pages += 1;
+        }
+    }
+
+    fn bump(&mut self, frame: &Rc<RefCell<Frame>>) {
+        self.clock += 1;
+        frame.borrow_mut().last_use = self.clock;
+    }
+
+    /// Fetch a page, reading it from the store on a miss.
+    pub fn fetch(&mut self, id: PageId) -> Result<PageRef> {
+        if id.is_null() {
+            return Err(Error::InvalidPageId(id));
+        }
+        self.stats.logical_fetches += 1;
+        self.touch_for_query(id);
+        if let Some(frame) = self.frames.get(&id).cloned() {
+            self.bump(&frame);
+            return Ok(PageRef { frame });
+        }
+        self.stats.physical_reads += 1;
+        let mut data = vec![0u8; self.store.page_size()];
+        self.store.read(id, &mut data)?;
+        let frame = Rc::new(RefCell::new(Frame {
+            id,
+            data,
+            dirty: false,
+            last_use: 0,
+        }));
+        self.bump(&frame);
+        self.insert_frame(id, frame.clone())?;
+        Ok(PageRef { frame })
+    }
+
+    /// Allocate a fresh zeroed page and return a handle to it.
+    pub fn allocate(&mut self) -> Result<(PageId, PageRef)> {
+        let id = self.store.allocate()?;
+        self.stats.allocations += 1;
+        self.touch_for_query(id);
+        let frame = Rc::new(RefCell::new(Frame {
+            id,
+            data: vec![0u8; self.store.page_size()],
+            dirty: true,
+            last_use: 0,
+        }));
+        self.bump(&frame);
+        self.insert_frame(id, frame.clone())?;
+        Ok((id, PageRef { frame }))
+    }
+
+    /// Free a page, dropping its frame. The caller must not hold handles to
+    /// it.
+    pub fn free(&mut self, id: PageId) -> Result<()> {
+        if let Some(frame) = self.frames.remove(&id) {
+            if Rc::strong_count(&frame) > 1 {
+                // Put it back before failing so state stays consistent.
+                self.frames.insert(id, frame);
+                return Err(Error::Corrupt(format!("freeing pinned page {id}")));
+            }
+        }
+        self.stats.frees += 1;
+        self.store.free(id)
+    }
+
+    /// Write all dirty frames back to the store and sync it.
+    pub fn flush(&mut self) -> Result<()> {
+        self.flush_to_store_only()?;
+        self.store.sync()
+    }
+
+    /// Write all dirty frames back to the store *without* syncing it
+    /// (lets a [`crate::WalStore`] caller choose commit vs checkpoint).
+    pub fn flush_to_store_only(&mut self) -> Result<()> {
+        for (id, frame) in &self.frames {
+            let mut f = frame.borrow_mut();
+            if f.dirty {
+                self.store.write(*id, &f.data)?;
+                f.dirty = false;
+                self.stats.physical_writes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume the pool, returning the backing store. Dirty frames are NOT
+    /// written back — call [`BufferPool::flush`] or
+    /// [`BufferPool::flush_to_store_only`] first.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    fn insert_frame(&mut self, id: PageId, frame: Rc<RefCell<Frame>>) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            if !self.evict_one()? {
+                break; // everything is pinned; allow temporary overflow
+            }
+        }
+        self.frames.insert(id, frame);
+        Ok(())
+    }
+
+    fn evict_one(&mut self) -> Result<bool> {
+        let victim = self
+            .frames
+            .iter()
+            .filter(|(_, f)| Rc::strong_count(f) == 1)
+            .min_by_key(|(_, f)| f.borrow().last_use)
+            .map(|(id, _)| *id);
+        let Some(id) = victim else {
+            return Ok(false);
+        };
+        let frame = self.frames.remove(&id).expect("victim exists");
+        let f = frame.borrow();
+        if f.dirty {
+            self.store.write(id, &f.data)?;
+            self.stats.physical_writes += 1;
+        }
+        Ok(true)
+    }
+
+    /// Direct access to the backing store (e.g. to inspect `live_pages`).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn pool(cap: usize) -> BufferPool<MemStore> {
+        BufferPool::new(MemStore::new(128), cap)
+    }
+
+    #[test]
+    fn fetch_counts_distinct_once() {
+        let mut p = pool(8);
+        let (a, _) = p.allocate().unwrap();
+        let (b, _) = p.allocate().unwrap();
+        p.begin_query();
+        p.fetch(a).unwrap();
+        p.fetch(a).unwrap();
+        p.fetch(b).unwrap();
+        p.fetch(a).unwrap();
+        let qs = p.query_stats();
+        assert_eq!(qs.distinct_pages, 2);
+        assert_eq!(qs.node_visits, 4);
+    }
+
+    #[test]
+    fn begin_query_resets() {
+        let mut p = pool(8);
+        let (a, _) = p.allocate().unwrap();
+        p.begin_query();
+        p.fetch(a).unwrap();
+        assert_eq!(p.query_stats().distinct_pages, 1);
+        p.begin_query();
+        assert_eq!(p.query_stats().distinct_pages, 0);
+        p.fetch(a).unwrap();
+        assert_eq!(p.query_stats().distinct_pages, 1);
+    }
+
+    #[test]
+    fn eviction_and_reload() {
+        let mut p = pool(2);
+        let mut ids = Vec::new();
+        for i in 0..4u8 {
+            let (id, page) = p.allocate().unwrap();
+            page.write()[0] = i;
+            ids.push(id);
+        }
+        // All pages were unpinned after each allocation; two must have been
+        // evicted (written back since dirty). Fetch them again and check.
+        for (i, id) in ids.iter().enumerate() {
+            let page = p.fetch(*id).unwrap();
+            assert_eq!(page.read()[0], i as u8);
+        }
+        assert!(p.stats().physical_writes >= 2);
+        assert!(p.stats().physical_reads >= 2);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let mut p = pool(2);
+        let (a, pin_a) = p.allocate().unwrap();
+        pin_a.write()[0] = 77;
+        // Allocate many more pages than capacity while `a` stays pinned.
+        for _ in 0..8 {
+            let _ = p.allocate().unwrap();
+        }
+        assert_eq!(pin_a.read()[0], 77);
+        drop(pin_a);
+        let again = p.fetch(a).unwrap();
+        assert_eq!(again.read()[0], 77);
+    }
+
+    #[test]
+    fn free_pinned_fails() {
+        let mut p = pool(4);
+        let (a, pin) = p.allocate().unwrap();
+        assert!(p.free(a).is_err());
+        drop(pin);
+        p.free(a).unwrap();
+        assert!(p.fetch(a).is_err());
+    }
+
+    #[test]
+    fn flush_persists_dirty_pages() {
+        let mut p = pool(4);
+        let (a, page) = p.allocate().unwrap();
+        page.write()[5] = 99;
+        drop(page);
+        p.flush().unwrap();
+        assert!(p.stats().physical_writes >= 1);
+        let page = p.fetch(a).unwrap();
+        assert_eq!(page.read()[5], 99);
+    }
+
+    #[test]
+    fn fetch_null_fails() {
+        let mut p = pool(4);
+        assert!(p.fetch(PageId::NULL).is_err());
+    }
+}

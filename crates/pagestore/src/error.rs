@@ -1,0 +1,50 @@
+use std::fmt;
+
+use crate::page::PageId;
+
+/// Errors produced by the page store layer.
+#[derive(Debug)]
+pub enum Error {
+    /// A page id that was never allocated (or has been freed) was accessed.
+    PageNotFound(PageId),
+    /// A page id outside the valid range was used.
+    InvalidPageId(PageId),
+    /// Page contents failed structural validation.
+    Corrupt(String),
+    /// An I/O error from a file-backed store.
+    Io(std::io::Error),
+    /// A write did not match the store's page size.
+    BadPageSize { expected: usize, got: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageNotFound(id) => write!(f, "page {id} not found"),
+            Error::InvalidPageId(id) => write!(f, "invalid page id {id}"),
+            Error::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::BadPageSize { expected, got } => {
+                write!(f, "bad page size: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias for page store operations.
+pub type Result<T> = std::result::Result<T, Error>;

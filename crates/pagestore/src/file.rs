@@ -1,0 +1,210 @@
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::page::{PageId, PAGE_SIZE_MIN};
+use crate::store::PageStore;
+
+/// A file-backed page store.
+///
+/// Layout: a 16-byte header (`magic`, page size) followed by pages at offset
+/// `HEADER_LEN + id * page_size`. The free list is kept in memory only;
+/// reopening a file conservatively treats every slot as live. This is enough
+/// for the durability demos — the experiments all run on [`crate::MemStore`].
+pub struct FileStore {
+    file: File,
+    page_size: usize,
+    num_slots: u32,
+    free_list: Vec<u32>,
+    live: usize,
+}
+
+const MAGIC: &[u8; 8] = b"UIDXPGS1";
+const HEADER_LEN: u64 = 16;
+
+impl FileStore {
+    /// Create a new store file, truncating any existing file at `path`.
+    pub fn create(path: &Path, page_size: usize) -> Result<Self> {
+        assert!(
+            page_size >= PAGE_SIZE_MIN,
+            "page size {page_size} below minimum {PAGE_SIZE_MIN}"
+        );
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[..8].copy_from_slice(MAGIC);
+        header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+        file.write_all(&header)?;
+        Ok(FileStore {
+            file,
+            page_size,
+            num_slots: 0,
+            free_list: Vec::new(),
+            live: 0,
+        })
+    }
+
+    /// Open an existing store file created by [`FileStore::create`].
+    ///
+    /// Pages freed in a previous session that were not followed by a `sync`
+    /// are considered live again (conservative recovery).
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(Error::Corrupt("bad magic in store header".into()));
+        }
+        let page_size = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        if page_size < PAGE_SIZE_MIN {
+            return Err(Error::Corrupt(format!("bad page size {page_size}")));
+        }
+        let file_len = file.metadata()?.len();
+        let data_len = file_len.saturating_sub(HEADER_LEN);
+        let num_slots = (data_len / page_size as u64) as u32;
+        Ok(FileStore {
+            file,
+            page_size,
+            num_slots,
+            free_list: Vec::new(),
+            live: num_slots as usize,
+        })
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        HEADER_LEN + id.0 as u64 * self.page_size as u64
+    }
+
+    fn check(&self, id: PageId) -> Result<()> {
+        if id.is_null() || id.0 >= self.num_slots || self.free_list.contains(&id.0) {
+            return Err(Error::PageNotFound(id));
+        }
+        Ok(())
+    }
+}
+
+impl PageStore for FileStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> Result<PageId> {
+        self.live += 1;
+        if let Some(idx) = self.free_list.pop() {
+            let zeros = vec![0u8; self.page_size];
+            self.file.seek(SeekFrom::Start(self.offset(PageId(idx))))?;
+            self.file.write_all(&zeros)?;
+            return Ok(PageId(idx));
+        }
+        let idx = self.num_slots;
+        self.num_slots += 1;
+        let zeros = vec![0u8; self.page_size];
+        self.file.seek(SeekFrom::Start(self.offset(PageId(idx))))?;
+        self.file.write_all(&zeros)?;
+        Ok(PageId(idx))
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        self.check(id)?;
+        self.free_list.push(id.0);
+        self.live -= 1;
+        Ok(())
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(Error::BadPageSize {
+                expected: self.page_size,
+                got: buf.len(),
+            });
+        }
+        self.check(id)?;
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.page_size {
+            return Err(Error::BadPageSize {
+                expected: self.page_size,
+                got: buf.len(),
+            });
+        }
+        self.check(id)?;
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn live_pages(&self) -> usize {
+        self.live
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pagestore_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn create_write_reopen() {
+        let path = tmp("roundtrip");
+        {
+            let mut s = FileStore::create(&path, 128).unwrap();
+            let a = s.allocate().unwrap();
+            let mut buf = vec![7u8; 128];
+            buf[0] = 1;
+            s.write(a, &buf).unwrap();
+            s.sync().unwrap();
+        }
+        {
+            let mut s = FileStore::open(&path).unwrap();
+            assert_eq!(s.page_size(), 128);
+            assert_eq!(s.live_pages(), 1);
+            let mut out = vec![0u8; 128];
+            s.read(PageId(0), &mut out).unwrap();
+            assert_eq!(out[0], 1);
+            assert_eq!(out[1], 7);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_reuse_zeroes() {
+        let path = tmp("reuse");
+        let mut s = FileStore::create(&path, 128).unwrap();
+        let a = s.allocate().unwrap();
+        s.write(a, &[9u8; 128]).unwrap();
+        s.free(a).unwrap();
+        let b = s.allocate().unwrap();
+        assert_eq!(a, b);
+        let mut out = vec![1u8; 128];
+        s.read(b, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a store file at all").unwrap();
+        assert!(FileStore::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,85 @@
+use std::fmt;
+
+/// Default page size used by the paper's second experiment (1024 bytes).
+pub const PAGE_SIZE_DEFAULT: usize = 1024;
+
+/// Smallest page size the stores accept. Small pages are useful in tests to
+/// force deep trees with few records.
+pub const PAGE_SIZE_MIN: usize = 64;
+
+/// Identifier of a page within a store. Page ids are dense (allocation
+/// reuses freed ids) and 4 bytes wide, matching the paper's 4-byte page
+/// references.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. the next-leaf pointer of the last leaf).
+    pub const NULL: PageId = PageId(u32::MAX);
+
+    /// Whether this id is the [`PageId::NULL`] sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Self::NULL
+    }
+
+    /// The raw index value.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Serialize into 4 little-endian bytes.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; 4] {
+        self.0.to_le_bytes()
+    }
+
+    /// Deserialize from 4 little-endian bytes.
+    #[inline]
+    pub fn from_bytes(b: [u8; 4]) -> Self {
+        PageId(u32::from_le_bytes(b))
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PageId(NULL)")
+        } else {
+            write!(f, "PageId({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sentinel() {
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(0).is_null());
+        assert!(!PageId(123).is_null());
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        for raw in [0u32, 1, 7, 0xDEAD_BEEF, u32::MAX - 1] {
+            let id = PageId(raw);
+            assert_eq!(PageId::from_bytes(id.to_bytes()), id);
+        }
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", PageId(5)), "PageId(5)");
+        assert_eq!(format!("{:?}", PageId::NULL), "PageId(NULL)");
+    }
+}

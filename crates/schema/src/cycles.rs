@@ -1,0 +1,214 @@
+//! REF-cycle handling (paper §4.3).
+//!
+//! REF relationships can create cycles in the contracted schema graph (e.g.
+//! `Employee OWN Vehicle` and `Vehicle USED-BY Employee`). No single
+//! code assignment can satisfy both orderings, so the paper's fix is to
+//! *duplicate* the encoding: partition the REF edges into groups whose
+//! contracted graphs are each acyclic and encode each group separately.
+//! Because every path index names its reference attributes explicitly, a
+//! query maps unambiguously to the right encoding.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::model::{AttrId, ClassId, RefEdge, Schema};
+
+/// Whether the contracted REF graph (hierarchy roots as nodes) is cyclic.
+pub fn has_ref_cycle(schema: &Schema) -> bool {
+    !find_cycle_edges(schema, &HashSet::new()).is_empty()
+}
+
+/// The REF edges participating in cycles of the contracted graph, ignoring
+/// the given `(source, attr)` edges. Empty when acyclic.
+pub fn find_cycle_edges(
+    schema: &Schema,
+    ignored: &HashSet<(ClassId, AttrId)>,
+) -> Vec<RefEdge> {
+    let edges: Vec<RefEdge> = schema
+        .ref_edges()
+        .into_iter()
+        .filter(|e| !ignored.contains(&(e.source, e.attr)))
+        .collect();
+    cyclic_subset(schema, &edges)
+}
+
+/// Partition all REF edges into groups whose contracted graphs are each
+/// acyclic. Greedy first-fit: most schemas yield a single group; a schema
+/// with an OWN/USE-style cycle yields two.
+pub fn partition_acyclic(schema: &Schema) -> Vec<Vec<RefEdge>> {
+    let mut groups: Vec<Vec<RefEdge>> = Vec::new();
+    for e in schema.ref_edges() {
+        let mut placed = false;
+        for g in &mut groups {
+            g.push(e);
+            if cyclic_subset(schema, g).is_empty() {
+                placed = true;
+                break;
+            }
+            g.pop();
+        }
+        if !placed {
+            groups.push(vec![e]);
+        }
+    }
+    groups
+}
+
+/// For each group from [`partition_acyclic`], the complementary ignore-set
+/// to pass to [`crate::Encoding::generate_ignoring`].
+pub fn ignore_sets(schema: &Schema, groups: &[Vec<RefEdge>]) -> Vec<HashSet<(ClassId, AttrId)>> {
+    let all: HashSet<(ClassId, AttrId)> = schema
+        .ref_edges()
+        .into_iter()
+        .map(|e| (e.source, e.attr))
+        .collect();
+    groups
+        .iter()
+        .map(|g| {
+            let keep: HashSet<(ClassId, AttrId)> =
+                g.iter().map(|e| (e.source, e.attr)).collect();
+            all.difference(&keep).copied().collect()
+        })
+        .collect()
+}
+
+/// The subset of `edges` lying on cycles of the contracted graph.
+fn cyclic_subset(schema: &Schema, edges: &[RefEdge]) -> Vec<RefEdge> {
+    // Contract to hierarchy roots and repeatedly strip nodes with zero
+    // in-degree or zero out-degree; whatever survives lies on a cycle.
+    let mut adj: HashMap<ClassId, HashSet<ClassId>> = HashMap::new();
+    let mut radj: HashMap<ClassId, HashSet<ClassId>> = HashMap::new();
+    let mut nodes: HashSet<ClassId> = HashSet::new();
+    for e in edges {
+        let s = schema.hierarchy_root(e.source);
+        let t = schema.hierarchy_root(e.target);
+        if s == t {
+            continue;
+        }
+        adj.entry(s).or_default().insert(t);
+        radj.entry(t).or_default().insert(s);
+        nodes.insert(s);
+        nodes.insert(t);
+    }
+    loop {
+        let removable: Vec<ClassId> = nodes
+            .iter()
+            .filter(|n| {
+                adj.get(n).is_none_or(|s| s.is_empty())
+                    || radj.get(n).is_none_or(|s| s.is_empty())
+            })
+            .copied()
+            .collect();
+        if removable.is_empty() {
+            break;
+        }
+        for n in removable {
+            nodes.remove(&n);
+            if let Some(outs) = adj.remove(&n) {
+                for o in outs {
+                    if let Some(r) = radj.get_mut(&o) {
+                        r.remove(&n);
+                    }
+                }
+            }
+            if let Some(ins) = radj.remove(&n) {
+                for i in ins {
+                    if let Some(a) = adj.get_mut(&i) {
+                        a.remove(&n);
+                    }
+                }
+            }
+        }
+    }
+    edges
+        .iter()
+        .filter(|e| {
+            let s = schema.hierarchy_root(e.source);
+            let t = schema.hierarchy_root(e.target);
+            s != t && nodes.contains(&s) && nodes.contains(&t)
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoding;
+    use crate::model::AttrType;
+
+    fn own_use_schema() -> (Schema, ClassId, ClassId) {
+        let mut s = Schema::new();
+        let emp = s.add_class("Employee").unwrap();
+        let veh = s.add_class("Vehicle").unwrap();
+        s.add_attr(emp, "Own", AttrType::RefSet(veh)).unwrap();
+        s.add_attr(veh, "UsedBy", AttrType::RefSet(emp)).unwrap();
+        (s, emp, veh)
+    }
+
+    #[test]
+    fn acyclic_schema_single_group() {
+        let mut s = Schema::new();
+        let a = s.add_class("A").unwrap();
+        let b = s.add_class("B").unwrap();
+        let c = s.add_class("C").unwrap();
+        s.add_attr(b, "ToA", AttrType::Ref(a)).unwrap();
+        s.add_attr(c, "ToB", AttrType::Ref(b)).unwrap();
+        s.add_attr(c, "ToA", AttrType::Ref(a)).unwrap();
+        assert!(!has_ref_cycle(&s));
+        let groups = partition_acyclic(&s);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn own_use_cycle_splits_into_two() {
+        let (s, ..) = own_use_schema();
+        assert!(has_ref_cycle(&s));
+        let groups = partition_acyclic(&s);
+        assert_eq!(groups.len(), 2);
+        // Each group encodable on its own.
+        let ignores = ignore_sets(&s, &groups);
+        for ig in &ignores {
+            let enc = Encoding::generate_ignoring(&s, ig).unwrap();
+            enc.verify(&s, ig).unwrap();
+        }
+    }
+
+    #[test]
+    fn cycle_edges_reported() {
+        let (s, emp, veh) = own_use_schema();
+        let edges = find_cycle_edges(&s, &HashSet::new());
+        assert_eq!(edges.len(), 2);
+        let ignored: HashSet<(ClassId, AttrId)> = [(emp, AttrId(0))].into_iter().collect();
+        assert!(find_cycle_edges(&s, &ignored).is_empty());
+        let ignored2: HashSet<(ClassId, AttrId)> = [(veh, AttrId(0))].into_iter().collect();
+        assert!(find_cycle_edges(&s, &ignored2).is_empty());
+    }
+
+    #[test]
+    fn intra_hierarchy_reference_not_a_cycle() {
+        let mut s = Schema::new();
+        let person = s.add_class("Person").unwrap();
+        let manager = s.add_subclass("Manager", person).unwrap();
+        // Person references its own hierarchy: contracted self-loop, ignored.
+        s.add_attr(person, "Boss", AttrType::Ref(manager)).unwrap();
+        assert!(!has_ref_cycle(&s));
+        Encoding::generate(&s).unwrap();
+    }
+
+    #[test]
+    fn three_cycle() {
+        let mut s = Schema::new();
+        let a = s.add_class("A").unwrap();
+        let b = s.add_class("B").unwrap();
+        let c = s.add_class("C").unwrap();
+        s.add_attr(a, "ToB", AttrType::Ref(b)).unwrap();
+        s.add_attr(b, "ToC", AttrType::Ref(c)).unwrap();
+        s.add_attr(c, "ToA", AttrType::Ref(a)).unwrap();
+        assert!(has_ref_cycle(&s));
+        let groups = partition_acyclic(&s);
+        assert_eq!(groups.len(), 2, "dropping one edge breaks a 3-cycle");
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 1);
+    }
+}

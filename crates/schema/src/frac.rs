@@ -1,0 +1,208 @@
+//! Fractional indexing over the component alphabet `'A'..='Z'`.
+//!
+//! Components behave like base-26 fractions (`'A'` = digit 0). Between any
+//! two existing components a new one can always be generated, which is what
+//! makes the paper's schema evolution (Fig. 4) work without renaming: a new
+//! sibling class slots in between its neighbours' components.
+//!
+//! Invariant maintained by every generator here: **no component ends with
+//! `'A'`** (digit 0). A component ending in the minimum digit would have
+//! nothing strictly smaller in its extension region, making a later
+//! "insert before" impossible.
+
+/// Smallest component byte.
+pub const MIN: u8 = b'A';
+/// Largest component byte.
+pub const MAX: u8 = b'Z';
+const BASE: u32 = (MAX - MIN + 1) as u32; // 26
+
+fn digit(c: u8) -> u32 {
+    debug_assert!((MIN..=MAX).contains(&c), "byte {c} outside alphabet");
+    (c - MIN) as u32
+}
+
+fn chr(d: u32) -> u8 {
+    debug_assert!(d < BASE);
+    MIN + d as u8
+}
+
+/// Whether `s` is a valid component: non-empty, alphabet bytes only, not
+/// ending in the minimum digit.
+pub fn is_valid(s: &[u8]) -> bool {
+    !s.is_empty() && s.iter().all(|c| (MIN..=MAX).contains(c)) && *s.last().unwrap() != MIN
+}
+
+/// Generate a component strictly between `a` and `b`.
+///
+/// `None` for `a` means "before everything" and for `b` "after everything".
+/// When both bounds are given they must satisfy `a < b`.
+///
+/// # Panics
+/// Panics if the bounds are invalid components or out of order.
+pub fn between(a: Option<&[u8]>, b: Option<&[u8]>) -> Vec<u8> {
+    if let Some(a) = a {
+        assert!(is_valid(a), "invalid lower bound {a:?}");
+    }
+    if let Some(b) = b {
+        assert!(is_valid(b), "invalid upper bound {b:?}");
+    }
+    if let (Some(a), Some(b)) = (a, b) {
+        assert!(a < b, "bounds out of order: {a:?} >= {b:?}");
+    }
+    let out = midpoint(a.unwrap_or(&[]), b);
+    debug_assert!(is_valid(&out));
+    if let Some(a) = a {
+        debug_assert!(a < out.as_slice());
+    }
+    if let Some(b) = b {
+        debug_assert!(out.as_slice() < b);
+    }
+    out
+}
+
+/// Midpoint of the open interval `(a, b)` where `a` may be empty ("zero")
+/// and `b == None` means "one" (exclusive upper limit of the fraction
+/// space). Mirrors the classic fractional-indexing algorithm.
+fn midpoint(a: &[u8], b: Option<&[u8]>) -> Vec<u8> {
+    if let Some(b) = b {
+        // Shared prefix (treating a as zero-padded) is copied verbatim.
+        let mut n = 0;
+        while n < b.len() && a.get(n).copied().unwrap_or(MIN) == b[n] {
+            n += 1;
+        }
+        if n > 0 {
+            let mut out = b[..n].to_vec();
+            out.extend(midpoint(&a[n.min(a.len())..], strip(b, n)));
+            return out;
+        }
+    }
+    // First digits now differ (or bounds are open).
+    let da = a.first().map_or(0, |&c| digit(c));
+    let db = b.map_or(BASE, |b| digit(b[0]));
+    if db - da > 1 {
+        // A single digit strictly between the two first digits.
+        return vec![chr((da + db) / 2)];
+    }
+    // Adjacent first digits: consume `a`'s first digit and recurse with an
+    // open upper bound in the consumed digit's extension region.
+    if a.len() > 1 {
+        let mut out = vec![a[0]];
+        out.extend(midpoint(&a[1..], None));
+        out
+    } else {
+        let mut out = vec![chr(da)];
+        out.extend(midpoint(&[], b.and_then(|b| strip(b, 1))));
+        out
+    }
+}
+
+/// `b[n..]` as an upper bound, treating an empty tail as "open".
+fn strip(b: &[u8], n: usize) -> Option<&[u8]> {
+    let tail = &b[n.min(b.len())..];
+    if tail.is_empty() {
+        None
+    } else {
+        Some(tail)
+    }
+}
+
+/// The first component handed out when nothing exists yet (`'N'`, the middle
+/// of the alphabet, leaving room on both sides).
+pub fn first() -> Vec<u8> {
+    between(None, None)
+}
+
+/// Generate `n` components in ascending order, spread by repeated
+/// "append after" generation.
+pub fn sequence(n: usize) -> Vec<Vec<u8>> {
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let next = between(out.last().map(|v| v.as_slice()), None);
+        out.push(next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_is_middle() {
+        assert_eq!(first(), b"N".to_vec());
+    }
+
+    #[test]
+    fn between_simple() {
+        assert_eq!(between(Some(b"B"), Some(b"D")), b"C".to_vec());
+        let x = between(Some(b"B"), Some(b"C"));
+        assert!(b"B".as_slice() < x.as_slice() && x.as_slice() < b"C".as_slice());
+    }
+
+    #[test]
+    fn before_and_after_everything() {
+        let x = between(None, Some(b"B"));
+        assert!(x.as_slice() < b"B".as_slice());
+        let y = between(Some(b"Y"), None);
+        assert!(y.as_slice() > b"Y".as_slice());
+    }
+
+    #[test]
+    fn never_ends_with_min() {
+        // Repeated insertion at the front must not create 'A'-terminated
+        // components.
+        let mut hi = b"B".to_vec();
+        for _ in 0..50 {
+            let lo = between(None, Some(&hi));
+            assert!(is_valid(&lo), "invalid {lo:?}");
+            assert!(lo < hi);
+            hi = lo;
+        }
+    }
+
+    #[test]
+    fn repeated_append() {
+        let seq = sequence(100);
+        for w in seq.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(seq.iter().all(|c| is_valid(c)));
+    }
+
+    #[test]
+    fn repeated_bisection() {
+        // Keep splitting the same interval; components stay valid & ordered.
+        let mut lo = b"B".to_vec();
+        let hi = b"C".to_vec();
+        for _ in 0..60 {
+            let mid = between(Some(&lo), Some(&hi));
+            assert!(lo < mid && mid < hi, "{lo:?} < {mid:?} < {hi:?}");
+            lo = mid;
+        }
+        let mut hi2 = b"C".to_vec();
+        let lo2 = b"B".to_vec();
+        for _ in 0..60 {
+            let mid = between(Some(&lo2), Some(&hi2));
+            assert!(lo2 < mid && mid < hi2);
+            hi2 = mid;
+        }
+    }
+
+    #[test]
+    fn validity_predicate() {
+        assert!(is_valid(b"B"));
+        assert!(is_valid(b"ZZ"));
+        assert!(is_valid(b"AB"));
+        assert!(!is_valid(b""));
+        assert!(!is_valid(b"A"));
+        assert!(!is_valid(b"BA"));
+        assert!(!is_valid(b"b"));
+        assert!(!is_valid(&[0x00]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_bounds_panic() {
+        let _ = between(Some(b"D"), Some(b"B"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Index configuration advisor.
+//!
+//! Bertino's index-configuration problem (reference \[2\] in the paper)
+//! asks how to split a path into sub-paths, each carried by its own nested or path
+//! index. §3.3 argues the U-index makes the whole question moot: *"with
+//! the encoding scheme presented above and the range-queries algorithm
+//! presented below such splitting is not necessary, and therefore both the
+//! retrieval code and the designer's task are much simpler."*
+//!
+//! [`advise`] operationalizes that: give it the query templates of a
+//! workload and it returns the **minimal set of U-index definitions** that
+//! answers all of them — one (possibly multi-path) index per indexed
+//! attribute, with paths sharing their common suffix merged (§3.3
+//! "Multiple Paths"), instead of one structure per (path, class-hierarchy)
+//! combination as the classical schemes need.
+
+use schema::{ClassId, Schema};
+
+use crate::error::{Error, Result};
+use crate::spec::IndexSpec;
+
+/// One query template of the workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The class whose objects the query retrieves.
+    pub target: ClassId,
+    /// Reference-attribute chain from `target` down to the class owning the
+    /// valued attribute (empty for a plain class-hierarchy query).
+    pub chain: Vec<String>,
+    /// The attribute the query's predicate tests.
+    pub attr: String,
+    /// Whether the query restricts sub-classes along the path (needs a
+    /// combined index rather than an exact-class path index).
+    pub uses_subclasses: bool,
+    /// Relative frequency (used only for reporting).
+    pub frequency: f64,
+}
+
+impl WorkloadQuery {
+    /// A class-hierarchy query template.
+    pub fn hierarchy(target: ClassId, attr: &str) -> Self {
+        WorkloadQuery {
+            target,
+            chain: Vec::new(),
+            attr: attr.to_string(),
+            uses_subclasses: true,
+            frequency: 1.0,
+        }
+    }
+
+    /// A path query template.
+    pub fn path(target: ClassId, chain: &[&str], attr: &str) -> Self {
+        WorkloadQuery {
+            target,
+            chain: chain.iter().map(|s| s.to_string()).collect(),
+            attr: attr.to_string(),
+            uses_subclasses: true,
+            frequency: 1.0,
+        }
+    }
+}
+
+/// One recommendation: the index to build and the queries it serves.
+#[derive(Debug)]
+pub struct Recommendation {
+    /// The (merged) index definition.
+    pub spec: IndexSpec,
+    /// Indexes into the workload slice this spec answers.
+    pub serves: Vec<usize>,
+    /// Summed frequency of the served queries.
+    pub coverage: f64,
+}
+
+/// Recommend the minimal U-index set for a workload: queries over the same
+/// indexed attribute collapse into one multi-path index regardless of how
+/// many distinct paths reach it.
+pub fn advise(schema: &Schema, workload: &[WorkloadQuery]) -> Result<Vec<Recommendation>> {
+    let mut recs: Vec<Recommendation> = Vec::new();
+    for (i, q) in workload.iter().enumerate() {
+        let refs: Vec<&str> = q.chain.iter().map(|s| s.as_str()).collect();
+        let builder = if refs.is_empty() {
+            IndexSpec::class_hierarchy(&format!("auto-{i}"), q.target, &q.attr)
+        } else {
+            IndexSpec::path(&format!("auto-{i}"), q.target, &refs, &q.attr)
+        };
+        let builder = if q.uses_subclasses {
+            builder
+        } else {
+            builder.exact_classes()
+        };
+        let spec = builder.build(schema)?;
+        // Merge into an existing recommendation on the same attribute.
+        let mut merged = false;
+        for rec in &mut recs {
+            if rec.spec.attr == spec.attr
+                && rec.spec.include_subclasses == spec.include_subclasses
+            {
+                rec.spec = rec.spec.clone().merge(&spec)?;
+                rec.serves.push(i);
+                rec.coverage += q.frequency;
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            recs.push(Recommendation {
+                spec,
+                serves: vec![i],
+                coverage: q.frequency,
+            });
+        }
+    }
+    // Give merged specs stable descriptive names.
+    for rec in &mut recs {
+        let attr_name = schema.attr_name(rec.spec.attr.0, rec.spec.attr.1);
+        let owner = schema.class_name(rec.spec.attr.0);
+        rec.spec.name = format!("u-{owner}-{attr_name}");
+        if rec.spec.name.len() > 64 {
+            rec.spec.name.truncate(64);
+        }
+    }
+    // Sanity: names must be unique (same attr can appear once per
+    // include_subclasses mode).
+    for a in 0..recs.len() {
+        for b in a + 1..recs.len() {
+            if recs[a].spec.name == recs[b].spec.name {
+                recs[b].spec.name.push_str("-exact");
+            }
+        }
+    }
+    if recs.iter().any(|r| r.spec.positions.is_empty()) {
+        return Err(Error::BadSpec("advisor produced an empty spec".into()));
+    }
+    Ok(recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::AttrType;
+
+    fn schema() -> (Schema, ClassId, ClassId, ClassId, ClassId) {
+        let mut s = Schema::new();
+        let employee = s.add_class("Employee").unwrap();
+        s.add_attr(employee, "Age", AttrType::Int).unwrap();
+        let company = s.add_class("Company").unwrap();
+        s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+        let division = s.add_class("Division").unwrap();
+        s.add_attr(division, "Belong", AttrType::Ref(company)).unwrap();
+        let vehicle = s.add_class("Vehicle").unwrap();
+        s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+        (s, employee, company, division, vehicle)
+    }
+
+    #[test]
+    fn shared_suffix_paths_merge_into_one_index() {
+        let (s, _, _, division, vehicle) = schema();
+        // The paper's §3.3 example: vehicles AND divisions of companies by
+        // president's age — classical schemes need two path indexes, the
+        // advisor yields ONE multi-path U-index.
+        let workload = vec![
+            WorkloadQuery::path(vehicle, &["MadeBy", "President"], "Age"),
+            WorkloadQuery::path(division, &["Belong", "President"], "Age"),
+        ];
+        let recs = advise(&s, &workload).unwrap();
+        assert_eq!(recs.len(), 1, "one index for both paths");
+        assert_eq!(recs[0].serves, vec![0, 1]);
+        // Positions: Employee, Company shared; Division and Vehicle branch.
+        assert_eq!(recs[0].spec.positions.len(), 4);
+    }
+
+    #[test]
+    fn distinct_attributes_stay_separate() {
+        let (s, employee, _, _, vehicle) = schema();
+        let workload = vec![
+            WorkloadQuery::hierarchy(vehicle, "Color"),
+            WorkloadQuery::path(vehicle, &["MadeBy", "President"], "Age"),
+            WorkloadQuery::hierarchy(employee, "Age"),
+        ];
+        let recs = advise(&s, &workload).unwrap();
+        // Color and Age-of-Employee... note queries 2 and 3 both index
+        // Employee.Age: the hierarchy query is the path index's position 0,
+        // so they merge.
+        assert_eq!(recs.len(), 2);
+        let names: Vec<&str> = recs.iter().map(|r| r.spec.name.as_str()).collect();
+        assert!(names.contains(&"u-Vehicle-Color"));
+        assert!(names.contains(&"u-Employee-Age"));
+        let age_rec = recs.iter().find(|r| r.spec.name == "u-Employee-Age").unwrap();
+        assert_eq!(age_rec.serves, vec![1, 2]);
+    }
+
+    #[test]
+    fn recommendations_are_definable() {
+        use crate::index::UIndex;
+        use btree::BTreeConfig;
+        use pagestore::{BufferPool, MemStore};
+        use schema::Encoding;
+
+        let (s, _, _, division, vehicle) = schema();
+        let workload = vec![
+            WorkloadQuery::hierarchy(vehicle, "Color"),
+            WorkloadQuery::path(vehicle, &["MadeBy", "President"], "Age"),
+            WorkloadQuery::path(division, &["Belong", "President"], "Age"),
+        ];
+        let recs = advise(&s, &workload).unwrap();
+        let enc = Encoding::generate(&s).unwrap();
+        let pool = BufferPool::new(MemStore::new(1024), 256);
+        let mut index = UIndex::new(pool, BTreeConfig::default(), enc).unwrap();
+        for rec in recs {
+            index.define(&s, rec.spec).unwrap();
+        }
+        assert_eq!(index.specs().len(), 2);
+    }
+}

@@ -1,0 +1,295 @@
+//! [`Database`]: an object store plus a U-index, kept consistent.
+//!
+//! Every mutation recomputes exactly the affected index entries by
+//! snapshotting the entry keys of the affected *anchors* before the change
+//! and diffing against the recomputation afterwards. The paper's update
+//! cases fall out: an attribute update on an end-of-path object touches one
+//! entry per index (§3.5 case 2/3); a mid-path reference change (the
+//! "president switches companies" example) deletes and re-inserts the
+//! clustered entry group.
+
+use std::collections::BTreeSet;
+
+use btree::BTreeConfig;
+use objstore::{ObjectStore, Oid, Value};
+use pagestore::{BufferPool, MemStore};
+use schema::{ClassId, Encoding, Schema};
+
+use crate::error::Result;
+use crate::index::{IndexId, UIndex};
+use crate::query::{Query, QueryHit};
+use crate::scan::ScanStats;
+use crate::spec::{IndexSpec, SpecBuilder};
+
+/// An OODB with automatically maintained U-indexes.
+pub struct Database {
+    store: ObjectStore,
+    index: UIndex<MemStore>,
+    /// Classes added by schema evolution whose codes are not assigned yet.
+    /// Assignment is deferred until first use so that REF attributes
+    /// declared after the class still constrain its code position
+    /// (paper Fig. 4b: a new hierarchy slots between the hierarchies it
+    /// references and is referenced by).
+    pending_codes: BTreeSet<ClassId>,
+}
+
+impl Database {
+    /// Build a database over `schema`, generating the class-code encoding.
+    /// Fails if the schema's REF graph is cyclic (see
+    /// [`schema::cycles::partition_acyclic`] to split it).
+    pub fn in_memory(schema: Schema) -> Result<Self> {
+        Self::with_page_size(schema, 1024, 1 << 16)
+    }
+
+    /// Like [`Database::in_memory`] with explicit page geometry.
+    pub fn with_page_size(schema: Schema, page_size: usize, pool_pages: usize) -> Result<Self> {
+        Self::with_config(schema, page_size, pool_pages, BTreeConfig::default())
+    }
+
+    /// Full control over the index B-tree configuration (the paper's first
+    /// experiment caps nodes at 10 entries).
+    pub fn with_config(
+        schema: Schema,
+        page_size: usize,
+        pool_pages: usize,
+        config: BTreeConfig,
+    ) -> Result<Self> {
+        let encoding = Encoding::generate(&schema)?;
+        let pool = BufferPool::new(MemStore::new(page_size), pool_pages);
+        let index = UIndex::new(pool, config, encoding)?;
+        Ok(Database {
+            store: ObjectStore::new(schema),
+            index,
+            pending_codes: BTreeSet::new(),
+        })
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.store.schema()
+    }
+
+    /// The U-index.
+    pub fn index(&self) -> &UIndex<MemStore> {
+        &self.index
+    }
+
+    /// Mutable U-index access (e.g. for statistics resets).
+    pub fn index_mut(&mut self) -> &mut UIndex<MemStore> {
+        &mut self.index
+    }
+
+    // ----- schema evolution ---------------------------------------------
+
+    /// Add a new hierarchy root class (paper Fig. 4b). Its code is
+    /// assigned lazily — declare the class's reference attributes first and
+    /// the code will respect them; force assignment with
+    /// [`Database::encode_class`].
+    pub fn add_class(&mut self, name: &str) -> Result<ClassId> {
+        let id = self.store.schema_mut().add_class(name)?;
+        self.pending_codes.insert(id);
+        Ok(id)
+    }
+
+    /// Add a sub-class (paper Fig. 4a); its code is assigned lazily.
+    pub fn add_subclass(&mut self, name: &str, parent: ClassId) -> Result<ClassId> {
+        let id = self.store.schema_mut().add_subclass(name, parent)?;
+        self.pending_codes.insert(id);
+        Ok(id)
+    }
+
+    /// Assign a code now to `class` (and any pending ancestors), honouring
+    /// the REF edges declared so far.
+    pub fn encode_class(&mut self, class: ClassId) -> Result<()> {
+        if !self.pending_codes.contains(&class) {
+            return Ok(());
+        }
+        if let Some(&parent) = self.store.schema().parents(class).first() {
+            self.encode_class(parent)?;
+        }
+        let schema = self.store.schema().clone();
+        self.index.encoding_mut().assign_class(&schema, class)?;
+        self.pending_codes.remove(&class);
+        Ok(())
+    }
+
+    fn encode_all_pending(&mut self) -> Result<()> {
+        let pending: Vec<ClassId> = self.pending_codes.iter().copied().collect();
+        for c in pending {
+            self.encode_class(c)?;
+        }
+        Ok(())
+    }
+
+    /// Declare an attribute.
+    pub fn add_attr(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        ty: schema::AttrType,
+    ) -> Result<schema::AttrId> {
+        Ok(self.store.schema_mut().add_attr(class, name, ty)?)
+    }
+
+    // ----- index definition ----------------------------------------------
+
+    /// Define an index from a builder and populate it from current data.
+    pub fn define_index(&mut self, builder: SpecBuilder) -> Result<IndexId> {
+        let spec = builder.build(self.store.schema())?;
+        self.define_index_spec(spec)
+    }
+
+    /// Define an index from an explicit spec and populate it.
+    pub fn define_index_spec(&mut self, spec: IndexSpec) -> Result<IndexId> {
+        self.encode_all_pending()?;
+        let id = self.index.define(self.store.schema(), spec)?;
+        self.index.build(&self.store, id)?;
+        Ok(id)
+    }
+
+    // ----- object mutations (index-maintaining) ---------------------------
+
+    /// Create an object (no attributes yet, so no index entries).
+    pub fn create_object(&mut self, class: ClassId) -> Result<Oid> {
+        self.encode_class(class)?;
+        Ok(self.store.create(class)?)
+    }
+
+    /// For every index, the encoded keys of all entries containing `oid` —
+    /// exactly the entries a mutation of `oid` can add or remove.
+    fn involved_entries(&self, oid: Oid) -> Result<Vec<BTreeSet<Vec<u8>>>> {
+        let mut out = Vec::with_capacity(self.index.specs().len());
+        for id in 0..self.index.specs().len() as IndexId {
+            let mut set = BTreeSet::new();
+            for e in self.index.entries_involving(&self.store, id, oid)? {
+                set.insert(e.encode()?);
+            }
+            out.push(set);
+        }
+        Ok(out)
+    }
+
+    fn apply_diff(
+        &mut self,
+        before: Vec<BTreeSet<Vec<u8>>>,
+        after: Vec<BTreeSet<Vec<u8>>>,
+    ) -> Result<()> {
+        for (b, a) in before.iter().zip(&after) {
+            for key in b.difference(a) {
+                self.index.tree_mut().delete(key)?;
+            }
+            for key in a.difference(b) {
+                self.index.tree_mut().insert(key, &[])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Set an attribute, keeping every index consistent. Only the entries
+    /// containing `oid` are recomputed, so the cost matches the paper's
+    /// §3.5 analysis (one entry for an end-of-path attribute update, the
+    /// clustered group for a mid-path reference change).
+    pub fn set_attr(&mut self, oid: Oid, name: &str, value: Value) -> Result<Option<Value>> {
+        let before = self.involved_entries(oid)?;
+        let old = self.store.set_attr(oid, name, value)?;
+        let after = self.involved_entries(oid)?;
+        self.apply_diff(before, after)?;
+        Ok(old)
+    }
+
+    /// Delete an object, keeping every index consistent. With `force`,
+    /// dangling references from other objects are allowed (their path
+    /// entries through this object disappear).
+    pub fn delete_object(&mut self, oid: Oid, force: bool) -> Result<()> {
+        let before = self.involved_entries(oid)?;
+        self.store.delete(oid, force)?;
+        // The object no longer exists, so no entry can involve it.
+        let after = vec![BTreeSet::new(); before.len()];
+        self.apply_diff(before, after)?;
+        Ok(())
+    }
+
+    // ----- persistence -----------------------------------------------------
+
+    /// Save the database into a directory: `objects.bin` (schema + objects)
+    /// and `specs.bin` (index definitions). Opening rebuilds the indexes
+    /// deterministically from the data.
+    pub fn save(&self, dir: &std::path::Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(pagestore::Error::Io)?;
+        std::fs::write(dir.join("objects.bin"), self.store.to_bytes())
+            .map_err(pagestore::Error::Io)?;
+        let mut specs = Vec::new();
+        specs.extend_from_slice(b"UIDXSPC1");
+        specs.extend_from_slice(&(self.index.specs().len() as u32).to_le_bytes());
+        for spec in self.index.specs() {
+            let enc = crate::catalog::encode_spec(spec);
+            specs.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+            specs.extend_from_slice(&enc);
+        }
+        std::fs::write(dir.join("specs.bin"), specs).map_err(pagestore::Error::Io)?;
+        Ok(())
+    }
+
+    /// Open a database saved by [`Database::save`], rebuilding all indexes.
+    pub fn open(dir: &std::path::Path) -> Result<Self> {
+        let objects =
+            std::fs::read(dir.join("objects.bin")).map_err(pagestore::Error::Io)?;
+        let store = ObjectStore::from_bytes(&objects)?;
+        let schema = store.schema().clone();
+        let mut db = Database::in_memory(schema)?;
+        db.store = store;
+        let specs = std::fs::read(dir.join("specs.bin")).map_err(pagestore::Error::Io)?;
+        if specs.get(..8) != Some(b"UIDXSPC1".as_slice()) {
+            return Err(crate::Error::BadKey("bad specs.bin magic".into()));
+        }
+        let n = u32::from_le_bytes(
+            specs
+                .get(8..12)
+                .ok_or_else(|| crate::Error::BadKey("truncated specs.bin".into()))?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let mut pos = 12;
+        for _ in 0..n {
+            let len = u32::from_le_bytes(
+                specs
+                    .get(pos..pos + 4)
+                    .ok_or_else(|| crate::Error::BadKey("truncated specs.bin".into()))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            pos += 4;
+            let spec = crate::catalog::decode_spec(
+                specs
+                    .get(pos..pos + len)
+                    .ok_or_else(|| crate::Error::BadKey("truncated specs.bin".into()))?,
+            )?;
+            pos += len;
+            db.define_index_spec(spec)?;
+        }
+        Ok(db)
+    }
+
+    // ----- queries ---------------------------------------------------------
+
+    /// Run a query, returning the hits.
+    pub fn query(&mut self, q: &Query) -> Result<Vec<QueryHit>> {
+        Ok(self.index.query(q)?.0)
+    }
+
+    /// Parse and run a [`crate::uql`] query string.
+    pub fn query_uql(&mut self, input: &str) -> Result<(Vec<QueryHit>, ScanStats)> {
+        let q = crate::uql::parse(&self.index, self.store.schema(), input)?;
+        self.index.query(&q)
+    }
+
+    /// Run a query, returning hits and scan cost counters.
+    pub fn query_with_stats(&mut self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
+        self.index.query(q)
+    }
+}

@@ -1,0 +1,680 @@
+//! [`UIndex`]: many logical indexes in one B+-tree, plus maintenance.
+
+use std::collections::BTreeSet;
+
+use btree::{BTree, BTreeConfig, TreeStats};
+use objstore::{ObjectStore, Oid, Value};
+use pagestore::{BufferPool, MemStore, PageStore};
+use schema::{ClassId, Encoding, Schema};
+
+use crate::error::{Error, Result};
+use crate::key::{EntryKey, PathElem};
+use crate::query::{ClassSel, OidSel, Query, QueryHit};
+use crate::scan::{self, Matcher, PosConstraint, ScanStats};
+use crate::spec::IndexSpec;
+
+/// Identifier of a logical index within a [`UIndex`] (embedded as the first
+/// two key bytes).
+pub type IndexId = u16;
+
+/// The uniform index: a set of [`IndexSpec`]s sharing one front-compressed
+/// B+-tree (§4.1).
+pub struct UIndex<S: PageStore> {
+    tree: BTree<S>,
+    encoding: Encoding,
+    specs: Vec<IndexSpec>,
+}
+
+impl UIndex<MemStore> {
+    /// An in-memory U-index with the paper's page geometry (1024-byte
+    /// pages).
+    pub fn in_memory(encoding: Encoding) -> Result<Self> {
+        let pool = BufferPool::new(MemStore::new(1024), 1 << 16);
+        Self::new(pool, BTreeConfig::default(), encoding)
+    }
+}
+
+impl<S: PageStore> UIndex<S> {
+    /// Create an empty U-index over `pool`.
+    pub fn new(pool: BufferPool<S>, config: BTreeConfig, encoding: Encoding) -> Result<Self> {
+        Ok(UIndex {
+            tree: BTree::create(pool, config)?,
+            encoding,
+            specs: Vec::new(),
+        })
+    }
+
+    /// Assemble from parts (catalog reload path).
+    pub(crate) fn from_parts(tree: BTree<S>, encoding: Encoding, specs: Vec<IndexSpec>) -> Self {
+        UIndex {
+            tree,
+            encoding,
+            specs,
+        }
+    }
+
+    /// The class-code encoding in use.
+    pub fn encoding(&self) -> &Encoding {
+        &self.encoding
+    }
+
+    /// Mutable encoding access (schema evolution).
+    pub fn encoding_mut(&mut self) -> &mut Encoding {
+        &mut self.encoding
+    }
+
+    /// The shared B-tree (for statistics and verification).
+    pub fn tree(&self) -> &BTree<S> {
+        &self.tree
+    }
+
+    /// Mutable access to the shared B-tree.
+    pub fn tree_mut(&mut self) -> &mut BTree<S> {
+        &mut self.tree
+    }
+
+    /// Registered index specs.
+    pub fn specs(&self) -> &[IndexSpec] {
+        &self.specs
+    }
+
+    /// The spec behind `id`.
+    pub fn spec(&self, id: IndexId) -> Result<&IndexSpec> {
+        self.specs
+            .get(id as usize)
+            .ok_or(Error::UnknownIndex(id))
+    }
+
+    /// Register an index definition (normalizing and validating it).
+    /// Entries are **not** built; call [`UIndex::build`] or use
+    /// [`crate::Database`], which maintains entries incrementally.
+    pub fn define(&mut self, schema: &Schema, mut spec: IndexSpec) -> Result<IndexId> {
+        if self.specs.iter().any(|s| s.name == spec.name) {
+            return Err(Error::BadSpec(format!("duplicate index name {:?}", spec.name)));
+        }
+        if self.specs.len() >= u16::MAX as usize {
+            return Err(Error::BadSpec("too many indexes".into()));
+        }
+        spec.normalize(schema, &self.encoding)?;
+        self.specs.push(spec);
+        Ok((self.specs.len() - 1) as IndexId)
+    }
+
+    /// Look up an index id by name.
+    pub fn index_by_name(&self, name: &str) -> Option<IndexId> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| i as IndexId)
+    }
+
+    // ----- entry enumeration ---------------------------------------------
+
+    fn class_in_scope(&self, schema: &Schema, spec: &IndexSpec, pos: usize, class: ClassId) -> bool {
+        let pc = spec.positions[pos].class;
+        if spec.include_subclasses {
+            schema.is_subclass_of(class, pc)
+        } else {
+            class == pc
+        }
+    }
+
+    /// All entry keys anchored at `anchor` (a would-be position-0 object),
+    /// computed from the current store state. Empty if the object is out of
+    /// scope or has no value for the indexed attribute.
+    pub fn entries_for_anchor(
+        &self,
+        store: &ObjectStore,
+        id: IndexId,
+        anchor: Oid,
+    ) -> Result<Vec<EntryKey>> {
+        let spec = self.spec(id)?;
+        let schema = store.schema();
+        if !store.exists(anchor) {
+            return Ok(Vec::new());
+        }
+        let class = store.class_of(anchor)?;
+        if !self.class_in_scope(schema, spec, 0, class) {
+            return Ok(Vec::new());
+        }
+        let obj = store.get(anchor)?;
+        let Some(value) = obj.get(spec.attr.0, spec.attr.1) else {
+            return Ok(Vec::new());
+        };
+        if !value.is_indexable() {
+            return Ok(Vec::new());
+        }
+        let chains = self.chains(spec);
+
+        let mut out = Vec::new();
+        for chain in &chains {
+            let mut stack: Vec<Vec<(usize, Oid)>> = vec![vec![(0, anchor)]];
+            // Depth-first instantiation along the chain.
+            self.instantiate_chain(store, spec, chain, 1, &mut stack, value, id, &mut out)?;
+        }
+        // Multi-branch specs can produce duplicate single-position chains;
+        // normalize.
+        out.sort_by_key(|k| k.encode().ok());
+        out.dedup();
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn instantiate_chain(
+        &self,
+        store: &ObjectStore,
+        spec: &IndexSpec,
+        chain: &[usize],
+        depth: usize,
+        stack: &mut Vec<Vec<(usize, Oid)>>,
+        value: &Value,
+        id: IndexId,
+        out: &mut Vec<EntryKey>,
+    ) -> Result<()> {
+        let schema = store.schema();
+        if depth == chain.len() {
+            // Emit one entry from the current assignment.
+            let assignment: Vec<(usize, Oid)> =
+                stack.iter().map(|lvl| *lvl.last().expect("set")).collect();
+            let mut path: Vec<PathElem> = Vec::with_capacity(assignment.len());
+            for (pos, oid) in &assignment {
+                let class = store.class_of(*oid)?;
+                let code = self
+                    .encoding
+                    .code(class)
+                    .ok_or_else(|| Error::BadSpec(format!("class {class:?} has no code")))?;
+                let _ = pos;
+                path.push(PathElem {
+                    code: code.as_bytes().to_vec(),
+                    oid: *oid,
+                });
+            }
+            out.push(EntryKey {
+                index_id: id,
+                value: value.clone(),
+                path,
+            });
+            return Ok(());
+        }
+        let pos = chain[depth];
+        let step = &spec.positions[pos];
+        let (via_decl, via_attr) = step.via.expect("non-root position");
+        let parent_pos = step.parent.expect("non-root position");
+        // The object currently assigned to the parent position.
+        let parent_oid = stack
+            .iter()
+            .flat_map(|lvl| lvl.last())
+            .find(|(p, _)| *p == parent_pos)
+            .map(|(_, o)| *o)
+            .expect("parent assigned before child");
+        // Candidates: objects referencing parent_oid via the spec's attr,
+        // with a class in this position's scope.
+        let mut candidates: Vec<Oid> = store
+            .referrers(parent_oid)
+            .into_iter()
+            .filter(|(_, decl, attr)| (*decl, *attr) == (via_decl, via_attr))
+            .map(|(src, _, _)| src)
+            .filter(|src| {
+                store
+                    .class_of(*src)
+                    .map(|c| self.class_in_scope(schema, spec, pos, c))
+                    .unwrap_or(false)
+            })
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        for cand in candidates {
+            stack.push(vec![(pos, cand)]);
+            self.instantiate_chain(store, spec, chain, depth + 1, stack, value, id, out)?;
+            stack.pop();
+        }
+        Ok(())
+    }
+
+    /// Root-to-leaf chains of the spec's position forest.
+    fn chains(&self, spec: &IndexSpec) -> Vec<Vec<usize>> {
+        let n = spec.positions.len();
+        let mut has_child = vec![false; n];
+        for p in &spec.positions {
+            if let Some(parent) = p.parent {
+                has_child[parent] = true;
+            }
+        }
+        (0..n)
+            .filter(|&i| !has_child[i])
+            .map(|leaf| {
+                let mut chain = vec![leaf];
+                let mut cur = leaf;
+                while let Some(p) = spec.positions[cur].parent {
+                    chain.push(p);
+                    cur = p;
+                }
+                chain.reverse();
+                chain
+            })
+            .collect()
+    }
+
+    /// All entry keys of index `id` that contain `oid` at any position,
+    /// under the current store state. This is the exact set an update of
+    /// `oid` can add or remove, so maintenance costs stay proportional to
+    /// the entries actually touched (the paper's §3.5 update analysis).
+    pub fn entries_involving(
+        &self,
+        store: &ObjectStore,
+        id: IndexId,
+        oid: Oid,
+    ) -> Result<Vec<EntryKey>> {
+        let spec = self.spec(id)?;
+        let schema = store.schema();
+        if !store.exists(oid) {
+            return Ok(Vec::new());
+        }
+        let class = store.class_of(oid)?;
+        let chains = self.chains(spec);
+        let mut out = Vec::new();
+        for pos in 0..spec.positions.len() {
+            if !self.class_in_scope(schema, spec, pos, class) {
+                continue;
+            }
+            for chain in chains.iter().filter(|c| c.contains(&pos)) {
+                let pi = chain.iter().position(|&x| x == pos).expect("contains");
+                for up in self.enumerate_up(store, spec, chain, pi, oid)? {
+                    let anchor = up[0].1;
+                    let obj = store.get(anchor)?;
+                    let Some(value) = obj.get(spec.attr.0, spec.attr.1) else {
+                        continue;
+                    };
+                    if !value.is_indexable() {
+                        continue;
+                    }
+                    let value = value.clone();
+                    let mut stack: Vec<Vec<(usize, Oid)>> =
+                        up.into_iter().map(|x| vec![x]).collect();
+                    self.instantiate_chain(
+                        store,
+                        spec,
+                        chain,
+                        pi + 1,
+                        &mut stack,
+                        &value,
+                        id,
+                        &mut out,
+                    )?;
+                }
+            }
+        }
+        out.sort_by_key(|k| k.encode().ok());
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Assignments for `chain[0..=pi]` whose last element is `oid` at
+    /// position `chain[pi]`, found by following the via references from
+    /// `oid` towards the anchor.
+    fn enumerate_up(
+        &self,
+        store: &ObjectStore,
+        spec: &IndexSpec,
+        chain: &[usize],
+        pi: usize,
+        oid: Oid,
+    ) -> Result<Vec<Vec<(usize, Oid)>>> {
+        if pi == 0 {
+            return Ok(vec![vec![(chain[0], oid)]]);
+        }
+        let pos = chain[pi];
+        let step = &spec.positions[pos];
+        let (decl, attr) = step.via.expect("non-root position");
+        let parent_pos = step.parent.expect("non-root position");
+        let obj = store.get(oid)?;
+        let targets: Vec<Oid> = match obj.get(decl, attr) {
+            Some(Value::Ref(t)) => vec![*t],
+            Some(Value::RefSet(ts)) => ts.clone(),
+            _ => Vec::new(),
+        };
+        let schema = store.schema();
+        let mut out = Vec::new();
+        for t in targets {
+            if !store.exists(t) {
+                continue;
+            }
+            let tc = store.class_of(t)?;
+            if !self.class_in_scope(schema, spec, parent_pos, tc) {
+                continue;
+            }
+            for mut up in self.enumerate_up(store, spec, chain, pi - 1, t)? {
+                up.push((pos, oid));
+                out.push(up);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Anchors (position-0 objects) whose entries involve `oid` in index
+    /// `id`, under the current store state.
+    pub fn anchors_affected(
+        &self,
+        store: &ObjectStore,
+        id: IndexId,
+        oid: Oid,
+    ) -> Result<Vec<Oid>> {
+        let spec = self.spec(id)?;
+        let schema = store.schema();
+        if !store.exists(oid) {
+            return Ok(Vec::new());
+        }
+        let class = store.class_of(oid)?;
+        let mut anchors = BTreeSet::new();
+        for pos in 0..spec.positions.len() {
+            if self.class_in_scope(schema, spec, pos, class) {
+                self.descend_to_anchors(store, spec, pos, oid, &mut anchors)?;
+            }
+        }
+        Ok(anchors.into_iter().collect())
+    }
+
+    fn descend_to_anchors(
+        &self,
+        store: &ObjectStore,
+        spec: &IndexSpec,
+        pos: usize,
+        oid: Oid,
+        out: &mut BTreeSet<Oid>,
+    ) -> Result<()> {
+        if pos == 0 {
+            out.insert(oid);
+            return Ok(());
+        }
+        let step = &spec.positions[pos];
+        let (decl, attr) = step.via.expect("non-root");
+        let parent_pos = step.parent.expect("non-root");
+        let obj = store.get(oid)?;
+        let targets: Vec<Oid> = match obj.get(decl, attr) {
+            Some(Value::Ref(t)) => vec![*t],
+            Some(Value::RefSet(ts)) => ts.clone(),
+            _ => Vec::new(),
+        };
+        let schema = store.schema();
+        for t in targets {
+            if store.exists(t) {
+                let tc = store.class_of(t)?;
+                if self.class_in_scope(schema, spec, parent_pos, tc) {
+                    self.descend_to_anchors(store, spec, parent_pos, t, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- maintenance ---------------------------------------------------
+
+    /// Insert the given entries (replace semantics).
+    pub fn insert_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
+        let mut n = 0;
+        for e in entries {
+            if self.tree.insert(&e.encode()?, &[])?.is_none() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Remove the given entries; returns how many existed.
+    pub fn remove_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
+        let mut n = 0;
+        for e in entries {
+            if self.tree.delete(&e.encode()?)?.is_some() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Build index `id` from the current store contents (incremental
+    /// inserts; see [`UIndex::build_all`] for the packed bulk path).
+    pub fn build(&mut self, store: &ObjectStore, id: IndexId) -> Result<u64> {
+        let spec = self.spec(id)?;
+        let anchors = if spec.include_subclasses {
+            store.extent_deep(spec.positions[0].class)
+        } else {
+            store.extent(spec.positions[0].class)
+        };
+        let mut keys = Vec::new();
+        for a in anchors {
+            for e in self.entries_for_anchor(store, id, a)? {
+                keys.push((e.encode()?, Vec::new()));
+            }
+        }
+        let n = keys.len() as u64;
+        self.tree.insert_batch(keys)?;
+        Ok(n)
+    }
+
+    /// Build **all** registered indexes at once with a packed bulk load.
+    /// The tree must be empty.
+    pub fn build_all(&mut self, store: &ObjectStore) -> Result<u64> {
+        let mut keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for id in 0..self.specs.len() as u16 {
+            let spec = self.spec(id)?;
+            let anchors = if spec.include_subclasses {
+                store.extent_deep(spec.positions[0].class)
+            } else {
+                store.extent(spec.positions[0].class)
+            };
+            for a in anchors {
+                for e in self.entries_for_anchor(store, id, a)? {
+                    keys.push((e.encode()?, Vec::new()));
+                }
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        let n = keys.len() as u64;
+        self.tree.bulk_replace(keys)?;
+        Ok(n)
+    }
+
+    /// Bulk-load explicit entries into an empty tree (used by experiment
+    /// harnesses that synthesize entries without an object store).
+    pub fn bulk_load_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
+        let mut keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(entries.len());
+        for e in entries {
+            keys.push((e.encode()?, Vec::new()));
+        }
+        keys.sort();
+        keys.dedup();
+        let n = keys.len() as u64;
+        self.tree.bulk_replace(keys)?;
+        Ok(n)
+    }
+
+    // ----- querying ------------------------------------------------------
+
+    fn resolve_class_sel(
+        &self,
+        sel: &ClassSel,
+        region: &(Vec<u8>, Vec<u8>),
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<()> {
+        match sel {
+            ClassSel::Any => out.push(region.clone()),
+            ClassSel::Exact(c) => {
+                let code = self
+                    .encoding
+                    .code(*c)
+                    .ok_or_else(|| Error::BadQuery(format!("class {c:?} has no code")))?;
+                let lo = code.as_bytes().to_vec();
+                let mut hi = lo.clone();
+                hi.push(0x00);
+                out.push((lo, hi));
+            }
+            ClassSel::SubTree(c) => {
+                let (lo, hi) = self
+                    .encoding
+                    .subtree_range(*c)
+                    .ok_or_else(|| Error::BadQuery(format!("class {c:?} has no code")))?;
+                out.push((lo, hi));
+            }
+            ClassSel::AnyOf(sels) => {
+                for s in sels {
+                    self.resolve_class_sel(s, region, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn value_ranges(&self, q: &Query) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        use crate::query::ValuePred::*;
+        let point = |v: &Value| -> Result<(Vec<u8>, Vec<u8>)> {
+            let e = v
+                .encode_ordered()
+                .ok_or_else(|| Error::BadQuery("non-indexable query value".into()))?;
+            let mut hi = e.clone();
+            hi.push(0x00);
+            Ok((e, hi))
+        };
+        let mut ranges = match &q.value {
+            Any => vec![(Vec::new(), vec![0xFF])],
+            Eq(v) => vec![point(v)?],
+            In(vs) => {
+                let mut r = Vec::with_capacity(vs.len());
+                for v in vs {
+                    r.push(point(v)?);
+                }
+                r
+            }
+            Range {
+                lo,
+                hi,
+                hi_inclusive,
+            } => {
+                let lo_b = match lo {
+                    Some(v) => v
+                        .encode_ordered()
+                        .ok_or_else(|| Error::BadQuery("non-indexable bound".into()))?,
+                    None => Vec::new(),
+                };
+                let hi_b = match hi {
+                    Some(v) => {
+                        let mut b = v
+                            .encode_ordered()
+                            .ok_or_else(|| Error::BadQuery("non-indexable bound".into()))?;
+                        if *hi_inclusive {
+                            b.push(0x00);
+                        }
+                        b
+                    }
+                    None => vec![0xFF],
+                };
+                if lo_b >= hi_b {
+                    return Err(Error::BadQuery("empty value range".into()));
+                }
+                vec![(lo_b, hi_b)]
+            }
+        };
+        ranges.sort();
+        ranges.dedup();
+        // Merge overlaps so range_position sees disjoint intervals.
+        let mut merged: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            match merged.last_mut() {
+                Some(last) if r.0 <= last.1 => {
+                    if r.1 > last.1 {
+                        last.1 = r.1;
+                    }
+                }
+                _ => merged.push(r),
+            }
+        }
+        Ok(merged)
+    }
+
+    pub(crate) fn matcher(&self, q: &Query) -> Result<Matcher> {
+        let spec = self.spec(q.index)?;
+        let value_ranges = self.value_ranges(q)?;
+        let mut positions = Vec::with_capacity(spec.positions.len());
+        for (i, step) in spec.positions.iter().enumerate() {
+            let region = if spec.include_subclasses {
+                self.encoding
+                    .subtree_range(step.class)
+                    .ok_or_else(|| Error::BadSpec("class has no code".into()))?
+            } else {
+                let code = self
+                    .encoding
+                    .code(step.class)
+                    .ok_or_else(|| Error::BadSpec("class has no code".into()))?
+                    .as_bytes()
+                    .to_vec();
+                let mut hi = code.clone();
+                hi.push(0x00);
+                (code, hi)
+            };
+            let pred = q.preds.iter().find(|(p, _)| *p == i).map(|(_, p)| p);
+            let (class_ranges, oids, required) = match pred {
+                None => (vec![region.clone()], OidSel::Any, false),
+                Some(p) => {
+                    let mut ranges = Vec::new();
+                    self.resolve_class_sel(&p.class, &region, &mut ranges)?;
+                    ranges.sort();
+                    ranges.dedup();
+                    let mut merged: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+                    for r in ranges {
+                        // Clamp to the position region.
+                        let lo = r.0.max(region.0.clone());
+                        let hi = r.1.min(region.1.clone());
+                        if lo >= hi {
+                            continue;
+                        }
+                        match merged.last_mut() {
+                            Some(last) if lo <= last.1 => {
+                                if hi > last.1 {
+                                    last.1 = hi;
+                                }
+                            }
+                            _ => merged.push((lo, hi)),
+                        }
+                    }
+                    if merged.is_empty() {
+                        return Err(Error::BadQuery(format!(
+                            "class selector at position {i} selects nothing in this index"
+                        )));
+                    }
+                    let required = !p.class.is_any() || !p.oid.is_any();
+                    (merged, p.oid.clone(), required)
+                }
+            };
+            positions.push(PosConstraint {
+                region,
+                class_ranges,
+                oids,
+                required,
+            });
+        }
+        for (p, _) in &q.preds {
+            if *p >= spec.positions.len() {
+                return Err(Error::BadQuery(format!(
+                    "predicate on position {p}, index has {}",
+                    spec.positions.len()
+                )));
+            }
+        }
+        Ok(Matcher {
+            index_id: q.index,
+            value_ranges,
+            positions,
+        })
+    }
+
+    /// Run a query, returning hits and the scan cost counters.
+    pub fn query(&mut self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
+        let matcher = self.matcher(q)?;
+        scan::execute(&mut self.tree, &matcher, q.algorithm, q.distinct_upto)
+    }
+
+    /// Verify the underlying B-tree and return its shape statistics.
+    pub fn verify(&mut self) -> Result<TreeStats> {
+        Ok(self.tree.verify()?)
+    }
+}

@@ -1,0 +1,234 @@
+//! Composite index-key encoding.
+//!
+//! ```text
+//! key := index_id(u16 BE) ++ value_enc ++ 0x00 ++ elem*
+//! elem := class_code_bytes ++ 0x00 ++ oid(u32 BE)
+//! ```
+//!
+//! * `value_enc` is [`Value::encode_ordered`] (self-delimiting);
+//! * class-code bytes never contain `0x00`, so the `0x00` after the code is
+//!   an unambiguous terminator;
+//! * OIDs are fixed-width, so no separator is needed before the next code;
+//! * elements appear in ascending class-code order (guaranteed by the spec
+//!   validation), giving the paper's clustering.
+
+use objstore::{Oid, Value};
+
+use crate::error::{Error, Result};
+
+/// Separator written after the value and after each class code.
+pub const FIELD_SEP: u8 = 0x00;
+
+/// One path element of an entry: the object's class code and its OID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathElem {
+    /// The byte encoding of the object's class code.
+    pub code: Vec<u8>,
+    /// The object.
+    pub oid: Oid,
+}
+
+/// A decoded index entry key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntryKey {
+    /// Which index this entry belongs to.
+    pub index_id: u16,
+    /// The indexed attribute value.
+    pub value: Value,
+    /// Path elements in ascending class-code order; a class-hierarchy entry
+    /// has exactly one.
+    pub path: Vec<PathElem>,
+}
+
+impl EntryKey {
+    /// Serialize to the B-tree key bytes.
+    ///
+    /// Returns an error for non-indexable (reference) values.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let venc = self
+            .value
+            .encode_ordered()
+            .ok_or_else(|| Error::BadKey("reference values are not indexable".into()))?;
+        let mut out = Vec::with_capacity(2 + venc.len() + 1 + self.path.len() * 12);
+        out.extend_from_slice(&self.index_id.to_be_bytes());
+        out.extend_from_slice(&venc);
+        out.push(FIELD_SEP);
+        for e in &self.path {
+            debug_assert!(!e.code.contains(&FIELD_SEP));
+            out.extend_from_slice(&e.code);
+            out.push(FIELD_SEP);
+            out.extend_from_slice(&e.oid.to_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Decode B-tree key bytes.
+    pub fn decode(bytes: &[u8]) -> Result<EntryKey> {
+        if bytes.len() < 2 {
+            return Err(Error::BadKey("key shorter than index id".into()));
+        }
+        let index_id = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let rest = &bytes[2..];
+        let (value, used) = Value::decode_ordered(rest)
+            .ok_or_else(|| Error::BadKey("undecodable value field".into()))?;
+        let mut pos = used;
+        if rest.get(pos) != Some(&FIELD_SEP) {
+            return Err(Error::BadKey("missing separator after value".into()));
+        }
+        pos += 1;
+        let mut path = Vec::new();
+        while pos < rest.len() {
+            let code_end = rest[pos..]
+                .iter()
+                .position(|&b| b == FIELD_SEP)
+                .ok_or_else(|| Error::BadKey("unterminated class code".into()))?;
+            let code = rest[pos..pos + code_end].to_vec();
+            if code.is_empty() {
+                return Err(Error::BadKey("empty class code".into()));
+            }
+            pos += code_end + 1;
+            let oid_bytes: [u8; 4] = rest
+                .get(pos..pos + 4)
+                .ok_or_else(|| Error::BadKey("truncated oid".into()))?
+                .try_into()
+                .expect("length checked");
+            pos += 4;
+            path.push(PathElem {
+                code,
+                oid: Oid::from_bytes(oid_bytes),
+            });
+        }
+        if path.is_empty() {
+            return Err(Error::BadKey("entry has no path elements".into()));
+        }
+        Ok(EntryKey {
+            index_id,
+            value,
+            path,
+        })
+    }
+
+    /// Key prefix selecting an entire index: `[index_id]`.
+    pub fn index_prefix(index_id: u16) -> Vec<u8> {
+        index_id.to_be_bytes().to_vec()
+    }
+
+    /// Key prefix selecting one value within an index:
+    /// `[index_id][value][sep]`.
+    pub fn value_prefix(index_id: u16, value: &Value) -> Result<Vec<u8>> {
+        let venc = value
+            .encode_ordered()
+            .ok_or_else(|| Error::BadKey("reference values are not indexable".into()))?;
+        let mut out = Vec::with_capacity(2 + venc.len() + 1);
+        out.extend_from_slice(&index_id.to_be_bytes());
+        out.extend_from_slice(&venc);
+        out.push(FIELD_SEP);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: Value, path: Vec<(&[u8], u32)>) -> EntryKey {
+        EntryKey {
+            index_id: 7,
+            value: v,
+            path: path
+                .into_iter()
+                .map(|(c, o)| PathElem {
+                    code: c.to_vec(),
+                    oid: Oid(o),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_position() {
+        let k = key(Value::Str("Red".into()), vec![(&[b'N', 1], 42)]);
+        let enc = k.encode().unwrap();
+        assert_eq!(EntryKey::decode(&enc).unwrap(), k);
+    }
+
+    #[test]
+    fn roundtrip_path() {
+        let k = key(
+            Value::Int(50),
+            vec![(&[b'B', 1], 3), (&[b'C', 1], 12), (&[b'E', 1, b'B', 1], 123)],
+        );
+        let enc = k.encode().unwrap();
+        assert_eq!(EntryKey::decode(&enc).unwrap(), k);
+    }
+
+    #[test]
+    fn ordering_groups_by_value_then_code_then_oid() {
+        let ks = [
+            key(Value::Int(1), vec![(&[b'B', 1], 9)]),
+            key(Value::Int(1), vec![(&[b'B', 1, b'C', 1], 1)]),
+            key(Value::Int(1), vec![(&[b'C', 1], 1)]),
+            key(Value::Int(2), vec![(&[b'B', 1], 1)]),
+        ];
+        let encs: Vec<Vec<u8>> = ks.iter().map(|k| k.encode().unwrap()).collect();
+        for w in encs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn subtree_entries_cluster() {
+        // Entries for code B and descendants B.C, B.C.D must be contiguous:
+        // between B-entries and the next sibling's entries.
+        let parent = key(Value::Int(1), vec![(&[b'B', 1], 1)]);
+        let child = key(Value::Int(1), vec![(&[b'B', 1, b'C', 1], 1)]);
+        let sibling = key(Value::Int(1), vec![(&[b'C', 1], 1)]);
+        let pe = parent.encode().unwrap();
+        let ce = child.encode().unwrap();
+        let se = sibling.encode().unwrap();
+        assert!(pe < ce && ce < se);
+    }
+
+    #[test]
+    fn different_indexes_do_not_interleave() {
+        let a = key(Value::Int(999), vec![(&[b'Z', 1], u32::MAX)]);
+        let mut b = key(Value::Int(-999), vec![(&[b'B', 1], 0)]);
+        b.index_id = 8;
+        assert!(a.encode().unwrap() < b.encode().unwrap());
+    }
+
+    #[test]
+    fn value_prefix_bounds_value_group() {
+        let p = EntryKey::value_prefix(7, &Value::Int(5)).unwrap();
+        let inside = key(Value::Int(5), vec![(&[b'B', 1], 3)]).encode().unwrap();
+        let below = key(Value::Int(4), vec![(&[b'Z', 1], 9)]).encode().unwrap();
+        let above = key(Value::Int(6), vec![(&[b'B', 1], 0)]).encode().unwrap();
+        assert!(inside.starts_with(&p));
+        assert!(below < p);
+        assert!(above > p && !above.starts_with(&p));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(EntryKey::decode(&[]).is_err());
+        assert!(EntryKey::decode(&[0, 7]).is_err());
+        assert!(EntryKey::decode(&[0, 7, 0x10, 1, 2]).is_err());
+        // Valid value but no path.
+        let p = EntryKey::value_prefix(7, &Value::Int(5)).unwrap();
+        assert!(EntryKey::decode(&p).is_err());
+        // Unterminated code.
+        let mut k = p.clone();
+        k.extend_from_slice(&[b'N', 1]);
+        assert!(EntryKey::decode(&k).is_err());
+        // Truncated oid.
+        let mut k = p;
+        k.extend_from_slice(&[b'N', 1, 0, 1, 2]);
+        assert!(EntryKey::decode(&k).is_err());
+    }
+
+    #[test]
+    fn ref_value_not_encodable() {
+        let k = key(Value::Ref(Oid(1)), vec![(&[b'B', 1], 1)]);
+        assert!(k.encode().is_err());
+    }
+}

@@ -1,0 +1,551 @@
+//! Query translation and the two retrieval algorithms (§3.4).
+//!
+//! A [`Matcher`] holds, per key field, the allowed byte ranges implied by
+//! the query: one list for the value field and, for every path position,
+//! class-code ranges plus an OID selector. Scanning then works like this:
+//!
+//! * **forward scanning** — seek to the first candidate, then step entry by
+//!   entry until the value field passes the last allowed range;
+//! * **parallel algorithm** (Algorithm 1) — same, but on a mismatch the
+//!   matcher computes the *smallest possible key* that could still match
+//!   (keep the matched prefix fields, advance the offending field to its
+//!   next allowed range — or, when exhausted, advance the previous field to
+//!   its successor) and the scan re-descends there. Pages already touched in
+//!   this query are counted once by the buffer pool, which is exactly the
+//!   paper's "scan relevant B-tree nodes only and utilize them for all
+//!   possible key values".
+
+use btree::BTree;
+use objstore::{Oid, Value};
+use pagestore::PageStore;
+
+use crate::error::{Error, Result};
+use crate::key::{EntryKey, FIELD_SEP};
+use crate::query::{OidSel, QueryHit};
+
+/// Which retrieval algorithm a query uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanAlgorithm {
+    /// The paper's Algorithm 1: skip-seek over the B-tree.
+    Parallel,
+    /// Naive forward scanning from the first relevant entry.
+    Forward,
+}
+
+/// Per-query cost counters (the numbers the paper's experiments report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Distinct pages touched (experiment 2's "page reads"; also experiment
+    /// 1's "visited nodes").
+    pub pages_read: u64,
+    /// Total node visits including revisits.
+    pub node_visits: u64,
+    /// Index entries the matcher examined.
+    pub entries_examined: u64,
+    /// Entries that matched.
+    pub matches: u64,
+    /// Skip-seeks performed (0 for forward scans).
+    pub seeks: u64,
+}
+
+/// Constraints for one path position.
+#[derive(Debug, Clone)]
+pub(crate) struct PosConstraint {
+    /// Full code region this position covers (for attributing entry
+    /// elements to positions).
+    pub region: (Vec<u8>, Vec<u8>),
+    /// Allowed code ranges (subset of `region`), sorted and disjoint.
+    pub class_ranges: Vec<(Vec<u8>, Vec<u8>)>,
+    /// OID restriction.
+    pub oids: OidSel,
+    /// Whether an entry must include this position to match.
+    pub required: bool,
+}
+
+/// A translated query.
+#[derive(Debug, Clone)]
+pub(crate) struct Matcher {
+    pub index_id: u16,
+    /// Allowed `[lo, hi)` ranges on the raw value-field bytes, sorted and
+    /// disjoint.
+    pub value_ranges: Vec<(Vec<u8>, Vec<u8>)>,
+    pub positions: Vec<PosConstraint>,
+}
+
+/// What to do with the entry under the cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Advice {
+    /// Entry matches; `assignment[pos]` is the entry element occupying each
+    /// spec position.
+    Match(Vec<Option<usize>>),
+    /// Entry cannot match but the next entry might (no useful skip target).
+    Step,
+    /// No entry below this key can match; seek to it.
+    SkipTo(Vec<u8>),
+    /// No further entry can match.
+    Done,
+}
+
+enum RangePos<'a> {
+    Within,
+    Below(&'a [u8]),
+    Above,
+}
+
+fn range_position<'a>(field: &[u8], ranges: &'a [(Vec<u8>, Vec<u8>)]) -> RangePos<'a> {
+    let idx = ranges.partition_point(|r| r.1.as_slice() <= field);
+    if idx == ranges.len() {
+        RangePos::Above
+    } else if field >= ranges[idx].0.as_slice() {
+        RangePos::Within
+    } else {
+        RangePos::Below(&ranges[idx].0)
+    }
+}
+
+struct ElemOffsets {
+    /// Offset of the code's first byte within the key.
+    start: usize,
+    /// Offset of the separator byte after the code.
+    sep: usize,
+    /// Offset of the OID's first byte.
+    oid_start: usize,
+}
+
+/// Parse a key into (value-separator offset, element offsets).
+fn parse_offsets(key: &[u8]) -> Result<(usize, Vec<ElemOffsets>)> {
+    if key.len() < 2 {
+        return Err(Error::BadKey("key shorter than index id".into()));
+    }
+    let rest = &key[2..];
+    let (_, vlen) = Value::decode_ordered(rest)
+        .ok_or_else(|| Error::BadKey("undecodable value field".into()))?;
+    let val_sep = 2 + vlen;
+    if key.get(val_sep) != Some(&FIELD_SEP) {
+        return Err(Error::BadKey("missing separator after value".into()));
+    }
+    let mut offset = val_sep + 1;
+    let mut elems = Vec::new();
+    while offset < key.len() {
+        let code_len = key[offset..]
+            .iter()
+            .position(|&b| b == FIELD_SEP)
+            .ok_or_else(|| Error::BadKey("unterminated class code".into()))?;
+        let sep = offset + code_len;
+        let oid_start = sep + 1;
+        if oid_start + 4 > key.len() || code_len == 0 {
+            return Err(Error::BadKey("truncated element".into()));
+        }
+        elems.push(ElemOffsets {
+            start: offset,
+            sep,
+            oid_start,
+        });
+        offset = oid_start + 4;
+    }
+    Ok((val_sep, elems))
+}
+
+impl Matcher {
+    /// The first key that could possibly match.
+    pub fn initial_seek(&self) -> Vec<u8> {
+        let mut t = self.index_id.to_be_bytes().to_vec();
+        if let Some((lo, _)) = self.value_ranges.first() {
+            t.extend_from_slice(lo);
+        }
+        t
+    }
+
+    /// Smallest key strictly greater than `key` in the field *before* the
+    /// element starting at `elem_idx` (or before the first element, i.e.
+    /// the value field, when `elem_idx == 0`).
+    fn bump_before(&self, key: &[u8], val_sep: usize, elems: &[ElemOffsets], elem_idx: usize) -> Advice {
+        if elem_idx == 0 {
+            // Successor of the value field: the 0x00 separator after the
+            // value becomes 0x01, stepping past every key with this value.
+            let mut t = key[..val_sep].to_vec();
+            t.push(0x01);
+            return Advice::SkipTo(t);
+        }
+        let prev = &elems[elem_idx - 1];
+        let oid = u32::from_be_bytes(key[prev.oid_start..prev.oid_start + 4].try_into().unwrap());
+        match oid.checked_add(1) {
+            Some(next) => {
+                let mut t = key[..prev.oid_start].to_vec();
+                t.extend_from_slice(&next.to_be_bytes());
+                Advice::SkipTo(t)
+            }
+            None => self.bump_code(key, prev),
+        }
+    }
+
+    /// Smallest key whose code field at `elem` is strictly greater than the
+    /// current code (covers both later siblings and descendants).
+    fn bump_code(&self, key: &[u8], elem: &ElemOffsets) -> Advice {
+        let mut t = key[..elem.sep].to_vec();
+        t.push(0x01);
+        Advice::SkipTo(t)
+    }
+
+    /// Evaluate `key`.
+    pub fn advise(&self, key: &[u8]) -> Result<Advice> {
+        let myid = self.index_id.to_be_bytes();
+        match key.get(..2) {
+            None => return Err(Error::BadKey("key shorter than index id".into())),
+            Some(kid) if kid < &myid[..] => return Ok(Advice::SkipTo(myid.to_vec())),
+            Some(kid) if kid > &myid[..] => return Ok(Advice::Done),
+            _ => {}
+        }
+        let (val_sep, elems) = parse_offsets(key)?;
+        let vfield = &key[2..val_sep];
+        match range_position(vfield, &self.value_ranges) {
+            RangePos::Within => {}
+            RangePos::Below(lo) => {
+                let mut t = myid.to_vec();
+                t.extend_from_slice(lo);
+                return Ok(Advice::SkipTo(t));
+            }
+            RangePos::Above => return Ok(Advice::Done),
+        }
+        let mut assignment = vec![None; self.positions.len()];
+        let mut pos_idx = 0;
+        for (ei, elem) in elems.iter().enumerate() {
+            let code = &key[elem.start..elem.sep];
+            // Attribute this element to the next position whose region
+            // contains its code.
+            loop {
+                if pos_idx >= self.positions.len() {
+                    return Ok(Advice::Step); // element beyond all positions
+                }
+                let pc = &self.positions[pos_idx];
+                if code < pc.region.0.as_slice() {
+                    return Ok(Advice::Step); // code in a region gap
+                }
+                if code < pc.region.1.as_slice() {
+                    break; // attributed to pos_idx
+                }
+                // Entry skipped past this position entirely.
+                if pc.required {
+                    // Keys are grouped by earlier fields; within this group
+                    // every later entry jumps past the position too.
+                    return Ok(self.bump_before(key, val_sep, &elems, ei));
+                }
+                pos_idx += 1;
+            }
+            let pc = &self.positions[pos_idx];
+            match range_position(code, &pc.class_ranges) {
+                RangePos::Within => {}
+                RangePos::Below(lo) => {
+                    let mut t = key[..elem.start].to_vec();
+                    t.extend_from_slice(lo);
+                    return Ok(Advice::SkipTo(t));
+                }
+                RangePos::Above => {
+                    return Ok(self.bump_before(key, val_sep, &elems, ei));
+                }
+            }
+            let oid_bytes: [u8; 4] = key[elem.oid_start..elem.oid_start + 4]
+                .try_into()
+                .expect("parsed");
+            match &pc.oids {
+                OidSel::Any => {}
+                OidSel::Is(o) => {
+                    let want = o.to_bytes();
+                    if oid_bytes < want {
+                        let mut t = key[..elem.oid_start].to_vec();
+                        t.extend_from_slice(&want);
+                        return Ok(Advice::SkipTo(t));
+                    } else if oid_bytes > want {
+                        return Ok(self.bump_code(key, elem));
+                    }
+                }
+                OidSel::In(set) => {
+                    let cur = Oid::from_bytes(oid_bytes);
+                    match set.range(cur..).next() {
+                        Some(&o) if o == cur => {}
+                        Some(&o) => {
+                            let mut t = key[..elem.oid_start].to_vec();
+                            t.extend_from_slice(&o.to_bytes());
+                            return Ok(Advice::SkipTo(t));
+                        }
+                        None => return Ok(self.bump_code(key, elem)),
+                    }
+                }
+            }
+            assignment[pos_idx] = Some(ei);
+            pos_idx += 1;
+        }
+        // Positions after the last element: a longer key sharing this whole
+        // key as prefix may still include them, so only Step on a miss.
+        if self.positions[pos_idx..].iter().any(|p| p.required) {
+            return Ok(Advice::Step);
+        }
+        Ok(Advice::Match(assignment))
+    }
+
+    /// After a match, the target that skips the rest of the combination
+    /// fixed through element `elem_idx` (for `distinct_through`).
+    pub fn skip_past_match(&self, key: &[u8], elem_idx: usize) -> Result<Option<Vec<u8>>> {
+        let (_, elems) = parse_offsets(key)?;
+        let Some(elem) = elems.get(elem_idx) else {
+            return Ok(None);
+        };
+        let oid = u32::from_be_bytes(key[elem.oid_start..elem.oid_start + 4].try_into().unwrap());
+        Ok(Some(match oid.checked_add(1) {
+            Some(next) => {
+                let mut t = key[..elem.oid_start].to_vec();
+                t.extend_from_slice(&next.to_be_bytes());
+                t
+            }
+            None => {
+                let mut t = key[..elem.sep].to_vec();
+                t.push(0x01);
+                t
+            }
+        }))
+    }
+}
+
+/// Run a translated query against the shared B-tree.
+pub(crate) fn execute<S: PageStore>(
+    tree: &mut BTree<S>,
+    matcher: &Matcher,
+    algorithm: ScanAlgorithm,
+    distinct_upto: Option<usize>,
+) -> Result<(Vec<QueryHit>, ScanStats)> {
+    tree.pool_mut().begin_query();
+    let mut stats = ScanStats::default();
+    let mut hits = Vec::new();
+    let mut cur = tree.seek(&matcher.initial_seek())?;
+    while let Some((k, _)) = tree.cursor_entry(&mut cur)? {
+        stats.entries_examined += 1;
+        match matcher.advise(&k)? {
+            Advice::Match(assignment) => {
+                stats.matches += 1;
+                let skip = match distinct_upto {
+                    Some(pos) => match assignment.get(pos).copied().flatten() {
+                        Some(ei) => matcher.skip_past_match(&k, ei)?,
+                        None => None,
+                    },
+                    None => None,
+                };
+                hits.push(QueryHit {
+                    key: EntryKey::decode(&k)?,
+                    assignment,
+                });
+                match skip {
+                    Some(t) if algorithm == ScanAlgorithm::Parallel && t.as_slice() > k.as_slice() => {
+                        stats.seeks += 1;
+                        cur = tree.seek(&t)?;
+                    }
+                    _ => tree.cursor_advance(&mut cur),
+                }
+            }
+            Advice::Step => tree.cursor_advance(&mut cur),
+            Advice::SkipTo(t) => {
+                debug_assert!(t.as_slice() > k.as_slice(), "skip target must advance");
+                if algorithm == ScanAlgorithm::Parallel && t.as_slice() > k.as_slice() {
+                    stats.seeks += 1;
+                    cur = tree.seek(&t)?;
+                } else {
+                    tree.cursor_advance(&mut cur);
+                }
+            }
+            Advice::Done => break,
+        }
+    }
+    let q = tree.pool().query_stats();
+    stats.pages_read = q.distinct_pages;
+    stats.node_visits = q.node_visits;
+    Ok((hits, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::PathElem;
+
+    fn enc(v: i64, path: &[(&[u8], u32)]) -> Vec<u8> {
+        EntryKey {
+            index_id: 1,
+            value: Value::Int(v),
+            path: path
+                .iter()
+                .map(|(c, o)| PathElem {
+                    code: c.to_vec(),
+                    oid: Oid(*o),
+                })
+                .collect(),
+        }
+        .encode()
+        .unwrap()
+    }
+
+    fn int_point(v: i64) -> (Vec<u8>, Vec<u8>) {
+        let e = Value::Int(v).encode_ordered().unwrap();
+        let mut hi = e.clone();
+        hi.push(0x00);
+        (e, hi)
+    }
+
+    /// One position over code region [B, C) with no constraints.
+    fn matcher_one_pos(required: bool) -> Matcher {
+        Matcher {
+            index_id: 1,
+            value_ranges: vec![int_point(5)],
+            positions: vec![PosConstraint {
+                region: (vec![b'B', 1], vec![b'B', 2]),
+                class_ranges: vec![(vec![b'B', 1], vec![b'B', 2])],
+                oids: OidSel::Any,
+                required,
+            }],
+        }
+    }
+
+    #[test]
+    fn match_and_done() {
+        let m = matcher_one_pos(false);
+        let k = enc(5, &[(&[b'B', 1], 7)]);
+        assert_eq!(m.advise(&k).unwrap(), Advice::Match(vec![Some(0)]));
+        // Value above the only allowed range: done.
+        let k = enc(6, &[(&[b'B', 1], 7)]);
+        assert_eq!(m.advise(&k).unwrap(), Advice::Done);
+        // Other index id after ours: done.
+        let mut k = enc(5, &[(&[b'B', 1], 7)]);
+        k[1] = 2;
+        assert_eq!(m.advise(&k).unwrap(), Advice::Done);
+    }
+
+    #[test]
+    fn skip_below_value() {
+        let m = matcher_one_pos(false);
+        let k = enc(3, &[(&[b'B', 1], 7)]);
+        match m.advise(&k).unwrap() {
+            Advice::SkipTo(t) => {
+                assert!(t.as_slice() > k.as_slice());
+                // Target is id ++ enc(5).
+                let mut want = 1u16.to_be_bytes().to_vec();
+                want.extend(Value::Int(5).encode_ordered().unwrap());
+                assert_eq!(t, want);
+            }
+            a => panic!("expected SkipTo, got {a:?}"),
+        }
+    }
+
+    #[test]
+    fn oid_is_constraint_skips() {
+        let mut m = matcher_one_pos(true);
+        m.positions[0].oids = OidSel::Is(Oid(10));
+        // Below the wanted oid: skip directly to it.
+        let k = enc(5, &[(&[b'B', 1], 3)]);
+        match m.advise(&k).unwrap() {
+            Advice::SkipTo(t) => {
+                assert!(t.as_slice() > k.as_slice());
+                assert!(t.ends_with(&Oid(10).to_bytes()));
+            }
+            a => panic!("{a:?}"),
+        }
+        // Exact hit.
+        let k = enc(5, &[(&[b'B', 1], 10)]);
+        assert!(matches!(m.advise(&k).unwrap(), Advice::Match(_)));
+        // Past it: bump the code field.
+        let k = enc(5, &[(&[b'B', 1], 11)]);
+        match m.advise(&k).unwrap() {
+            Advice::SkipTo(t) => assert!(t.as_slice() > k.as_slice()),
+            a => panic!("{a:?}"),
+        }
+    }
+
+    #[test]
+    fn class_range_below_skips_to_range() {
+        let mut m = matcher_one_pos(true);
+        // Only sub-tree [B.C, B.D) allowed.
+        m.positions[0].class_ranges = vec![(vec![b'B', 1, b'C', 1], vec![b'B', 1, b'C', 2])];
+        let k = enc(5, &[(&[b'B', 1], 3)]);
+        match m.advise(&k).unwrap() {
+            Advice::SkipTo(t) => assert!(t.as_slice() > k.as_slice()),
+            a => panic!("{a:?}"),
+        }
+        let k = enc(5, &[(&[b'B', 1, b'C', 1], 3)]);
+        assert!(matches!(m.advise(&k).unwrap(), Advice::Match(_)));
+        // Above the allowed range, inside region: bump value.
+        let k = enc(5, &[(&[b'B', 1, b'D', 1], 3)]);
+        match m.advise(&k).unwrap() {
+            Advice::SkipTo(t) => assert!(t.as_slice() > k.as_slice()),
+            a => panic!("{a:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_position() {
+        let m = Matcher {
+            index_id: 1,
+            value_ranges: vec![int_point(5)],
+            positions: vec![
+                PosConstraint {
+                    region: (vec![b'B', 1], vec![b'B', 2]),
+                    class_ranges: vec![(vec![b'B', 1], vec![b'B', 2])],
+                    oids: OidSel::Any,
+                    required: false,
+                },
+                PosConstraint {
+                    region: (vec![b'C', 1], vec![b'C', 2]),
+                    class_ranges: vec![(vec![b'C', 1], vec![b'C', 2])],
+                    oids: OidSel::Is(Oid(5)),
+                    required: true,
+                },
+            ],
+        };
+        // Entry with only position 0: required position 1 may appear in a
+        // longer key sharing this prefix, so Step.
+        let k = enc(5, &[(&[b'B', 1], 1)]);
+        assert_eq!(m.advise(&k).unwrap(), Advice::Step);
+        // Entry with both: match.
+        let k = enc(5, &[(&[b'B', 1], 1), (&[b'C', 1], 5)]);
+        assert_eq!(
+            m.advise(&k).unwrap(),
+            Advice::Match(vec![Some(0), Some(1)])
+        );
+        // Entry jumping past position 1 (code region D): bump previous oid.
+        let m2 = Matcher {
+            positions: vec![
+                m.positions[0].clone(),
+                m.positions[1].clone(),
+                PosConstraint {
+                    region: (vec![b'D', 1], vec![b'D', 2]),
+                    class_ranges: vec![(vec![b'D', 1], vec![b'D', 2])],
+                    oids: OidSel::Any,
+                    required: false,
+                },
+            ],
+            ..m.clone()
+        };
+        let k = enc(5, &[(&[b'B', 1], 1), (&[b'D', 1], 9)]);
+        match m2.advise(&k).unwrap() {
+            Advice::SkipTo(t) => {
+                assert!(t.as_slice() > k.as_slice());
+                // Skips to oid 2 at position 0.
+                assert!(t.ends_with(&Oid(2).to_bytes()));
+            }
+            a => panic!("{a:?}"),
+        }
+    }
+
+    #[test]
+    fn value_any_matches_everything_in_index() {
+        let m = Matcher {
+            index_id: 1,
+            value_ranges: vec![(vec![], vec![0xFF])],
+            positions: vec![PosConstraint {
+                region: (vec![b'B', 1], vec![b'B', 2]),
+                class_ranges: vec![(vec![b'B', 1], vec![b'B', 2])],
+                oids: OidSel::Any,
+                required: false,
+            }],
+        };
+        for v in [-100, 0, 9999] {
+            let k = enc(v, &[(&[b'B', 1], 1)]);
+            assert!(matches!(m.advise(&k).unwrap(), Advice::Match(_)));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Whole-database persistence: save to a directory, reopen, query.
+
+use objstore::Value;
+use schema::{AttrType, Schema};
+use uindex::{distinct_oids_at, ClassSel, Database, IndexSpec, Query, ValuePred};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("uindex_db_{}_{}", std::process::id(), name));
+    p
+}
+
+#[test]
+fn save_open_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let (vehicle_names, red_count) = {
+        let mut s = Schema::new();
+        let employee = s.add_class("Employee").unwrap();
+        s.add_attr(employee, "Age", AttrType::Int).unwrap();
+        let company = s.add_class("Company").unwrap();
+        s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+        let vehicle = s.add_class("Vehicle").unwrap();
+        s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+        let auto = s.add_subclass("Automobile", vehicle).unwrap();
+
+        let mut db = Database::in_memory(s).unwrap();
+        db.define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
+            .unwrap();
+        db.define_index(IndexSpec::path("age", vehicle, &["MadeBy", "President"], "Age"))
+            .unwrap();
+        let e = db.create_object(employee).unwrap();
+        db.set_attr(e, "Age", Value::Int(55)).unwrap();
+        let c = db.create_object(company).unwrap();
+        db.set_attr(c, "President", Value::Ref(e)).unwrap();
+        let mut red = 0;
+        for i in 0..200 {
+            let class = if i % 2 == 0 { vehicle } else { auto };
+            let v = db.create_object(class).unwrap();
+            let color = if i % 3 == 0 { "Red" } else { "Blue" };
+            if color == "Red" {
+                red += 1;
+            }
+            db.set_attr(v, "Color", Value::Str(color.into())).unwrap();
+            db.set_attr(v, "MadeBy", Value::Ref(c)).unwrap();
+        }
+        db.save(&dir).unwrap();
+        (
+            ["color", "age"].map(String::from),
+            red,
+        )
+    };
+
+    let mut db = Database::open(&dir).unwrap();
+    // Indexes rebuilt under their original names and ids.
+    for (i, name) in vehicle_names.iter().enumerate() {
+        assert_eq!(db.index().index_by_name(name), Some(i as u16));
+    }
+    let vehicle = db.schema().class_by_name("Vehicle").unwrap();
+    let auto = db.schema().class_by_name("Automobile").unwrap();
+    let hits = db
+        .query(&Query::on(0).value(ValuePred::eq(Value::Str("Red".into()))))
+        .unwrap();
+    assert_eq!(hits.len(), red_count);
+    let hits = db
+        .query(
+            &Query::on(0)
+                .value(ValuePred::eq(Value::Str("Red".into())))
+                .class_at(0, ClassSel::Exact(auto)),
+        )
+        .unwrap();
+    assert!(!hits.is_empty() && hits.len() < red_count);
+    // The path index works end to end after reload.
+    let hits = db
+        .query(
+            &Query::on(1)
+                .value(ValuePred::at_least(Value::Int(50)))
+                .class_at(2, ClassSel::SubTree(vehicle)),
+        )
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 2).len(), 200);
+    // And stays maintained under new mutations.
+    let v = db.create_object(vehicle).unwrap();
+    db.set_attr(v, "Color", Value::Str("Red".into())).unwrap();
+    let hits = db
+        .query(&Query::on(0).value(ValuePred::eq(Value::Str("Red".into()))))
+        .unwrap();
+    assert_eq!(hits.len(), red_count + 1);
+    db.index_mut().verify().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_missing_or_corrupt_fails() {
+    let dir = tmpdir("corrupt");
+    assert!(Database::open(&dir).is_err());
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("objects.bin"), b"garbage").unwrap();
+    std::fs::write(dir.join("specs.bin"), b"garbage").unwrap();
+    assert!(Database::open(&dir).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

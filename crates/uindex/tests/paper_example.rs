@@ -1,0 +1,571 @@
+//! Integration tests mirroring the paper's running example (§3.2, Example 1)
+//! and the sample queries of §3.3.
+
+use objstore::{Oid, Value};
+use schema::{AttrType, ClassId, Schema};
+use uindex::{
+    distinct_oids_at, ClassSel, Database, IndexSpec, OidSel, Query, ValuePred,
+};
+
+/// The schema of the paper's Figure 1 (relevant part) and the instance
+/// database of Example 1.
+struct PaperDb {
+    db: Database,
+    // classes
+    vehicle: ClassId,
+    automobile: ClassId,
+    compact: ClassId,
+    company: ClassId,
+    auto_company: ClassId,
+    japanese_company: ClassId,
+    employee: ClassId,
+    // objects
+    v: Vec<Oid>,  // v[1..=6]
+    c: Vec<Oid>,  // c[1..=3]
+    e: Vec<Oid>,  // e[1..=3]
+}
+
+fn paper_db() -> PaperDb {
+    let mut s = Schema::new();
+    let employee = s.add_class("Employee").unwrap();
+    s.add_attr(employee, "Age", AttrType::Int).unwrap();
+    let company = s.add_class("Company").unwrap();
+    s.add_attr(company, "Name", AttrType::Str).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    let auto_company = s.add_subclass("AutoCompany", company).unwrap();
+    let japanese_company = s.add_subclass("JapaneseAutoCompany", auto_company).unwrap();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Name", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    let automobile = s.add_subclass("Automobile", vehicle).unwrap();
+    let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
+
+    let mut db = Database::in_memory(s).unwrap();
+
+    // Employees: e1 age 50, e2 age 60, e3 age 45.
+    let mut e = vec![Oid(0)];
+    for age in [50i64, 60, 45] {
+        let o = db.create_object(employee).unwrap();
+        db.set_attr(o, "Age", Value::Int(age)).unwrap();
+        e.push(o);
+    }
+    // Companies: c1 Subaru (japanese, president e3), c2 Fiat (auto, e1),
+    // c3 Renault (auto, e2).
+    let mut c = vec![Oid(0)];
+    for (class, name, pres) in [
+        (japanese_company, "Subaru", 3usize),
+        (auto_company, "Fiat", 1),
+        (auto_company, "Renault", 2),
+    ] {
+        let o = db.create_object(class).unwrap();
+        db.set_attr(o, "Name", Value::Str(name.into())).unwrap();
+        db.set_attr(o, "President", Value::Ref(e[pres])).unwrap();
+        c.push(o);
+    }
+    // Vehicles of Example 1.
+    let mut v = vec![Oid(0)];
+    for (class, name, color, made_by) in [
+        (vehicle, "Legacy", "White", 1usize),
+        (automobile, "Tipo", "White", 2),
+        (automobile, "Panda", "Red", 2),
+        (compact, "R5", "Red", 3),
+        (compact, "Justy", "Blue", 1),
+        (compact, "Uno", "White", 2),
+    ] {
+        let o = db.create_object(class).unwrap();
+        db.set_attr(o, "Name", Value::Str(name.into())).unwrap();
+        db.set_attr(o, "Color", Value::Str(color.into())).unwrap();
+        db.set_attr(o, "ManufacturedBy", Value::Ref(c[made_by])).unwrap();
+        v.push(o);
+    }
+    PaperDb {
+        db,
+        vehicle,
+        automobile,
+        compact,
+        company,
+        auto_company,
+        japanese_company,
+        employee,
+        v,
+        c,
+        e,
+    }
+}
+
+fn str_eq(s: &str) -> ValuePred {
+    ValuePred::eq(Value::Str(s.into()))
+}
+
+#[test]
+fn class_hierarchy_index_queries() {
+    let mut p = paper_db();
+    let idx = p
+        .db
+        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+        .unwrap();
+
+    // Query 1: all vehicles (of all types) with red color.
+    let hits = p.db.query(&Query::on(idx).value(str_eq("Red"))).unwrap();
+    let oids = distinct_oids_at(&hits, 0);
+    assert_eq!(oids, [p.v[3], p.v[4]].into_iter().collect());
+
+    // Query 2: all automobiles (and sub-classes) with red color.
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(str_eq("Red"))
+                .class_at(0, ClassSel::SubTree(p.automobile)),
+        )
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 0), [p.v[3], p.v[4]].into_iter().collect());
+
+    // White automobiles-and-below: v2, v6 (Tipo, Uno) but not Legacy (v1,
+    // a plain Vehicle).
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(str_eq("White"))
+                .class_at(0, ClassSel::SubTree(p.automobile)),
+        )
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 0), [p.v[2], p.v[6]].into_iter().collect());
+
+    // Query 4: vehicles which are NOT compact automobiles, with red color:
+    // skip the compact sub-tree via a union of the remaining regions.
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx).value(str_eq("Red")).class_at(
+                0,
+                ClassSel::AnyOf(vec![
+                    ClassSel::Exact(p.vehicle),
+                    ClassSel::Exact(p.automobile),
+                ]),
+            ),
+        )
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 0), [p.v[3]].into_iter().collect());
+
+    // Exact-class query: plain vehicles only.
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(str_eq("White"))
+                .class_at(0, ClassSel::Exact(p.vehicle)),
+        )
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 0), [p.v[1]].into_iter().collect());
+
+    // Value scan with Any: everything indexed.
+    let hits = p.db.query(&Query::on(idx)).unwrap();
+    assert_eq!(hits.len(), 6);
+}
+
+#[test]
+fn path_index_queries() {
+    let mut p = paper_db();
+    // Index on Age of Employee over Vehicle/Company/Employee (combined:
+    // sub-classes included, like the paper's encoding discussion).
+    let idx = p
+        .db
+        .define_index(IndexSpec::path(
+            "v-age",
+            p.vehicle,
+            &["ManufacturedBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+    // Path entries: one per (employee, company, vehicle) chain.
+    // Position order: Employee(0) < Company(1) < Vehicle(2).
+
+    // Query 1 (paper): vehicles manufactured by a company whose
+    // president's age is 50. e1 presides Fiat (c2) and Subaru? No: e1
+    // presides c2 (Fiat). Fiat manufactures v2, v3, v6.
+    let hits = p
+        .db
+        .query(&Query::on(idx).value(ValuePred::eq(Value::Int(50))))
+        .unwrap();
+    assert_eq!(
+        distinct_oids_at(&hits, 2),
+        [p.v[2], p.v[3], p.v[6]].into_iter().collect()
+    );
+    // The companies and presidents are also in the entries (path index).
+    assert_eq!(distinct_oids_at(&hits, 1), [p.c[2]].into_iter().collect());
+    assert_eq!(distinct_oids_at(&hits, 0), [p.e[1]].into_iter().collect());
+
+    // Query 2 variant: same, for a particular company (Fiat) by OID.
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(ValuePred::eq(Value::Int(50)))
+                .oid_at(1, OidSel::Is(p.c[2])),
+        )
+        .unwrap();
+    assert_eq!(hits.len(), 3);
+
+    // Query 3 (paper): restrict companies by a pre-selected set.
+    let set = [p.c[1], p.c[3]].into_iter().collect();
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(ValuePred::at_least(Value::Int(0)))
+                .oid_at(1, OidSel::In(set)),
+        )
+        .unwrap();
+    // c1 (Subaru, president e3 age 45) makes v1, v5; c3 (Renault, e2 age
+    // 60) makes v4.
+    assert_eq!(
+        distinct_oids_at(&hits, 2),
+        [p.v[1], p.v[5], p.v[4]].into_iter().collect()
+    );
+
+    // Query 4 (paper): all companies whose president's age is 50 — answered
+    // from the same index, deduplicating through the company position.
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(ValuePred::eq(Value::Int(50)))
+                .distinct_through(1),
+        )
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 1), [p.c[2]].into_iter().collect());
+    assert_eq!(hits.len(), 1, "distinct_through skips the other vehicles");
+
+    // Range query: age above 50 → e2 (60) presides Renault → v4.
+    let hits = p
+        .db
+        .query(&Query::on(idx).value(ValuePred::at_least(Value::Int(51))))
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 2), [p.v[4]].into_iter().collect());
+}
+
+#[test]
+fn combined_index_queries() {
+    let mut p = paper_db();
+    let idx = p
+        .db
+        .define_index(IndexSpec::path(
+            "v-age",
+            p.vehicle,
+            &["ManufacturedBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+
+    // The paper's flagship query: compact automobiles manufactured by a
+    // Japanese auto company whose president's age is above 40.
+    // Subaru (japanese) president e3 is 45; Subaru makes v1 (Vehicle) and
+    // v5 (Compact). Only v5 qualifies.
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(ValuePred::at_least(Value::Int(41)))
+                .class_at(1, ClassSel::SubTree(p.japanese_company))
+                .class_at(2, ClassSel::SubTree(p.compact)),
+        )
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 2), [p.v[5]].into_iter().collect());
+
+    // Automobiles (and below) made by any auto company with president age
+    // exactly 50: Fiat is an AutoCompany; its automobiles v2, v3, v6.
+    let hits = p
+        .db
+        .query(
+            &Query::on(idx)
+                .value(ValuePred::eq(Value::Int(50)))
+                .class_at(1, ClassSel::SubTree(p.auto_company))
+                .class_at(2, ClassSel::SubTree(p.automobile)),
+        )
+        .unwrap();
+    assert_eq!(
+        distinct_oids_at(&hits, 2),
+        [p.v[2], p.v[3], p.v[6]].into_iter().collect()
+    );
+}
+
+#[test]
+fn parallel_and_forward_agree() {
+    let mut p = paper_db();
+    let ch = p
+        .db
+        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+        .unwrap();
+    let path = p
+        .db
+        .define_index(IndexSpec::path(
+            "v-age",
+            p.vehicle,
+            &["ManufacturedBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+
+    let queries = vec![
+        Query::on(ch).value(str_eq("Red")),
+        Query::on(ch)
+            .value(ValuePred::In(vec![
+                Value::Str("Red".into()),
+                Value::Str("Blue".into()),
+            ]))
+            .class_at(0, ClassSel::SubTree(p.automobile)),
+        Query::on(ch).value(ValuePred::between(
+            Value::Str("Blue".into()),
+            Value::Str("Red".into()),
+        )),
+        Query::on(path)
+            .value(ValuePred::at_least(Value::Int(45)))
+            .class_at(1, ClassSel::SubTree(p.auto_company)),
+        Query::on(path).oid_at(1, OidSel::Is(p.c[2])),
+        Query::on(path)
+            .value(ValuePred::eq(Value::Int(45)))
+            .class_at(2, ClassSel::Exact(p.compact)),
+    ];
+    for q in queries {
+        let (par_hits, par_stats) = p.db.query_with_stats(&q).unwrap();
+        let (fwd_hits, fwd_stats) = p.db.query_with_stats(&q.clone().forward_scan()).unwrap();
+        assert_eq!(par_hits, fwd_hits, "query {q:?}");
+        assert!(
+            par_stats.pages_read <= fwd_stats.pages_read,
+            "parallel read more pages than forward for {q:?}"
+        );
+    }
+}
+
+#[test]
+fn maintenance_president_switches_company() {
+    // The paper's §3.5/§4.2 update example: a company replaces its
+    // president; all clustered path entries must move.
+    let mut p = paper_db();
+    let idx = p
+        .db
+        .define_index(IndexSpec::path(
+            "v-age",
+            p.vehicle,
+            &["ManufacturedBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+
+    // Initially age-50 (e1, Fiat) covers v2, v3, v6.
+    let q50 = Query::on(idx).value(ValuePred::eq(Value::Int(50)));
+    assert_eq!(p.db.query(&q50).unwrap().len(), 3);
+
+    // Fiat replaces its president with e3 (age 45).
+    p.db.set_attr(p.c[2], "President", Value::Ref(p.e[3])).unwrap();
+    assert_eq!(p.db.query(&q50).unwrap().len(), 0);
+    let hits = p
+        .db
+        .query(&Query::on(idx).value(ValuePred::eq(Value::Int(45))))
+        .unwrap();
+    // e3 now presides Subaru AND Fiat: vehicles v1, v5 (Subaru) + v2, v3,
+    // v6 (Fiat).
+    assert_eq!(distinct_oids_at(&hits, 2).len(), 5);
+    p.db.index_mut().verify().unwrap();
+}
+
+#[test]
+fn maintenance_attr_update_and_delete() {
+    let mut p = paper_db();
+    let ch = p
+        .db
+        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+        .unwrap();
+    let path = p
+        .db
+        .define_index(IndexSpec::path(
+            "v-age",
+            p.vehicle,
+            &["ManufacturedBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+
+    // Repaint v3 red → green.
+    p.db.set_attr(p.v[3], "Color", Value::Str("Green".into())).unwrap();
+    let red = p.db.query(&Query::on(ch).value(str_eq("Red"))).unwrap();
+    assert_eq!(distinct_oids_at(&red, 0), [p.v[4]].into_iter().collect());
+    let green = p.db.query(&Query::on(ch).value(str_eq("Green"))).unwrap();
+    assert_eq!(distinct_oids_at(&green, 0), [p.v[3]].into_iter().collect());
+
+    // Age update on an employee ripples through path entries.
+    p.db.set_attr(p.e[1], "Age", Value::Int(51)).unwrap();
+    assert!(p
+        .db
+        .query(&Query::on(path).value(ValuePred::eq(Value::Int(50))))
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        p.db.query(&Query::on(path).value(ValuePred::eq(Value::Int(51))))
+            .unwrap()
+            .len(),
+        3
+    );
+
+    // Deleting a vehicle removes its entries from both indexes.
+    p.db.delete_object(p.v[4], false).unwrap();
+    assert!(p.db.query(&Query::on(ch).value(str_eq("Red"))).unwrap().is_empty());
+    let hits = p
+        .db
+        .query(&Query::on(path).value(ValuePred::eq(Value::Int(60))))
+        .unwrap();
+    assert!(hits.is_empty(), "v4 was Renault's only vehicle");
+
+    // Force-deleting a company drops the whole clustered group.
+    p.db.delete_object(p.c[2], true).unwrap();
+    let all = p.db.query(&Query::on(path)).unwrap();
+    // Remaining chains: Subaru (e3) → v1, v5.
+    assert_eq!(distinct_oids_at(&all, 2), [p.v[1], p.v[5]].into_iter().collect());
+    p.db.index_mut().verify().unwrap();
+}
+
+#[test]
+fn multi_path_index_shares_prefix() {
+    // §3.3 "Multiple Paths": divisions AND vehicles of companies whose
+    // president's age is 50, one index, entries clustered.
+    let mut s = Schema::new();
+    let employee = s.add_class("Employee").unwrap();
+    s.add_attr(employee, "Age", AttrType::Int).unwrap();
+    let company = s.add_class("Company").unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    let division = s.add_class("Division").unwrap();
+    s.add_attr(division, "Belong", AttrType::Ref(company)).unwrap();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+
+    let mut db = Database::in_memory(s).unwrap();
+    let spec_v = IndexSpec::path("ages", vehicle, &["MadeBy", "President"], "Age")
+        .build(db.schema())
+        .unwrap();
+    let spec_d = IndexSpec::path("ages-d", division, &["Belong", "President"], "Age")
+        .build(db.schema())
+        .unwrap();
+    let merged = spec_v.merge(&spec_d).unwrap();
+    assert_eq!(merged.positions.len(), 4); // E, C shared; D and V branch.
+    let idx = db.define_index_spec(merged).unwrap();
+
+    let e = db.create_object(employee).unwrap();
+    db.set_attr(e, "Age", Value::Int(50)).unwrap();
+    let c = db.create_object(company).unwrap();
+    db.set_attr(c, "President", Value::Ref(e)).unwrap();
+    let d1 = db.create_object(division).unwrap();
+    db.set_attr(d1, "Belong", Value::Ref(c)).unwrap();
+    let v1 = db.create_object(vehicle).unwrap();
+    db.set_attr(v1, "MadeBy", Value::Ref(c)).unwrap();
+    let v2 = db.create_object(vehicle).unwrap();
+    db.set_attr(v2, "MadeBy", Value::Ref(c)).unwrap();
+
+    // Spec positions sorted by code: E(0) < C(1) < D(2) < V(3).
+    let hits = db
+        .query(&Query::on(idx).value(ValuePred::eq(Value::Int(50))))
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 2), [d1].into_iter().collect());
+    assert_eq!(distinct_oids_at(&hits, 3), [v1, v2].into_iter().collect());
+    // Division-only query: entries for divisions are matched even though
+    // vehicle entries share the index.
+    let hits = db
+        .query(
+            &Query::on(idx)
+                .value(ValuePred::eq(Value::Int(50)))
+                .class_at(2, ClassSel::SubTree(division)),
+        )
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(distinct_oids_at(&hits, 2), [d1].into_iter().collect());
+}
+
+#[test]
+fn single_btree_hosts_all_indexes() {
+    let mut p = paper_db();
+    let ch = p
+        .db
+        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+        .unwrap();
+    let name = p
+        .db
+        .define_index(IndexSpec::class_hierarchy("name", p.vehicle, "Name"))
+        .unwrap();
+    let path = p
+        .db
+        .define_index(IndexSpec::path(
+            "v-age",
+            p.vehicle,
+            &["ManufacturedBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+    assert_eq!(p.db.index().specs().len(), 3);
+    // 6 color + 6 name + 6 path entries in ONE tree.
+    assert_eq!(p.db.index().tree().len(), 18);
+    p.db.index_mut().verify().unwrap();
+
+    // Queries stay within their own index.
+    assert_eq!(p.db.query(&Query::on(ch)).unwrap().len(), 6);
+    assert_eq!(p.db.query(&Query::on(name)).unwrap().len(), 6);
+    assert_eq!(p.db.query(&Query::on(path)).unwrap().len(), 6);
+    let hits = p
+        .db
+        .query(&Query::on(name).value(str_eq("Panda")))
+        .unwrap();
+    assert_eq!(distinct_oids_at(&hits, 0), [p.v[3]].into_iter().collect());
+}
+
+#[test]
+fn schema_information_in_index() {
+    // §4.1: the encoding lets schema facts cluster; check code properties
+    // exposed through the database.
+    let p = paper_db();
+    let enc = p.db.index().encoding();
+    let emp = enc.code(p.employee).unwrap().as_bytes().to_vec();
+    let com = enc.code(p.company).unwrap().as_bytes().to_vec();
+    let veh = enc.code(p.vehicle).unwrap().as_bytes().to_vec();
+    assert!(emp < com && com < veh);
+    assert!(enc
+        .code(p.japanese_company)
+        .unwrap()
+        .has_prefix(enc.code(p.auto_company).unwrap()));
+}
+
+#[test]
+fn exact_class_path_index() {
+    // A classic Kim/Bertino path index: listed classes only.
+    let mut p = paper_db();
+    let idx = p
+        .db
+        .define_index(
+            IndexSpec::path("v-age", p.vehicle, &["ManufacturedBy", "President"], "Age")
+                .exact_classes(),
+        )
+        .unwrap();
+    // Only chains whose objects are direct instances of the listed classes
+    // qualify: companies c2/c3 are AutoCompany (not Company) → excluded.
+    let hits = p.db.query(&Query::on(idx)).unwrap();
+    assert!(
+        hits.is_empty(),
+        "no exact-class chains exist in the example data"
+    );
+
+    // An index anchored at the exact sub-classes works.
+    let idx2 = p
+        .db
+        .define_index(
+            IndexSpec::path(
+                "v-age-2",
+                p.automobile,
+                &["ManufacturedBy", "President"],
+                "Age",
+            )
+            .exact_classes(),
+        );
+    // Automobile chain requires company to be exactly Company — still no
+    // matches, but definition itself is valid.
+    assert!(idx2.is_ok());
+}

@@ -1,0 +1,20 @@
+//! Workload and database generators for the paper's two experiments.
+//!
+//! * [`vehicle`] — Experiment 1 (Table 1): the Figure-1 schema extended
+//!   with the nine §5 classes, 12,000 randomly generated vehicles, a small
+//!   company/employee population, and the two indexes the twenty queries
+//!   run against.
+//! * [`uniform`] — Experiment 2 (Figures 5–8): 150,000 objects uniformly
+//!   distributed over an 8- or 40-class hierarchy with 100 / 1,000 /
+//!   150,000 distinct 8-byte keys, plus [`uniform::UIndexSet`], the adapter
+//!   that exposes a real U-index through the same [`baselines::SetIndex`]
+//!   interface the CG-tree implements.
+//! * [`queries`] — queried-set selection (*near* = adjacent in the class
+//!   hierarchy, *non-near* = dispersed) and range-query generation over a
+//!   fraction of the keyspace.
+//!
+//! All generators take explicit seeds; the experiments are deterministic.
+
+pub mod queries;
+pub mod uniform;
+pub mod vehicle;

@@ -1,0 +1,114 @@
+//! Query generation for experiment 2: near / non-near set selection and
+//! range queries over a fraction of the keyspace.
+
+use baselines::SetId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::uniform::key_bytes;
+
+/// `k` sets **adjacent** in the class hierarchy (a random contiguous window
+/// of set ids), sorted. This is the paper's "near" case.
+pub fn pick_near(rng: &mut StdRng, num_sets: u16, k: u16) -> Vec<SetId> {
+    assert!(k >= 1 && k <= num_sets);
+    let start = rng.gen_range(0..=(num_sets - k));
+    (start..start + k).map(SetId).collect()
+}
+
+/// `k` sets **dispersed** in the class hierarchy, sorted: no two chosen
+/// sets are adjacent when possible (the paper notes 10 of 40 can be
+/// distant, 30 of 40 cannot). Falls back to a plain random sample when
+/// `2k - 1 > num_sets`.
+pub fn pick_distant(rng: &mut StdRng, num_sets: u16, k: u16) -> Vec<SetId> {
+    assert!(k >= 1 && k <= num_sets);
+    if 2 * k > num_sets + 1 {
+        let mut all: Vec<u16> = (0..num_sets).collect();
+        all.shuffle(rng);
+        let mut picked: Vec<SetId> = all[..k as usize].iter().map(|&s| SetId(s)).collect();
+        picked.sort();
+        return picked;
+    }
+    // Choose k of the (num_sets - k + 1) "slots" and spread them: the i-th
+    // chosen slot s_i maps to set s_i + i, guaranteeing a gap of >= 2.
+    let slots = num_sets - k + 1;
+    let mut chosen: Vec<u16> = (0..slots).collect();
+    chosen.shuffle(rng);
+    let mut chosen: Vec<u16> = chosen[..k as usize].to_vec();
+    chosen.sort_unstable();
+    chosen
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| SetId(s + i as u16))
+        .collect()
+}
+
+/// A random range covering `fraction` of a keyspace of `key_space` distinct
+/// ordinals: returns `[lo, hi)` key bytes.
+pub fn pick_range(rng: &mut StdRng, key_space: u32, fraction: f64) -> (Vec<u8>, Vec<u8>) {
+    let width = ((key_space as f64 * fraction).round() as u32).max(1);
+    let start = rng.gen_range(0..=(key_space - width));
+    (key_bytes(start), key_bytes(start + width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn near_sets_are_contiguous() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let sets = pick_near(&mut rng, 40, 10);
+            assert_eq!(sets.len(), 10);
+            for w in sets.windows(2) {
+                assert_eq!(w[1].0, w[0].0 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn distant_sets_have_gaps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let sets = pick_distant(&mut rng, 40, 10);
+            assert_eq!(sets.len(), 10);
+            for w in sets.windows(2) {
+                assert!(w[1].0 >= w[0].0 + 2, "adjacent sets in distant pick");
+            }
+            assert!(sets.last().unwrap().0 < 40);
+        }
+    }
+
+    #[test]
+    fn distant_falls_back_when_impossible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sets = pick_distant(&mut rng, 40, 30);
+        assert_eq!(sets.len(), 30);
+        let mut dedup = sets.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 30, "distinct sets");
+    }
+
+    #[test]
+    fn ranges_cover_requested_fraction() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let (lo, hi) = pick_range(&mut rng, 1000, 0.10);
+            assert!(lo < hi);
+            let lo_v = u32::from_str_radix(std::str::from_utf8(&lo).unwrap(), 16).unwrap();
+            let hi_v = u32::from_str_radix(std::str::from_utf8(&hi).unwrap(), 16).unwrap();
+            assert_eq!(hi_v - lo_v, 100);
+            assert!(hi_v <= 1000);
+        }
+    }
+
+    #[test]
+    fn single_set_picks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(pick_near(&mut rng, 8, 1).len(), 1);
+        assert_eq!(pick_distant(&mut rng, 8, 1).len(), 1);
+        assert_eq!(pick_near(&mut rng, 8, 8).len(), 8);
+    }
+}

@@ -1,0 +1,274 @@
+//! Experiment 1 database: the paper's vehicle schema and 12,000 records.
+
+use btree::BTreeConfig;
+use objstore::{Oid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use schema::{AttrType, ClassId, Schema};
+use uindex::{Database, IndexId, IndexSpec, Result};
+
+/// The ten colors vehicles are painted with; queries use the first three.
+pub const COLORS: [&str; 10] = [
+    "Blue", "Bronze", "Gray", "Green", "Magenta", "Orange", "Purple", "Red", "White", "Yellow",
+];
+
+/// All class ids of the experiment schema.
+#[derive(Debug, Clone, Copy)]
+pub struct VehicleClasses {
+    /// `Employee` (ages 20–69).
+    pub employee: ClassId,
+    /// `City`.
+    pub city: ClassId,
+    /// `Company` hierarchy root.
+    pub company: ClassId,
+    /// `AutoCompany` < Company.
+    pub auto_company: ClassId,
+    /// `JapaneseAutoCompany` < AutoCompany.
+    pub japanese_auto_company: ClassId,
+    /// `TruckCompany` < Company.
+    pub truck_company: ClassId,
+    /// `Division`.
+    pub division: ClassId,
+    /// `Vehicle` hierarchy root.
+    pub vehicle: ClassId,
+    /// `Automobile` < Vehicle.
+    pub automobile: ClassId,
+    /// `CompactAutomobile` < Automobile.
+    pub compact: ClassId,
+    /// `ForeignAuto` < Automobile (§5 addition).
+    pub foreign_auto: ClassId,
+    /// `ServiceAuto` < Automobile (§5 addition).
+    pub service_auto: ClassId,
+    /// `Truck` < Vehicle.
+    pub truck: ClassId,
+    /// `HeavyTruck` < Truck (§5 addition).
+    pub heavy_truck: ClassId,
+    /// `LightTruck` < Truck (§5 addition).
+    pub light_truck: ClassId,
+    /// `Bus` < Vehicle (§5 addition).
+    pub bus: ClassId,
+    /// `MilitaryBus` < Bus (§5 addition).
+    pub military_bus: ClassId,
+    /// `TouristBus` < Bus (§5 addition).
+    pub tourist_bus: ClassId,
+    /// `PassengerBus` < Bus (§5 addition).
+    pub passenger_bus: ClassId,
+}
+
+impl VehicleClasses {
+    /// The twelve concrete vehicle classes objects are drawn from.
+    pub fn vehicle_classes(&self) -> [ClassId; 12] {
+        [
+            self.vehicle,
+            self.automobile,
+            self.compact,
+            self.foreign_auto,
+            self.service_auto,
+            self.truck,
+            self.heavy_truck,
+            self.light_truck,
+            self.bus,
+            self.military_bus,
+            self.tourist_bus,
+            self.passenger_bus,
+        ]
+    }
+}
+
+/// The generated experiment database.
+pub struct VehicleWorkload {
+    /// The database with both indexes built.
+    pub db: Database,
+    /// Class handles.
+    pub classes: VehicleClasses,
+    /// CH index on `Vehicle.Color`.
+    pub color_index: IndexId,
+    /// Combined path index `Vehicle/Company/Employee.Age`.
+    pub age_index: IndexId,
+    /// Path positions in the age index: Employee = 0, Company = 1,
+    /// Vehicle = 2 (code order).
+    pub employees: Vec<Oid>,
+    /// Generated companies.
+    pub companies: Vec<Oid>,
+    /// Generated vehicles.
+    pub vehicles: Vec<Oid>,
+}
+
+/// Build the Figure-1 schema plus the nine §5 classes.
+pub fn build_schema() -> (Schema, VehicleClasses) {
+    let mut s = Schema::new();
+    let employee = s.add_class("Employee").unwrap();
+    s.add_attr(employee, "Age", AttrType::Int).unwrap();
+    let city = s.add_class("City").unwrap();
+    s.add_attr(city, "Name", AttrType::Str).unwrap();
+    let company = s.add_class("Company").unwrap();
+    s.add_attr(company, "Name", AttrType::Str).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    let auto_company = s.add_subclass("AutoCompany", company).unwrap();
+    let japanese_auto_company = s.add_subclass("JapaneseAutoCompany", auto_company).unwrap();
+    let truck_company = s.add_subclass("TruckCompany", company).unwrap();
+    let division = s.add_class("Division").unwrap();
+    s.add_attr(division, "Belong", AttrType::Ref(company)).unwrap();
+    s.add_attr(division, "LocatedIn", AttrType::Ref(city)).unwrap();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    let automobile = s.add_subclass("Automobile", vehicle).unwrap();
+    let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
+    let foreign_auto = s.add_subclass("ForeignAuto", automobile).unwrap();
+    let service_auto = s.add_subclass("ServiceAuto", automobile).unwrap();
+    let truck = s.add_subclass("Truck", vehicle).unwrap();
+    let heavy_truck = s.add_subclass("HeavyTruck", truck).unwrap();
+    let light_truck = s.add_subclass("LightTruck", truck).unwrap();
+    let bus = s.add_subclass("Bus", vehicle).unwrap();
+    let military_bus = s.add_subclass("MilitaryBus", bus).unwrap();
+    let tourist_bus = s.add_subclass("TouristBus", bus).unwrap();
+    let passenger_bus = s.add_subclass("PassengerBus", bus).unwrap();
+    (
+        s,
+        VehicleClasses {
+            employee,
+            city,
+            company,
+            auto_company,
+            japanese_auto_company,
+            truck_company,
+            division,
+            vehicle,
+            automobile,
+            compact,
+            foreign_auto,
+            service_auto,
+            truck,
+            heavy_truck,
+            light_truck,
+            bus,
+            military_bus,
+            tourist_bus,
+            passenger_bus,
+        },
+    )
+}
+
+/// Generate the experiment database: `n_vehicles` vehicles (the paper uses
+/// 12,000) uniform over the twelve vehicle classes, with the B-tree capped
+/// at `max_node_entries` records per node (the paper uses 10).
+pub fn generate(seed: u64, n_vehicles: usize, max_node_entries: usize) -> Result<VehicleWorkload> {
+    let (schema, classes) = build_schema();
+    let mut db = Database::with_config(
+        schema,
+        1024,
+        1 << 16,
+        BTreeConfig::with_max_entries(max_node_entries),
+    )?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Small supporting populations, as in the paper's schema walk-through.
+    let n_employees = 50;
+    let n_companies = 20;
+    let mut employees = Vec::with_capacity(n_employees);
+    for _ in 0..n_employees {
+        let e = db.create_object(classes.employee)?;
+        db.set_attr(e, "Age", Value::Int(rng.gen_range(20..70)))?;
+        employees.push(e);
+    }
+    let company_classes = [
+        classes.company,
+        classes.auto_company,
+        classes.japanese_auto_company,
+        classes.truck_company,
+    ];
+    let mut companies = Vec::with_capacity(n_companies);
+    for i in 0..n_companies {
+        let class = company_classes[rng.gen_range(0..company_classes.len())];
+        let c = db.create_object(class)?;
+        db.set_attr(c, "Name", Value::Str(format!("Company{i}")))?;
+        let pres = employees[rng.gen_range(0..employees.len())];
+        db.set_attr(c, "President", Value::Ref(pres))?;
+        companies.push(c);
+    }
+
+    // Indexes BEFORE the bulk of the data so maintenance code is exercised;
+    // the structures end up identical either way.
+    let color_index = db.define_index(IndexSpec::class_hierarchy(
+        "vehicle-color",
+        classes.vehicle,
+        "Color",
+    ))?;
+    let age_index = db.define_index(IndexSpec::path(
+        "vehicle-company-president-age",
+        classes.vehicle,
+        &["ManufacturedBy", "President"],
+        "Age",
+    ))?;
+
+    let vclasses = classes.vehicle_classes();
+    let mut vehicles = Vec::with_capacity(n_vehicles);
+    for _ in 0..n_vehicles {
+        let class = vclasses[rng.gen_range(0..vclasses.len())];
+        let v = db.create_object(class)?;
+        db.set_attr(
+            v,
+            "Color",
+            Value::Str(COLORS[rng.gen_range(0..COLORS.len())].to_string()),
+        )?;
+        let made_by = companies[rng.gen_range(0..companies.len())];
+        db.set_attr(v, "ManufacturedBy", Value::Ref(made_by))?;
+        vehicles.push(v);
+    }
+
+    Ok(VehicleWorkload {
+        db,
+        classes,
+        color_index,
+        age_index,
+        employees,
+        companies,
+        vehicles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uindex::{ClassSel, Query, ValuePred};
+
+    #[test]
+    fn small_generation_is_consistent() {
+        let mut w = generate(42, 600, 10).unwrap();
+        assert_eq!(w.vehicles.len(), 600);
+        let stats = w.db.index_mut().verify().unwrap();
+        // 600 color entries + 600 path entries.
+        assert_eq!(stats.entries, 1200);
+
+        // Every red bus found by the index matches a brute-force scan.
+        let q = Query::on(w.color_index)
+            .value(ValuePred::eq(Value::Str("Red".into())))
+            .class_at(0, ClassSel::SubTree(w.classes.bus));
+        let hits = w.db.query(&q).unwrap();
+        let brute = w
+            .vehicles
+            .iter()
+            .filter(|&&v| {
+                let class = w.db.store().class_of(v).unwrap();
+                w.db.schema().is_subclass_of(class, w.classes.bus)
+                    && w.db.store().attr(v, "Color").unwrap()
+                        == Some(&Value::Str("Red".into()))
+            })
+            .count();
+        assert_eq!(hits.len(), brute);
+        assert!(brute > 0, "600 vehicles should include red buses");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(7, 100, 10).unwrap();
+        let b = generate(7, 100, 10).unwrap();
+        for (x, y) in a.vehicles.iter().zip(&b.vehicles) {
+            assert_eq!(
+                a.db.store().attr(*x, "Color").unwrap(),
+                b.db.store().attr(*y, "Color").unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Compare the U-index against every baseline structure on one workload:
+//! page reads for exact-match and range queries, and total storage.
+//!
+//! Run with `cargo run --release --example index_comparison`.
+
+use uindex_oodb::baselines::{
+    CgConfig, CgTree, ChTree, HTree, NestedIndex, Nix, PathIndex, SetId, SetIndex,
+};
+use uindex_oodb::objstore::Oid;
+use uindex_oodb::workload::uniform::{
+    generate_postings, key_bytes, KeyCount, UniformConfig, UIndexSet,
+};
+
+fn main() {
+    let cfg = UniformConfig {
+        num_objects: 20_000,
+        num_sets: 8,
+        keys: KeyCount::Distinct(500),
+        seed: 7,
+    };
+    let postings = generate_postings(&cfg);
+    println!(
+        "workload: {} postings, {} sets, {} distinct keys\n",
+        postings.len(),
+        cfg.num_sets,
+        500
+    );
+
+    let uindex = UIndexSet::build(cfg.num_sets, &postings).unwrap();
+    let ch = ChTree::build(1024, 1 << 16, &mut postings.clone()).unwrap();
+    let h = HTree::build(1024, 1 << 16, &mut postings.clone()).unwrap();
+    let cg = CgTree::build(CgConfig::default(), &mut postings.clone()).unwrap();
+    let mut structures: Vec<Box<dyn SetIndex>> =
+        vec![Box::new(uindex), Box::new(ch), Box::new(h), Box::new(cg)];
+
+    println!("{:<10} {:>8} {:>16} {:>16} {:>16}", "structure", "pages", "exact(1 set)", "exact(8 sets)", "range1%(2 sets)");
+    let all: Vec<SetId> = (0..8).map(SetId).collect();
+    let key = key_bytes(250);
+    let (rlo, rhi) = (key_bytes(100), key_bytes(105));
+    for s in structures.iter_mut() {
+        let (_, e1) = s.exact(&key, &[SetId(3)]).unwrap();
+        let (_, e8) = s.exact(&key, &all).unwrap();
+        let (_, r2) = s.range(&rlo, &rhi, &[SetId(1), SetId(2)]).unwrap();
+        println!(
+            "{:<10} {:>8} {:>16} {:>16} {:>16}",
+            s.name(),
+            s.total_pages(),
+            e1.pages,
+            e8.pages,
+            r2.pages
+        );
+    }
+
+    // The path-shaped baselines on a synthetic Vehicle/Company/Employee
+    // path: 2000 vehicles over 100 companies over 20 employees.
+    println!("\npath-shaped baselines (2000 vehicles / 100 companies / 20 presidents):");
+    let mut nested_postings: Vec<(Vec<u8>, Oid)> = Vec::new();
+    let mut path_postings: Vec<(Vec<u8>, Vec<Oid>)> = Vec::new();
+    let mut nix = Nix::new(1024, 1 << 14).unwrap();
+    for v in 0..2000u32 {
+        let company = v % 100;
+        let emp = company % 20;
+        let age = key_bytes(20 + emp % 50);
+        nested_postings.push((age.clone(), Oid(v)));
+        path_postings.push((age.clone(), vec![Oid(v), Oid(10_000 + company), Oid(20_000 + emp)]));
+        nix.insert(&age, SetId(0), Oid(20_000 + emp), None).unwrap();
+        nix.insert(&age, SetId(1), Oid(10_000 + company), Some(Oid(20_000 + emp)))
+            .unwrap();
+        nix.insert(&age, SetId(2), Oid(v), Some(Oid(10_000 + company))).unwrap();
+    }
+    let mut nested = NestedIndex::build(1024, &mut nested_postings).unwrap();
+    let mut path = PathIndex::build(1024, 3, &mut path_postings).unwrap();
+    let probe = key_bytes(25);
+    let (n_hits, n_cost) = nested.exact(&probe).unwrap();
+    println!(
+        "  nested index: {:>5} top-class hits, {:>3} pages, {:>4} pages total",
+        n_hits.len(),
+        n_cost.pages,
+        nested.total_pages()
+    );
+    let (p_hits, p_cost) = path.exact(&probe).unwrap();
+    println!(
+        "  path index:   {:>5} instantiations, {:>3} pages, {:>4} pages total",
+        p_hits.len(),
+        p_cost.pages,
+        path.total_pages()
+    );
+    let (x_hits, x_cost) = nix.exact(&probe, &[SetId(0), SetId(1), SetId(2)]).unwrap();
+    println!(
+        "  NIX:          {:>5} associations,   {:>3} pages, {:>4} pages total (incl. auxiliary)",
+        x_hits.len(),
+        x_cost.pages,
+        nix.total_pages()
+    );
+}

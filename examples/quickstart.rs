@@ -1,0 +1,85 @@
+//! Quickstart: build a small OODB, define U-indexes, query, and update.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use uindex_oodb::objstore::Value;
+use uindex_oodb::schema::{AttrType, Schema};
+use uindex_oodb::uindex::{
+    distinct_oids_at, ClassSel, Database, IndexSpec, Query, ValuePred,
+};
+
+fn main() {
+    // 1. Schema: a class hierarchy (Vehicle > Automobile) and a reference
+    //    chain Vehicle -> Company -> Employee.
+    let mut s = Schema::new();
+    let employee = s.add_class("Employee").unwrap();
+    s.add_attr(employee, "Age", AttrType::Int).unwrap();
+    let company = s.add_class("Company").unwrap();
+    s.add_attr(company, "Name", AttrType::Str).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    let automobile = s.add_subclass("Automobile", vehicle).unwrap();
+
+    let mut db = Database::in_memory(s).unwrap();
+
+    // 2. Two indexes, one shared B-tree: a class-hierarchy index on Color
+    //    and a combined path index on the president's age.
+    let by_color = db
+        .define_index(IndexSpec::class_hierarchy("by-color", vehicle, "Color"))
+        .unwrap();
+    let by_age = db
+        .define_index(IndexSpec::path(
+            "by-president-age",
+            vehicle,
+            &["MadeBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+
+    // 3. Data.
+    let pres = db.create_object(employee).unwrap();
+    db.set_attr(pres, "Age", Value::Int(52)).unwrap();
+    let acme = db.create_object(company).unwrap();
+    db.set_attr(acme, "Name", Value::Str("Acme".into())).unwrap();
+    db.set_attr(acme, "President", Value::Ref(pres)).unwrap();
+    for (class, color) in [(vehicle, "Red"), (automobile, "Red"), (automobile, "Blue")] {
+        let v = db.create_object(class).unwrap();
+        db.set_attr(v, "Color", Value::Str(color.into())).unwrap();
+        db.set_attr(v, "MadeBy", Value::Ref(acme)).unwrap();
+    }
+
+    // 4. Class-hierarchy query: red vehicles of any class.
+    let q = Query::on(by_color).value(ValuePred::eq(Value::Str("Red".into())));
+    let (hits, stats) = db.query_with_stats(&q).unwrap();
+    println!(
+        "red vehicles (whole hierarchy): {} hits, {} pages read",
+        hits.len(),
+        stats.pages_read
+    );
+
+    // ... restricted to the Automobile sub-tree only.
+    let q = q.class_at(0, ClassSel::SubTree(automobile));
+    println!(
+        "red automobiles only:           {} hits",
+        db.query(&q).unwrap().len()
+    );
+
+    // 5. Path query: vehicles whose manufacturer's president is over 50.
+    let q = Query::on(by_age).value(ValuePred::at_least(Value::Int(51)));
+    let hits = db.query(&q).unwrap();
+    println!(
+        "vehicles with president >50:    {} hits (president oids: {:?})",
+        hits.len(),
+        distinct_oids_at(&hits, 0)
+    );
+
+    // 6. Updates keep every index consistent automatically.
+    let young = db.create_object(employee).unwrap();
+    db.set_attr(young, "Age", Value::Int(35)).unwrap();
+    db.set_attr(acme, "President", Value::Ref(young)).unwrap();
+    let hits = db.query(&q).unwrap();
+    println!("after the president changed:    {} hits", hits.len());
+    assert!(hits.is_empty());
+}

@@ -1,0 +1,188 @@
+//! An interactive UQL shell over the paper's example database.
+//!
+//! Run with `cargo run --example repl`, then try:
+//!
+//! ```text
+//! color: Color = 'Red'
+//! color: Color = 'White' and Vehicle in [Automobile*]
+//! age: Age >= 46 and Company in [AutoCompany*] distinct Company
+//! .schema      .indexes      .codes      .stats      .quit
+//! ```
+//!
+//! Every answer reports the distinct pages the query read, so the effect of
+//! class clustering and the parallel algorithm is visible interactively
+//! (append `forward` to any query to compare).
+
+use std::io::{BufRead, Write};
+
+use uindex_oodb::objstore::Value;
+use uindex_oodb::schema::{AttrType, Schema};
+use uindex_oodb::uindex::{Database, IndexSpec};
+
+fn build_demo_db() -> Database {
+    let mut s = Schema::new();
+    let employee = s.add_class("Employee").unwrap();
+    s.add_attr(employee, "Age", AttrType::Int).unwrap();
+    let company = s.add_class("Company").unwrap();
+    s.add_attr(company, "Name", AttrType::Str).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    let auto_co = s.add_subclass("AutoCompany", company).unwrap();
+    let jap_co = s.add_subclass("JapaneseAutoCompany", auto_co).unwrap();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Name", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    let automobile = s.add_subclass("Automobile", vehicle).unwrap();
+    let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
+
+    let mut db = Database::in_memory(s).unwrap();
+    db.define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
+        .unwrap();
+    db.define_index(IndexSpec::path(
+        "age",
+        vehicle,
+        &["ManufacturedBy", "President"],
+        "Age",
+    ))
+    .unwrap();
+
+    // The paper's Example 1 instances.
+    let mut e = Vec::new();
+    for age in [50i64, 60, 45] {
+        let o = db.create_object(employee).unwrap();
+        db.set_attr(o, "Age", Value::Int(age)).unwrap();
+        e.push(o);
+    }
+    let mut c = Vec::new();
+    for (class, name, pres) in [
+        (jap_co, "Subaru", 2usize),
+        (auto_co, "Fiat", 0),
+        (auto_co, "Renault", 1),
+    ] {
+        let o = db.create_object(class).unwrap();
+        db.set_attr(o, "Name", Value::Str(name.into())).unwrap();
+        db.set_attr(o, "President", Value::Ref(e[pres])).unwrap();
+        c.push(o);
+    }
+    for (class, name, color, made_by) in [
+        (vehicle, "Legacy", "White", 0usize),
+        (automobile, "Tipo", "White", 1),
+        (automobile, "Panda", "Red", 1),
+        (compact, "R5", "Red", 2),
+        (compact, "Justy", "Blue", 0),
+        (compact, "Uno", "White", 1),
+    ] {
+        let v = db.create_object(class).unwrap();
+        db.set_attr(v, "Name", Value::Str(name.into())).unwrap();
+        db.set_attr(v, "Color", Value::Str(color.into())).unwrap();
+        db.set_attr(v, "ManufacturedBy", Value::Ref(c[made_by])).unwrap();
+    }
+    db
+}
+
+fn main() {
+    let mut db = build_demo_db();
+    println!("U-index UQL shell over the paper's Example 1 database.");
+    println!("Queries: '<index>: <conditions>'. Commands: .schema .indexes .codes .stats .quit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("uql> ");
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        match line {
+            "" => continue,
+            ".quit" | ".exit" => break,
+            ".schema" => {
+                for class in db.schema().class_ids() {
+                    let parents: Vec<&str> = db
+                        .schema()
+                        .parents(class)
+                        .iter()
+                        .map(|&p| db.schema().class_name(p))
+                        .collect();
+                    let attrs: Vec<String> = db
+                        .schema()
+                        .own_attrs(class)
+                        .map(|(_, n, t)| format!("{n}: {t:?}"))
+                        .collect();
+                    println!(
+                        "  {} {} [{}]",
+                        db.schema().class_name(class),
+                        if parents.is_empty() {
+                            String::new()
+                        } else {
+                            format!("< {}", parents.join(", "))
+                        },
+                        attrs.join(", ")
+                    );
+                }
+            }
+            ".indexes" => {
+                for (i, spec) in db.index().specs().iter().enumerate() {
+                    let path: Vec<&str> = spec
+                        .positions
+                        .iter()
+                        .map(|p| db.schema().class_name(p.class))
+                        .collect();
+                    println!(
+                        "  [{i}] {} on {}.{} over path {}",
+                        spec.name,
+                        db.schema().class_name(spec.attr.0),
+                        db.schema().attr_name(spec.attr.0, spec.attr.1),
+                        path.join("/")
+                    );
+                }
+            }
+            ".codes" => {
+                for class in db.schema().class_ids() {
+                    if let Some(code) = db.index().encoding().code(class) {
+                        println!("  {:<22} {}", db.schema().class_name(class), code);
+                    }
+                }
+            }
+            ".stats" => match db.index_mut().verify() {
+                Ok(s) => println!(
+                    "  {} entries, {} nodes ({} leaves), height {}",
+                    s.entries,
+                    s.total_nodes(),
+                    s.leaf_nodes,
+                    s.height
+                ),
+                Err(e) => println!("  verify failed: {e}"),
+            },
+            query => match db.query_uql(query) {
+                Ok((hits, stats)) => {
+                    for h in &hits {
+                        let objs: Vec<String> = h
+                            .key
+                            .path
+                            .iter()
+                            .map(|e| {
+                                let class = db
+                                    .index()
+                                    .encoding()
+                                    .class_by_code(&e.code)
+                                    .map(|c| db.schema().class_name(c).to_string())
+                                    .unwrap_or_else(|| "?".into());
+                                format!("{}={}", class, e.oid)
+                            })
+                            .collect();
+                        println!("  {:?}  {}", h.key.value, objs.join("  "));
+                    }
+                    println!(
+                        "  -- {} hits, {} pages read, {} entries examined, {} seeks",
+                        hits.len(),
+                        stats.pages_read,
+                        stats.entries_examined,
+                        stats.seeks
+                    );
+                }
+                Err(e) => println!("  error: {e}"),
+            },
+        }
+    }
+}

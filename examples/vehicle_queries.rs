@@ -1,0 +1,151 @@
+//! The paper's running example, end to end: the Figure-1 schema, the
+//! Example-1 instance database, and the §3.3 sample queries on all three
+//! index variations (class-hierarchy, path, combined).
+//!
+//! Run with `cargo run --example vehicle_queries`.
+
+use uindex_oodb::objstore::Value;
+use uindex_oodb::schema::{AttrType, Schema};
+use uindex_oodb::uindex::{
+    distinct_oids_at, ClassSel, Database, IndexSpec, OidSel, Query, ValuePred,
+};
+
+fn main() {
+    // ---- Figure 1 schema (relevant part) --------------------------------
+    let mut s = Schema::new();
+    let employee = s.add_class("Employee").unwrap();
+    s.add_attr(employee, "Age", AttrType::Int).unwrap();
+    let company = s.add_class("Company").unwrap();
+    s.add_attr(company, "Name", AttrType::Str).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    let auto_co = s.add_subclass("AutoCompany", company).unwrap();
+    let jap_co = s.add_subclass("JapaneseAutoCompany", auto_co).unwrap();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Name", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    let automobile = s.add_subclass("Automobile", vehicle).unwrap();
+    let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
+
+    let mut db = Database::in_memory(s).unwrap();
+
+    // The class-code encoding realizes the paper's COD relation: REF
+    // targets sort first (Employee < Company < Vehicle), sub-classes extend
+    // their parent's code.
+    println!("class codes (the paper's COD relation):");
+    for (name, id) in [
+        ("Employee", employee),
+        ("Company", company),
+        ("AutoCompany", auto_co),
+        ("JapaneseAutoCompany", jap_co),
+        ("Vehicle", vehicle),
+        ("Automobile", automobile),
+        ("CompactAutomobile", compact),
+    ] {
+        println!(
+            "  {:<22} {}",
+            name,
+            db.index().encoding().code(id).unwrap()
+        );
+    }
+
+    // ---- indexes ---------------------------------------------------------
+    let color_idx = db
+        .define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
+        .unwrap();
+    let age_idx = db
+        .define_index(IndexSpec::path(
+            "president-age",
+            vehicle,
+            &["ManufacturedBy", "President"],
+            "Age",
+        ))
+        .unwrap();
+
+    // ---- Example 1 instances ----------------------------------------------
+    let ages = [50i64, 60, 45];
+    let mut e = Vec::new();
+    for age in ages {
+        let o = db.create_object(employee).unwrap();
+        db.set_attr(o, "Age", Value::Int(age)).unwrap();
+        e.push(o);
+    }
+    let companies = [
+        (jap_co, "Subaru", 2usize),
+        (auto_co, "Fiat", 0),
+        (auto_co, "Renault", 1),
+    ];
+    let mut c = Vec::new();
+    for (class, name, pres) in companies {
+        let o = db.create_object(class).unwrap();
+        db.set_attr(o, "Name", Value::Str(name.into())).unwrap();
+        db.set_attr(o, "President", Value::Ref(e[pres])).unwrap();
+        c.push(o);
+    }
+    let vehicles = [
+        (vehicle, "Legacy", "White", 0usize),
+        (automobile, "Tipo", "White", 1),
+        (automobile, "Panda", "Red", 1),
+        (compact, "R5", "Red", 2),
+        (compact, "Justy", "Blue", 0),
+        (compact, "Uno", "White", 1),
+    ];
+    for (class, name, color, made_by) in vehicles {
+        let v = db.create_object(class).unwrap();
+        db.set_attr(v, "Name", Value::Str(name.into())).unwrap();
+        db.set_attr(v, "Color", Value::Str(color.into())).unwrap();
+        db.set_attr(v, "ManufacturedBy", Value::Ref(c[made_by])).unwrap();
+    }
+
+    let red = || ValuePred::eq(Value::Str("Red".into()));
+
+    // ---- §3.3 class-hierarchy queries -------------------------------------
+    println!("\nclass-hierarchy index queries:");
+    let q1 = Query::on(color_idx).value(red());
+    println!("  1) all vehicles with red color:          {}", db.query(&q1).unwrap().len());
+    let q2 = q1.clone().class_at(0, ClassSel::SubTree(automobile));
+    println!("  2) all automobiles with red color:       {}", db.query(&q2).unwrap().len());
+    // 4) vehicles which are NOT compact automobiles, red: skip a sub-tree.
+    let q4 = Query::on(color_idx).value(red()).class_at(
+        0,
+        ClassSel::AnyOf(vec![ClassSel::Exact(vehicle), ClassSel::Exact(automobile)]),
+    );
+    println!("  4) red vehicles excluding compacts:      {}", db.query(&q4).unwrap().len());
+
+    // ---- §3.3 path-index queries -------------------------------------------
+    println!("\npath index queries (Vehicle/Company/Employee.Age):");
+    let p1 = Query::on(age_idx).value(ValuePred::eq(Value::Int(50)));
+    let hits = db.query(&p1).unwrap();
+    println!(
+        "  1) vehicles made by companies whose president is 50: {:?}",
+        distinct_oids_at(&hits, 2)
+    );
+    let p2 = p1.clone().oid_at(1, OidSel::Is(c[1]));
+    println!(
+        "  2) ... for the particular company Fiat:              {:?}",
+        distinct_oids_at(&db.query(&p2).unwrap(), 2)
+    );
+    let p4 = Query::on(age_idx)
+        .value(ValuePred::eq(Value::Int(50)))
+        .distinct_through(1);
+    println!(
+        "  4) companies whose president's age is 50:            {:?}",
+        distinct_oids_at(&db.query(&p4).unwrap(), 1)
+    );
+
+    // ---- §3.3 combined query ------------------------------------------------
+    println!("\ncombined class-hierarchy/path query:");
+    let q = Query::on(age_idx)
+        .value(ValuePred::at_least(Value::Int(41)))
+        .class_at(1, ClassSel::SubTree(jap_co))
+        .class_at(2, ClassSel::SubTree(compact));
+    let hits = db.query(&q).unwrap();
+    println!(
+        "  compact automobiles made by Japanese auto companies whose \
+         president is over 40: {:?}",
+        distinct_oids_at(&hits, 2)
+    );
+    println!(
+        "  (answerable by neither a pure class-hierarchy nor a pure path index — §3.1)"
+    );
+}

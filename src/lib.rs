@@ -1,0 +1,54 @@
+//! **uindex-oodb** — a complete reproduction of *"A Uniform Indexing Scheme
+//! for Object-Oriented Databases"* (Ehud Gudes, ICDE 1996 / Information
+//! Systems 22(4), 1997) as a Rust workspace.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`pagestore`] — paged storage with per-query page-read accounting;
+//! * [`btree`] — the variable-length, front-compressed B+-tree;
+//! * [`schema`] — OODB schemas and the class-code encoding (the paper's
+//!   `COD` relation), including schema evolution and REF-cycle breaking;
+//! * [`objstore`] — objects, OIDs, typed values with order-preserving
+//!   encodings;
+//! * [`uindex`] — the U-index itself: class-hierarchy, path, combined and
+//!   multi-path indexes in one B-tree, with forward-scan and the parallel
+//!   retrieval algorithm, and the [`uindex::Database`] facade that keeps
+//!   indexes consistent under updates;
+//! * [`baselines`] — CH-tree, H-tree, CG-tree, nested/path index and NIX;
+//! * [`workload`] — the paper's two experimental workloads.
+//!
+//! Start with [`uindex::Database`]:
+//!
+//! ```
+//! use uindex_oodb::schema::{Schema, AttrType};
+//! use uindex_oodb::objstore::Value;
+//! use uindex_oodb::uindex::{Database, IndexSpec, Query, ValuePred};
+//!
+//! let mut s = Schema::new();
+//! let employee = s.add_class("Employee").unwrap();
+//! s.add_attr(employee, "Age", AttrType::Int).unwrap();
+//! let company = s.add_class("Company").unwrap();
+//! s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+//!
+//! let mut db = Database::in_memory(s).unwrap();
+//! let idx = db
+//!     .define_index(IndexSpec::path("ages", company, &["President"], "Age"))
+//!     .unwrap();
+//! let e = db.create_object(employee).unwrap();
+//! db.set_attr(e, "Age", Value::Int(50)).unwrap();
+//! let c = db.create_object(company).unwrap();
+//! db.set_attr(c, "President", Value::Ref(e)).unwrap();
+//!
+//! let hits = db
+//!     .query(&Query::on(idx).value(ValuePred::eq(Value::Int(50))))
+//!     .unwrap();
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub use baselines;
+pub use btree;
+pub use objstore;
+pub use pagestore;
+pub use schema;
+pub use uindex;
+pub use workload;

@@ -1,0 +1,265 @@
+//! Cross-crate integration: a randomized model-based test driving the whole
+//! stack (schema → objects → maintained U-indexes → queries) and checking
+//! every query against a brute-force evaluation over the object store.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uindex_oodb::objstore::{Oid, Value};
+use uindex_oodb::schema::{AttrType, ClassId, Schema};
+use uindex_oodb::uindex::{ClassSel, Database, IndexSpec, Query, QueryHit, ValuePred};
+
+struct World {
+    db: Database,
+    vehicle_classes: Vec<ClassId>,
+    company_classes: Vec<ClassId>,
+    vehicle: ClassId,
+    company: ClassId,
+    color_idx: u16,
+    age_idx: u16,
+    employees: Vec<Oid>,
+    companies: Vec<Oid>,
+    vehicles: Vec<Oid>,
+}
+
+const COLORS: [&str; 5] = ["Blue", "Green", "Red", "White", "Yellow"];
+
+fn build(seed: u64, n_vehicles: usize) -> World {
+    let mut s = Schema::new();
+    let employee = s.add_class("Employee").unwrap();
+    s.add_attr(employee, "Age", AttrType::Int).unwrap();
+    let company = s.add_class("Company").unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    let auto_co = s.add_subclass("AutoCompany", company).unwrap();
+    let truck_co = s.add_subclass("TruckCompany", company).unwrap();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    let auto = s.add_subclass("Automobile", vehicle).unwrap();
+    let compact = s.add_subclass("Compact", auto).unwrap();
+    let truck = s.add_subclass("Truck", vehicle).unwrap();
+
+    let mut db = Database::in_memory(s).unwrap();
+    let color_idx = db
+        .define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
+        .unwrap();
+    let age_idx = db
+        .define_index(IndexSpec::path("age", vehicle, &["MadeBy", "President"], "Age"))
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut employees = Vec::new();
+    for _ in 0..12 {
+        let e = db.create_object(employee).unwrap();
+        db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65))).unwrap();
+        employees.push(e);
+    }
+    let company_classes = vec![company, auto_co, truck_co];
+    let mut companies = Vec::new();
+    for _ in 0..8 {
+        let class = company_classes[rng.gen_range(0..3)];
+        let c = db.create_object(class).unwrap();
+        let pres = employees[rng.gen_range(0..employees.len())];
+        db.set_attr(c, "President", Value::Ref(pres)).unwrap();
+        companies.push(c);
+    }
+    let vehicle_classes = vec![vehicle, auto, compact, truck];
+    let mut vehicles = Vec::new();
+    for _ in 0..n_vehicles {
+        let class = vehicle_classes[rng.gen_range(0..4)];
+        let v = db.create_object(class).unwrap();
+        db.set_attr(v, "Color", Value::Str(COLORS[rng.gen_range(0..5)].into()))
+            .unwrap();
+        let made_by = companies[rng.gen_range(0..companies.len())];
+        db.set_attr(v, "MadeBy", Value::Ref(made_by)).unwrap();
+        vehicles.push(v);
+    }
+    World {
+        db,
+        vehicle_classes,
+        company_classes,
+        vehicle,
+        company,
+        color_idx,
+        age_idx,
+        employees,
+        companies,
+        vehicles,
+    }
+}
+
+/// Brute-force the color query from the object store.
+fn brute_color(w: &World, color: &str, class: ClassId) -> Vec<Oid> {
+    let mut out: Vec<Oid> = w
+        .vehicles
+        .iter()
+        .copied()
+        .filter(|&v| w.db.store().exists(v))
+        .filter(|&v| {
+            let vc = w.db.store().class_of(v).unwrap();
+            w.db.schema().is_subclass_of(vc, class)
+                && w.db.store().attr(v, "Color").unwrap() == Some(&Value::Str(color.into()))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Brute-force the age path query: vehicles whose company's president has
+/// age in [lo, hi].
+fn brute_age(w: &World, lo: i64, hi: i64, company_class: ClassId) -> Vec<Oid> {
+    let mut out = Vec::new();
+    for &v in &w.vehicles {
+        if !w.db.store().exists(v) {
+            continue;
+        }
+        let Some(c) = w.db.store().follow_ref(v, "MadeBy").unwrap() else {
+            continue;
+        };
+        if !w.db.store().exists(c) {
+            continue;
+        }
+        let cc = w.db.store().class_of(c).unwrap();
+        if !w.db.schema().is_subclass_of(cc, company_class) {
+            continue;
+        }
+        let Some(p) = w.db.store().follow_ref(c, "President").unwrap() else {
+            continue;
+        };
+        match w.db.store().attr(p, "Age").unwrap() {
+            Some(Value::Int(a)) if (lo..=hi).contains(a) => out.push(v),
+            _ => {}
+        }
+    }
+    out.sort();
+    out
+}
+
+fn oids_at(hits: &[QueryHit], pos: usize) -> Vec<Oid> {
+    let mut v: Vec<Oid> = hits.iter().filter_map(|h| h.oid_at(pos)).collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn random_world_queries_match_brute_force() {
+    let mut w = build(11, 300);
+    for color in COLORS {
+        for class in w.vehicle_classes.clone() {
+            let q = Query::on(w.color_idx)
+                .value(ValuePred::eq(Value::Str(color.into())))
+                .class_at(0, ClassSel::SubTree(class));
+            let got = oids_at(&w.db.query(&q).unwrap(), 0);
+            assert_eq!(got, brute_color(&w, color, class), "{color} {class:?}");
+            // Forward scan must agree.
+            let fwd = oids_at(&w.db.query(&q.forward_scan()).unwrap(), 0);
+            assert_eq!(fwd, brute_color(&w, color, class));
+        }
+    }
+    for (lo, hi) in [(25, 64), (30, 40), (50, 50), (60, 64)] {
+        for cc in w.company_classes.clone() {
+            let q = Query::on(w.age_idx)
+                .value(ValuePred::between(Value::Int(lo), Value::Int(hi)))
+                .class_at(1, ClassSel::SubTree(cc));
+            let got = oids_at(&w.db.query(&q).unwrap(), 2);
+            assert_eq!(got, brute_age(&w, lo, hi, cc), "ages {lo}..{hi} {cc:?}");
+        }
+    }
+}
+
+#[test]
+fn random_mutations_keep_indexes_consistent() {
+    let mut w = build(23, 150);
+    let mut rng = StdRng::seed_from_u64(99);
+    for step in 0..400 {
+        match rng.gen_range(0..100) {
+            // Repaint a vehicle.
+            0..=34 => {
+                let v = w.vehicles[rng.gen_range(0..w.vehicles.len())];
+                if w.db.store().exists(v) {
+                    let color = COLORS[rng.gen_range(0..5)];
+                    w.db.set_attr(v, "Color", Value::Str(color.into())).unwrap();
+                }
+            }
+            // Re-point a vehicle to another company.
+            35..=54 => {
+                let v = w.vehicles[rng.gen_range(0..w.vehicles.len())];
+                let c = w.companies[rng.gen_range(0..w.companies.len())];
+                if w.db.store().exists(v) && w.db.store().exists(c) {
+                    w.db.set_attr(v, "MadeBy", Value::Ref(c)).unwrap();
+                }
+            }
+            // A president switches age.
+            55..=69 => {
+                let e = w.employees[rng.gen_range(0..w.employees.len())];
+                w.db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65))).unwrap();
+            }
+            // A company replaces its president (the paper's case).
+            70..=84 => {
+                let c = w.companies[rng.gen_range(0..w.companies.len())];
+                let e = w.employees[rng.gen_range(0..w.employees.len())];
+                if w.db.store().exists(c) {
+                    w.db.set_attr(c, "President", Value::Ref(e)).unwrap();
+                }
+            }
+            // Delete a vehicle.
+            85..=94 => {
+                let v = w.vehicles[rng.gen_range(0..w.vehicles.len())];
+                if w.db.store().exists(v) {
+                    w.db.delete_object(v, false).unwrap();
+                }
+            }
+            // Create a new vehicle.
+            _ => {
+                let class = w.vehicle_classes[rng.gen_range(0..4)];
+                let v = w.db.create_object(class).unwrap();
+                w.db.set_attr(v, "Color", Value::Str(COLORS[rng.gen_range(0..5)].into()))
+                    .unwrap();
+                let c = w.companies[rng.gen_range(0..w.companies.len())];
+                w.db.set_attr(v, "MadeBy", Value::Ref(c)).unwrap();
+                w.vehicles.push(v);
+            }
+        }
+        if step % 80 == 0 {
+            w.db.index_mut().verify().unwrap();
+        }
+    }
+    w.db.index_mut().verify().unwrap();
+    // Final full cross-check.
+    for color in COLORS {
+        let q = Query::on(w.color_idx).value(ValuePred::eq(Value::Str(color.into())));
+        let got = oids_at(&w.db.query(&q).unwrap(), 0);
+        assert_eq!(got, brute_color(&w, color, w.vehicle));
+    }
+    let q = Query::on(w.age_idx).value(ValuePred::between(Value::Int(25), Value::Int(64)));
+    assert_eq!(
+        oids_at(&w.db.query(&q).unwrap(), 2),
+        brute_age(&w, 25, 64, w.company)
+    );
+}
+
+#[test]
+fn query_costs_scale_sanely() {
+    let mut w = build(31, 2000);
+    // Exact match on a narrow sub-tree reads far fewer pages than a full
+    // forward scan of the whole color index.
+    let q = Query::on(w.color_idx)
+        .value(ValuePred::eq(Value::Str("Red".into())))
+        .class_at(0, ClassSel::SubTree(w.vehicle_classes[2]));
+    let (_, par) = w.db.query_with_stats(&q).unwrap();
+    let (_, fwd) = w.db.query_with_stats(&q.clone().forward_scan()).unwrap();
+    assert!(par.pages_read <= fwd.pages_read);
+    // distinct_through at the company position prunes the scan.
+    let q_all = Query::on(w.age_idx).value(ValuePred::between(Value::Int(25), Value::Int(64)));
+    let (hits_all, cost_all) = w.db.query_with_stats(&q_all).unwrap();
+    let q_distinct = q_all.clone().distinct_through(1);
+    let (hits_d, cost_d) = w.db.query_with_stats(&q_distinct).unwrap();
+    assert!(hits_d.len() < hits_all.len());
+    assert!(cost_d.pages_read <= cost_all.pages_read);
+    // Every distinct company is still represented.
+    assert_eq!(
+        oids_at(&hits_d, 1),
+        oids_at(&hits_all, 1),
+        "distinct_through must not lose combinations"
+    );
+}
