@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints (deny warnings), and every test in
+# the workspace. The build is fully offline (see README "Troubleshooting
+# offline builds"); --offline makes that explicit.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (root package, tier-1)"
+cargo test -q --offline
+
+echo "== cargo test (workspace)"
+cargo test -q --workspace --offline
+
+echo "CI green."

@@ -78,7 +78,12 @@ fn decode_record(buf: &[u8]) -> Result<DirRecord> {
     let mut pos = 2;
     for _ in 0..n {
         let set = u16::from_le_bytes(buf.get(pos..pos + 2).ok_or_else(bad)?.try_into().unwrap());
-        let page = PageId::from_bytes(buf.get(pos + 2..pos + 6).ok_or_else(bad)?.try_into().unwrap());
+        let page = PageId::from_bytes(
+            buf.get(pos + 2..pos + 6)
+                .ok_or_else(bad)?
+                .try_into()
+                .unwrap(),
+        );
         out.push((SetId(set), page));
         pos += 6;
     }
@@ -121,7 +126,9 @@ fn encode_leaf(page: &mut [u8], set: SetId, postings: &[Posting], next: PageId) 
 
 fn decode_leaf(page: &[u8]) -> Result<(SetId, Vec<Posting>, PageId)> {
     let bad = || Error::Corrupt("bad CG leaf".into());
-    let set = SetId(u16::from_le_bytes(page.get(..2).ok_or_else(bad)?.try_into().unwrap()));
+    let set = SetId(u16::from_le_bytes(
+        page.get(..2).ok_or_else(bad)?.try_into().unwrap(),
+    ));
     let count = u16::from_le_bytes(page[2..4].try_into().unwrap()) as usize;
     let next = PageId::from_bytes(page[4..8].try_into().unwrap());
     let mut pos = LEAF_HEADER;
@@ -682,16 +689,24 @@ mod tests {
             let (hits, _) = t.exact(&key(probe), &all).unwrap();
             assert_eq!(
                 hits,
-                brute(&postings, &key(probe), &{
-                    let mut h = key(probe);
-                    h.push(0);
-                    h
-                }, &all),
+                brute(
+                    &postings,
+                    &key(probe),
+                    &{
+                        let mut h = key(probe);
+                        h.push(0);
+                        h
+                    },
+                    &all
+                ),
                 "probe {probe}"
             );
         }
         let (hits, _) = t.range(&key(50), &key(100), &[SetId(1), SetId(3)]).unwrap();
-        assert_eq!(hits, brute(&postings, &key(50), &key(100), &[SetId(1), SetId(3)]));
+        assert_eq!(
+            hits,
+            brute(&postings, &key(50), &key(100), &[SetId(1), SetId(3)])
+        );
     }
 
     #[test]
@@ -715,11 +730,16 @@ mod tests {
         let (hits, _) = t.exact(&key(123), &[SetId(2)]).unwrap();
         assert_eq!(
             hits,
-            brute(&postings, &key(123), &{
-                let mut h = key(123);
-                h.push(0);
-                h
-            }, &[SetId(2)])
+            brute(
+                &postings,
+                &key(123),
+                &{
+                    let mut h = key(123);
+                    h.push(0);
+                    h
+                },
+                &[SetId(2)]
+            )
         );
     }
 
@@ -751,10 +771,7 @@ mod tests {
         let all: Vec<SetId> = (0..8).map(SetId).collect();
         let (h8, c8) = t.range(&key(500), &key(700), &all).unwrap();
         assert_eq!(h8.len(), 200 * 10);
-        assert!(
-            c8.pages > c1.pages * 3,
-            "set grouping: {c1:?} vs {c8:?}"
-        );
+        assert!(c8.pages > c1.pages * 3, "set grouping: {c1:?} vs {c8:?}");
     }
 
     #[test]

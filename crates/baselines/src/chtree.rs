@@ -306,7 +306,9 @@ mod tests {
         for i in 0..1000u32 {
             t.insert(&key(7), SetId((i % 4) as u16), Oid(i)).unwrap();
         }
-        let (hits, cost) = t.exact(&key(7), &[SetId(0), SetId(1), SetId(2), SetId(3)]).unwrap();
+        let (hits, cost) = t
+            .exact(&key(7), &[SetId(0), SetId(1), SetId(2), SetId(3)])
+            .unwrap();
         assert_eq!(hits.len(), 1000);
         assert!(cost.pages > 4, "chain pages must be read: {cost:?}");
         // Removing everything frees the chain.

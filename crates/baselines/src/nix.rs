@@ -136,7 +136,8 @@ mod tests {
         for i in 0..100u32 {
             let company = Oid(i % 10);
             nix.insert(b"age50", SetId(0), company, None).unwrap();
-            nix.insert(b"age50", SetId(1), Oid(100 + i), Some(company)).unwrap();
+            nix.insert(b"age50", SetId(1), Oid(100 + i), Some(company))
+                .unwrap();
         }
         let (hits, _) = nix.exact(b"age50", &[SetId(0), SetId(1)]).unwrap();
         assert_eq!(hits.len(), 10 + 100);
@@ -147,7 +148,9 @@ mod tests {
         assert_eq!(parents, vec![Oid(5)]);
         assert!(cost.pages >= 1);
         // Removal updates both structures.
-        assert!(nix.remove(b"age50", SetId(1), Oid(105), Some(Oid(5))).unwrap());
+        assert!(nix
+            .remove(b"age50", SetId(1), Oid(105), Some(Oid(5)))
+            .unwrap());
         let (parents, _) = nix.parents(SetId(1), Oid(105)).unwrap();
         assert!(parents.is_empty());
     }

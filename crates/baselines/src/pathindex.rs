@@ -104,7 +104,11 @@ fn path_key(value: &[u8], path: &[Oid]) -> Vec<u8> {
 impl PathIndex {
     /// Build from `(value bytes, instantiation)` postings; every
     /// instantiation must have the same length.
-    pub fn build(page_size: usize, path_len: usize, postings: &mut [(Vec<u8>, Vec<Oid>)]) -> Result<Self> {
+    pub fn build(
+        page_size: usize,
+        path_len: usize,
+        postings: &mut [(Vec<u8>, Vec<Oid>)],
+    ) -> Result<Self> {
         postings.sort();
         let pool = BufferPool::new(MemStore::new(page_size), 1 << 16);
         let mut items: Vec<(Vec<u8>, Vec<u8>)> = postings
@@ -162,7 +166,10 @@ impl PathIndex {
     ) -> Result<(Vec<Vec<Oid>>, QueryCost)> {
         let (paths, cost) = self.exact(value)?;
         Ok((
-            paths.into_iter().filter(|p| p.get(pos) == Some(&oid)).collect(),
+            paths
+                .into_iter()
+                .filter(|p| p.get(pos) == Some(&oid))
+                .collect(),
             cost,
         ))
     }

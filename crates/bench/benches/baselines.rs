@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use workload::queries::{pick_near, pick_range};
-use workload::uniform::{generate_postings, key_bytes, KeyCount, UniformConfig, UIndexSet};
+use workload::uniform::{generate_postings, key_bytes, KeyCount, UIndexSet, UniformConfig};
 
 fn bench_baselines(c: &mut Criterion) {
     let cfg = UniformConfig {

@@ -10,8 +10,7 @@ fn items(n: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
     (0..n)
         .map(|i| {
             (
-                format!("idx0/color={:04}/class=C{:02}/oid={:08}", i % 50, i % 12, i)
-                    .into_bytes(),
+                format!("idx0/color={:04}/class=C{:02}/oid={:08}", i % 50, i % 12, i).into_bytes(),
                 Vec::new(),
             )
         })

@@ -9,7 +9,7 @@ use objstore::{Oid, Value};
 use pagestore::{BufferPool, MemStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use workload::uniform::{generate_postings, key_bytes, KeyCount, UniformConfig, UIndexSet};
+use workload::uniform::{generate_postings, key_bytes, KeyCount, UIndexSet, UniformConfig};
 use workload::vehicle::generate;
 
 fn bench_set_index_updates(c: &mut Criterion) {
@@ -61,7 +61,8 @@ fn bench_maintained_updates(c: &mut Criterion) {
         b.iter(|| {
             let company = companies[rng.gen_range(0..companies.len())];
             let pres = employees[rng.gen_range(0..employees.len())];
-            w.db.set_attr(company, "President", Value::Ref(pres)).unwrap()
+            w.db.set_attr(company, "President", Value::Ref(pres))
+                .unwrap()
         })
     });
     group.finish();

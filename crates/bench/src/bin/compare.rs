@@ -8,7 +8,7 @@ use baselines::{CgConfig, CgTree, ChTree, HTree, SetId, SetIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use workload::queries::{pick_near, pick_range};
-use workload::uniform::{generate_postings, key_bytes, KeyCount, UniformConfig, UIndexSet};
+use workload::uniform::{generate_postings, key_bytes, KeyCount, UIndexSet, UniformConfig};
 
 fn main() {
     let num_objects: u32 = std::env::var("OBJECTS")
@@ -33,12 +33,8 @@ fn main() {
     let h = HTree::build(1024, 1 << 16, &mut postings.clone()).expect("build h");
     let cg = CgTree::build(CgConfig::default(), &mut postings.clone()).expect("build cg");
 
-    let mut structures: Vec<Box<dyn SetIndex>> = vec![
-        Box::new(uindex),
-        Box::new(ch),
-        Box::new(h),
-        Box::new(cg),
-    ];
+    let mut structures: Vec<Box<dyn SetIndex>> =
+        vec![Box::new(uindex), Box::new(ch), Box::new(h), Box::new(cg)];
 
     println!("\n## Storage (live pages)");
     for s in &structures {

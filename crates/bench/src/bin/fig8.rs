@@ -38,9 +38,7 @@ fn main() {
             82,
         );
         print_panel(
-            &format!(
-                "Near vs non-near sets — range 10%, {num_sets} sets, 1000 different keys"
-            ),
+            &format!("Near vs non-near sets — range 10%, {num_sets} sets, 1000 different keys"),
             &points,
         );
     }

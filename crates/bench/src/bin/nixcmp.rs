@@ -37,18 +37,27 @@ fn main() {
     let employee = s.add_class("Employee").unwrap();
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let auto_co = s.add_subclass("AutoCompany", company).unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
-    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+        .unwrap();
     let automobile = s.add_subclass("Automobile", vehicle).unwrap();
     let compact = s.add_subclass("Compact", automobile).unwrap();
     let truck = s.add_subclass("Truck", vehicle).unwrap();
-    let path_classes = [employee, company, auto_co, vehicle, automobile, compact, truck];
+    let path_classes = [
+        employee, company, auto_co, vehicle, automobile, compact, truck,
+    ];
 
     let mut db = Database::in_memory(s).unwrap();
     let idx = db
-        .define_index(IndexSpec::path("age", vehicle, &["MadeBy", "President"], "Age"))
+        .define_index(IndexSpec::path(
+            "age",
+            vehicle,
+            &["MadeBy", "President"],
+            "Age",
+        ))
         .unwrap();
     let mut nix = Nix::new(1024, 1 << 17).unwrap();
 
@@ -56,7 +65,8 @@ fn main() {
     let mut employees = Vec::new();
     for _ in 0..60 {
         let e = db.create_object(employee).unwrap();
-        db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65))).unwrap();
+        db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65)))
+            .unwrap();
         employees.push(e);
     }
     let mut companies = Vec::new();
@@ -93,10 +103,12 @@ fn main() {
             .into_iter()
             .map(|(c, decl, attr)| (c, db.store().class_of(c).unwrap(), (decl, attr)))
         {
-            nix.insert(&key, set_of(&path_classes, cclass), c, Some(e)).unwrap();
+            nix.insert(&key, set_of(&path_classes, cclass), c, Some(e))
+                .unwrap();
             for (v, _, _) in db.store().referrers(c) {
                 let vclass = db.store().class_of(v).unwrap();
-                nix.insert(&key, set_of(&path_classes, vclass), v, Some(c)).unwrap();
+                nix.insert(&key, set_of(&path_classes, vclass), v, Some(c))
+                    .unwrap();
             }
         }
     }
@@ -108,10 +120,7 @@ fn main() {
         db.index().tree().pool().live_pages(),
         nix.total_pages()
     );
-    println!(
-        "{:<44} {:>9} {:>9}",
-        "query", "U-index", "NIX"
-    );
+    println!("{:<44} {:>9} {:>9}", "query", "U-index", "NIX");
 
     let probe_age = 45i64;
     let key = (probe_age as u64).to_be_bytes().to_vec();

@@ -12,7 +12,7 @@ use objstore::Oid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use workload::queries::{pick_distant, pick_near, pick_range};
-use workload::uniform::{generate_postings, key_space, KeyCount, UniformConfig, UIndexSet};
+use workload::uniform::{generate_postings, key_space, KeyCount, UIndexSet, UniformConfig};
 
 /// Repetitions per measured point; the paper uses 100. Override with the
 /// `REPS` environment variable.

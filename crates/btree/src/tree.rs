@@ -100,6 +100,13 @@ impl<S: PageStore> BTree<S> {
         &mut self.pool
     }
 
+    /// Consume the tree, returning its buffer pool without flushing —
+    /// crash-simulation tests use this to drop dirty frames on the floor.
+    /// Reconstruct later with [`BTree::open`] and the saved root and len.
+    pub fn into_pool(self) -> BufferPool<S> {
+        self.pool
+    }
+
     /// Largest `key.len() + value.len()` accepted by [`BTree::insert`].
     ///
     /// A third of a page guarantees a valid split always exists (two
@@ -154,9 +161,7 @@ impl<S: PageStore> BTree<S> {
 
     pub(crate) fn fits(&self, node: &Node) -> bool {
         match self.config.capacity {
-            Capacity::Bytes => {
-                node.encoded_size(self.config.front_compression) <= self.page_size()
-            }
+            Capacity::Bytes => node.encoded_size(self.config.front_compression) <= self.page_size(),
             Capacity::Entries(m) => {
                 node.count() <= m
                     && node.encoded_size(self.config.front_compression) <= self.page_size()
@@ -338,8 +343,11 @@ impl<S: PageStore> BTree<S> {
         }
         let keys: Vec<&[u8]> = leaf.entries.iter().map(|e| e.key.as_slice()).collect();
         let vlens: Vec<usize> = leaf.entries.iter().map(|e| e.value.len()).collect();
-        let (comp, first) =
-            segment_sizes(keys.iter().copied(), Some(&vlens), self.config.front_compression);
+        let (comp, first) = segment_sizes(
+            keys.iter().copied(),
+            Some(&vlens),
+            self.config.front_compression,
+        );
         // prefix[i] = sum of comp[0..i]
         let mut prefix = vec![0usize; n + 1];
         for i in 0..n {
@@ -537,11 +545,7 @@ impl<S: PageStore> BTree<S> {
                     int.seps[li] = promoted;
                 }
             }
-            _ => {
-                return Err(Error::Corrupt(
-                    "sibling nodes at different levels".into(),
-                ))
-            }
+            _ => return Err(Error::Corrupt("sibling nodes at different levels".into())),
         }
         Ok(())
     }

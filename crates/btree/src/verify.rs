@@ -46,14 +46,7 @@ impl<S: PageStore> BTree<S> {
         };
         let mut leaves_in_order = Vec::new();
         let root = self.root();
-        let height = self.verify_rec(
-            root,
-            None,
-            None,
-            true,
-            &mut stats,
-            &mut leaves_in_order,
-        )?;
+        let height = self.verify_rec(root, None, None, true, &mut stats, &mut leaves_in_order)?;
         stats.height = height;
         // Check the leaf chain.
         let mut chain = Vec::new();

@@ -253,16 +253,10 @@ fn bulk_load_matches_incremental() {
 #[test]
 fn bulk_load_rejects_unsorted() {
     let pool = BufferPool::new(MemStore::new(512), 64);
-    let items = vec![
-        (b"b".to_vec(), vec![]),
-        (b"a".to_vec(), vec![]),
-    ];
+    let items = vec![(b"b".to_vec(), vec![]), (b"a".to_vec(), vec![])];
     assert!(BTree::bulk_load(pool, BTreeConfig::default(), items).is_err());
     let pool = BufferPool::new(MemStore::new(512), 64);
-    let dup = vec![
-        (b"a".to_vec(), vec![]),
-        (b"a".to_vec(), vec![]),
-    ];
+    let dup = vec![(b"a".to_vec(), vec![]), (b"a".to_vec(), vec![])];
     assert!(BTree::bulk_load(pool, BTreeConfig::default(), dup).is_err());
 }
 
@@ -297,8 +291,7 @@ fn bulk_load_entry_capacity() {
 #[test]
 fn batch_insert_and_delete() {
     let mut t = new_tree(512, BTreeConfig::default());
-    let items: Vec<(Vec<u8>, Vec<u8>)> =
-        (0..1000u32).rev().map(|i| (key(i), val(i))).collect();
+    let items: Vec<(Vec<u8>, Vec<u8>)> = (0..1000u32).rev().map(|i| (key(i), val(i))).collect();
     assert_eq!(t.insert_batch(items).unwrap(), 1000);
     assert_eq!(t.len(), 1000);
     // Re-inserting is all replacements.

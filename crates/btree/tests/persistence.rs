@@ -62,7 +62,10 @@ fn mutations_after_reopen() {
     let pool = BufferPool::new(store, 64);
     let mut tree = BTree::open(pool, BTreeConfig::default(), root, len);
     for i in 0..250u32 {
-        assert!(tree.delete(format!("k{i:05}").as_bytes()).unwrap().is_some());
+        assert!(tree
+            .delete(format!("k{i:05}").as_bytes())
+            .unwrap()
+            .is_some());
     }
     for i in 500..700u32 {
         tree.insert(format!("k{i:05}").as_bytes(), b"w").unwrap();
@@ -82,7 +85,8 @@ fn small_buffer_pool_evicts_and_reloads() {
     let pool = BufferPool::new(store, 8);
     let mut tree = BTree::create(pool, BTreeConfig::default()).unwrap();
     for i in 0..2000u32 {
-        tree.insert(format!("k{i:06}").as_bytes(), &i.to_be_bytes()).unwrap();
+        tree.insert(format!("k{i:06}").as_bytes(), &i.to_be_bytes())
+            .unwrap();
     }
     // NOTE: verify() walks everything through the tiny pool.
     let stats = tree.verify().unwrap();

@@ -19,7 +19,10 @@ enum Op {
 
 fn arb_key() -> impl Strategy<Value = Vec<u8>> {
     // Small alphabet and length produce many collisions and shared prefixes.
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)], 1..12)
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)],
+        1..12,
+    )
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {

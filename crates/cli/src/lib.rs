@@ -102,19 +102,19 @@ pub fn parse_schema(input: &str) -> Result<(Schema, Vec<IndexDirective>), CliErr
                 return err(line, "empty class name");
             }
             let class = match parent {
-                None => schema
-                    .add_class(name)
-                    .map_err(|e| CliError { line, message: e.to_string() })?,
+                None => schema.add_class(name).map_err(|e| CliError {
+                    line,
+                    message: e.to_string(),
+                })?,
                 Some(pname) => {
-                    let parent = schema
-                        .class_by_name(pname)
-                        .ok_or_else(|| CliError {
-                            line,
-                            message: format!("unknown parent class {pname:?}"),
-                        })?;
-                    schema
-                        .add_subclass(name, parent)
-                        .map_err(|e| CliError { line, message: e.to_string() })?
+                    let parent = schema.class_by_name(pname).ok_or_else(|| CliError {
+                        line,
+                        message: format!("unknown parent class {pname:?}"),
+                    })?;
+                    schema.add_subclass(name, parent).map_err(|e| CliError {
+                        line,
+                        message: e.to_string(),
+                    })?
                 }
             };
             if !body.is_empty() {
@@ -124,9 +124,10 @@ pub fn parse_schema(input: &str) -> Result<(Schema, Vec<IndexDirective>), CliErr
                         None => return err(line, format!("expected 'name: type' in {decl:?}")),
                     };
                     let ty = parse_attr_type(ty, &schema, line)?;
-                    schema
-                        .add_attr(class, aname, ty)
-                        .map_err(|e| CliError { line, message: e.to_string() })?;
+                    schema.add_attr(class, aname, ty).map_err(|e| CliError {
+                        line,
+                        message: e.to_string(),
+                    })?;
                 }
             }
         } else if let Some(rest) = text.strip_prefix("index ") {

@@ -35,14 +35,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 std::fs::read_to_string(schema_path).map_err(|e| format!("{schema_path}: {e}"))?;
             let data_text = match rest {
                 [data_path] => Some(
-                    std::fs::read_to_string(data_path)
-                        .map_err(|e| format!("{data_path}: {e}"))?,
+                    std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?,
                 ),
                 [] => None,
                 _ => return Err("too many arguments".into()),
             };
-            let db = build_database(&schema_text, data_text.as_deref())
-                .map_err(|e| e.to_string())?;
+            let db =
+                build_database(&schema_text, data_text.as_deref()).map_err(|e| e.to_string())?;
             db.save(Path::new(dir)).map_err(|e| e.to_string())?;
             println!(
                 "created {dir}: {} classes, {} indexes, {} objects",

@@ -217,11 +217,17 @@ impl ObjectStore {
     fn link(&mut self, source: Oid, decl: ClassId, attr: AttrId, value: &Value) {
         match value {
             Value::Ref(t) => {
-                self.reverse.entry(*t).or_default().insert((source, decl, attr));
+                self.reverse
+                    .entry(*t)
+                    .or_default()
+                    .insert((source, decl, attr));
             }
             Value::RefSet(ts) => {
                 for t in ts {
-                    self.reverse.entry(*t).or_default().insert((source, decl, attr));
+                    self.reverse
+                        .entry(*t)
+                        .or_default()
+                        .insert((source, decl, attr));
                 }
             }
             _ => {}
@@ -278,7 +284,10 @@ impl ObjectStore {
         for ((decl, attr), v) in &obj.attrs {
             self.unlink(oid, *decl, *attr, v);
         }
-        self.extents.get_mut(&obj.class).expect("in extent").remove(&oid);
+        self.extents
+            .get_mut(&obj.class)
+            .expect("in extent")
+            .remove(&oid);
         Ok(obj)
     }
 
@@ -403,7 +412,10 @@ mod tests {
         let e = db.create(emp).unwrap();
         let c = db.create(com).unwrap();
         db.set_attr(c, "President", Value::Ref(e)).unwrap();
-        assert!(matches!(db.delete(e, false), Err(Error::StillReferenced(_))));
+        assert!(matches!(
+            db.delete(e, false),
+            Err(Error::StillReferenced(_))
+        ));
         db.delete(c, false).unwrap();
         // Deleting the referrer unlinked the reverse entry.
         db.delete(e, false).unwrap();
@@ -443,7 +455,8 @@ mod tests {
         let e = db.create(emp).unwrap();
         let v1 = db.create(veh).unwrap();
         let v2 = db.create(veh).unwrap();
-        db.set_attr(e, "Owns", Value::RefSet(vec![v2, v1, v2])).unwrap();
+        db.set_attr(e, "Owns", Value::RefSet(vec![v2, v1, v2]))
+            .unwrap();
         assert_eq!(
             db.attr(e, "Owns").unwrap(),
             Some(&Value::RefSet(vec![v1, v2]))

@@ -175,10 +175,7 @@ impl ObjectStore {
         if bytes.get(..8) != Some(MAGIC.as_slice()) {
             return Err(Error::UnknownAttr("bad object file magic".into()));
         }
-        let mut r = Reader {
-            buf: bytes,
-            pos: 8,
-        };
+        let mut r = Reader { buf: bytes, pos: 8 };
         // Schema.
         let n_classes = r.u32()? as usize;
         struct RawClass {
@@ -283,7 +280,8 @@ mod tests {
         db.set_attr(e2, "Age", Value::Int(-1)).unwrap();
         let v = db.create(sport).unwrap();
         db.set_attr(v, "Owner", Value::Ref(e1)).unwrap();
-        db.set_attr(v, "CoOwners", Value::RefSet(vec![e1, e2])).unwrap();
+        db.set_attr(v, "CoOwners", Value::RefSet(vec![e1, e2]))
+            .unwrap();
         db.set_attr(v, "Weight", Value::Float(1234.5)).unwrap();
         db.set_attr(v, "Electric", Value::Bool(true)).unwrap();
         db

@@ -103,7 +103,11 @@ impl Value {
                 out.push(TAG_FLOAT);
                 // IEEE-754 total order trick.
                 let bits = x.to_bits();
-                let ordered = if bits >> 63 == 1 { !bits } else { bits | (1 << 63) };
+                let ordered = if bits >> 63 == 1 {
+                    !bits
+                } else {
+                    bits | (1 << 63)
+                };
                 out.extend_from_slice(&ordered.to_be_bytes());
             }
             Value::Str(s) => {

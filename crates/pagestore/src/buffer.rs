@@ -78,6 +78,10 @@ pub struct QueryStats {
     pub node_visits: u64,
 }
 
+/// Largest `touched` bitmap (one `u64` per page id) carried across
+/// queries; [`BufferPool::begin_query`] sheds anything bigger.
+const TOUCHED_RETAIN_LIMIT: usize = 1 << 12;
+
 /// A single-threaded buffer pool with LRU eviction, pinning via [`PageRef`]
 /// handles, and the page-access accounting the experiments report.
 pub struct BufferPool<S: PageStore> {
@@ -137,6 +141,13 @@ impl<S: PageStore> BufferPool<S> {
     pub fn begin_query(&mut self) {
         self.epoch += 1;
         self.query = QueryStats::default();
+        // `touched` grows to the highest page id a query ever visits and
+        // would otherwise stay that large for the pool's lifetime. Epochs
+        // make stale entries harmless, so shedding the memory is free.
+        if self.touched.len() > TOUCHED_RETAIN_LIMIT {
+            self.touched.clear();
+            self.touched.shrink_to(TOUCHED_RETAIN_LIMIT);
+        }
     }
 
     /// The per-query counters accumulated since the last
@@ -213,8 +224,11 @@ impl<S: PageStore> BufferPool<S> {
                 return Err(Error::Corrupt(format!("freeing pinned page {id}")));
             }
         }
+        // Count the free only once the store accepts it, so a failed free
+        // (e.g. an unallocated id or an I/O error) leaves stats truthful.
+        self.store.free(id)?;
         self.stats.frees += 1;
-        self.store.free(id)
+        Ok(())
     }
 
     /// Write all dirty frames back to the store and sync it.
@@ -276,6 +290,14 @@ impl<S: PageStore> BufferPool<S> {
     /// Direct access to the backing store (e.g. to inspect `live_pages`).
     pub fn store(&self) -> &S {
         &self.store
+    }
+
+    /// Mutable access to the backing store — e.g. to call
+    /// [`crate::WalStore::commit`] on a WAL-backed pool after
+    /// [`BufferPool::flush_to_store_only`]. Mutating page contents through
+    /// this handle bypasses the cache; prefer the pool's own methods.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
     }
 }
 
@@ -376,5 +398,44 @@ mod tests {
     fn fetch_null_fails() {
         let mut p = pool(4);
         assert!(p.fetch(PageId::NULL).is_err());
+    }
+
+    #[test]
+    fn failed_free_does_not_count() {
+        let mut p = pool(4);
+        let (a, _) = p.allocate().unwrap();
+        p.free(a).unwrap();
+        assert_eq!(p.stats().frees, 1);
+        // Freeing the same page again fails in the store — the counter
+        // must not move (it used to be incremented before the store call).
+        assert!(p.free(a).is_err());
+        assert_eq!(p.stats().frees, 1);
+        assert!(p.free(PageId(999)).is_err());
+        assert_eq!(p.stats().frees, 1);
+    }
+
+    #[test]
+    fn begin_query_sheds_oversized_touched_bitmap() {
+        let mut p = pool(4);
+        let mut ids = Vec::new();
+        for _ in 0..TOUCHED_RETAIN_LIMIT + 100 {
+            ids.push(p.allocate().unwrap().0);
+        }
+        p.begin_query();
+        for &id in &ids {
+            p.fetch(id).unwrap();
+        }
+        assert!(p.touched.len() > TOUCHED_RETAIN_LIMIT);
+        assert_eq!(p.query_stats().distinct_pages, ids.len() as u64);
+        p.begin_query();
+        assert!(
+            p.touched.capacity() <= TOUCHED_RETAIN_LIMIT,
+            "begin_query must release an oversized touched bitmap"
+        );
+        // Accounting still works after the shed.
+        p.fetch(ids[0]).unwrap();
+        p.fetch(ids[0]).unwrap();
+        assert_eq!(p.query_stats().distinct_pages, 1);
+        assert_eq!(p.query_stats().node_visits, 2);
     }
 }

@@ -1,0 +1,284 @@
+//! Deterministic fault injection for page stores.
+//!
+//! [`FaultStore`] wraps any [`PageStore`] and fails scheduled operations:
+//! clean I/O errors, torn writes that persist only a prefix of the page,
+//! and crash points after which every operation fails. Operations are
+//! numbered from zero in the order the wrapper sees them, so a test can
+//! sweep a fault across *every* point of a workload and assert that the
+//! layers above (WAL, buffer pool, B-tree) either fail cleanly or recover.
+
+use std::collections::BTreeMap;
+
+use crate::error::{Error, Result};
+use crate::page::PageId;
+use crate::store::PageStore;
+
+/// A single injected fault, fired when the wrapped store reaches the
+/// operation it is scheduled at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails with an I/O error and has no effect.
+    IoError,
+    /// A write persists only its first `bytes` bytes (a torn page), then
+    /// reports an I/O error. On non-write operations this degrades to
+    /// [`Fault::IoError`].
+    TornWrite {
+        /// How much of the page reaches the backing store.
+        bytes: usize,
+    },
+    /// The store loses power: this operation and every later one fail,
+    /// and nothing more reaches the backing store.
+    Crash,
+}
+
+/// A [`PageStore`] wrapper that injects faults from a deterministic
+/// schedule. Counted operations are `allocate`, `free`, `read`, `write`
+/// and `sync`; `page_size` and `live_pages` are free.
+pub struct FaultStore<S: PageStore> {
+    inner: S,
+    schedule: BTreeMap<u64, Fault>,
+    ops: u64,
+    crashed: bool,
+}
+
+impl<S: PageStore> FaultStore<S> {
+    /// Wrap `inner` with an empty schedule (fully transparent).
+    pub fn new(inner: S) -> Self {
+        FaultStore {
+            inner,
+            schedule: BTreeMap::new(),
+            ops: 0,
+            crashed: false,
+        }
+    }
+
+    /// Wrap `inner` with a pseudo-random schedule of `faults` faults over
+    /// operations `[0, horizon)`, derived from `seed` (SplitMix64).
+    pub fn seeded(inner: S, seed: u64, faults: usize, horizon: u64) -> Self {
+        let mut s = Self::new(inner);
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..faults {
+            let at = next() % horizon.max(1);
+            let fault = match next() % 3 {
+                0 => Fault::IoError,
+                1 => Fault::TornWrite {
+                    bytes: (next() % 64) as usize,
+                },
+                _ => Fault::Crash,
+            };
+            s.schedule.insert(at, fault);
+        }
+        s
+    }
+
+    /// Schedule `fault` to fire at counted operation number `at`.
+    pub fn inject(&mut self, at: u64, fault: Fault) {
+        self.schedule.insert(at, fault);
+    }
+
+    /// Operations counted so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Scheduled faults that have not fired yet.
+    pub fn pending_faults(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether a [`Fault::Crash`] has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Drop all pending faults and clear the crashed flag ("repair the
+    /// disk"), e.g. before a recovery attempt.
+    pub fn clear_faults(&mut self) {
+        self.schedule.clear();
+        self.crashed = false;
+    }
+
+    /// The wrapped store, read-only.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the schedule.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn fault_error(what: &str) -> Error {
+        Error::Io(std::io::Error::other(format!("injected fault: {what}")))
+    }
+
+    /// Count one operation; return the fault to apply to it, if any.
+    /// Fired faults leave the schedule, so tests can tell whether a
+    /// scheduled fault was ever reached.
+    fn begin_op(&mut self) -> Result<Option<Fault>> {
+        if self.crashed {
+            return Err(Self::fault_error("store crashed"));
+        }
+        let n = self.ops;
+        self.ops += 1;
+        match self.schedule.remove(&n) {
+            Some(Fault::Crash) => {
+                self.crashed = true;
+                Err(Self::fault_error("crash"))
+            }
+            other => Ok(other),
+        }
+    }
+}
+
+impl<S: PageStore> PageStore for FaultStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn allocate(&mut self) -> Result<PageId> {
+        match self.begin_op()? {
+            None => self.inner.allocate(),
+            Some(_) => Err(Self::fault_error("allocate failed")),
+        }
+    }
+
+    fn free(&mut self, id: PageId) -> Result<()> {
+        match self.begin_op()? {
+            None => self.inner.free(id),
+            Some(_) => Err(Self::fault_error("free failed")),
+        }
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        match self.begin_op()? {
+            None => self.inner.read(id, buf),
+            Some(_) => Err(Self::fault_error("read failed")),
+        }
+    }
+
+    fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
+        match self.begin_op()? {
+            None => self.inner.write(id, buf),
+            Some(Fault::TornWrite { bytes }) => {
+                // Persist the torn prefix over the page's current content,
+                // then report failure — like a power cut mid-sector.
+                let n = bytes.min(buf.len());
+                let mut cur = vec![0u8; self.inner.page_size()];
+                self.inner.read(id, &mut cur)?;
+                cur[..n].copy_from_slice(&buf[..n]);
+                self.inner.write(id, &cur)?;
+                Err(Self::fault_error("torn write"))
+            }
+            Some(_) => Err(Self::fault_error("write failed")),
+        }
+    }
+
+    fn live_pages(&self) -> usize {
+        self.inner.live_pages()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        match self.begin_op()? {
+            None => self.inner.sync(),
+            Some(_) => Err(Self::fault_error("sync failed")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    #[test]
+    fn transparent_without_faults() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[7u8; 128]).unwrap();
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+        assert_eq!(s.ops(), 3);
+        assert_eq!(s.live_pages(), 1);
+        s.free(a).unwrap();
+        assert_eq!(s.live_pages(), 0);
+    }
+
+    #[test]
+    fn io_error_has_no_effect() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 128]).unwrap();
+        s.inject(s.ops(), Fault::IoError);
+        assert!(s.write(a, &[2u8; 128]).is_err());
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 1, "failed write must leave the page untouched");
+        assert_eq!(s.pending_faults(), 0, "fault fired and left the schedule");
+    }
+
+    #[test]
+    fn torn_write_persists_prefix() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 128]).unwrap();
+        s.inject(s.ops(), Fault::TornWrite { bytes: 10 });
+        assert!(s.write(a, &[2u8; 128]).is_err());
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(&out[..10], &[2u8; 10], "torn prefix persisted");
+        assert_eq!(&out[10..], &[1u8; 118], "rest of the page untouched");
+    }
+
+    #[test]
+    fn crash_latches() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[3u8; 128]).unwrap();
+        s.inject(s.ops(), Fault::Crash);
+        let mut out = vec![0u8; 128];
+        assert!(s.read(a, &mut out).is_err());
+        assert!(s.crashed());
+        assert!(
+            s.write(a, &[4u8; 128]).is_err(),
+            "everything fails after a crash"
+        );
+        assert!(s.allocate().is_err());
+        // The data written before the crash is still in the backing store.
+        let mut inner = s.into_inner();
+        inner.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 3);
+    }
+
+    #[test]
+    fn clear_faults_repairs() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.inject(s.ops(), Fault::Crash);
+        assert!(s.write(a, &[5u8; 128]).is_err());
+        s.clear_faults();
+        s.write(a, &[5u8; 128]).unwrap();
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 5);
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic() {
+        let a = FaultStore::seeded(MemStore::new(128), 42, 5, 100);
+        let b = FaultStore::seeded(MemStore::new(128), 42, 5, 100);
+        assert_eq!(a.schedule, b.schedule);
+        assert!(!a.schedule.is_empty());
+        let c = FaultStore::seeded(MemStore::new(128), 43, 5, 100);
+        assert_ne!(a.schedule, c.schedule);
+        assert!(a.schedule.keys().all(|&k| k < 100));
+    }
+}

@@ -33,6 +33,7 @@
 
 mod buffer;
 mod error;
+mod fault;
 mod file;
 mod page;
 mod store;
@@ -40,6 +41,7 @@ mod wal;
 
 pub use buffer::{BufferPool, PageRef, PoolStats, QueryStats};
 pub use error::{Error, Result};
+pub use fault::{Fault, FaultStore};
 pub use page::{PageId, PAGE_SIZE_DEFAULT, PAGE_SIZE_MIN};
 pub use store::{MemStore, PageStore};
 

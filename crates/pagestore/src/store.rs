@@ -190,10 +190,7 @@ mod tests {
         ));
         s.free(a).unwrap();
         assert!(matches!(s.free(a), Err(Error::PageNotFound(_))));
-        assert!(matches!(
-            s.read(a, &mut buf),
-            Err(Error::PageNotFound(_))
-        ));
+        assert!(matches!(s.read(a, &mut buf), Err(Error::PageNotFound(_))));
     }
 
     #[test]

@@ -105,15 +105,13 @@ impl<S: PageStore> WalStore<S> {
         while pos + 13 <= buf.len() {
             let op = buf[pos];
             let page = PageId::from_bytes(buf[pos + 1..pos + 5].try_into().unwrap());
-            let len =
-                u32::from_le_bytes(buf[pos + 5..pos + 9].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(buf[pos + 5..pos + 9].try_into().unwrap()) as usize;
             if pos + 9 + len + 4 > buf.len() {
                 break; // torn record
             }
             let data = &buf[pos + 9..pos + 9 + len];
-            let stored_crc = u32::from_le_bytes(
-                buf[pos + 9 + len..pos + 13 + len].try_into().unwrap(),
-            );
+            let stored_crc =
+                u32::from_le_bytes(buf[pos + 9 + len..pos + 13 + len].try_into().unwrap());
             if crc32(&buf[pos..pos + 9 + len]) != stored_crc {
                 break; // corrupt tail
             }
@@ -133,7 +131,8 @@ impl<S: PageStore> WalStore<S> {
                                 // overlay only.
                                 self.inner.free(got).ok();
                             }
-                            self.overlay.insert(page, Some(vec![0u8; self.inner.page_size()]));
+                            self.overlay
+                                .insert(page, Some(vec![0u8; self.inner.page_size()]));
                             self.live_delta += 1;
                             self.pending_allocs.push(page);
                         }
@@ -178,17 +177,26 @@ impl<S: PageStore> WalStore<S> {
     /// log. Implies a commit.
     pub fn checkpoint(&mut self) -> Result<()> {
         self.commit()?;
-        for (page, data) in std::mem::take(&mut self.overlay) {
+        // Apply the overlay WITHOUT consuming it: if a backing-store write
+        // fails part-way through, the overlay and the intact log must
+        // survive so the checkpoint can be retried (re-applying a page
+        // write is idempotent) or the store recovered by replay.
+        for (page, data) in &self.overlay {
             match data {
-                Some(bytes) => self.inner.write(page, &bytes)?,
-                None => {
-                    self.inner.free(page).ok();
-                }
+                Some(bytes) => self.inner.write(*page, bytes)?,
+                // A retried checkpoint may free a page the first attempt
+                // already freed — tolerate exactly that; a real I/O error
+                // must propagate or the page would silently leak.
+                None => match self.inner.free(*page) {
+                    Ok(()) | Err(Error::PageNotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
             }
         }
+        self.inner.sync()?;
+        self.overlay.clear();
         self.pending_allocs.clear();
         self.live_delta = 0;
-        self.inner.sync()?;
         self.log.set_len(0)?;
         self.log.seek(SeekFrom::Start(0))?;
         self.log.sync_data()?;
@@ -198,6 +206,18 @@ impl<S: PageStore> WalStore<S> {
     /// The log file path (for crash-simulation tests).
     pub fn log_path(&self) -> &Path {
         &self.log_path
+    }
+
+    /// The backing store, read-only (for instrumentation).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Mutable access to the backing store, e.g. to arm a
+    /// [`crate::FaultStore`] schedule. Mutating pages through this handle
+    /// bypasses the log and forfeits crash safety.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
     }
 
     /// Consume the wrapper, returning the backing store (without
@@ -215,7 +235,8 @@ impl<S: PageStore> PageStore for WalStore<S> {
     fn allocate(&mut self) -> Result<PageId> {
         let id = self.inner.allocate()?;
         self.append(OP_ALLOC, id, &[])?;
-        self.overlay.insert(id, Some(vec![0u8; self.inner.page_size()]));
+        self.overlay
+            .insert(id, Some(vec![0u8; self.inner.page_size()]));
         self.pending_allocs.push(id);
         Ok(id)
     }
@@ -355,7 +376,8 @@ mod tests {
         // Corrupt the log tail: append garbage simulating a torn write.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[OP_WRITE, 0, 0, 0, 0, 128, 0, 0, 0, 1, 2, 3]).unwrap();
+            f.write_all(&[OP_WRITE, 0, 0, 0, 0, 128, 0, 0, 0, 1, 2, 3])
+                .unwrap();
         }
         let mut recovered = WalStore::open(inner, &path).unwrap();
         let mut out = vec![0u8; 128];

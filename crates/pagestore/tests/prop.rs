@@ -10,8 +10,8 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Op {
     Allocate,
-    Free(usize),         // index into live list
-    Write(usize, u8),    // page, fill byte
+    Free(usize),      // index into live list
+    Write(usize, u8), // page, fill byte
     Read(usize),
     BeginQuery,
     Flush,

@@ -19,10 +19,7 @@ pub fn has_ref_cycle(schema: &Schema) -> bool {
 
 /// The REF edges participating in cycles of the contracted graph, ignoring
 /// the given `(source, attr)` edges. Empty when acyclic.
-pub fn find_cycle_edges(
-    schema: &Schema,
-    ignored: &HashSet<(ClassId, AttrId)>,
-) -> Vec<RefEdge> {
+pub fn find_cycle_edges(schema: &Schema, ignored: &HashSet<(ClassId, AttrId)>) -> Vec<RefEdge> {
     let edges: Vec<RefEdge> = schema
         .ref_edges()
         .into_iter()
@@ -64,8 +61,7 @@ pub fn ignore_sets(schema: &Schema, groups: &[Vec<RefEdge>]) -> Vec<HashSet<(Cla
     groups
         .iter()
         .map(|g| {
-            let keep: HashSet<(ClassId, AttrId)> =
-                g.iter().map(|e| (e.source, e.attr)).collect();
+            let keep: HashSet<(ClassId, AttrId)> = g.iter().map(|e| (e.source, e.attr)).collect();
             all.difference(&keep).copied().collect()
         })
         .collect()
@@ -93,8 +89,7 @@ fn cyclic_subset(schema: &Schema, edges: &[RefEdge]) -> Vec<RefEdge> {
         let removable: Vec<ClassId> = nodes
             .iter()
             .filter(|n| {
-                adj.get(n).is_none_or(|s| s.is_empty())
-                    || radj.get(n).is_none_or(|s| s.is_empty())
+                adj.get(n).is_none_or(|s| s.is_empty()) || radj.get(n).is_none_or(|s| s.is_empty())
             })
             .copied()
             .collect();

@@ -199,7 +199,10 @@ impl Encoding {
             if ignored.contains(&(e.source, e.attr)) {
                 continue;
             }
-            let (sr, tr) = (schema.hierarchy_root(e.source), schema.hierarchy_root(e.target));
+            let (sr, tr) = (
+                schema.hierarchy_root(e.source),
+                schema.hierarchy_root(e.target),
+            );
             if sr == tr {
                 continue; // intra-hierarchy reference: no ordering demanded
             }
@@ -220,8 +223,7 @@ fn topo_order_roots(
     roots: &[ClassId],
     ignored: &HashSet<(ClassId, AttrId)>,
 ) -> Result<Vec<ClassId>> {
-    let index: BTreeMap<ClassId, usize> =
-        roots.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let index: BTreeMap<ClassId, usize> = roots.iter().enumerate().map(|(i, &r)| (r, i)).collect();
     let n = roots.len();
     // adj[t] -> sources that must come after t.
     let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -290,12 +292,16 @@ mod tests {
         s.add_attr(employee, "Age", AttrType::Int).unwrap();
         let city = s.add_class("City").unwrap();
         let company = s.add_class("Company").unwrap();
-        s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+        s.add_attr(company, "President", AttrType::Ref(employee))
+            .unwrap();
         let division = s.add_class("Division").unwrap();
-        s.add_attr(division, "Belong", AttrType::Ref(company)).unwrap();
-        s.add_attr(division, "LocatedIn", AttrType::Ref(city)).unwrap();
+        s.add_attr(division, "Belong", AttrType::Ref(company))
+            .unwrap();
+        s.add_attr(division, "LocatedIn", AttrType::Ref(city))
+            .unwrap();
         let vehicle = s.add_class("Vehicle").unwrap();
-        s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+        s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company))
+            .unwrap();
         s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
         let auto = s.add_subclass("Automobile", vehicle).unwrap();
         let truck = s.add_subclass("Truck", vehicle).unwrap();
@@ -405,7 +411,8 @@ mod tests {
         // Fig 4b: a new hierarchy between Company and Vehicle: Dealer
         // references Company, Vehicle references Dealer.
         let dealer = s.add_class("Dealer").unwrap();
-        s.add_attr(dealer, "Franchise", AttrType::Ref(ids[2])).unwrap();
+        s.add_attr(dealer, "Franchise", AttrType::Ref(ids[2]))
+            .unwrap();
         s.add_attr(ids[4], "SoldBy", AttrType::Ref(dealer)).unwrap();
         let code = enc.assign_class(&s, dealer).unwrap().clone();
         assert!(code.as_bytes() > enc.code(ids[2]).unwrap().as_bytes());

@@ -47,8 +47,8 @@
 //! assert!(enc.code(auto).unwrap().has_prefix(enc.code(vehicle).unwrap()));
 //! ```
 
-pub mod cycles;
 mod code;
+pub mod cycles;
 mod encode;
 mod error;
 pub mod frac;

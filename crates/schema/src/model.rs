@@ -380,7 +380,11 @@ mod tests {
         s.add_attr(veh, "Owners", AttrType::RefSet(emp)).unwrap();
         let edges = s.ref_edges();
         assert_eq!(edges.len(), 3);
-        assert!(edges.iter().any(|e| e.source == com && e.target == emp && !e.multi));
-        assert!(edges.iter().any(|e| e.source == veh && e.target == emp && e.multi));
+        assert!(edges
+            .iter()
+            .any(|e| e.source == com && e.target == emp && !e.multi));
+        assert!(edges
+            .iter()
+            .any(|e| e.source == veh && e.target == emp && e.multi));
     }
 }

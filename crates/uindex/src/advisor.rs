@@ -92,8 +92,7 @@ pub fn advise(schema: &Schema, workload: &[WorkloadQuery]) -> Result<Vec<Recomme
         // Merge into an existing recommendation on the same attribute.
         let mut merged = false;
         for rec in &mut recs {
-            if rec.spec.attr == spec.attr
-                && rec.spec.include_subclasses == spec.include_subclasses
+            if rec.spec.attr == spec.attr && rec.spec.include_subclasses == spec.include_subclasses
             {
                 rec.spec = rec.spec.clone().merge(&spec)?;
                 rec.serves.push(i);
@@ -144,12 +143,15 @@ mod tests {
         let employee = s.add_class("Employee").unwrap();
         s.add_attr(employee, "Age", AttrType::Int).unwrap();
         let company = s.add_class("Company").unwrap();
-        s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+        s.add_attr(company, "President", AttrType::Ref(employee))
+            .unwrap();
         let division = s.add_class("Division").unwrap();
-        s.add_attr(division, "Belong", AttrType::Ref(company)).unwrap();
+        s.add_attr(division, "Belong", AttrType::Ref(company))
+            .unwrap();
         let vehicle = s.add_class("Vehicle").unwrap();
         s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+            .unwrap();
         (s, employee, company, division, vehicle)
     }
 
@@ -186,7 +188,10 @@ mod tests {
         let names: Vec<&str> = recs.iter().map(|r| r.spec.name.as_str()).collect();
         assert!(names.contains(&"u-Vehicle-Color"));
         assert!(names.contains(&"u-Employee-Age"));
-        let age_rec = recs.iter().find(|r| r.spec.name == "u-Employee-Age").unwrap();
+        let age_rec = recs
+            .iter()
+            .find(|r| r.spec.name == "u-Employee-Age")
+            .unwrap();
         assert_eq!(age_rec.serves, vec![1, 2]);
     }
 

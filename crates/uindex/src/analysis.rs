@@ -82,10 +82,7 @@ impl CostModel {
         // leaves (each group can straddle one extra leaf boundary).
         let match_leaves = (matches as f64 / self.entries_per_leaf).ceil() as u64 + groups;
         let max = (groups * self.height + match_leaves).min(self.total_pages());
-        CostBounds {
-            min: 1,
-            max,
-        }
+        CostBounds { min: 1, max }
     }
 }
 

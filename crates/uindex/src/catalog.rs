@@ -54,8 +54,8 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
 
 fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
     let bad = || Error::BadKey("corrupt catalog string".into());
-    let n = u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(bad)?.try_into().unwrap())
-        as usize;
+    let n =
+        u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(bad)?.try_into().unwrap()) as usize;
     *pos += 2;
     let s = std::str::from_utf8(buf.get(*pos..*pos + n).ok_or_else(bad)?)
         .map_err(|_| bad())?

@@ -237,8 +237,7 @@ impl Database {
 
     /// Open a database saved by [`Database::save`], rebuilding all indexes.
     pub fn open(dir: &std::path::Path) -> Result<Self> {
-        let objects =
-            std::fs::read(dir.join("objects.bin")).map_err(pagestore::Error::Io)?;
+        let objects = std::fs::read(dir.join("objects.bin")).map_err(pagestore::Error::Io)?;
         let store = ObjectStore::from_bytes(&objects)?;
         let schema = store.schema().clone();
         let mut db = Database::in_memory(schema)?;

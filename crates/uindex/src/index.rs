@@ -80,9 +80,7 @@ impl<S: PageStore> UIndex<S> {
 
     /// The spec behind `id`.
     pub fn spec(&self, id: IndexId) -> Result<&IndexSpec> {
-        self.specs
-            .get(id as usize)
-            .ok_or(Error::UnknownIndex(id))
+        self.specs.get(id as usize).ok_or(Error::UnknownIndex(id))
     }
 
     /// Register an index definition (normalizing and validating it).
@@ -90,7 +88,10 @@ impl<S: PageStore> UIndex<S> {
     /// [`crate::Database`], which maintains entries incrementally.
     pub fn define(&mut self, schema: &Schema, mut spec: IndexSpec) -> Result<IndexId> {
         if self.specs.iter().any(|s| s.name == spec.name) {
-            return Err(Error::BadSpec(format!("duplicate index name {:?}", spec.name)));
+            return Err(Error::BadSpec(format!(
+                "duplicate index name {:?}",
+                spec.name
+            )));
         }
         if self.specs.len() >= u16::MAX as usize {
             return Err(Error::BadSpec("too many indexes".into()));
@@ -110,7 +111,13 @@ impl<S: PageStore> UIndex<S> {
 
     // ----- entry enumeration ---------------------------------------------
 
-    fn class_in_scope(&self, schema: &Schema, spec: &IndexSpec, pos: usize, class: ClassId) -> bool {
+    fn class_in_scope(
+        &self,
+        schema: &Schema,
+        spec: &IndexSpec,
+        pos: usize,
+        class: ClassId,
+    ) -> bool {
         let pc = spec.positions[pos].class;
         if spec.include_subclasses {
             schema.is_subclass_of(class, pc)
@@ -353,12 +360,7 @@ impl<S: PageStore> UIndex<S> {
 
     /// Anchors (position-0 objects) whose entries involve `oid` in index
     /// `id`, under the current store state.
-    pub fn anchors_affected(
-        &self,
-        store: &ObjectStore,
-        id: IndexId,
-        oid: Oid,
-    ) -> Result<Vec<Oid>> {
+    pub fn anchors_affected(&self, store: &ObjectStore, id: IndexId, oid: Oid) -> Result<Vec<Oid>> {
         let spec = self.spec(id)?;
         let schema = store.schema();
         if !store.exists(oid) {

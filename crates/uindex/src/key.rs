@@ -156,7 +156,11 @@ mod tests {
     fn roundtrip_path() {
         let k = key(
             Value::Int(50),
-            vec![(&[b'B', 1], 3), (&[b'C', 1], 12), (&[b'E', 1, b'B', 1], 123)],
+            vec![
+                (&[b'B', 1], 3),
+                (&[b'C', 1], 12),
+                (&[b'E', 1, b'B', 1], 123),
+            ],
         );
         let enc = k.encode().unwrap();
         assert_eq!(EntryKey::decode(&enc).unwrap(), k);

@@ -55,14 +55,15 @@
 pub mod advisor;
 pub mod analysis;
 pub mod catalog;
-pub mod uql;
 mod db;
 mod error;
 mod index;
 mod key;
+pub mod oracle;
 mod query;
 mod scan;
 mod spec;
+pub mod uql;
 
 pub use catalog::{catalog_entry_count, CATALOG_ID};
 pub use db::Database;

@@ -159,7 +159,13 @@ impl Matcher {
     /// Smallest key strictly greater than `key` in the field *before* the
     /// element starting at `elem_idx` (or before the first element, i.e.
     /// the value field, when `elem_idx == 0`).
-    fn bump_before(&self, key: &[u8], val_sep: usize, elems: &[ElemOffsets], elem_idx: usize) -> Advice {
+    fn bump_before(
+        &self,
+        key: &[u8],
+        val_sep: usize,
+        elems: &[ElemOffsets],
+        elem_idx: usize,
+    ) -> Advice {
         if elem_idx == 0 {
             // Successor of the value field: the 0x00 separator after the
             // value becomes 0x01, stepping past every key with this value.
@@ -334,7 +340,9 @@ pub(crate) fn execute<S: PageStore>(
                     assignment,
                 });
                 match skip {
-                    Some(t) if algorithm == ScanAlgorithm::Parallel && t.as_slice() > k.as_slice() => {
+                    Some(t)
+                        if algorithm == ScanAlgorithm::Parallel && t.as_slice() > k.as_slice() =>
+                    {
                         stats.seeks += 1;
                         cur = tree.seek(&t)?;
                     }
@@ -343,8 +351,14 @@ pub(crate) fn execute<S: PageStore>(
             }
             Advice::Step => tree.cursor_advance(&mut cur),
             Advice::SkipTo(t) => {
-                debug_assert!(t.as_slice() > k.as_slice(), "skip target must advance");
-                if algorithm == ScanAlgorithm::Parallel && t.as_slice() > k.as_slice() {
+                if t.as_slice() <= k.as_slice() {
+                    // A non-advancing skip target would loop the scan
+                    // forever. It cannot arise from a well-formed matcher,
+                    // but if one slips through (corrupt key bytes, a bad
+                    // hand-built matcher), degrade to a plain step: every
+                    // key still gets examined, only the skip is lost.
+                    tree.cursor_advance(&mut cur);
+                } else if algorithm == ScanAlgorithm::Parallel {
                     stats.seeks += 1;
                     cur = tree.seek(&t)?;
                 } else {
@@ -502,10 +516,7 @@ mod tests {
         assert_eq!(m.advise(&k).unwrap(), Advice::Step);
         // Entry with both: match.
         let k = enc(5, &[(&[b'B', 1], 1), (&[b'C', 1], 5)]);
-        assert_eq!(
-            m.advise(&k).unwrap(),
-            Advice::Match(vec![Some(0), Some(1)])
-        );
+        assert_eq!(m.advise(&k).unwrap(), Advice::Match(vec![Some(0), Some(1)]));
         // Entry jumping past position 1 (code region D): bump previous oid.
         let m2 = Matcher {
             positions: vec![
@@ -546,6 +557,144 @@ mod tests {
         for v in [-100, 0, 9999] {
             let k = enc(v, &[(&[b'B', 1], 1)]);
             assert!(matches!(m.advise(&k).unwrap(), Advice::Match(_)));
+        }
+    }
+
+    #[test]
+    fn non_advancing_skip_target_degrades_to_step() {
+        use btree::BTreeConfig;
+        use pagestore::{BufferPool, MemStore};
+
+        // A malformed matcher whose class range lower bound extends the
+        // stored code with a FIELD_SEP byte: for a key carrying code
+        // [B, 1], advise emits SkipTo(prefix ++ [B, 1, 0x00]), which is a
+        // strict prefix of the key itself — i.e. it does NOT advance.
+        // The old debug_assert! aborted debug builds here and looped
+        // forever in release; now the scan degrades to stepping.
+        let m = Matcher {
+            index_id: 1,
+            value_ranges: vec![int_point(5)],
+            positions: vec![PosConstraint {
+                region: (vec![b'B', 1], vec![b'B', 2]),
+                class_ranges: vec![(vec![b'B', 1, 0x00], vec![b'B', 1, 0x00, 0xFF])],
+                oids: OidSel::Any,
+                required: true,
+            }],
+        };
+        let pool = BufferPool::new(MemStore::new(1024), 1 << 10);
+        let mut tree = BTree::create(pool, BTreeConfig::default()).unwrap();
+        for oid in [3u32, 7, 9] {
+            tree.insert(&enc(5, &[(&[b'B', 1], oid)]), b"").unwrap();
+        }
+        // Confirm the advice really is a non-advancing skip for these keys.
+        let k = enc(5, &[(&[b'B', 1], 3)]);
+        match m.advise(&k).unwrap() {
+            Advice::SkipTo(t) => assert!(t.as_slice() <= k.as_slice(), "premise: target stalls"),
+            a => panic!("expected SkipTo, got {a:?}"),
+        }
+        for alg in [ScanAlgorithm::Parallel, ScanAlgorithm::Forward] {
+            let (hits, stats) = execute(&mut tree, &m, alg, None).unwrap();
+            assert!(hits.is_empty(), "nothing can match the bogus class range");
+            assert_eq!(
+                stats.entries_examined, 3,
+                "every key stepped over exactly once"
+            );
+            assert_eq!(stats.seeks, 0, "stalled skips must not seek");
+        }
+    }
+}
+
+/// Property tests pitting [`Matcher::advise`] against the semantic oracle
+/// in [`crate::oracle`]: on randomly generated databases and queries,
+/// every piece of advice must be *sound* — `Match` agrees with the oracle
+/// including the assignment, `Step`/`SkipTo`/`Done` only reject keys the
+/// oracle rejects, every `SkipTo` target strictly advances, and no skip
+/// or `Done` ever jumps past a key the oracle says matches.
+#[cfg(test)]
+mod advise_props {
+    use super::*;
+    use crate::oracle::{self, Rng64};
+    use proptest::prelude::*;
+
+    fn check_seed(tseed: u64, qseed: u64) {
+        let mut t = oracle::gen_trial(tseed).expect("trial generation");
+        let keys: Vec<Vec<u8>> =
+            t.db.index_mut()
+                .tree_mut()
+                .scan_all()
+                .expect("tree scan")
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+        let mut rng = Rng64::new(qseed);
+        for _ in 0..4 {
+            let q = oracle::gen_query(&t, &mut rng);
+            let matcher = match t.db.index().matcher(&q) {
+                Ok(m) => m,
+                Err(_) => continue, // BadQuery path is covered by run_trials
+            };
+            let index = t.db.index();
+            let spec = index.spec(q.index).expect("spec");
+            let store = t.db.store();
+            let oracle_match = |k: &[u8]| -> Option<Vec<Option<usize>>> {
+                let e = EntryKey::decode(k).ok()?;
+                oracle::entry_matches(store.schema(), index.encoding(), spec, &q, &e)
+            };
+            for (i, k) in keys.iter().enumerate() {
+                match matcher.advise(k).expect("advise on well-formed key") {
+                    Advice::Match(a) => assert_eq!(
+                        oracle_match(k),
+                        Some(a),
+                        "advise matched a key the oracle rejects (or with a \
+                         different assignment): seeds {tseed:#x}/{qseed:#x}, query {q:?}"
+                    ),
+                    Advice::Step => assert!(
+                        oracle_match(k).is_none(),
+                        "advise stepped over a matching key: seeds \
+                         {tseed:#x}/{qseed:#x}, query {q:?}"
+                    ),
+                    Advice::SkipTo(target) => {
+                        assert!(
+                            target.as_slice() > k.as_slice(),
+                            "SkipTo target does not advance: seeds \
+                             {tseed:#x}/{qseed:#x}, query {q:?}"
+                        );
+                        assert!(
+                            oracle_match(k).is_none(),
+                            "advise skipped from a matching key: seeds \
+                             {tseed:#x}/{qseed:#x}, query {q:?}"
+                        );
+                        for k2 in &keys[i + 1..] {
+                            if k2.as_slice() >= target.as_slice() {
+                                break;
+                            }
+                            assert!(
+                                oracle_match(k2).is_none(),
+                                "SkipTo jumps past a key the oracle matches: \
+                                 seeds {tseed:#x}/{qseed:#x}, query {q:?}"
+                            );
+                        }
+                    }
+                    Advice::Done => {
+                        for k2 in &keys[i..] {
+                            assert!(
+                                oracle_match(k2).is_none(),
+                                "Done discards a key the oracle matches: \
+                                 seeds {tseed:#x}/{qseed:#x}, query {q:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn advise_is_sound_against_oracle(tseed in any::<u64>(), qseed in any::<u64>()) {
+            check_seed(tseed, qseed);
         }
     }
 }

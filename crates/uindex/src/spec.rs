@@ -133,7 +133,9 @@ impl IndexSpec {
             return Err(Error::BadSpec("index needs at least one position".into()));
         }
         if self.positions[0].parent.is_some() || self.positions[0].via.is_some() {
-            return Err(Error::BadSpec("position 0 must be the attribute owner".into()));
+            return Err(Error::BadSpec(
+                "position 0 must be the attribute owner".into(),
+            ));
         }
         // Attribute must resolve on position 0's class and be indexable.
         let ty = schema.attr_type(self.attr.0, self.attr.1);

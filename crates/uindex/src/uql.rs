@@ -88,9 +88,7 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
                     match chars.next() {
                         Some('\'') => break,
                         Some(ch) => s.push(ch),
-                        None => {
-                            return Err(Error::BadQuery("unterminated string literal".into()))
-                        }
+                        None => return Err(Error::BadQuery("unterminated string literal".into())),
                     }
                 }
                 out.push(Tok::Str(s));
@@ -202,10 +200,7 @@ impl<'a, S: PageStore> Parser<'a, S> {
             .ok_or_else(|| Error::BadQuery(format!("no index named {index_name:?}")))?;
         self.expect_sym(':')?;
         let spec = self.index.spec(id)?;
-        let attr_name = self
-            .schema
-            .attr_name(spec.attr.0, spec.attr.1)
-            .to_string();
+        let attr_name = self.schema.attr_name(spec.attr.0, spec.attr.1).to_string();
         let mut q = Query::on(id);
         let mut first = true;
         while self.peek().is_some() {
@@ -415,12 +410,14 @@ mod tests {
         let employee = s.add_class("Employee").unwrap();
         s.add_attr(employee, "Age", AttrType::Int).unwrap();
         let company = s.add_class("Company").unwrap();
-        s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+        s.add_attr(company, "President", AttrType::Ref(employee))
+            .unwrap();
         let jap = s.add_subclass("JapaneseAutoCompany", company).unwrap();
         let _ = jap;
         let vehicle = s.add_class("Vehicle").unwrap();
         s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+            .unwrap();
         s.add_subclass("Automobile", vehicle).unwrap();
         s.add_subclass("Truck", vehicle).unwrap();
         let enc = Encoding::generate(&s).unwrap();
@@ -470,10 +467,7 @@ mod tests {
             vec![(
                 0,
                 PosPred {
-                    class: ClassSel::AnyOf(vec![
-                        ClassSel::SubTree(auto),
-                        ClassSel::Exact(truck)
-                    ]),
+                    class: ClassSel::AnyOf(vec![ClassSel::SubTree(auto), ClassSel::Exact(truck)]),
                     oid: OidSel::Any,
                 }
             )]
@@ -515,11 +509,30 @@ mod tests {
             ValuePred::In(vec![Value::Int(40), Value::Int(50), Value::Int(60)])
         );
         let q = parse(&index, &s, "age: Age >= 41").unwrap();
-        assert!(matches!(q.value, ValuePred::Range { lo: Some(_), hi: None, .. }));
+        assert!(matches!(
+            q.value,
+            ValuePred::Range {
+                lo: Some(_),
+                hi: None,
+                ..
+            }
+        ));
         let q = parse(&index, &s, "age: Age <= 41").unwrap();
-        assert!(matches!(q.value, ValuePred::Range { lo: None, hi: Some(_), .. }));
+        assert!(matches!(
+            q.value,
+            ValuePred::Range {
+                lo: None,
+                hi: Some(_),
+                ..
+            }
+        ));
         // A sub-class name resolves to its position.
-        let q = parse(&index, &s, "age: JapaneseAutoCompany is JapaneseAutoCompany*").unwrap();
+        let q = parse(
+            &index,
+            &s,
+            "age: JapaneseAutoCompany is JapaneseAutoCompany*",
+        )
+        .unwrap();
         assert_eq!(q.preds[0].0, 1);
     }
 
@@ -527,17 +540,17 @@ mod tests {
     fn parse_errors() {
         let (index, s) = setup();
         for bad in [
-            "nope: Color = 'Red'",               // unknown index
-            "color: Colour = 'Red'",             // unknown attr/class
-            "color: Color = 'Red' Vehicle is Truck", // missing and
-            "color: Color > 'Red'",              // bare > unsupported
+            "nope: Color = 'Red'",                           // unknown index
+            "color: Colour = 'Red'",                         // unknown attr/class
+            "color: Color = 'Red' Vehicle is Truck",         // missing and
+            "color: Color > 'Red'",                          // bare > unsupported
             "color: Color = 'Red' and Employee is Employee", // class not on path
-            "color: Color = ",                   // truncated
-            "color: Color = 'unterminated",      // bad string
-            "age: Vehicle.oid = -3",             // negative oid
-            "color: Color = 9999",               // literal/attr type mismatch
-            "age: Age in (1, 'x')",              // mixed-kind In list
-            "age: Age between 1 and 'z'",        // mixed-kind range
+            "color: Color = ",                               // truncated
+            "color: Color = 'unterminated",                  // bad string
+            "age: Vehicle.oid = -3",                         // negative oid
+            "color: Color = 9999",                           // literal/attr type mismatch
+            "age: Age in (1, 'x')",                          // mixed-kind In list
+            "age: Age between 1 and 'z'",                    // mixed-kind range
         ] {
             assert!(parse(&index, &s, bad).is_err(), "should fail: {bad}");
         }

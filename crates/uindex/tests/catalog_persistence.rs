@@ -19,11 +19,13 @@ fn sample_schema() -> Schema {
     let employee = s.add_class("Employee").unwrap();
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let _auto_co = s.add_subclass("AutoCompany", company).unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+        .unwrap();
     let _auto = s.add_subclass("Automobile", vehicle).unwrap();
     s
 }
@@ -56,7 +58,9 @@ fn save_reload_roundtrip_in_memory() {
     // Populate through an object store, then save the catalog.
     let mut store = ObjectStore::new(schema.clone());
     let v = store.create(automobile).unwrap();
-    store.set_attr(v, "Color", Value::Str("Red".into())).unwrap();
+    store
+        .set_attr(v, "Color", Value::Str("Red".into()))
+        .unwrap();
     index.build(&store, 0).unwrap();
     let n = index.save_catalog(&schema).unwrap();
     assert!(n >= 10, "classes + attrs + sups + specs: got {n}");
@@ -90,13 +94,11 @@ fn reopen_from_file_and_query() {
             )
             .unwrap();
         let mut store = ObjectStore::new(schema.clone());
-        for (class, color) in [
-            (vehicle, "Red"),
-            (automobile, "Red"),
-            (automobile, "Blue"),
-        ] {
+        for (class, color) in [(vehicle, "Red"), (automobile, "Red"), (automobile, "Blue")] {
             let o = store.create(class).unwrap();
-            store.set_attr(o, "Color", Value::Str(color.into())).unwrap();
+            store
+                .set_attr(o, "Color", Value::Str(color.into()))
+                .unwrap();
         }
         index.build(&store, 0).unwrap();
         index.save_catalog(&schema).unwrap();
@@ -164,7 +166,7 @@ fn catalog_facts_cluster_by_code() {
         })
         .collect();
     assert_eq!(in_range.iter().filter(|&&b| b).count(), 2); // Vehicle + Automobile
-    // Contiguity: the true values form one run.
+                                                            // Contiguity: the true values form one run.
     let first = in_range.iter().position(|&b| b).unwrap();
     let last = in_range.iter().rposition(|&b| b).unwrap();
     assert!(in_range[first..=last].iter().all(|&b| b));

@@ -28,7 +28,8 @@ fn build() -> (Database, Vec<ClassId>, u16) {
     for _ in 0..6000 {
         let class = classes[rng.gen_range(0..classes.len())];
         let o = db.create_object(class).unwrap();
-        db.set_attr(o, "Score", Value::Int(rng.gen_range(0..200))).unwrap();
+        db.set_attr(o, "Score", Value::Int(rng.gen_range(0..200)))
+            .unwrap();
     }
     (db, classes, idx)
 }

@@ -18,17 +18,24 @@ fn save_open_roundtrip() {
         let employee = s.add_class("Employee").unwrap();
         s.add_attr(employee, "Age", AttrType::Int).unwrap();
         let company = s.add_class("Company").unwrap();
-        s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+        s.add_attr(company, "President", AttrType::Ref(employee))
+            .unwrap();
         let vehicle = s.add_class("Vehicle").unwrap();
         s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+        s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+            .unwrap();
         let auto = s.add_subclass("Automobile", vehicle).unwrap();
 
         let mut db = Database::in_memory(s).unwrap();
         db.define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
             .unwrap();
-        db.define_index(IndexSpec::path("age", vehicle, &["MadeBy", "President"], "Age"))
-            .unwrap();
+        db.define_index(IndexSpec::path(
+            "age",
+            vehicle,
+            &["MadeBy", "President"],
+            "Age",
+        ))
+        .unwrap();
         let e = db.create_object(employee).unwrap();
         db.set_attr(e, "Age", Value::Int(55)).unwrap();
         let c = db.create_object(company).unwrap();
@@ -45,10 +52,7 @@ fn save_open_roundtrip() {
             db.set_attr(v, "MadeBy", Value::Ref(c)).unwrap();
         }
         db.save(&dir).unwrap();
-        (
-            ["color", "age"].map(String::from),
-            red,
-        )
+        (["color", "age"].map(String::from), red)
     };
 
     let mut db = Database::open(&dir).unwrap();

@@ -2,9 +2,7 @@
 
 use objstore::{Oid, Value};
 use schema::{AttrType, Schema};
-use uindex::{
-    distinct_oids_at, ClassSel, Database, Error, IndexSpec, Query, ValuePred,
-};
+use uindex::{distinct_oids_at, ClassSel, Database, Error, IndexSpec, Query, ValuePred};
 
 /// "If a vehicle is manufactured by multiple companies, the same vehicle
 /// object will appear in multiple index entries" (§4.3).
@@ -14,14 +12,21 @@ fn multivalue_reference_in_path() {
     let employee = s.add_class("Employee").unwrap();
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     // Multi-valued: a vehicle made by several companies.
-    s.add_attr(vehicle, "MadeBy", AttrType::RefSet(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::RefSet(company))
+        .unwrap();
 
     let mut db = Database::in_memory(s).unwrap();
     let idx = db
-        .define_index(IndexSpec::path("age", vehicle, &["MadeBy", "President"], "Age"))
+        .define_index(IndexSpec::path(
+            "age",
+            vehicle,
+            &["MadeBy", "President"],
+            "Age",
+        ))
         .unwrap();
 
     let e1 = db.create_object(employee).unwrap();
@@ -33,7 +38,8 @@ fn multivalue_reference_in_path() {
     let c2 = db.create_object(company).unwrap();
     db.set_attr(c2, "President", Value::Ref(e2)).unwrap();
     let v = db.create_object(vehicle).unwrap();
-    db.set_attr(v, "MadeBy", Value::RefSet(vec![c1, c2])).unwrap();
+    db.set_attr(v, "MadeBy", Value::RefSet(vec![c1, c2]))
+        .unwrap();
 
     // The vehicle appears under BOTH presidents' ages.
     for (age, pres) in [(50, e1), (60, e2)] {
@@ -73,7 +79,8 @@ fn multivalue_at_anchor_side() {
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
     let employee = s.add_class("Employee").unwrap();
-    s.add_attr(employee, "Owns", AttrType::RefSet(vehicle)).unwrap();
+    s.add_attr(employee, "Owns", AttrType::RefSet(vehicle))
+        .unwrap();
 
     let mut db = Database::in_memory(s).unwrap();
     let idx = db
@@ -118,7 +125,8 @@ fn error_paths() {
     assert!(matches!(err, Error::BadSpec(_)), "{err}");
 
     // Duplicate index name.
-    db.define_index(IndexSpec::class_hierarchy("x", a, "X")).unwrap();
+    db.define_index(IndexSpec::class_hierarchy("x", a, "X"))
+        .unwrap();
     let err = db
         .define_index(IndexSpec::class_hierarchy("x", a, "X"))
         .unwrap_err();
@@ -172,7 +180,9 @@ fn unset_attributes_are_not_indexed() {
     let a = s.add_class("A").unwrap();
     s.add_attr(a, "X", AttrType::Int).unwrap();
     let mut db = Database::in_memory(s).unwrap();
-    let idx = db.define_index(IndexSpec::class_hierarchy("x", a, "X")).unwrap();
+    let idx = db
+        .define_index(IndexSpec::class_hierarchy("x", a, "X"))
+        .unwrap();
     let o = db.create_object(a).unwrap();
     // No value set yet: no entries.
     assert!(db.query(&Query::on(idx)).unwrap().is_empty());
@@ -188,12 +198,19 @@ fn incomplete_paths_produce_no_entries() {
     let employee = s.add_class("Employee").unwrap();
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
-    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+        .unwrap();
     let mut db = Database::in_memory(s).unwrap();
     let idx = db
-        .define_index(IndexSpec::path("age", vehicle, &["MadeBy", "President"], "Age"))
+        .define_index(IndexSpec::path(
+            "age",
+            vehicle,
+            &["MadeBy", "President"],
+            "Age",
+        ))
         .unwrap();
     let c = db.create_object(company).unwrap();
     let v = db.create_object(vehicle).unwrap();

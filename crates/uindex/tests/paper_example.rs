@@ -3,9 +3,7 @@
 
 use objstore::{Oid, Value};
 use schema::{AttrType, ClassId, Schema};
-use uindex::{
-    distinct_oids_at, ClassSel, Database, IndexSpec, OidSel, Query, ValuePred,
-};
+use uindex::{distinct_oids_at, ClassSel, Database, IndexSpec, OidSel, Query, ValuePred};
 
 /// The schema of the paper's Figure 1 (relevant part) and the instance
 /// database of Example 1.
@@ -20,9 +18,9 @@ struct PaperDb {
     japanese_company: ClassId,
     employee: ClassId,
     // objects
-    v: Vec<Oid>,  // v[1..=6]
-    c: Vec<Oid>,  // c[1..=3]
-    e: Vec<Oid>,  // e[1..=3]
+    v: Vec<Oid>, // v[1..=6]
+    c: Vec<Oid>, // c[1..=3]
+    e: Vec<Oid>, // e[1..=3]
 }
 
 fn paper_db() -> PaperDb {
@@ -31,13 +29,15 @@ fn paper_db() -> PaperDb {
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
     s.add_attr(company, "Name", AttrType::Str).unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let auto_company = s.add_subclass("AutoCompany", company).unwrap();
     let japanese_company = s.add_subclass("JapaneseAutoCompany", auto_company).unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Name", AttrType::Str).unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company))
+        .unwrap();
     let automobile = s.add_subclass("Automobile", vehicle).unwrap();
     let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
 
@@ -76,7 +76,8 @@ fn paper_db() -> PaperDb {
         let o = db.create_object(class).unwrap();
         db.set_attr(o, "Name", Value::Str(name.into())).unwrap();
         db.set_attr(o, "Color", Value::Str(color.into())).unwrap();
-        db.set_attr(o, "ManufacturedBy", Value::Ref(c[made_by])).unwrap();
+        db.set_attr(o, "ManufacturedBy", Value::Ref(c[made_by]))
+            .unwrap();
         v.push(o);
     }
     PaperDb {
@@ -101,10 +102,9 @@ fn str_eq(s: &str) -> ValuePred {
 #[test]
 fn class_hierarchy_index_queries() {
     let mut p = paper_db();
-    let idx = p
-        .db
-        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
-        .unwrap();
+    let idx =
+        p.db.define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+            .unwrap();
 
     // Query 1: all vehicles (of all types) with red color.
     let hits = p.db.query(&Query::on(idx).value(str_eq("Red"))).unwrap();
@@ -112,48 +112,48 @@ fn class_hierarchy_index_queries() {
     assert_eq!(oids, [p.v[3], p.v[4]].into_iter().collect());
 
     // Query 2: all automobiles (and sub-classes) with red color.
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(str_eq("Red"))
                 .class_at(0, ClassSel::SubTree(p.automobile)),
         )
         .unwrap();
-    assert_eq!(distinct_oids_at(&hits, 0), [p.v[3], p.v[4]].into_iter().collect());
+    assert_eq!(
+        distinct_oids_at(&hits, 0),
+        [p.v[3], p.v[4]].into_iter().collect()
+    );
 
     // White automobiles-and-below: v2, v6 (Tipo, Uno) but not Legacy (v1,
     // a plain Vehicle).
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(str_eq("White"))
                 .class_at(0, ClassSel::SubTree(p.automobile)),
         )
         .unwrap();
-    assert_eq!(distinct_oids_at(&hits, 0), [p.v[2], p.v[6]].into_iter().collect());
+    assert_eq!(
+        distinct_oids_at(&hits, 0),
+        [p.v[2], p.v[6]].into_iter().collect()
+    );
 
     // Query 4: vehicles which are NOT compact automobiles, with red color:
     // skip the compact sub-tree via a union of the remaining regions.
-    let hits = p
-        .db
-        .query(
-            &Query::on(idx).value(str_eq("Red")).class_at(
-                0,
-                ClassSel::AnyOf(vec![
-                    ClassSel::Exact(p.vehicle),
-                    ClassSel::Exact(p.automobile),
-                ]),
-            ),
-        )
+    let hits =
+        p.db.query(&Query::on(idx).value(str_eq("Red")).class_at(
+            0,
+            ClassSel::AnyOf(vec![
+                ClassSel::Exact(p.vehicle),
+                ClassSel::Exact(p.automobile),
+            ]),
+        ))
         .unwrap();
     assert_eq!(distinct_oids_at(&hits, 0), [p.v[3]].into_iter().collect());
 
     // Exact-class query: plain vehicles only.
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(str_eq("White"))
                 .class_at(0, ClassSel::Exact(p.vehicle)),
@@ -171,9 +171,8 @@ fn path_index_queries() {
     let mut p = paper_db();
     // Index on Age of Employee over Vehicle/Company/Employee (combined:
     // sub-classes included, like the paper's encoding discussion).
-    let idx = p
-        .db
-        .define_index(IndexSpec::path(
+    let idx =
+        p.db.define_index(IndexSpec::path(
             "v-age",
             p.vehicle,
             &["ManufacturedBy", "President"],
@@ -186,10 +185,9 @@ fn path_index_queries() {
     // Query 1 (paper): vehicles manufactured by a company whose
     // president's age is 50. e1 presides Fiat (c2) and Subaru? No: e1
     // presides c2 (Fiat). Fiat manufactures v2, v3, v6.
-    let hits = p
-        .db
-        .query(&Query::on(idx).value(ValuePred::eq(Value::Int(50))))
-        .unwrap();
+    let hits =
+        p.db.query(&Query::on(idx).value(ValuePred::eq(Value::Int(50))))
+            .unwrap();
     assert_eq!(
         distinct_oids_at(&hits, 2),
         [p.v[2], p.v[3], p.v[6]].into_iter().collect()
@@ -199,9 +197,8 @@ fn path_index_queries() {
     assert_eq!(distinct_oids_at(&hits, 0), [p.e[1]].into_iter().collect());
 
     // Query 2 variant: same, for a particular company (Fiat) by OID.
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(ValuePred::eq(Value::Int(50)))
                 .oid_at(1, OidSel::Is(p.c[2])),
@@ -211,9 +208,8 @@ fn path_index_queries() {
 
     // Query 3 (paper): restrict companies by a pre-selected set.
     let set = [p.c[1], p.c[3]].into_iter().collect();
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(ValuePred::at_least(Value::Int(0)))
                 .oid_at(1, OidSel::In(set)),
@@ -228,9 +224,8 @@ fn path_index_queries() {
 
     // Query 4 (paper): all companies whose president's age is 50 — answered
     // from the same index, deduplicating through the company position.
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(ValuePred::eq(Value::Int(50)))
                 .distinct_through(1),
@@ -240,19 +235,17 @@ fn path_index_queries() {
     assert_eq!(hits.len(), 1, "distinct_through skips the other vehicles");
 
     // Range query: age above 50 → e2 (60) presides Renault → v4.
-    let hits = p
-        .db
-        .query(&Query::on(idx).value(ValuePred::at_least(Value::Int(51))))
-        .unwrap();
+    let hits =
+        p.db.query(&Query::on(idx).value(ValuePred::at_least(Value::Int(51))))
+            .unwrap();
     assert_eq!(distinct_oids_at(&hits, 2), [p.v[4]].into_iter().collect());
 }
 
 #[test]
 fn combined_index_queries() {
     let mut p = paper_db();
-    let idx = p
-        .db
-        .define_index(IndexSpec::path(
+    let idx =
+        p.db.define_index(IndexSpec::path(
             "v-age",
             p.vehicle,
             &["ManufacturedBy", "President"],
@@ -264,9 +257,8 @@ fn combined_index_queries() {
     // Japanese auto company whose president's age is above 40.
     // Subaru (japanese) president e3 is 45; Subaru makes v1 (Vehicle) and
     // v5 (Compact). Only v5 qualifies.
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(ValuePred::at_least(Value::Int(41)))
                 .class_at(1, ClassSel::SubTree(p.japanese_company))
@@ -277,9 +269,8 @@ fn combined_index_queries() {
 
     // Automobiles (and below) made by any auto company with president age
     // exactly 50: Fiat is an AutoCompany; its automobiles v2, v3, v6.
-    let hits = p
-        .db
-        .query(
+    let hits =
+        p.db.query(
             &Query::on(idx)
                 .value(ValuePred::eq(Value::Int(50)))
                 .class_at(1, ClassSel::SubTree(p.auto_company))
@@ -295,13 +286,11 @@ fn combined_index_queries() {
 #[test]
 fn parallel_and_forward_agree() {
     let mut p = paper_db();
-    let ch = p
-        .db
-        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
-        .unwrap();
-    let path = p
-        .db
-        .define_index(IndexSpec::path(
+    let ch =
+        p.db.define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+            .unwrap();
+    let path =
+        p.db.define_index(IndexSpec::path(
             "v-age",
             p.vehicle,
             &["ManufacturedBy", "President"],
@@ -345,9 +334,8 @@ fn maintenance_president_switches_company() {
     // The paper's §3.5/§4.2 update example: a company replaces its
     // president; all clustered path entries must move.
     let mut p = paper_db();
-    let idx = p
-        .db
-        .define_index(IndexSpec::path(
+    let idx =
+        p.db.define_index(IndexSpec::path(
             "v-age",
             p.vehicle,
             &["ManufacturedBy", "President"],
@@ -360,12 +348,12 @@ fn maintenance_president_switches_company() {
     assert_eq!(p.db.query(&q50).unwrap().len(), 3);
 
     // Fiat replaces its president with e3 (age 45).
-    p.db.set_attr(p.c[2], "President", Value::Ref(p.e[3])).unwrap();
-    assert_eq!(p.db.query(&q50).unwrap().len(), 0);
-    let hits = p
-        .db
-        .query(&Query::on(idx).value(ValuePred::eq(Value::Int(45))))
+    p.db.set_attr(p.c[2], "President", Value::Ref(p.e[3]))
         .unwrap();
+    assert_eq!(p.db.query(&q50).unwrap().len(), 0);
+    let hits =
+        p.db.query(&Query::on(idx).value(ValuePred::eq(Value::Int(45))))
+            .unwrap();
     // e3 now presides Subaru AND Fiat: vehicles v1, v5 (Subaru) + v2, v3,
     // v6 (Fiat).
     assert_eq!(distinct_oids_at(&hits, 2).len(), 5);
@@ -375,13 +363,11 @@ fn maintenance_president_switches_company() {
 #[test]
 fn maintenance_attr_update_and_delete() {
     let mut p = paper_db();
-    let ch = p
-        .db
-        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
-        .unwrap();
-    let path = p
-        .db
-        .define_index(IndexSpec::path(
+    let ch =
+        p.db.define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+            .unwrap();
+    let path =
+        p.db.define_index(IndexSpec::path(
             "v-age",
             p.vehicle,
             &["ManufacturedBy", "President"],
@@ -390,7 +376,8 @@ fn maintenance_attr_update_and_delete() {
         .unwrap();
 
     // Repaint v3 red → green.
-    p.db.set_attr(p.v[3], "Color", Value::Str("Green".into())).unwrap();
+    p.db.set_attr(p.v[3], "Color", Value::Str("Green".into()))
+        .unwrap();
     let red = p.db.query(&Query::on(ch).value(str_eq("Red"))).unwrap();
     assert_eq!(distinct_oids_at(&red, 0), [p.v[4]].into_iter().collect());
     let green = p.db.query(&Query::on(ch).value(str_eq("Green"))).unwrap();
@@ -412,18 +399,24 @@ fn maintenance_attr_update_and_delete() {
 
     // Deleting a vehicle removes its entries from both indexes.
     p.db.delete_object(p.v[4], false).unwrap();
-    assert!(p.db.query(&Query::on(ch).value(str_eq("Red"))).unwrap().is_empty());
-    let hits = p
+    assert!(p
         .db
-        .query(&Query::on(path).value(ValuePred::eq(Value::Int(60))))
-        .unwrap();
+        .query(&Query::on(ch).value(str_eq("Red")))
+        .unwrap()
+        .is_empty());
+    let hits =
+        p.db.query(&Query::on(path).value(ValuePred::eq(Value::Int(60))))
+            .unwrap();
     assert!(hits.is_empty(), "v4 was Renault's only vehicle");
 
     // Force-deleting a company drops the whole clustered group.
     p.db.delete_object(p.c[2], true).unwrap();
     let all = p.db.query(&Query::on(path)).unwrap();
     // Remaining chains: Subaru (e3) → v1, v5.
-    assert_eq!(distinct_oids_at(&all, 2), [p.v[1], p.v[5]].into_iter().collect());
+    assert_eq!(
+        distinct_oids_at(&all, 2),
+        [p.v[1], p.v[5]].into_iter().collect()
+    );
     p.db.index_mut().verify().unwrap();
 }
 
@@ -435,11 +428,14 @@ fn multi_path_index_shares_prefix() {
     let employee = s.add_class("Employee").unwrap();
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let division = s.add_class("Division").unwrap();
-    s.add_attr(division, "Belong", AttrType::Ref(company)).unwrap();
+    s.add_attr(division, "Belong", AttrType::Ref(company))
+        .unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
-    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+        .unwrap();
 
     let mut db = Database::in_memory(s).unwrap();
     let spec_v = IndexSpec::path("ages", vehicle, &["MadeBy", "President"], "Age")
@@ -485,17 +481,14 @@ fn multi_path_index_shares_prefix() {
 #[test]
 fn single_btree_hosts_all_indexes() {
     let mut p = paper_db();
-    let ch = p
-        .db
-        .define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
-        .unwrap();
-    let name = p
-        .db
-        .define_index(IndexSpec::class_hierarchy("name", p.vehicle, "Name"))
-        .unwrap();
-    let path = p
-        .db
-        .define_index(IndexSpec::path(
+    let ch =
+        p.db.define_index(IndexSpec::class_hierarchy("color", p.vehicle, "Color"))
+            .unwrap();
+    let name =
+        p.db.define_index(IndexSpec::class_hierarchy("name", p.vehicle, "Name"))
+            .unwrap();
+    let path =
+        p.db.define_index(IndexSpec::path(
             "v-age",
             p.vehicle,
             &["ManufacturedBy", "President"],
@@ -511,10 +504,7 @@ fn single_btree_hosts_all_indexes() {
     assert_eq!(p.db.query(&Query::on(ch)).unwrap().len(), 6);
     assert_eq!(p.db.query(&Query::on(name)).unwrap().len(), 6);
     assert_eq!(p.db.query(&Query::on(path)).unwrap().len(), 6);
-    let hits = p
-        .db
-        .query(&Query::on(name).value(str_eq("Panda")))
-        .unwrap();
+    let hits = p.db.query(&Query::on(name).value(str_eq("Panda"))).unwrap();
     assert_eq!(distinct_oids_at(&hits, 0), [p.v[3]].into_iter().collect());
 }
 
@@ -538,9 +528,8 @@ fn schema_information_in_index() {
 fn exact_class_path_index() {
     // A classic Kim/Bertino path index: listed classes only.
     let mut p = paper_db();
-    let idx = p
-        .db
-        .define_index(
+    let idx =
+        p.db.define_index(
             IndexSpec::path("v-age", p.vehicle, &["ManufacturedBy", "President"], "Age")
                 .exact_classes(),
         )
@@ -554,17 +543,15 @@ fn exact_class_path_index() {
     );
 
     // An index anchored at the exact sub-classes works.
-    let idx2 = p
-        .db
-        .define_index(
-            IndexSpec::path(
-                "v-age-2",
-                p.automobile,
-                &["ManufacturedBy", "President"],
-                "Age",
-            )
-            .exact_classes(),
-        );
+    let idx2 = p.db.define_index(
+        IndexSpec::path(
+            "v-age-2",
+            p.automobile,
+            &["ManufacturedBy", "President"],
+            "Age",
+        )
+        .exact_classes(),
+    );
     // Automobile chain requires company to be exactly Company — still no
     // matches, but definition itself is valid.
     assert!(idx2.is_ok());

@@ -8,9 +8,7 @@ use objstore::{Oid, Value};
 use pagestore::{BufferPool, MemStore};
 use proptest::prelude::*;
 use schema::{AttrType, ClassId, Encoding, Schema};
-use uindex::{
-    ClassSel, EntryKey, IndexSpec, OidSel, PathElem, Query, UIndex, ValuePred,
-};
+use uindex::{ClassSel, EntryKey, IndexSpec, OidSel, PathElem, Query, UIndex, ValuePred};
 
 /// Fixture: X (with X0, X1 sub-classes) is referenced by Y (with Y0, Y1).
 struct Fixture {
@@ -84,10 +82,10 @@ fn build(raw_entries: &[(i64, u8, u32, u8, u32)]) -> Fixture {
 
 #[derive(Debug, Clone)]
 struct RawQuery {
-    value: u8,   // 0 any, 1 eq, 2 range, 3 in
+    value: u8, // 0 any, 1 eq, 2 range, 3 in
     v1: i64,
     v2: i64,
-    xsel: u8,    // 0 any, 1 exact, 2 subtree, 3 anyof
+    xsel: u8, // 0 any, 1 exact, 2 subtree, 3 anyof
     xclass: u8,
     ysel: u8,
     yclass: u8,
@@ -107,17 +105,19 @@ fn arb_query() -> impl Strategy<Value = RawQuery> {
         proptest::option::of(0u32..60),
         proptest::collection::vec(0u32..60, 0..4),
     )
-        .prop_map(|(value, v1, v2, xsel, xclass, ysel, yclass, xoid, yoids)| RawQuery {
-            value,
-            v1,
-            v2,
-            xsel,
-            xclass,
-            ysel,
-            yclass,
-            xoid,
-            yoids,
-        })
+        .prop_map(
+            |(value, v1, v2, xsel, xclass, ysel, yclass, xoid, yoids)| RawQuery {
+                value,
+                v1,
+                v2,
+                xsel,
+                xclass,
+                ysel,
+                yclass,
+                xoid,
+                yoids,
+            },
+        )
 }
 
 fn build_query(f: &Fixture, rq: &RawQuery) -> Query {

@@ -148,7 +148,11 @@ impl UIndexSet {
     }
 
     fn run(&mut self, q: Query) -> PageResult<(Vec<(SetId, Oid)>, QueryCost)> {
-        let q = if self.forward_scan { q.forward_scan() } else { q };
+        let q = if self.forward_scan {
+            q.forward_scan()
+        } else {
+            q
+        };
         let (hits, stats) = self
             .index
             .query(&q)
@@ -309,7 +313,10 @@ mod tests {
         assert!(cost.pages >= 2);
 
         let (hits, _) = u.range(&key_bytes(50), &key_bytes(70), &sets).unwrap();
-        assert_eq!(hits, brute(&postings, &key_bytes(50), &key_bytes(70), &sets));
+        assert_eq!(
+            hits,
+            brute(&postings, &key_bytes(50), &key_bytes(70), &sets)
+        );
 
         // Forward scan agrees.
         u.use_forward_scan(true);

@@ -103,16 +103,20 @@ pub fn build_schema() -> (Schema, VehicleClasses) {
     s.add_attr(city, "Name", AttrType::Str).unwrap();
     let company = s.add_class("Company").unwrap();
     s.add_attr(company, "Name", AttrType::Str).unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let auto_company = s.add_subclass("AutoCompany", company).unwrap();
     let japanese_auto_company = s.add_subclass("JapaneseAutoCompany", auto_company).unwrap();
     let truck_company = s.add_subclass("TruckCompany", company).unwrap();
     let division = s.add_class("Division").unwrap();
-    s.add_attr(division, "Belong", AttrType::Ref(company)).unwrap();
-    s.add_attr(division, "LocatedIn", AttrType::Ref(city)).unwrap();
+    s.add_attr(division, "Belong", AttrType::Ref(company))
+        .unwrap();
+    s.add_attr(division, "LocatedIn", AttrType::Ref(city))
+        .unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company))
+        .unwrap();
     let automobile = s.add_subclass("Automobile", vehicle).unwrap();
     let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
     let foreign_auto = s.add_subclass("ForeignAuto", automobile).unwrap();
@@ -252,8 +256,7 @@ mod tests {
             .filter(|&&v| {
                 let class = w.db.store().class_of(v).unwrap();
                 w.db.schema().is_subclass_of(class, w.classes.bus)
-                    && w.db.store().attr(v, "Color").unwrap()
-                        == Some(&Value::Str("Red".into()))
+                    && w.db.store().attr(v, "Color").unwrap() == Some(&Value::Str("Red".into()))
             })
             .count();
         assert_eq!(hits.len(), brute);

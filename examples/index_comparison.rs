@@ -8,7 +8,7 @@ use uindex_oodb::baselines::{
 };
 use uindex_oodb::objstore::Oid;
 use uindex_oodb::workload::uniform::{
-    generate_postings, key_bytes, KeyCount, UniformConfig, UIndexSet,
+    generate_postings, key_bytes, KeyCount, UIndexSet, UniformConfig,
 };
 
 fn main() {
@@ -33,7 +33,10 @@ fn main() {
     let mut structures: Vec<Box<dyn SetIndex>> =
         vec![Box::new(uindex), Box::new(ch), Box::new(h), Box::new(cg)];
 
-    println!("{:<10} {:>8} {:>16} {:>16} {:>16}", "structure", "pages", "exact(1 set)", "exact(8 sets)", "range1%(2 sets)");
+    println!(
+        "{:<10} {:>8} {:>16} {:>16} {:>16}",
+        "structure", "pages", "exact(1 set)", "exact(8 sets)", "range1%(2 sets)"
+    );
     let all: Vec<SetId> = (0..8).map(SetId).collect();
     let key = key_bytes(250);
     let (rlo, rhi) = (key_bytes(100), key_bytes(105));
@@ -62,11 +65,20 @@ fn main() {
         let emp = company % 20;
         let age = key_bytes(20 + emp % 50);
         nested_postings.push((age.clone(), Oid(v)));
-        path_postings.push((age.clone(), vec![Oid(v), Oid(10_000 + company), Oid(20_000 + emp)]));
+        path_postings.push((
+            age.clone(),
+            vec![Oid(v), Oid(10_000 + company), Oid(20_000 + emp)],
+        ));
         nix.insert(&age, SetId(0), Oid(20_000 + emp), None).unwrap();
-        nix.insert(&age, SetId(1), Oid(10_000 + company), Some(Oid(20_000 + emp)))
+        nix.insert(
+            &age,
+            SetId(1),
+            Oid(10_000 + company),
+            Some(Oid(20_000 + emp)),
+        )
+        .unwrap();
+        nix.insert(&age, SetId(2), Oid(v), Some(Oid(10_000 + company)))
             .unwrap();
-        nix.insert(&age, SetId(2), Oid(v), Some(Oid(10_000 + company))).unwrap();
     }
     let mut nested = NestedIndex::build(1024, &mut nested_postings).unwrap();
     let mut path = PathIndex::build(1024, 3, &mut path_postings).unwrap();

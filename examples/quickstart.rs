@@ -4,9 +4,7 @@
 
 use uindex_oodb::objstore::Value;
 use uindex_oodb::schema::{AttrType, Schema};
-use uindex_oodb::uindex::{
-    distinct_oids_at, ClassSel, Database, IndexSpec, Query, ValuePred,
-};
+use uindex_oodb::uindex::{distinct_oids_at, ClassSel, Database, IndexSpec, Query, ValuePred};
 
 fn main() {
     // 1. Schema: a class hierarchy (Vehicle > Automobile) and a reference
@@ -16,10 +14,12 @@ fn main() {
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
     s.add_attr(company, "Name", AttrType::Str).unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+        .unwrap();
     let automobile = s.add_subclass("Automobile", vehicle).unwrap();
 
     let mut db = Database::in_memory(s).unwrap();
@@ -42,7 +42,8 @@ fn main() {
     let pres = db.create_object(employee).unwrap();
     db.set_attr(pres, "Age", Value::Int(52)).unwrap();
     let acme = db.create_object(company).unwrap();
-    db.set_attr(acme, "Name", Value::Str("Acme".into())).unwrap();
+    db.set_attr(acme, "Name", Value::Str("Acme".into()))
+        .unwrap();
     db.set_attr(acme, "President", Value::Ref(pres)).unwrap();
     for (class, color) in [(vehicle, "Red"), (automobile, "Red"), (automobile, "Blue")] {
         let v = db.create_object(class).unwrap();

@@ -25,13 +25,15 @@ fn build_demo_db() -> Database {
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
     s.add_attr(company, "Name", AttrType::Str).unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let auto_co = s.add_subclass("AutoCompany", company).unwrap();
     let jap_co = s.add_subclass("JapaneseAutoCompany", auto_co).unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Name", AttrType::Str).unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company))
+        .unwrap();
     let automobile = s.add_subclass("Automobile", vehicle).unwrap();
     let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
 
@@ -75,7 +77,8 @@ fn build_demo_db() -> Database {
         let v = db.create_object(class).unwrap();
         db.set_attr(v, "Name", Value::Str(name.into())).unwrap();
         db.set_attr(v, "Color", Value::Str(color.into())).unwrap();
-        db.set_attr(v, "ManufacturedBy", Value::Ref(c[made_by])).unwrap();
+        db.set_attr(v, "ManufacturedBy", Value::Ref(c[made_by]))
+            .unwrap();
     }
     db
 }

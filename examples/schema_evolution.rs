@@ -14,7 +14,8 @@ fn main() {
     let company = s.add_class("Company").unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+        .unwrap();
     let auto = s.add_subclass("Automobile", vehicle).unwrap();
     let truck = s.add_subclass("Truck", vehicle).unwrap();
 
@@ -68,8 +69,10 @@ fn main() {
     // Company and is referenced by Vehicle, so its root code must fall
     // between theirs — fractional indexing finds the slot.
     let dealer = db.add_class("Dealer").unwrap();
-    db.add_attr(dealer, "Franchise", AttrType::Ref(company)).unwrap();
-    db.add_attr(vehicle, "SoldBy", AttrType::Ref(dealer)).unwrap();
+    db.add_attr(dealer, "Franchise", AttrType::Ref(company))
+        .unwrap();
+    db.add_attr(vehicle, "SoldBy", AttrType::Ref(dealer))
+        .unwrap();
     // Codes are assigned lazily, so the REF attributes above constrain
     // Dealer's position: its code must land between Company and Vehicle.
     db.encode_class(dealer).unwrap();

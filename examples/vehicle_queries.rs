@@ -17,13 +17,15 @@ fn main() {
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
     s.add_attr(company, "Name", AttrType::Str).unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let auto_co = s.add_subclass("AutoCompany", company).unwrap();
     let jap_co = s.add_subclass("JapaneseAutoCompany", auto_co).unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Name", AttrType::Str).unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "ManufacturedBy", AttrType::Ref(company))
+        .unwrap();
     let automobile = s.add_subclass("Automobile", vehicle).unwrap();
     let compact = s.add_subclass("CompactAutomobile", automobile).unwrap();
 
@@ -42,11 +44,7 @@ fn main() {
         ("Automobile", automobile),
         ("CompactAutomobile", compact),
     ] {
-        println!(
-            "  {:<22} {}",
-            name,
-            db.index().encoding().code(id).unwrap()
-        );
+        println!("  {:<22} {}", name, db.index().encoding().code(id).unwrap());
     }
 
     // ---- indexes ---------------------------------------------------------
@@ -94,7 +92,8 @@ fn main() {
         let v = db.create_object(class).unwrap();
         db.set_attr(v, "Name", Value::Str(name.into())).unwrap();
         db.set_attr(v, "Color", Value::Str(color.into())).unwrap();
-        db.set_attr(v, "ManufacturedBy", Value::Ref(c[made_by])).unwrap();
+        db.set_attr(v, "ManufacturedBy", Value::Ref(c[made_by]))
+            .unwrap();
     }
 
     let red = || ValuePred::eq(Value::Str("Red".into()));
@@ -102,15 +101,24 @@ fn main() {
     // ---- §3.3 class-hierarchy queries -------------------------------------
     println!("\nclass-hierarchy index queries:");
     let q1 = Query::on(color_idx).value(red());
-    println!("  1) all vehicles with red color:          {}", db.query(&q1).unwrap().len());
+    println!(
+        "  1) all vehicles with red color:          {}",
+        db.query(&q1).unwrap().len()
+    );
     let q2 = q1.clone().class_at(0, ClassSel::SubTree(automobile));
-    println!("  2) all automobiles with red color:       {}", db.query(&q2).unwrap().len());
+    println!(
+        "  2) all automobiles with red color:       {}",
+        db.query(&q2).unwrap().len()
+    );
     // 4) vehicles which are NOT compact automobiles, red: skip a sub-tree.
     let q4 = Query::on(color_idx).value(red()).class_at(
         0,
         ClassSel::AnyOf(vec![ClassSel::Exact(vehicle), ClassSel::Exact(automobile)]),
     );
-    println!("  4) red vehicles excluding compacts:      {}", db.query(&q4).unwrap().len());
+    println!(
+        "  4) red vehicles excluding compacts:      {}",
+        db.query(&q4).unwrap().len()
+    );
 
     // ---- §3.3 path-index queries -------------------------------------------
     println!("\npath index queries (Vehicle/Company/Employee.Age):");
@@ -145,7 +153,5 @@ fn main() {
          president is over 40: {:?}",
         distinct_oids_at(&hits, 2)
     );
-    println!(
-        "  (answerable by neither a pure class-hierarchy nor a pure path index — §3.1)"
-    );
+    println!("  (answerable by neither a pure class-hierarchy nor a pure path index — §3.1)");
 }

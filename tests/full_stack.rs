@@ -28,12 +28,14 @@ fn build(seed: u64, n_vehicles: usize) -> World {
     let employee = s.add_class("Employee").unwrap();
     s.add_attr(employee, "Age", AttrType::Int).unwrap();
     let company = s.add_class("Company").unwrap();
-    s.add_attr(company, "President", AttrType::Ref(employee)).unwrap();
+    s.add_attr(company, "President", AttrType::Ref(employee))
+        .unwrap();
     let auto_co = s.add_subclass("AutoCompany", company).unwrap();
     let truck_co = s.add_subclass("TruckCompany", company).unwrap();
     let vehicle = s.add_class("Vehicle").unwrap();
     s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
-    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company)).unwrap();
+    s.add_attr(vehicle, "MadeBy", AttrType::Ref(company))
+        .unwrap();
     let auto = s.add_subclass("Automobile", vehicle).unwrap();
     let compact = s.add_subclass("Compact", auto).unwrap();
     let truck = s.add_subclass("Truck", vehicle).unwrap();
@@ -43,14 +45,20 @@ fn build(seed: u64, n_vehicles: usize) -> World {
         .define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
         .unwrap();
     let age_idx = db
-        .define_index(IndexSpec::path("age", vehicle, &["MadeBy", "President"], "Age"))
+        .define_index(IndexSpec::path(
+            "age",
+            vehicle,
+            &["MadeBy", "President"],
+            "Age",
+        ))
         .unwrap();
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut employees = Vec::new();
     for _ in 0..12 {
         let e = db.create_object(employee).unwrap();
-        db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65))).unwrap();
+        db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65)))
+            .unwrap();
         employees.push(e);
     }
     let company_classes = vec![company, auto_co, truck_co];
@@ -192,7 +200,8 @@ fn random_mutations_keep_indexes_consistent() {
             // A president switches age.
             55..=69 => {
                 let e = w.employees[rng.gen_range(0..w.employees.len())];
-                w.db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65))).unwrap();
+                w.db.set_attr(e, "Age", Value::Int(rng.gen_range(25..65)))
+                    .unwrap();
             }
             // A company replaces its president (the paper's case).
             70..=84 => {

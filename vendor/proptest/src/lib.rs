@@ -1,0 +1,661 @@
+//! Minimal offline stand-in for the crates.io `proptest` 1.x API.
+//!
+//! The build environment has no network access, so this crate provides a
+//! seeded, deterministic, **non-shrinking** property-test engine that covers
+//! exactly the surface the workspace uses:
+//!
+//! - the [`Strategy`] trait with `prop_map`, `prop_flat_map`, `prop_filter`
+//!   and `boxed`,
+//! - strategies for integer ranges, `Just`, `any::<T>()`, tuples, `Vec<S>`
+//!   (element-wise), simple `.{lo,hi}`-style string patterns,
+//!   [`collection::vec`], [`collection::btree_set`] and [`option::of`],
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros, and
+//!   `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failure reports the test name, case index and seed;
+//!   generation is a pure function of (test name, case index), so re-running
+//!   the same binary reproduces the failure exactly.
+//! - **Deterministic by default.** `PROPTEST_CASES` overrides the case count
+//!   (e.g. `PROPTEST_CASES=1000 cargo test`); `PROPTEST_RNG_SALT` perturbs
+//!   the seed stream to explore fresh cases.
+//! - Anything outside the surface above fails to compile — the desired
+//!   signal to extend the shim consciously.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// The RNG handed to strategies. A thin wrapper so strategy code does not
+    /// depend on the `rand` shim's trait imports.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Deterministic stream for one (test, case) pair.
+        pub fn for_case(test_path: &str, case: u32) -> TestRng {
+            // FNV-1a over the fully-qualified test name, mixed with the case
+            // index and an optional environment salt.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let salt: u64 = std::env::var("PROPTEST_RNG_SALT")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let seed = h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        pub fn gen_usize(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+            self.0.gen_range(lo..=hi_inclusive)
+        }
+
+        pub fn gen_bool(&mut self, p: f64) -> bool {
+            self.0.gen_bool(p)
+        }
+    }
+
+    /// Subset of proptest's config: only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Case count after the `PROPTEST_CASES` environment override.
+    pub fn effective_cases(config: &ProptestConfig) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases)
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values. Unlike real proptest there is no value
+    /// tree and no shrinking: `generate` directly yields a value.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// Type-erased strategy (`.boxed()`).
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "proptest shim: filter '{}' rejected 1000 candidates",
+                self.reason
+            );
+        }
+    }
+
+    /// `Just(v)`: always yields a clone of `v`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of boxed strategies — the engine behind `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weight walk exhausted")
+        }
+    }
+
+    // ---- primitive strategies ---------------------------------------------
+
+    /// Types with a canonical `any::<T>()` strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Bias towards small magnitudes and boundary values:
+                    // uniform bit noise almost never produces the collisions
+                    // and edge cases that make model tests interesting.
+                    match rng.next_u64() % 8 {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        3 | 4 => (rng.next_u64() % 16) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            match rng.next_u64() % 8 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::INFINITY,
+                3 => f64::NEG_INFINITY,
+                4 => f64::NAN,
+                5 => f64::from_bits(rng.next_u64()),
+                _ => {
+                    // Modest-magnitude finite floats.
+                    let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    let scale = [1.0, 1e3, 1e-3, 1e9][rng.next_u64() as usize % 4];
+                    let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                    sign * mantissa * scale
+                }
+            }
+        }
+    }
+
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    // Integer range strategies.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let width = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % width;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % width;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Tuples of strategies generate tuples of values.
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+    /// A `Vec` of strategies generates element-wise (one value per element).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    /// String patterns: supports the `.{lo,hi}` shape ("between lo and hi
+    /// arbitrary non-newline chars") that the workspace uses. Anything else
+    /// panics so an unsupported pattern is an explicit extension point, not a
+    /// silent mis-generation.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_dot_repeat(self).unwrap_or_else(|| {
+                panic!("proptest shim: unsupported string pattern {self:?} (supported: \".{{lo,hi}}\")")
+            });
+            let len = rng.gen_usize(lo, hi);
+            // Mostly printable ASCII with occasional multi-byte chars so the
+            // order-preserving encoding sees non-trivial UTF-8.
+            const EXOTIC: [char; 6] = [
+                '\u{e9}',
+                '\u{4e2d}',
+                '\u{1F600}',
+                '\u{7f}',
+                '\u{80}',
+                '\u{fffd}',
+            ];
+            (0..len)
+                .map(|_| {
+                    if rng.next_u64().is_multiple_of(8) {
+                        EXOTIC[rng.next_u64() as usize % EXOTIC.len()]
+                    } else {
+                        (0x20 + (rng.next_u64() % 0x5f) as u8) as char
+                    }
+                })
+                .collect()
+        }
+    }
+
+    /// Parse `.{lo,hi}` → `(lo, hi)`.
+    fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = rest.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Size specifications accepted by the collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_usize(self.size.lo, self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_usize(self.size.lo, self.size.hi_inclusive);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set, so over-generate within a bounded
+            // number of attempts (small domains may legitimately fall short).
+            let mut attempts = target * 20 + 100;
+            while set.len() < target && attempts > 0 {
+                set.insert(self.element.generate(rng));
+                attempts -= 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` three times out of four, like real proptest's default weight.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run each property as a `#[test]`: generate inputs from the deterministic
+/// per-(test, case) stream and execute the body. No shrinking — failures
+/// print the case index and reproduce exactly on re-run.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config = $cfg;
+                let cases = $crate::test_runner::effective_cases(&config);
+                let path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(path, case);
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                    }));
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest shim: {path} failed at case {case}/{cases} \
+                             (deterministic: re-running this test reproduces it; \
+                             set PROPTEST_RNG_SALT to explore other cases)"
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+// Without shrinking there is no Err-propagation machinery to feed, so the
+// prop_assert family is plain assert: the catch_unwind in `proptest!` turns
+// the panic into a per-case report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (0u32..10, -5i64..5);
+        for _ in 0..1000 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert!((-5..5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let mut rng = TestRng::from_seed(2);
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 800, "expected ~900 trues, got {trues}");
+    }
+
+    #[test]
+    fn collection_vec_hits_size_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        let s = crate::collection::vec(any::<u8>(), 1..4);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_in_range() {
+        let mut rng = TestRng::from_seed(4);
+        let s = ".{0,12}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.chars().count() <= 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: patterns, multiple params, trailing comma.
+        #[test]
+        fn macro_smoke(mut xs in crate::collection::vec(0usize..100, 0..10), y in any::<bool>(),) {
+            xs.push(1);
+            prop_assert!(!xs.is_empty());
+            let _ = y;
+        }
+    }
+}
