@@ -17,4 +17,10 @@ cargo test -q --offline
 echo "== cargo test (workspace)"
 cargo test -q --workspace --offline
 
+echo "== cargo bench --no-run (benches compile)"
+cargo bench --no-run --offline --workspace
+
+echo "== scanperf --smoke (scan-path invariants on a small database)"
+cargo run -q --release --offline -p bench --bin scanperf -- --smoke
+
 echo "CI green."

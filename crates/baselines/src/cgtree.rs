@@ -431,6 +431,7 @@ impl CgTree {
         QueryCost {
             pages: q.distinct_pages,
             visits: q.node_visits,
+            descents: 0,
         }
     }
 

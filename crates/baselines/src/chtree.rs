@@ -188,6 +188,7 @@ impl ChTree {
         QueryCost {
             pages: q.distinct_pages,
             visits: q.node_visits,
+            descents: 0,
         }
     }
 }

@@ -22,6 +22,10 @@ pub struct QueryCost {
     pub pages: u64,
     /// Total node visits including revisits.
     pub visits: u64,
+    /// Tree descents that fetched at least one node (U-index only; the
+    /// baselines report 0 — they have no skip-seek loop to attribute
+    /// descents to).
+    pub descents: u64,
 }
 
 /// The operations the experiment harness drives against every structure

@@ -114,6 +114,7 @@ impl Nix {
             QueryCost {
                 pages: q.distinct_pages,
                 visits: q.node_visits,
+                descents: 0,
             },
         ))
     }

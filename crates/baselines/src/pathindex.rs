@@ -74,6 +74,7 @@ impl NestedIndex {
             QueryCost {
                 pages: q.distinct_pages,
                 visits: q.node_visits,
+                descents: 0,
             },
         ))
     }
@@ -151,6 +152,7 @@ impl PathIndex {
             QueryCost {
                 pages: q.distinct_pages,
                 visits: q.node_visits,
+                descents: 0,
             },
         ))
     }

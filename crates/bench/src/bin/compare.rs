@@ -7,6 +7,7 @@
 use baselines::{CgConfig, CgTree, ChTree, HTree, SetId, SetIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use uindex::ScanAlgorithm;
 use workload::queries::{pick_near, pick_range};
 use workload::uniform::{generate_postings, key_bytes, KeyCount, UIndexSet, UniformConfig};
 
@@ -92,6 +93,60 @@ fn main() {
             println!();
         }
     }
+    // U-index scan-algorithm breakdown: the same skip-heavy range workload
+    // under hierarchical reseek (the default), the flat full-descent-per-skip
+    // baseline it replaced, and the forward scan. Pages are identical between
+    // the two parallel algorithms by construction; the win shows up in node
+    // visits and in how many skip-seeks escalate to a tree descent.
+    println!("\n## U-index scan algorithm — range 10% of keyspace, avg per query");
+    println!(
+        "{:>6}  {:>12}  {:>10}  {:>10}  {:>10}  {:>14}",
+        "sets", "algorithm", "pages", "visits", "descents", "descents saved"
+    );
+    let algos: [(ScanAlgorithm, &str); 3] = [
+        (ScanAlgorithm::ParallelFlat, "flat"),
+        (ScanAlgorithm::Parallel, "hierarchical"),
+        (ScanAlgorithm::Forward, "forward"),
+    ];
+    let mut u = UIndexSet::build(num_sets, &postings).expect("build u-index");
+    for k in [1u16, 2, 4, 8] {
+        let mut sums = [[0u64; 3]; 3]; // [algo][pages, visits, descents]
+        for (ai, (algo, _)) in algos.iter().enumerate() {
+            u.use_algorithm(*algo);
+            for rep in 0..reps {
+                // Same seeds as the page-read tables above: identical queries.
+                let mut rng = StdRng::seed_from_u64(1000 + rep as u64 * 7 + k as u64);
+                let sets = pick_near(&mut rng, num_sets, k);
+                let (lo, hi) = pick_range(&mut rng, 1000, 0.10);
+                let (_, stats) = u.range_stats(&lo, &hi, &sets).expect("query");
+                sums[ai][0] += stats.pages_read;
+                sums[ai][1] += stats.node_visits;
+                sums[ai][2] += stats.descents;
+            }
+        }
+        u.use_algorithm(ScanAlgorithm::Parallel);
+        for (ai, (_, name)) in algos.iter().enumerate() {
+            let saved = if *name == "hierarchical" {
+                format!("{:.1}", (sums[0][2] - sums[ai][2]) as f64 / reps as f64)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "{:>6}  {:>12}  {:>10.1}  {:>10.1}  {:>10.1}  {:>14}",
+                if ai == 0 {
+                    k.to_string()
+                } else {
+                    String::new()
+                },
+                name,
+                sums[ai][0] as f64 / reps as f64,
+                sums[ai][1] as f64 / reps as f64,
+                sums[ai][2] as f64 / reps as f64,
+                saved,
+            );
+        }
+    }
+
     println!(
         "\nExpected shapes (paper §4.4/§5): CH-tree best at exact match but pays the whole \
          key range regardless of sets; H-tree scales with queried sets only; CG-tree \

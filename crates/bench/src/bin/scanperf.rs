@@ -1,0 +1,298 @@
+//! Scan-path performance: Algorithm 1 with hierarchical reseek vs the flat
+//! (full-descent-per-skip) baseline vs forward scanning, over the
+//! experiment-2 database shape. Writes machine-readable `BENCH_scan.json`
+//! at the repo root so the perf trajectory is tracked across changes.
+//!
+//! Every workload runs the *identical* query stream under all three
+//! algorithms and cross-checks that the hits agree, that the hierarchical
+//! and flat parallel scans touch the same distinct pages, and that the
+//! parallel scans never read more pages than the forward scan — the bench
+//! doubles as an end-to-end consistency check on real workload sizes.
+//!
+//! `scanperf --smoke` runs a tiny configuration and skips the JSON write
+//! (the CI hook).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use baselines::SetId;
+use uindex::{ScanAlgorithm, ScanStats};
+use workload::uniform::{
+    generate_postings, key_bytes, key_space, KeyCount, UIndexSet, UniformConfig,
+};
+
+const ALGOS: [(ScanAlgorithm, &str); 3] = [
+    (ScanAlgorithm::Parallel, "parallel"),
+    (ScanAlgorithm::ParallelFlat, "parallel_flat"),
+    (ScanAlgorithm::Forward, "forward"),
+];
+
+#[derive(Clone, Copy)]
+enum Shape {
+    Exact,
+    /// Range spanning this many thousandths of the key space.
+    Range(u32),
+}
+
+struct Workload {
+    name: &'static str,
+    shape: Shape,
+    num_sets: usize,
+    queries: u32,
+}
+
+#[derive(Default, Clone, Copy)]
+struct Acc {
+    pages_read: u64,
+    node_visits: u64,
+    entries_examined: u64,
+    seeks: u64,
+    descents: u64,
+    reseek_depth_total: u64,
+    wall_nanos: u128,
+}
+
+impl Acc {
+    fn add(&mut self, s: &ScanStats) {
+        self.pages_read += s.pages_read;
+        self.node_visits += s.node_visits;
+        self.entries_examined += s.entries_examined;
+        self.seeks += s.seeks;
+        self.descents += s.descents;
+        self.reseek_depth_total += s.reseek_depth_total;
+    }
+
+    fn to_json(self, out: &mut String, indent: &str) {
+        let _ = write!(
+            out,
+            "{indent}{{\"pages_read\": {}, \"node_visits\": {}, \"entries_examined\": {}, \
+             \"seeks\": {}, \"descents\": {}, \"reseek_depth_total\": {}, \"wall_ms\": {:.3}}}",
+            self.pages_read,
+            self.node_visits,
+            self.entries_examined,
+            self.seeks,
+            self.descents,
+            self.reseek_depth_total,
+            self.wall_nanos as f64 / 1e6,
+        );
+    }
+}
+
+/// Deterministic query stream: `(lo, hi, sets)` per query.
+fn query_stream(w: &Workload, keys: u32, seed: u64) -> Vec<(Vec<u8>, Vec<u8>, Vec<SetId>)> {
+    // SplitMix64, same generator the oracle harness uses.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut out = Vec::with_capacity(w.queries as usize);
+    for _ in 0..w.queries {
+        let start = (next() % keys as u64) as u32;
+        let (lo, hi) = match w.shape {
+            Shape::Exact => {
+                let lo = key_bytes(start);
+                let mut hi = lo.clone();
+                hi.push(0);
+                (lo, hi)
+            }
+            Shape::Range(permille) => {
+                let span = (keys as u64 * permille as u64 / 1000).max(1) as u32;
+                let start = start.min(keys.saturating_sub(span));
+                (key_bytes(start), key_bytes(start + span))
+            }
+        };
+        let first = (next() % 8) as u16;
+        let sets: Vec<SetId> = (0..w.num_sets as u16)
+            .map(|i| SetId((first + i) % 8))
+            .collect();
+        out.push((lo, hi, sets));
+    }
+    out
+}
+
+fn run_workload(u: &mut UIndexSet, w: &Workload, keys: u32) -> [Acc; 3] {
+    let stream = query_stream(w, keys, 0x5CA9_F0CE_5EED_0001);
+    let mut accs = [Acc::default(); 3];
+    let mut reference: Vec<(Vec<(SetId, objstore::Oid)>, u64)> = Vec::new();
+    for (ai, (algo, _)) in ALGOS.iter().enumerate() {
+        u.use_algorithm(*algo);
+        let started = Instant::now();
+        for (qi, (lo, hi, sets)) in stream.iter().enumerate() {
+            let mut sorted = sets.clone();
+            sorted.sort();
+            let (hits, stats) = match w.shape {
+                Shape::Exact => u.exact_stats(lo, &sorted).expect("query"),
+                Shape::Range(_) => u.range_stats(lo, hi, &sorted).expect("query"),
+            };
+            accs[ai].add(&stats);
+            if ai == 0 {
+                reference.push((hits, stats.pages_read));
+            } else {
+                let (ref_hits, ref_pages) = &reference[qi];
+                assert_eq!(
+                    &hits, ref_hits,
+                    "{}: algorithms disagree on query {qi}",
+                    w.name
+                );
+                // Per-query: hierarchical reseek must leave the distinct
+                // page set exactly as the flat (pre-reseek) algorithm's —
+                // it only avoids *re*-fetching pages the query already
+                // touched. (Forward is compared on hits only: a skip-seek
+                // can legitimately descend through an interior node the
+                // forward leaf-chain walk bypasses via `leaf.next`.)
+                if ALGOS[ai].0 == ScanAlgorithm::ParallelFlat {
+                    assert_eq!(
+                        *ref_pages, stats.pages_read,
+                        "{}: query {qi} pages_read changed under hierarchical \
+                         reseek",
+                        w.name
+                    );
+                }
+            }
+        }
+        accs[ai].wall_nanos = started.elapsed().as_nanos();
+    }
+    u.use_algorithm(ScanAlgorithm::Parallel);
+    accs
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let objects: u32 = if smoke {
+        5_000
+    } else {
+        std::env::var("OBJECTS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(50_000)
+    };
+    let queries: u32 = if smoke { 20 } else { 200 };
+
+    let cfg = UniformConfig {
+        num_objects: objects,
+        num_sets: 8,
+        keys: KeyCount::Distinct(1000),
+        seed: 42,
+    };
+    let postings = generate_postings(&cfg);
+    let keys = key_space(&cfg);
+    let mut u = UIndexSet::build(8, &postings).expect("build U-index");
+
+    let workloads = [
+        Workload {
+            name: "exact_k4",
+            shape: Shape::Exact,
+            num_sets: 4,
+            queries,
+        },
+        Workload {
+            name: "range10_k1",
+            shape: Shape::Range(100),
+            num_sets: 1,
+            queries: queries / 4,
+        },
+        Workload {
+            name: "range10_k4",
+            shape: Shape::Range(100),
+            num_sets: 4,
+            queries: queries / 4,
+        },
+        Workload {
+            name: "range1_k2",
+            shape: Shape::Range(10),
+            num_sets: 2,
+            queries,
+        },
+    ];
+
+    println!(
+        "scanperf: {objects} objects, 8 sets, {keys} distinct keys{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "workload", "algorithm", "pages", "visits", "seeks", "descents", "wall ms"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"objects\": {objects}, \"sets\": 8, \"distinct_keys\": {keys}, \
+         \"page_size\": 1024, \"queries_per_workload\": {queries}}},"
+    );
+    json.push_str("  \"workloads\": {\n");
+
+    let mut skip_heavy: Option<(u64, u64)> = None;
+    for (wi, w) in workloads.iter().enumerate() {
+        let accs = run_workload(&mut u, w, keys);
+        let (par, flat) = (&accs[0], &accs[1]);
+        // Hierarchical reseek must not change the distinct page set and
+        // must never visit more nodes than flat skip-seeking.
+        assert_eq!(
+            par.pages_read, flat.pages_read,
+            "{}: hierarchical reseek changed pages_read",
+            w.name
+        );
+        assert!(
+            par.node_visits <= flat.node_visits,
+            "{}: hierarchical reseek increased node visits",
+            w.name
+        );
+        for (ai, (_, aname)) in ALGOS.iter().enumerate() {
+            println!(
+                "{:<12} {:>14} {:>12} {:>12} {:>10} {:>10} {:>10.1}",
+                if ai == 0 { w.name } else { "" },
+                aname,
+                accs[ai].pages_read,
+                accs[ai].node_visits,
+                accs[ai].seeks,
+                accs[ai].descents,
+                accs[ai].wall_nanos as f64 / 1e6,
+            );
+        }
+        if w.name == "range10_k1" {
+            skip_heavy = Some((flat.node_visits, par.node_visits));
+        }
+        let _ = writeln!(json, "    \"{}\": {{", w.name);
+        for (ai, (_, aname)) in ALGOS.iter().enumerate() {
+            let _ = write!(json, "      \"{aname}\": ");
+            accs[ai].to_json(&mut json, "");
+            json.push_str(if ai + 1 < ALGOS.len() { ",\n" } else { "\n" });
+        }
+        json.push_str(if wi + 1 < workloads.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  },\n");
+
+    let (before, after) = skip_heavy.expect("skip-heavy workload ran");
+    let reduction = 100.0 * (before.saturating_sub(after)) as f64 / before.max(1) as f64;
+    let _ = writeln!(
+        json,
+        "  \"summary\": {{\"skip_heavy_workload\": \"range10_k1\", \
+         \"node_visits_before_reseek\": {before}, \"node_visits_after_reseek\": {after}, \
+         \"reduction_pct\": {reduction:.1}}}"
+    );
+    json.push_str("}\n");
+
+    println!(
+        "\nskip-heavy (range10_k1) node_visits: {before} flat -> {after} hierarchical \
+         ({reduction:.1}% reduction)"
+    );
+
+    if smoke {
+        println!("smoke run: BENCH_scan.json not written");
+        return;
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_scan.json");
+    std::fs::write(&path, json).expect("write BENCH_scan.json");
+    println!("wrote {}", path.display());
+}

@@ -37,6 +37,7 @@ impl<S: PageStore> BTree<S> {
         if !self.is_empty() {
             return Err(Error::Corrupt("bulk_replace requires an empty tree".into()));
         }
+        self.bump_epoch();
         let tree = self;
         let config = *tree.config();
         let empty_root = tree.root();
@@ -229,7 +230,7 @@ impl<S: PageStore> BTree<S> {
         // Install the root; drop the placeholder empty leaf if superseded.
         let new_root = level[0];
         if new_root != empty_root {
-            tree.pool_mut().free(empty_root)?;
+            tree.free_page(empty_root)?;
         }
         tree.set_root_len(new_root, count);
         Ok(())

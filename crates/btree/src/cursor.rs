@@ -1,10 +1,31 @@
-//! Forward cursors over the leaf level.
+//! Forward cursors over the leaf level, with hierarchical re-seeking.
 //!
 //! A [`Cursor`] holds the decoded node of its current leaf (shared with the
 //! tree's decode cache), so stepping within a leaf costs no page fetches;
-//! moving to the next leaf (or re-seeking) goes through the buffer pool and
-//! is accounted normally. Cursors are invalidated by any mutation of the
-//! tree.
+//! moving to the next leaf goes through the buffer pool and is accounted
+//! normally.
+//!
+//! Beyond the leaf, a cursor *retains its descent path*: for every interior
+//! node between the root and the leaf it keeps the decoded node plus the
+//! separator bounds of the subtree it descended into. [`BTree::reseek`]
+//! exploits this for the skip-seeks of the paper's parallel retrieval
+//! algorithm (Algorithm 1): instead of paying a full root-to-leaf descent
+//! per skip, it
+//!
+//! 1. resolves the target *inside the current leaf* when the leaf's fence
+//!    interval covers it (zero page fetches, zero allocations),
+//! 2. otherwise walks *up* the retained path to the lowest common ancestor
+//!    whose key range covers the target and re-descends from there,
+//!    fetching only the nodes below the LCA (the retained ancestors are
+//!    not re-fetched, exactly like the cached leaf is not re-fetched when
+//!    stepping within it),
+//! 3. falls back to a fresh root descent when the cursor was invalidated
+//!    by a tree mutation (detected through the tree's epoch counter).
+//!
+//! Because skip targets and ranges never need owned key bytes, the scan
+//! hot path reads entries through [`EntryRef`] — a borrowed view into the
+//! shared decoded leaf — instead of cloning every key and value it
+//! examines.
 
 use std::rc::Rc;
 
@@ -13,31 +34,246 @@ use pagestore::{PageId, PageStore, Result};
 use crate::node::Node;
 use crate::tree::BTree;
 
+/// One retained level of a cursor's descent path: an interior node plus
+/// the key range its subtree covers (`lo` inclusive, `hi` exclusive;
+/// `None` = unbounded).
+struct PathLevel {
+    id: PageId,
+    node: Rc<Node>,
+    lo: Vec<u8>,
+    hi: Option<Vec<u8>>,
+}
+
+impl PathLevel {
+    fn covers(&self, key: &[u8]) -> bool {
+        self.lo.as_slice() <= key && self.hi.as_deref().is_none_or(|hi| key < hi)
+    }
+}
+
 /// A position in the leaf level of a [`BTree`].
+///
+/// Created by [`BTree::seek`]; repositioned in place by [`BTree::reseek`].
+/// A cursor survives tree mutations (reseek then falls back to a full
+/// descent), but entries read before the mutation must not be assumed
+/// current.
 pub struct Cursor {
     leaf: PageId,
     slot: usize,
     cached: Option<(PageId, Rc<Node>)>,
+    /// Interior nodes root→parent-of-leaf from the most recent descent.
+    path: Vec<PathLevel>,
+    /// Fence interval of the *descended-to* leaf. Invalidated (set to
+    /// `false`) when the cursor chains to the next leaf, because the chain
+    /// walk does not know the new leaf's separators.
+    fence_lo: Vec<u8>,
+    fence_hi: Option<Vec<u8>>,
+    fence_valid: bool,
+    /// Tree mutation epoch at descent time; a mismatch voids path+fence.
+    epoch: u64,
+}
+
+/// Descent accounting kept by the tree (survives cursor replacement):
+/// how many root-or-LCA descents were performed and how many node fetches
+/// they cost. A flat (non-hierarchical) seek always pays `height` fetches;
+/// hierarchical reseeks pay only the levels below the LCA, and zero for
+/// targets inside the current leaf. `depth_total / descents` is therefore
+/// the average re-descent depth — the units of the paper's experiment 1
+/// ("visited nodes").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeekStats {
+    /// Descents that fetched at least one node (fresh seeks included).
+    pub descents: u64,
+    /// Total nodes fetched by those descents.
+    pub depth_total: u64,
+    /// Reseeks resolved inside the current leaf with no fetch at all.
+    pub leaf_reseeks: u64,
+}
+
+/// A borrowed view of the entry under a cursor.
+///
+/// Holds a reference-counted handle to the decoded leaf (shared with the
+/// tree's node cache), so no key or value bytes are copied. The view stays
+/// valid across subsequent seeks and cursor movement; after a tree
+/// *mutation* it continues to show the pre-mutation entry.
+pub struct EntryRef {
+    node: Rc<Node>,
+    slot: usize,
+}
+
+impl Cursor {
+    /// Page ids of the retained descent path, root first (empty until the
+    /// first descent). Diagnostics and test hook.
+    pub fn path_pages(&self) -> Vec<PageId> {
+        self.path.iter().map(|l| l.id).collect()
+    }
+
+    /// The leaf page the cursor currently points into.
+    pub fn leaf_page(&self) -> PageId {
+        self.leaf
+    }
+}
+
+impl EntryRef {
+    fn leaf(&self) -> &crate::node::LeafNode {
+        match &*self.node {
+            Node::Leaf(l) => l,
+            Node::Internal(_) => unreachable!("EntryRef is only built over leaves"),
+        }
+    }
+
+    /// The entry's key bytes.
+    pub fn key(&self) -> &[u8] {
+        &self.leaf().entries[self.slot].key
+    }
+
+    /// The entry's value bytes.
+    pub fn value(&self) -> &[u8] {
+        &self.leaf().entries[self.slot].value
+    }
+
+    /// Clone the entry into owned `(key, value)` vectors.
+    pub fn to_pair(&self) -> (Vec<u8>, Vec<u8>) {
+        let e = &self.leaf().entries[self.slot];
+        (e.key.clone(), e.value.clone())
+    }
 }
 
 impl<S: PageStore> BTree<S> {
-    /// Position a cursor at the first entry with key `>= key`.
+    /// Position a cursor at the first entry with key `>= key` via a full
+    /// root-to-leaf descent.
     pub fn seek(&mut self, key: &[u8]) -> Result<Cursor> {
-        let mut id = self.root;
+        let mut cur = Cursor {
+            leaf: PageId::NULL,
+            slot: 0,
+            cached: None,
+            path: Vec::new(),
+            fence_lo: Vec::new(),
+            fence_hi: None,
+            fence_valid: false,
+            epoch: self.epoch(),
+        };
+        self.descend(&mut cur, 0, self.root(), Vec::new(), None, key)?;
+        Ok(cur)
+    }
+
+    /// Descend from `id` (whose subtree covers `[lo, hi)`) to the leaf
+    /// containing the first entry `>= key`, rebuilding `cur.path` from
+    /// `depth` downward. Fetches (and counts) every node from `id` down.
+    fn descend(
+        &mut self,
+        cur: &mut Cursor,
+        depth: usize,
+        id: PageId,
+        lo: Vec<u8>,
+        hi: Option<Vec<u8>>,
+        key: &[u8],
+    ) -> Result<()> {
+        cur.path.truncate(depth);
+        let (mut id, mut lo, mut hi) = (id, lo, hi);
+        let mut fetched = 0u64;
         loop {
             let node = self.load_cached(id)?;
+            fetched += 1;
             match &*node {
-                Node::Internal(int) => id = int.children[int.route(key)],
+                Node::Internal(int) => {
+                    let ci = int.route(key);
+                    let child = int.children[ci];
+                    let child_lo = if ci == 0 {
+                        lo.clone()
+                    } else {
+                        int.seps[ci - 1].clone()
+                    };
+                    let child_hi = if ci == int.seps.len() {
+                        hi.clone()
+                    } else {
+                        Some(int.seps[ci].clone())
+                    };
+                    cur.path.push(PathLevel { id, node, lo, hi });
+                    (id, lo, hi) = (child, child_lo, child_hi);
+                }
                 Node::Leaf(leaf) => {
-                    let slot = leaf.entries.partition_point(|e| e.key.as_slice() < key);
-                    return Ok(Cursor {
-                        leaf: id,
-                        slot,
-                        cached: Some((id, node.clone())),
-                    });
+                    cur.slot = leaf.entries.partition_point(|e| e.key.as_slice() < key);
+                    cur.leaf = id;
+                    cur.cached = Some((id, node));
+                    cur.fence_lo = lo;
+                    cur.fence_hi = hi;
+                    cur.fence_valid = true;
+                    cur.epoch = self.epoch();
+                    let s = self.seek_stats_mut();
+                    s.descents += 1;
+                    s.depth_total += fetched;
+                    return Ok(());
                 }
             }
         }
+    }
+
+    /// Reposition `cur` at the first entry with key `>= key` without paying
+    /// a full root descent when the retained path allows better:
+    ///
+    /// * target inside the current leaf's fence interval → move the slot,
+    ///   zero fetches;
+    /// * otherwise re-descend from the lowest retained ancestor whose
+    ///   range covers the target, fetching only the nodes below it;
+    /// * cursor invalidated by a mutation (epoch mismatch) → fresh
+    ///   [`BTree::seek`] from the root.
+    ///
+    /// Equivalent to `*cur = tree.seek(key)?` in all cases (property-tested
+    /// in `tests/reseek_prop.rs`); only the cost differs.
+    pub fn reseek(&mut self, cur: &mut Cursor, key: &[u8]) -> Result<()> {
+        if cur.epoch != self.epoch() {
+            *cur = self.seek(key)?;
+            return Ok(());
+        }
+        if cur.fence_valid
+            && cur.fence_lo.as_slice() <= key
+            && cur.fence_hi.as_deref().is_none_or(|hi| key < hi)
+        {
+            // The answer slot is in the descended-to leaf (or, when the
+            // target is past its last entry, the chain walk in
+            // `cursor_entry` reaches it — the next leaf starts at or above
+            // the fence, which is above the target).
+            let needs_load = match &cur.cached {
+                Some((id, _)) => *id != cur.leaf,
+                None => true,
+            };
+            if needs_load {
+                let node = self.load_cached(cur.leaf)?;
+                cur.cached = Some((cur.leaf, node));
+            }
+            let (_, node) = cur.cached.as_ref().expect("just loaded");
+            let Node::Leaf(leaf) = &**node else {
+                return Err(pagestore::Error::Corrupt(
+                    "cursor leaf is not a leaf".into(),
+                ));
+            };
+            cur.slot = leaf.entries.partition_point(|e| e.key.as_slice() < key);
+            self.seek_stats_mut().leaf_reseeks += 1;
+            return Ok(());
+        }
+        // Lowest retained ancestor covering the target. The root level
+        // covers everything, so a non-empty path always yields one.
+        let Some(depth) = cur.path.iter().rposition(|lvl| lvl.covers(key)) else {
+            *cur = self.seek(key)?;
+            return Ok(());
+        };
+        let lvl = &cur.path[depth];
+        let Node::Internal(int) = &*lvl.node else {
+            return Err(pagestore::Error::Corrupt("cursor path holds a leaf".into()));
+        };
+        let ci = int.route(key);
+        let child = int.children[ci];
+        let child_lo = if ci == 0 {
+            lvl.lo.clone()
+        } else {
+            int.seps[ci - 1].clone()
+        };
+        let child_hi = if ci == int.seps.len() {
+            lvl.hi.clone()
+        } else {
+            Some(int.seps[ci].clone())
+        };
+        self.descend(cur, depth + 1, child, child_lo, child_hi, key)
     }
 
     /// Position a cursor at the smallest key in the tree.
@@ -45,9 +281,11 @@ impl<S: PageStore> BTree<S> {
         self.seek(&[])
     }
 
-    /// The entry under the cursor, advancing across leaf boundaries as
-    /// needed. Returns `None` when the cursor is past the last entry.
-    pub fn cursor_entry(&mut self, cur: &mut Cursor) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    /// A borrowed view of the entry under the cursor, advancing across leaf
+    /// boundaries as needed. Returns `None` when the cursor is past the
+    /// last entry. This is the allocation-free scan hot path; see
+    /// [`BTree::cursor_entry`] for the owned variant.
+    pub fn cursor_entry_ref(&mut self, cur: &mut Cursor) -> Result<Option<EntryRef>> {
         loop {
             let needs_load = match &cur.cached {
                 Some((id, _)) => *id != cur.leaf,
@@ -64,15 +302,28 @@ impl<S: PageStore> BTree<S> {
                 ));
             };
             if cur.slot < leaf.entries.len() {
-                let e = &leaf.entries[cur.slot];
-                return Ok(Some((e.key.clone(), e.value.clone())));
+                return Ok(Some(EntryRef {
+                    node: node.clone(),
+                    slot: cur.slot,
+                }));
             }
             if leaf.next.is_null() {
                 return Ok(None);
             }
             cur.leaf = leaf.next;
             cur.slot = 0;
+            // Chaining leaves the descent fences behind: the new leaf's
+            // separators are unknown, so within-leaf reseek is off until
+            // the next descent re-establishes them.
+            cur.fence_valid = false;
         }
+    }
+
+    /// The entry under the cursor as owned vectors (compatibility and
+    /// collection helpers; the scan hot path uses
+    /// [`BTree::cursor_entry_ref`]).
+    pub fn cursor_entry(&mut self, cur: &mut Cursor) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        Ok(self.cursor_entry_ref(cur)?.map(|e| e.to_pair()))
     }
 
     /// Step the cursor to the next entry.
@@ -84,11 +335,11 @@ impl<S: PageStore> BTree<S> {
     pub fn range(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut cur = self.seek(lo)?;
-        while let Some((k, v)) = self.cursor_entry(&mut cur)? {
-            if k.as_slice() >= hi {
+        while let Some(e) = self.cursor_entry_ref(&mut cur)? {
+            if e.key() >= hi {
                 break;
             }
-            out.push((k, v));
+            out.push(e.to_pair());
             self.cursor_advance(&mut cur);
         }
         Ok(out)
@@ -98,11 +349,11 @@ impl<S: PageStore> BTree<S> {
     pub fn prefix_scan(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut cur = self.seek(prefix)?;
-        while let Some((k, v)) = self.cursor_entry(&mut cur)? {
-            if !k.starts_with(prefix) {
+        while let Some(e) = self.cursor_entry_ref(&mut cur)? {
+            if !e.key().starts_with(prefix) {
                 break;
             }
-            out.push((k, v));
+            out.push(e.to_pair());
             self.cursor_advance(&mut cur);
         }
         Ok(out)
@@ -112,8 +363,8 @@ impl<S: PageStore> BTree<S> {
     pub fn scan_all(&mut self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut cur = self.seek_first()?;
-        while let Some(e) = self.cursor_entry(&mut cur)? {
-            out.push(e);
+        while let Some(e) = self.cursor_entry_ref(&mut cur)? {
+            out.push(e.to_pair());
             self.cursor_advance(&mut cur);
         }
         Ok(out)

@@ -51,7 +51,7 @@ mod verify;
 
 pub use codec::{common_prefix_len, truncate_separator};
 pub use config::{BTreeConfig, Capacity};
-pub use cursor::Cursor;
+pub use cursor::{Cursor, EntryRef, SeekStats};
 pub use node::{Entry, InternalNode, LeafNode, Node};
 pub use tree::BTree;
 pub use verify::TreeStats;

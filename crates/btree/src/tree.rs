@@ -1,12 +1,13 @@
 //! The B+-tree proper: create, get, insert, delete with rebalancing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use pagestore::{BufferPool, Error, PageId, PageStore, Result};
 
 use crate::codec::truncate_separator;
 use crate::config::{BTreeConfig, Capacity};
+use crate::cursor::SeekStats;
 use crate::node::{
     segment_sizes, Entry, InternalNode, LeafNode, Node, INTERIOR_HEADER, LEAF_HEADER,
 };
@@ -21,12 +22,131 @@ pub struct BTree<S: PageStore> {
     /// goes through [`BufferPool::fetch`] first, so page-read accounting is
     /// unaffected; the cache only skips re-decoding bytes that have not
     /// changed. Entries are invalidated on every write/free of their page.
-    node_cache: HashMap<PageId, Rc<Node>>,
+    node_cache: NodeCache,
+    /// Structural mutation counter; retained cursor paths are valid only
+    /// while this is unchanged (see [`BTree::reseek`]).
+    epoch: u64,
+    seek_stats: SeekStats,
 }
 
-/// Decoded nodes kept at most; beyond this the cache is cleared (simple and
-/// sufficient for the experiment working sets).
+/// Decoded nodes kept at most by default.
 const NODE_CACHE_CAP: usize = 1 << 16;
+
+struct CacheSlot {
+    node: Rc<Node>,
+    /// Distinguishes this occupancy from earlier ones of the same page id;
+    /// clock-queue entries carry the stamp they were enqueued with, so a
+    /// remove-then-reinsert of a page cannot be evicted through a stale
+    /// queue slot.
+    stamp: u64,
+    referenced: bool,
+}
+
+/// Second-chance (clock) cache of decoded nodes. Replaces the previous
+/// wholesale `clear()` at capacity, which evicted the root and every other
+/// hot upper-level node in the middle of a scan; with clock eviction, nodes
+/// that keep being re-referenced (the root, upper interior levels) survive
+/// arbitrarily long leaf churn.
+struct NodeCache {
+    map: HashMap<PageId, CacheSlot>,
+    /// FIFO of `(page, stamp)` in insertion order; stale pairs (page
+    /// removed or re-inserted since) are skipped during eviction and
+    /// dropped by periodic compaction.
+    queue: VecDeque<(PageId, u64)>,
+    cap: usize,
+    next_stamp: u64,
+}
+
+impl NodeCache {
+    fn new(cap: usize) -> Self {
+        NodeCache {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            cap,
+            next_stamp: 0,
+        }
+    }
+
+    fn get(&mut self, id: PageId) -> Option<Rc<Node>> {
+        let slot = self.map.get_mut(&id)?;
+        slot.referenced = true;
+        Some(slot.node.clone())
+    }
+
+    fn insert(&mut self, id: PageId, node: Rc<Node>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.remove(&id);
+        while self.map.len() >= self.cap {
+            if !self.evict_one() {
+                return; // cache in a degenerate state; don't loop forever
+            }
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.map.insert(
+            id,
+            CacheSlot {
+                node,
+                stamp,
+                referenced: false,
+            },
+        );
+        self.queue.push_back((id, stamp));
+        // Invalidation leaves stale pairs behind; keep the queue O(live).
+        if self.queue.len() > 2 * self.map.len() + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(id, stamp)| map.get(id).is_some_and(|s| s.stamp == *stamp));
+        }
+    }
+
+    /// Evict one unreferenced entry, giving referenced entries a second
+    /// chance. Returns `false` if nothing could be evicted.
+    fn evict_one(&mut self) -> bool {
+        // Each pop either evicts, clears a referenced bit (at most
+        // `map.len()` times in a row), or drops a stale pair, so this
+        // terminates.
+        while let Some((id, stamp)) = self.queue.pop_front() {
+            match self.map.get_mut(&id) {
+                Some(slot) if slot.stamp == stamp => {
+                    if slot.referenced {
+                        slot.referenced = false;
+                        self.queue.push_back((id, stamp));
+                    } else {
+                        self.map.remove(&id);
+                        return true;
+                    }
+                }
+                _ => {} // stale pair; discard and keep looking
+            }
+        }
+        false
+    }
+
+    fn remove(&mut self, id: &PageId) {
+        // The queue pair, if any, goes stale and is skipped on eviction.
+        self.map.remove(id);
+    }
+
+    fn contains(&self, id: &PageId) -> bool {
+        self.map.contains_key(id)
+    }
+
+    fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+        while self.map.len() > self.cap {
+            if !self.evict_one() {
+                break;
+            }
+        }
+        if self.cap == 0 {
+            self.map.clear();
+            self.queue.clear();
+        }
+    }
+}
 
 pub(crate) enum Ins {
     Done(Option<Vec<u8>>),
@@ -54,7 +174,9 @@ impl<S: PageStore> BTree<S> {
             config,
             root,
             len: 0,
-            node_cache: HashMap::new(),
+            node_cache: NodeCache::new(NODE_CACHE_CAP),
+            epoch: 0,
+            seek_stats: SeekStats::default(),
         })
     }
 
@@ -66,8 +188,48 @@ impl<S: PageStore> BTree<S> {
             config,
             root,
             len,
-            node_cache: HashMap::new(),
+            node_cache: NodeCache::new(NODE_CACHE_CAP),
+            epoch: 0,
+            seek_stats: SeekStats::default(),
         }
+    }
+
+    /// Current structural-mutation epoch. Bumped by every insert, delete,
+    /// and bulk load; cursors record it at descent time so
+    /// [`BTree::reseek`] can detect that a retained path went stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Descent accounting since the last [`BTree::reset_seek_stats`].
+    pub fn seek_stats(&self) -> SeekStats {
+        self.seek_stats
+    }
+
+    /// Zero the descent counters (typically at the start of a query,
+    /// alongside `pool_mut().begin_query()`).
+    pub fn reset_seek_stats(&mut self) {
+        self.seek_stats = SeekStats::default();
+    }
+
+    pub(crate) fn seek_stats_mut(&mut self) -> &mut SeekStats {
+        &mut self.seek_stats
+    }
+
+    /// Cap the decoded-node cache at `cap` entries (second-chance
+    /// eviction), evicting down immediately if over. `0` disables caching.
+    pub fn set_node_cache_capacity(&mut self, cap: usize) {
+        self.node_cache.set_capacity(cap);
+    }
+
+    /// Whether `id` currently has a cached decode (test/introspection
+    /// hook for eviction behavior).
+    pub fn node_cache_contains(&self, id: PageId) -> bool {
+        self.node_cache.contains(&id)
     }
 
     /// Number of entries in the tree.
@@ -125,13 +287,10 @@ impl<S: PageStore> BTree<S> {
     /// counted); decoding is skipped when the cached copy is still valid.
     pub(crate) fn load_cached(&mut self, id: PageId) -> Result<Rc<Node>> {
         let page = self.pool.fetch(id)?;
-        if let Some(node) = self.node_cache.get(&id) {
-            return Ok(node.clone());
+        if let Some(node) = self.node_cache.get(id) {
+            return Ok(node);
         }
         let node = Rc::new(Node::decode(&page.read())?);
-        if self.node_cache.len() >= NODE_CACHE_CAP {
-            self.node_cache.clear();
-        }
         self.node_cache.insert(id, node.clone());
         Ok(node)
     }
@@ -222,6 +381,7 @@ impl<S: PageStore> BTree<S> {
                 self.max_entry_size()
             )));
         }
+        self.bump_epoch();
         let result = self.insert_rec(self.root, key, value)?;
         let old = match result {
             Ins::Done(old) => old,
@@ -411,6 +571,7 @@ impl<S: PageStore> BTree<S> {
 
     /// Remove `key`, returning its value if it was present.
     pub fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.bump_epoch();
         let result = self.delete_rec(self.root, key)?;
         let old = match result {
             Del::NotFound => return Ok(None),

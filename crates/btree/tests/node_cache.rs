@@ -1,0 +1,83 @@
+//! Regression tests for decoded-node cache eviction.
+//!
+//! The cache originally dropped *everything* once it hit capacity, so a
+//! scan over more leaves than the cap evicted the root (and every hot
+//! interior node) mid-descent, forcing a re-decode of the whole upper tree
+//! on the next seek. Second-chance eviction must keep re-referenced nodes
+//! alive through arbitrary leaf churn.
+
+use btree::{BTree, BTreeConfig, Capacity};
+use pagestore::{BufferPool, MemStore};
+
+fn build_tree(n: u32) -> BTree<MemStore> {
+    let pool = BufferPool::new(MemStore::new(1024), 4096);
+    let config = BTreeConfig {
+        capacity: Capacity::Entries(4),
+        ..BTreeConfig::default()
+    };
+    BTree::bulk_load(
+        pool,
+        config,
+        (0..n).map(|i| (format!("{i:06}").into_bytes(), Vec::new())),
+    )
+    .unwrap()
+}
+
+#[test]
+fn root_survives_cache_overflowing_scan() {
+    let mut tree = build_tree(400); // ~100 leaves, far above the cap
+    let root = tree.root();
+    tree.set_node_cache_capacity(8);
+
+    // Seek-heavy scan touching every third leaf: each descent re-references
+    // the root while leaves stream through the cache and overflow it many
+    // times over.
+    for i in (0..400u32).step_by(12) {
+        let key = format!("{i:06}").into_bytes();
+        let mut cur = tree.seek(&key).unwrap();
+        let (k, _) = tree.cursor_entry(&mut cur).unwrap().unwrap();
+        assert_eq!(k, key);
+        assert!(
+            tree.node_cache_contains(root),
+            "root evicted from the node cache after seeking to {i}"
+        );
+    }
+}
+
+#[test]
+fn eviction_keeps_lookups_correct() {
+    // A cache of 2 forces constant eviction and re-decoding; results must
+    // be unaffected.
+    let mut tree = build_tree(300);
+    tree.set_node_cache_capacity(2);
+    for i in (0..300u32).rev() {
+        let key = format!("{i:06}").into_bytes();
+        assert_eq!(tree.get(&key).unwrap(), Some(Vec::new()), "key {i}");
+    }
+    assert_eq!(tree.scan_all().unwrap().len(), 300);
+}
+
+#[test]
+fn zero_capacity_disables_caching() {
+    let mut tree = build_tree(100);
+    tree.set_node_cache_capacity(0);
+    assert!(!tree.node_cache_contains(tree.root()));
+    for i in 0..100u32 {
+        let key = format!("{i:06}").into_bytes();
+        assert_eq!(tree.get(&key).unwrap(), Some(Vec::new()));
+    }
+    assert!(!tree.node_cache_contains(tree.root()));
+}
+
+#[test]
+fn capacity_shrink_evicts_down() {
+    let mut tree = build_tree(200);
+    // Warm the cache over the whole tree, then shrink hard; lookups keep
+    // working and the cache obeys the new cap (indirectly: correctness).
+    assert_eq!(tree.scan_all().unwrap().len(), 200);
+    tree.set_node_cache_capacity(1);
+    for i in [0u32, 57, 123, 199] {
+        let key = format!("{i:06}").into_bytes();
+        assert_eq!(tree.get(&key).unwrap(), Some(Vec::new()));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests for hierarchical re-seeking: `reseek(cursor, k)` must
+//! land on exactly the entry a fresh `seek(k)` finds, for arbitrary trees
+//! and target sequences — including backward targets, targets resolved
+//! after the cursor chained across leaf boundaries (stale fences), and
+//! targets issued after mutations invalidated the retained path (epoch
+//! bump). Only the cost may differ, never the position.
+
+use std::collections::BTreeMap;
+
+use btree::{BTree, BTreeConfig, Capacity};
+use pagestore::{BufferPool, MemStore};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Reseek the long-lived cursor and compare against a fresh seek.
+    Reseek(Vec<u8>),
+    /// Step the cursor forward (possibly across leaf boundaries).
+    Advance(u8),
+    /// Mutate the tree, invalidating the cursor's retained path.
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)],
+        1..12,
+    )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => arb_key().prop_map(Op::Reseek),
+        3 => any::<u8>().prop_map(Op::Advance),
+        1 => (arb_key(), proptest::collection::vec(any::<u8>(), 0..4))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => arb_key().prop_map(Op::Delete),
+    ]
+}
+
+/// The entry a cursor currently rests on, read without disturbing it.
+fn entry_at<S: pagestore::PageStore>(
+    tree: &mut BTree<S>,
+    cur: &mut btree::Cursor,
+) -> Option<(Vec<u8>, Vec<u8>)> {
+    tree.cursor_entry(cur).unwrap()
+}
+
+fn run_reseek_model(initial: Vec<(Vec<u8>, Vec<u8>)>, ops: Vec<Op>, config: BTreeConfig) {
+    let pool = BufferPool::new(MemStore::new(256), 4096);
+    let mut tree = BTree::create(pool, config).unwrap();
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for (k, v) in initial {
+        model.insert(k.clone(), v.clone());
+        tree.insert(&k, &v).unwrap();
+    }
+    let mut cur = tree.seek(&[]).unwrap();
+    for (i, op) in ops.into_iter().enumerate() {
+        match op {
+            Op::Reseek(k) => {
+                tree.reseek(&mut cur, &k).unwrap();
+                let got = entry_at(&mut tree, &mut cur);
+                let mut fresh = tree.seek(&k).unwrap();
+                let want = entry_at(&mut tree, &mut fresh);
+                assert_eq!(got, want, "reseek #{i} diverges from fresh seek");
+                // And both agree with the model's view of "first >= k".
+                let expect = model
+                    .range(k.clone()..)
+                    .next()
+                    .map(|(a, b)| (a.clone(), b.clone()));
+                assert_eq!(got, expect, "reseek #{i} diverges from model");
+            }
+            Op::Advance(n) => {
+                for _ in 0..(n % 4) {
+                    if entry_at(&mut tree, &mut cur).is_none() {
+                        break;
+                    }
+                    tree.cursor_advance(&mut cur);
+                }
+            }
+            Op::Insert(k, v) => {
+                model.insert(k.clone(), v.clone());
+                tree.insert(&k, &v).unwrap();
+            }
+            Op::Delete(k) => {
+                model.remove(&k);
+                tree.delete(&k).unwrap();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reseek_equals_seek_bytes_capacity(
+        initial in proptest::collection::vec(
+            (arb_key(), proptest::collection::vec(any::<u8>(), 0..4)), 0..120),
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        run_reseek_model(initial, ops, BTreeConfig::default());
+    }
+
+    #[test]
+    fn reseek_equals_seek_entry_capacity(
+        initial in proptest::collection::vec(
+            (arb_key(), proptest::collection::vec(any::<u8>(), 0..4)), 0..120),
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        // Max 4 entries per node forces tall trees, exercising deep LCA
+        // re-descents.
+        let config = BTreeConfig {
+            capacity: Capacity::Entries(4),
+            ..BTreeConfig::default()
+        };
+        run_reseek_model(initial, ops, config);
+    }
+}
+
+/// Directed (non-random) coverage of the three reseek paths with cost
+/// assertions: within-leaf fast path, LCA re-descent, and epoch fallback.
+#[test]
+fn reseek_paths_and_costs() {
+    let pool = BufferPool::new(MemStore::new(1024), 4096);
+    let config = BTreeConfig {
+        capacity: Capacity::Entries(4),
+        ..BTreeConfig::default()
+    };
+    let keys: Vec<Vec<u8>> = (0..500u32)
+        .map(|i| format!("{i:06}").into_bytes())
+        .collect();
+    let mut tree =
+        BTree::bulk_load(pool, config, keys.iter().map(|k| (k.clone(), Vec::new()))).unwrap();
+
+    // Initial descent.
+    tree.reset_seek_stats();
+    let mut cur = tree.seek(b"000000").unwrap();
+    let height = tree.seek_stats().depth_total;
+    assert!(
+        height >= 3,
+        "tree too shallow for the test: height {height}"
+    );
+    assert_eq!(tree.seek_stats().descents, 1);
+
+    // Within-leaf: next key lives in the same leaf (4-entry leaves).
+    tree.reset_seek_stats();
+    tree.reseek(&mut cur, b"000001").unwrap();
+    let s = tree.seek_stats();
+    assert_eq!((s.descents, s.depth_total, s.leaf_reseeks), (0, 0, 1));
+    let e = tree.cursor_entry(&mut cur).unwrap().unwrap();
+    assert_eq!(e.0, b"000001");
+
+    // Nearby target: the LCA re-descent must fetch fewer nodes than the
+    // full height.
+    tree.reset_seek_stats();
+    tree.reseek(&mut cur, b"000017").unwrap();
+    let s = tree.seek_stats();
+    assert_eq!(s.descents, 1);
+    assert!(
+        s.depth_total < height,
+        "near reseek paid a full descent: {} vs height {height}",
+        s.depth_total
+    );
+    let e = tree.cursor_entry(&mut cur).unwrap().unwrap();
+    assert_eq!(e.0, b"000017");
+
+    // Backward target: also via the retained path, same contract.
+    tree.reset_seek_stats();
+    tree.reseek(&mut cur, b"000003").unwrap();
+    let e = tree.cursor_entry(&mut cur).unwrap().unwrap();
+    assert_eq!(e.0, b"000003");
+
+    // Mutation bumps the epoch: reseek must fall back to a full descent
+    // and still land correctly. (The insert may have grown the tree, so
+    // measure the post-mutation height with a fresh seek.)
+    tree.insert(b"000003x", b"").unwrap();
+    tree.reset_seek_stats();
+    let _ = tree.seek(b"000003x").unwrap();
+    let new_height = tree.seek_stats().depth_total;
+    tree.reset_seek_stats();
+    tree.reseek(&mut cur, b"000003x").unwrap();
+    let s = tree.seek_stats();
+    assert_eq!(s.descents, 1);
+    assert_eq!(
+        s.depth_total, new_height,
+        "epoch-invalidated reseek must re-descend from the root"
+    );
+    let e = tree.cursor_entry(&mut cur).unwrap().unwrap();
+    assert_eq!(e.0, b"000003x");
+}

@@ -205,6 +205,14 @@ impl Query {
         self
     }
 
+    /// Use the parallel algorithm with flat (full root-to-leaf) skip-seeks
+    /// instead of hierarchical re-descent — the benchmark baseline for
+    /// measuring what path retention saves.
+    pub fn flat_parallel_scan(mut self) -> Self {
+        self.algorithm = ScanAlgorithm::ParallelFlat;
+        self
+    }
+
     /// Deduplicate combinations through path position `pos` (skip the rest
     /// of each matched group).
     pub fn distinct_through(mut self, pos: usize) -> Self {

@@ -26,10 +26,21 @@ use crate::query::{OidSel, QueryHit};
 /// Which retrieval algorithm a query uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanAlgorithm {
-    /// The paper's Algorithm 1: skip-seek over the B-tree.
+    /// The paper's Algorithm 1: skip-seek over the B-tree, re-descending
+    /// hierarchically from the lowest retained ancestor that covers each
+    /// skip target (see `BTree::reseek`).
     Parallel,
+    /// Algorithm 1 with every skip paying a full root-to-leaf descent —
+    /// the pre-reseek behavior, kept selectable as the benchmark baseline.
+    ParallelFlat,
     /// Naive forward scanning from the first relevant entry.
     Forward,
+}
+
+impl ScanAlgorithm {
+    fn skips(self) -> bool {
+        !matches!(self, ScanAlgorithm::Forward)
+    }
 }
 
 /// Per-query cost counters (the numbers the paper's experiments report).
@@ -46,6 +57,13 @@ pub struct ScanStats {
     pub matches: u64,
     /// Skip-seeks performed (0 for forward scans).
     pub seeks: u64,
+    /// Tree descents that fetched at least one node: the initial seek plus
+    /// every skip-seek that could not be resolved inside the current leaf.
+    /// With hierarchical reseek this is typically far below `seeks`.
+    pub descents: u64,
+    /// Total nodes fetched by those descents (a flat descent fetches the
+    /// full tree height; an LCA re-descent only the levels below the LCA).
+    pub reseek_depth_total: u64,
 }
 
 /// Constraints for one path position.
@@ -112,8 +130,20 @@ struct ElemOffsets {
     oid_start: usize,
 }
 
-/// Parse a key into (value-separator offset, element offsets).
-fn parse_offsets(key: &[u8]) -> Result<(usize, Vec<ElemOffsets>)> {
+/// Reusable per-scan scratch space so examining an entry allocates
+/// nothing: element offsets and the position assignment are parsed into
+/// these buffers in place; only an actual `Match` clones the assignment
+/// out.
+#[derive(Default)]
+pub(crate) struct ScanScratch {
+    elems: Vec<ElemOffsets>,
+    assignment: Vec<Option<usize>>,
+}
+
+/// Parse a key's element offsets into `elems` (cleared first), returning
+/// the offset of the separator after the value field.
+fn parse_offsets_into(key: &[u8], elems: &mut Vec<ElemOffsets>) -> Result<usize> {
+    elems.clear();
     if key.len() < 2 {
         return Err(Error::BadKey("key shorter than index id".into()));
     }
@@ -125,7 +155,6 @@ fn parse_offsets(key: &[u8]) -> Result<(usize, Vec<ElemOffsets>)> {
         return Err(Error::BadKey("missing separator after value".into()));
     }
     let mut offset = val_sep + 1;
-    let mut elems = Vec::new();
     while offset < key.len() {
         let code_len = key[offset..]
             .iter()
@@ -143,6 +172,13 @@ fn parse_offsets(key: &[u8]) -> Result<(usize, Vec<ElemOffsets>)> {
         });
         offset = oid_start + 4;
     }
+    Ok(val_sep)
+}
+
+/// Parse a key into (value-separator offset, element offsets).
+fn parse_offsets(key: &[u8]) -> Result<(usize, Vec<ElemOffsets>)> {
+    let mut elems = Vec::new();
+    let val_sep = parse_offsets_into(key, &mut elems)?;
     Ok((val_sep, elems))
 }
 
@@ -193,8 +229,16 @@ impl Matcher {
         Advice::SkipTo(t)
     }
 
-    /// Evaluate `key`.
+    /// Evaluate `key` (convenience wrapper allocating fresh scratch; the
+    /// scan loop uses [`Matcher::advise_with`]).
+    #[cfg(test)]
     pub fn advise(&self, key: &[u8]) -> Result<Advice> {
+        self.advise_with(key, &mut ScanScratch::default())
+    }
+
+    /// Evaluate `key`, parsing into `scratch` instead of allocating.
+    pub(crate) fn advise_with(&self, key: &[u8], scratch: &mut ScanScratch) -> Result<Advice> {
+        let ScanScratch { elems, assignment } = scratch;
         let myid = self.index_id.to_be_bytes();
         match key.get(..2) {
             None => return Err(Error::BadKey("key shorter than index id".into())),
@@ -202,7 +246,7 @@ impl Matcher {
             Some(kid) if kid > &myid[..] => return Ok(Advice::Done),
             _ => {}
         }
-        let (val_sep, elems) = parse_offsets(key)?;
+        let val_sep = parse_offsets_into(key, elems)?;
         let vfield = &key[2..val_sep];
         match range_position(vfield, &self.value_ranges) {
             RangePos::Within => {}
@@ -213,7 +257,8 @@ impl Matcher {
             }
             RangePos::Above => return Ok(Advice::Done),
         }
-        let mut assignment = vec![None; self.positions.len()];
+        assignment.clear();
+        assignment.resize(self.positions.len(), None);
         let mut pos_idx = 0;
         for (ei, elem) in elems.iter().enumerate() {
             let code = &key[elem.start..elem.sep];
@@ -234,7 +279,7 @@ impl Matcher {
                 if pc.required {
                     // Keys are grouped by earlier fields; within this group
                     // every later entry jumps past the position too.
-                    return Ok(self.bump_before(key, val_sep, &elems, ei));
+                    return Ok(self.bump_before(key, val_sep, elems, ei));
                 }
                 pos_idx += 1;
             }
@@ -247,7 +292,7 @@ impl Matcher {
                     return Ok(Advice::SkipTo(t));
                 }
                 RangePos::Above => {
-                    return Ok(self.bump_before(key, val_sep, &elems, ei));
+                    return Ok(self.bump_before(key, val_sep, elems, ei));
                 }
             }
             let oid_bytes: [u8; 4] = key[elem.oid_start..elem.oid_start + 4]
@@ -286,7 +331,7 @@ impl Matcher {
         if self.positions[pos_idx..].iter().any(|p| p.required) {
             return Ok(Advice::Step);
         }
-        Ok(Advice::Match(assignment))
+        Ok(Advice::Match(assignment.clone()))
     }
 
     /// After a match, the target that skips the rest of the combination
@@ -312,7 +357,29 @@ impl Matcher {
     }
 }
 
+/// Skip-seek the cursor to `target`: hierarchically for `Parallel`
+/// (LCA re-descent over the retained path), with a full root descent for
+/// the `ParallelFlat` baseline.
+fn skip_seek<S: PageStore>(
+    tree: &mut BTree<S>,
+    cur: &mut btree::Cursor,
+    target: &[u8],
+    algorithm: ScanAlgorithm,
+) -> Result<()> {
+    if algorithm == ScanAlgorithm::ParallelFlat {
+        *cur = tree.seek(target)?;
+    } else {
+        tree.reseek(cur, target)?;
+    }
+    Ok(())
+}
+
 /// Run a translated query against the shared B-tree.
+///
+/// The loop reads entries through `cursor_entry_ref` — a borrowed view into
+/// the shared decoded leaf — and parses them into reusable scratch, so
+/// examining an entry copies no key or value bytes and performs no
+/// allocation; only actual matches materialize owned data.
 pub(crate) fn execute<S: PageStore>(
     tree: &mut BTree<S>,
     matcher: &Matcher,
@@ -320,47 +387,47 @@ pub(crate) fn execute<S: PageStore>(
     distinct_upto: Option<usize>,
 ) -> Result<(Vec<QueryHit>, ScanStats)> {
     tree.pool_mut().begin_query();
+    tree.reset_seek_stats();
     let mut stats = ScanStats::default();
+    let mut scratch = ScanScratch::default();
     let mut hits = Vec::new();
     let mut cur = tree.seek(&matcher.initial_seek())?;
-    while let Some((k, _)) = tree.cursor_entry(&mut cur)? {
+    while let Some(e) = tree.cursor_entry_ref(&mut cur)? {
         stats.entries_examined += 1;
-        match matcher.advise(&k)? {
+        match matcher.advise_with(e.key(), &mut scratch)? {
             Advice::Match(assignment) => {
                 stats.matches += 1;
                 let skip = match distinct_upto {
                     Some(pos) => match assignment.get(pos).copied().flatten() {
-                        Some(ei) => matcher.skip_past_match(&k, ei)?,
+                        Some(ei) => matcher.skip_past_match(e.key(), ei)?,
                         None => None,
                     },
                     None => None,
                 };
                 hits.push(QueryHit {
-                    key: EntryKey::decode(&k)?,
+                    key: EntryKey::decode(e.key())?,
                     assignment,
                 });
                 match skip {
-                    Some(t)
-                        if algorithm == ScanAlgorithm::Parallel && t.as_slice() > k.as_slice() =>
-                    {
+                    Some(t) if algorithm.skips() && t.as_slice() > e.key() => {
                         stats.seeks += 1;
-                        cur = tree.seek(&t)?;
+                        skip_seek(tree, &mut cur, &t, algorithm)?;
                     }
                     _ => tree.cursor_advance(&mut cur),
                 }
             }
             Advice::Step => tree.cursor_advance(&mut cur),
             Advice::SkipTo(t) => {
-                if t.as_slice() <= k.as_slice() {
+                if t.as_slice() <= e.key() {
                     // A non-advancing skip target would loop the scan
                     // forever. It cannot arise from a well-formed matcher,
                     // but if one slips through (corrupt key bytes, a bad
                     // hand-built matcher), degrade to a plain step: every
                     // key still gets examined, only the skip is lost.
                     tree.cursor_advance(&mut cur);
-                } else if algorithm == ScanAlgorithm::Parallel {
+                } else if algorithm.skips() {
                     stats.seeks += 1;
-                    cur = tree.seek(&t)?;
+                    skip_seek(tree, &mut cur, &t, algorithm)?;
                 } else {
                     tree.cursor_advance(&mut cur);
                 }
@@ -371,6 +438,9 @@ pub(crate) fn execute<S: PageStore>(
     let q = tree.pool().query_stats();
     stats.pages_read = q.distinct_pages;
     stats.node_visits = q.node_visits;
+    let s = tree.seek_stats();
+    stats.descents = s.descents;
+    stats.reseek_depth_total = s.depth_total;
     Ok((hits, stats))
 }
 

@@ -9,7 +9,10 @@ use pagestore::{BufferPool, MemStore, Result as PageResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use schema::{ClassId, Encoding, Schema};
-use uindex::{ClassSel, EntryKey, IndexId, IndexSpec, PathElem, Query, UIndex, ValuePred};
+use uindex::{
+    ClassSel, EntryKey, IndexId, IndexSpec, PathElem, Query, ScanAlgorithm, ScanStats, UIndex,
+    ValuePred,
+};
 
 /// Key cardinality of a generated database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +77,7 @@ pub struct UIndexSet {
     index: UIndex<MemStore>,
     id: IndexId,
     classes: Vec<ClassId>,
-    forward_scan: bool,
+    algorithm: ScanAlgorithm,
 }
 
 impl UIndexSet {
@@ -108,7 +111,7 @@ impl UIndexSet {
             index,
             id,
             classes,
-            forward_scan: false,
+            algorithm: ScanAlgorithm::Parallel,
         })
     }
 
@@ -128,7 +131,47 @@ impl UIndexSet {
     /// Use the naive forward-scanning algorithm instead of the paper's
     /// parallel algorithm (Table 1's comparison).
     pub fn use_forward_scan(&mut self, forward: bool) {
-        self.forward_scan = forward;
+        self.algorithm = if forward {
+            ScanAlgorithm::Forward
+        } else {
+            ScanAlgorithm::Parallel
+        };
+    }
+
+    /// Select the scan algorithm for subsequent queries (the scan-perf
+    /// bench compares all three).
+    pub fn use_algorithm(&mut self, algorithm: ScanAlgorithm) {
+        self.algorithm = algorithm;
+    }
+
+    /// Exact-key query returning the full scan statistics (not just the
+    /// harness's `QueryCost` projection).
+    pub fn exact_stats(
+        &mut self,
+        key: &[u8],
+        sets: &[SetId],
+    ) -> PageResult<(Vec<(SetId, Oid)>, ScanStats)> {
+        let q = Query::on(self.id)
+            .value(ValuePred::eq(Self::value_of(key)))
+            .class_at(0, self.class_sel(sets));
+        self.run_stats(q)
+    }
+
+    /// Range query (`lo <= key < hi`) returning the full scan statistics.
+    pub fn range_stats(
+        &mut self,
+        lo: &[u8],
+        hi: &[u8],
+        sets: &[SetId],
+    ) -> PageResult<(Vec<(SetId, Oid)>, ScanStats)> {
+        let q = Query::on(self.id)
+            .value(ValuePred::Range {
+                lo: Some(Self::value_of(lo)),
+                hi: Some(Self::value_of(hi)),
+                hi_inclusive: false,
+            })
+            .class_at(0, self.class_sel(sets));
+        self.run_stats(q)
     }
 
     fn entry(&self, key: &[u8], set: SetId, oid: Oid) -> EntryKey {
@@ -148,11 +191,20 @@ impl UIndexSet {
     }
 
     fn run(&mut self, q: Query) -> PageResult<(Vec<(SetId, Oid)>, QueryCost)> {
-        let q = if self.forward_scan {
-            q.forward_scan()
-        } else {
-            q
-        };
+        let (hits, stats) = self.run_stats(q)?;
+        Ok((
+            hits,
+            QueryCost {
+                pages: stats.pages_read,
+                visits: stats.node_visits,
+                descents: stats.descents,
+            },
+        ))
+    }
+
+    fn run_stats(&mut self, q: Query) -> PageResult<(Vec<(SetId, Oid)>, ScanStats)> {
+        let mut q = q;
+        q.algorithm = self.algorithm;
         let (hits, stats) = self
             .index
             .query(&q)
@@ -173,13 +225,7 @@ impl UIndexSet {
             out.push((set, h.key.path[0].oid));
         }
         out.sort();
-        Ok((
-            out,
-            QueryCost {
-                pages: stats.pages_read,
-                visits: stats.node_visits,
-            },
-        ))
+        Ok((out, stats))
     }
 
     fn class_sel(&self, sets: &[SetId]) -> ClassSel {
