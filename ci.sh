@@ -23,4 +23,35 @@ cargo bench --no-run --offline --workspace
 echo "== scanperf --smoke (scan-path invariants on a small database)"
 cargo run -q --release --offline -p bench --bin scanperf -- --smoke
 
+echo "== telemetry JSON round-trip (export -> vendored parser -> verify)"
+cargo test -q --offline -p telemetry json_round_trip
+
+echo "== explain smoke (CLI EXPLAIN ANALYZE end to end)"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+cat > "$tmpdir/smoke.uschema" <<'EOF'
+class Employee { Age: int }
+class Company { Name: str, President: ref Employee }
+class Vehicle { Color: str, MadeBy: ref Company }
+class Automobile < Vehicle {}
+index color = hierarchy Vehicle Color
+EOF
+cat > "$tmpdir/smoke.udata" <<'EOF'
+e1 = Employee Age=50
+c1 = Company Name='Fiat' President=@e1
+v1 = Vehicle Color='Red' MadeBy=@c1
+v2 = Automobile Color='Red' MadeBy=@c1
+v3 = Automobile Color='Blue' MadeBy=@c1
+EOF
+cargo run -q --release --offline -p uindex-cli -- \
+  new "$tmpdir/db" "$tmpdir/smoke.uschema" "$tmpdir/smoke.udata"
+explain_json=$(cargo run -q --release --offline -p uindex-cli -- \
+  explain "$tmpdir/db" "explain analyze color: Color = 'Red'" --json)
+echo "$explain_json" | grep -q '"plan"' || { echo "explain smoke: no plan in JSON"; exit 1; }
+echo "$explain_json" | grep -q '"trace"' || { echo "explain smoke: no trace in JSON"; exit 1; }
+echo "$explain_json" | grep -q '"index": "color"' || { echo "explain smoke: empty plan"; exit 1; }
+explain_text=$(cargo run -q --release --offline -p uindex-cli -- \
+  explain "$tmpdir/db" "color: Color = 'Red'")
+echo "$explain_text" | grep -q '^Execution' || { echo "explain smoke: no Execution section"; exit 1; }
+
 echo "CI green."

@@ -109,6 +109,13 @@ fn main() {
         (ScanAlgorithm::Forward, "forward"),
     ];
     let mut u = UIndexSet::build(num_sets, &postings).expect("build u-index");
+    // The telemetry registry accumulates across every U-index query in the
+    // process; sampled around the breakdown it must reproduce the summed
+    // per-query ScanStats exactly.
+    let reg_pages0 = telemetry::counter_value("uindex.scan.pages");
+    let reg_visits0 = telemetry::counter_value("uindex.scan.node_visits");
+    let reg_descents0 = telemetry::counter_value("uindex.scan.descents");
+    let mut breakdown_totals = [0u64; 3]; // pages, visits, descents
     for k in [1u16, 2, 4, 8] {
         let mut sums = [[0u64; 3]; 3]; // [algo][pages, visits, descents]
         for (ai, (algo, _)) in algos.iter().enumerate() {
@@ -122,6 +129,9 @@ fn main() {
                 sums[ai][0] += stats.pages_read;
                 sums[ai][1] += stats.node_visits;
                 sums[ai][2] += stats.descents;
+                breakdown_totals[0] += stats.pages_read;
+                breakdown_totals[1] += stats.node_visits;
+                breakdown_totals[2] += stats.descents;
             }
         }
         u.use_algorithm(ScanAlgorithm::Parallel);
@@ -146,6 +156,33 @@ fn main() {
             );
         }
     }
+
+    assert_eq!(
+        telemetry::counter_value("uindex.scan.pages") - reg_pages0,
+        breakdown_totals[0],
+        "registry pages delta diverges from summed ScanStats"
+    );
+    assert_eq!(
+        telemetry::counter_value("uindex.scan.node_visits") - reg_visits0,
+        breakdown_totals[1],
+        "registry node_visits delta diverges from summed ScanStats"
+    );
+    assert_eq!(
+        telemetry::counter_value("uindex.scan.descents") - reg_descents0,
+        breakdown_totals[2],
+        "registry descents delta diverges from summed ScanStats"
+    );
+
+    // Whole-process U-index telemetry (both table sections feed it).
+    let queries = telemetry::counter_value("uindex.query.count");
+    let pages_h = telemetry::histogram("uindex.query.pages");
+    println!(
+        "\n## U-index telemetry registry — {queries} queries recorded, \
+         {:.1} pages/query avg (histogram total {} over {} observations)",
+        pages_h.sum() as f64 / pages_h.count().max(1) as f64,
+        pages_h.sum(),
+        pages_h.count()
+    );
 
     println!(
         "\nExpected shapes (paper §4.4/§5): CH-tree best at exact match but pays the whole \

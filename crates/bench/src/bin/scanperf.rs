@@ -41,7 +41,7 @@ struct Workload {
     queries: u32,
 }
 
-#[derive(Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 struct Acc {
     pages_read: u64,
     node_visits: u64,
@@ -60,6 +60,33 @@ impl Acc {
         self.seeks += s.seeks;
         self.descents += s.descents;
         self.reseek_depth_total += s.reseek_depth_total;
+    }
+
+    /// Cumulative `uindex.scan.*` registry counters, as an [`Acc`]. The
+    /// reported numbers are registry deltas (sampled around each algorithm
+    /// pass); the per-query [`ScanStats`] sums serve as a cross-check.
+    fn from_registry() -> Acc {
+        Acc {
+            pages_read: telemetry::counter_value("uindex.scan.pages"),
+            node_visits: telemetry::counter_value("uindex.scan.node_visits"),
+            entries_examined: telemetry::counter_value("uindex.scan.entries_examined"),
+            seeks: telemetry::counter_value("uindex.scan.skips"),
+            descents: telemetry::counter_value("uindex.scan.descents"),
+            reseek_depth_total: telemetry::counter_value("uindex.scan.reseek_depth"),
+            wall_nanos: 0,
+        }
+    }
+
+    fn minus(self, earlier: Acc) -> Acc {
+        Acc {
+            pages_read: self.pages_read - earlier.pages_read,
+            node_visits: self.node_visits - earlier.node_visits,
+            entries_examined: self.entries_examined - earlier.entries_examined,
+            seeks: self.seeks - earlier.seeks,
+            descents: self.descents - earlier.descents,
+            reseek_depth_total: self.reseek_depth_total - earlier.reseek_depth_total,
+            wall_nanos: 0,
+        }
     }
 
     fn to_json(self, out: &mut String, indent: &str) {
@@ -118,8 +145,10 @@ fn run_workload(u: &mut UIndexSet, w: &Workload, keys: u32) -> [Acc; 3] {
     let stream = query_stream(w, keys, 0x5CA9_F0CE_5EED_0001);
     let mut accs = [Acc::default(); 3];
     let mut reference: Vec<(Vec<(SetId, objstore::Oid)>, u64)> = Vec::new();
-    for (ai, (algo, _)) in ALGOS.iter().enumerate() {
+    for (ai, (algo, aname)) in ALGOS.iter().enumerate() {
         u.use_algorithm(*algo);
+        let mut legacy = Acc::default();
+        let reg0 = Acc::from_registry();
         let started = Instant::now();
         for (qi, (lo, hi, sets)) in stream.iter().enumerate() {
             let mut sorted = sets.clone();
@@ -128,7 +157,7 @@ fn run_workload(u: &mut UIndexSet, w: &Workload, keys: u32) -> [Acc; 3] {
                 Shape::Exact => u.exact_stats(lo, &sorted).expect("query"),
                 Shape::Range(_) => u.range_stats(lo, hi, &sorted).expect("query"),
             };
-            accs[ai].add(&stats);
+            legacy.add(&stats);
             if ai == 0 {
                 reference.push((hits, stats.pages_read));
             } else {
@@ -154,7 +183,18 @@ fn run_workload(u: &mut UIndexSet, w: &Workload, keys: u32) -> [Acc; 3] {
                 }
             }
         }
-        accs[ai].wall_nanos = started.elapsed().as_nanos();
+        let wall_nanos = started.elapsed().as_nanos();
+        // The reported numbers come from the telemetry registry; the summed
+        // per-query ScanStats must agree exactly, or the two accounting
+        // paths have drifted.
+        let mut acc = Acc::from_registry().minus(reg0);
+        assert_eq!(
+            acc, legacy,
+            "{} ({aname}): registry deltas diverge from summed ScanStats",
+            w.name
+        );
+        acc.wall_nanos = wall_nanos;
+        accs[ai] = acc;
     }
     u.use_algorithm(ScanAlgorithm::Parallel);
     accs
@@ -218,8 +258,19 @@ fn main() {
         "workload", "algorithm", "pages", "visits", "seeks", "descents", "wall ms"
     );
 
+    // Provenance header (documented in docs/bench-format.md): enough to
+    // reproduce and attribute the numbers — generator seed, workload name,
+    // object count, and a git-describable tool version.
+    let provenance = telemetry::Provenance {
+        seed: cfg.seed,
+        workload: "uniform-scan".into(),
+        objects: objects as u64,
+        version: telemetry::tool_version(env!("CARGO_PKG_VERSION")),
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(json, "  \"provenance\": {},", provenance.to_json());
     let _ = writeln!(
         json,
         "  \"config\": {{\"objects\": {objects}, \"sets\": 8, \"distinct_keys\": {keys}, \

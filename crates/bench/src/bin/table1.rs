@@ -3,26 +3,15 @@
 //! forward-scanning column for the query families the paper compares
 //! (queries 3 and 4).
 //!
+//! The query set lives in [`workload::vehicle::table1_queries`], shared
+//! with the EXPLAIN ANALYZE acceptance test so benched and explained
+//! queries cannot drift apart.
+//!
 //! Usage: `cargo run --release -p bench --bin table1`
 //! (set `VEHICLES` to shrink the database for smoke runs).
 
-use objstore::Value;
-use uindex::{ClassSel, Query, ScanStats, ValuePred};
-use workload::vehicle::{generate, VehicleWorkload};
-
-fn colors(n: usize) -> ValuePred {
-    let cols = ["Red", "Blue", "Green"];
-    if n == 1 {
-        ValuePred::eq(Value::Str(cols[0].into()))
-    } else {
-        ValuePred::In(
-            cols[..n]
-                .iter()
-                .map(|c| Value::Str((*c).to_string()))
-                .collect(),
-        )
-    }
-}
+use uindex::{Query, ScanStats};
+use workload::vehicle::{generate, table1_queries, VehicleWorkload};
 
 struct Row {
     id: &'static str,
@@ -54,115 +43,19 @@ fn main() {
     );
     println!("(paper: ~1562 nodes for the 12,000-record color index alone, m = 10)\n");
 
-    let c = w.classes;
-    let mut rows: Vec<Row> = Vec::new();
-
-    // Queries 1/1a/1b/1c: all Buses, then restricted to 1..3 colors.
-    let base1 = Query::on(w.color_index).class_at(0, ClassSel::SubTree(c.bus));
-    rows.push(Row {
-        id: "1",
-        parallel: run(&mut w, &base1),
-        forward: None,
-    });
-    for (id, ncolors) in [("1a", 1), ("1b", 2), ("1c", 3)] {
-        let q = base1.clone().value(colors(ncolors));
+    let queries = table1_queries(&w);
+    let mut rows: Vec<Row> = Vec::with_capacity(queries.len());
+    for tq in &queries {
+        let parallel = run(&mut w, &tq.query);
+        let forward = tq
+            .forward_compare
+            .then(|| run(&mut w, &tq.query.clone().forward_scan()));
         rows.push(Row {
-            id,
-            parallel: run(&mut w, &q),
-            forward: None,
+            id: tq.id,
+            parallel,
+            forward,
         });
     }
-
-    // Queries 2/2a/2b/2c: PassengerBuses (a deeper sub-tree).
-    let base2 = Query::on(w.color_index).class_at(0, ClassSel::SubTree(c.passenger_bus));
-    rows.push(Row {
-        id: "2",
-        parallel: run(&mut w, &base2),
-        forward: None,
-    });
-    for (id, ncolors) in [("2a", 1), ("2b", 2), ("2c", 3)] {
-        let q = base2.clone().value(colors(ncolors));
-        rows.push(Row {
-            id,
-            parallel: run(&mut w, &q),
-            forward: None,
-        });
-    }
-
-    // Queries 3/3a/3b/3c: Automobiles — parallel vs forward scanning.
-    let base3 = Query::on(w.color_index).class_at(0, ClassSel::SubTree(c.automobile));
-    for (id, ncolors) in [("3", 0), ("3a", 1), ("3b", 2), ("3c", 3)] {
-        let q = if ncolors == 0 {
-            base3.clone()
-        } else {
-            base3.clone().value(colors(ncolors))
-        };
-        rows.push(Row {
-            id,
-            parallel: run(&mut w, &q),
-            forward: Some(run(&mut w, &q.clone().forward_scan())),
-        });
-    }
-
-    // Queries 4/4a/4b/4c: Compact OR Service automobiles (dispersed
-    // sub-classes, ForeignAuto sits between them).
-    let sel4 = ClassSel::AnyOf(vec![
-        ClassSel::SubTree(c.compact),
-        ClassSel::SubTree(c.service_auto),
-    ]);
-    let base4 = Query::on(w.color_index).class_at(0, sel4);
-    for (id, ncolors) in [("4", 0), ("4a", 1), ("4b", 2), ("4c", 3)] {
-        let q = if ncolors == 0 {
-            base4.clone()
-        } else {
-            base4.clone().value(colors(ncolors))
-        };
-        rows.push(Row {
-            id,
-            parallel: run(&mut w, &q),
-            forward: Some(run(&mut w, &q.clone().forward_scan())),
-        });
-    }
-
-    // Query 5: path index — companies whose president's age is 50 (a) or
-    // above 50 (b), deduplicated through the company position (1).
-    let q5a = Query::on(w.age_index)
-        .value(ValuePred::eq(Value::Int(50)))
-        .distinct_through(1);
-    rows.push(Row {
-        id: "5a",
-        parallel: run(&mut w, &q5a),
-        forward: None,
-    });
-    let q5b = Query::on(w.age_index)
-        .value(ValuePred::at_least(Value::Int(51)))
-        .distinct_through(1);
-    rows.push(Row {
-        id: "5b",
-        parallel: run(&mut w, &q5b),
-        forward: None,
-    });
-
-    // Query 6: combined index — automobiles made by AutoCompanies whose
-    // president's age is above 50 (a); same for Trucks (b).
-    let q6a = Query::on(w.age_index)
-        .value(ValuePred::at_least(Value::Int(51)))
-        .class_at(1, ClassSel::SubTree(c.auto_company))
-        .class_at(2, ClassSel::SubTree(c.automobile));
-    rows.push(Row {
-        id: "6a",
-        parallel: run(&mut w, &q6a),
-        forward: None,
-    });
-    let q6b = Query::on(w.age_index)
-        .value(ValuePred::at_least(Value::Int(51)))
-        .class_at(1, ClassSel::SubTree(c.auto_company))
-        .class_at(2, ClassSel::SubTree(c.truck));
-    rows.push(Row {
-        id: "6b",
-        parallel: run(&mut w, &q6b),
-        forward: None,
-    });
 
     println!(
         "{:>6}  {:>14}  {:>17}  {:>8}",

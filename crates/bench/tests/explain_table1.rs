@@ -1,0 +1,85 @@
+//! Acceptance gate (ISSUE 4): EXPLAIN ANALYZE over every Table-1 query
+//! reports page / node / reseek counts exactly matching the legacy
+//! `ScanStats` and buffer-pool `PoolStats` for the same run.
+//!
+//! The query set is [`workload::vehicle::table1_queries`] — the same list
+//! the `table1` bench binary prints — on a smaller database (the counters
+//! under test are size-independent identities, not absolute values).
+
+use workload::vehicle::{generate, table1_queries};
+
+#[test]
+fn explain_analyze_matches_legacy_counters_on_table1() {
+    let mut w = generate(2028, 2_000, 10).expect("generate");
+    let queries = table1_queries(&w);
+    assert_eq!(queries.len(), 20, "the paper's full Table 1");
+
+    for tq in &queries {
+        let mut variants = vec![("parallel", tq.query.clone())];
+        if tq.forward_compare {
+            variants.push(("forward", tq.query.clone().forward_scan()));
+        }
+        for (vname, q) in variants {
+            let ctx = format!("query {} ({vname})", tq.id);
+            let pool0 = w.db.index().tree().pool().stats();
+            let report = w.db.explain_query(&q).expect("explain");
+            let pool1 = w.db.index().tree().pool().stats();
+            let t = &report.trace;
+            let s = &report.stats;
+
+            // The trace's scan counters are the legacy ScanStats, field by
+            // field.
+            assert_eq!(t.pages_read, s.pages_read, "{ctx}: pages_read");
+            assert_eq!(t.node_visits, s.node_visits, "{ctx}: node_visits");
+            assert_eq!(
+                t.entries_examined, s.entries_examined,
+                "{ctx}: entries_examined"
+            );
+            assert_eq!(t.matches, s.matches, "{ctx}: matches");
+            assert_eq!(t.skips, s.seeks, "{ctx}: skips vs seeks");
+            assert_eq!(t.descents, s.descents, "{ctx}: descents");
+            assert_eq!(
+                t.reseek_depth_total, s.reseek_depth_total,
+                "{ctx}: reseek_depth_total"
+            );
+
+            // Every skip resolves through exactly one reseek tier.
+            assert_eq!(
+                t.reseeks_leaf + t.reseeks_lca + t.reseeks_full,
+                s.seeks,
+                "{ctx}: reseek tiers decompose the skip count"
+            );
+            assert!(
+                t.partial_keys_expanded >= s.seeks,
+                "{ctx}: every skip expands a partial key"
+            );
+
+            // The trace's pool split is the legacy PoolStats delta for the
+            // same run: every fetch the query issued is either a hit or a
+            // physical read, nothing more, nothing less.
+            assert_eq!(
+                t.pool_hits + t.pool_misses,
+                pool1.logical_fetches - pool0.logical_fetches,
+                "{ctx}: pool hit/miss split covers all logical fetches"
+            );
+            assert_eq!(
+                t.pool_misses,
+                pool1.physical_reads - pool0.physical_reads,
+                "{ctx}: pool misses are the physical reads"
+            );
+
+            // Re-running through the legacy stats path reproduces the
+            // reported counters exactly (the counters are logical, so pool
+            // warmth cannot shift them).
+            let (hits, stats) = w.db.query_with_stats(&q).expect("re-run");
+            assert_eq!(hits.len(), report.hits, "{ctx}: hits");
+            assert_eq!(stats, *s, "{ctx}: ScanStats reproduce");
+
+            // The span tree is present with the documented phase hierarchy.
+            let span = t.span.as_ref().unwrap_or_else(|| panic!("{ctx}: span"));
+            assert_eq!(span.name, "query", "{ctx}");
+            assert!(span.find("plan").is_some(), "{ctx}: plan phase");
+            assert!(span.find("scan").is_some(), "{ctx}: scan phase");
+        }
+    }
+}

@@ -202,6 +202,8 @@ impl<S: PageStore> BTree<S> {
                     let s = self.seek_stats_mut();
                     s.descents += 1;
                     s.depth_total += fetched;
+                    self.metrics.seek_descents.inc();
+                    self.metrics.seek_nodes.add(fetched);
                     return Ok(());
                 }
             }
@@ -222,6 +224,7 @@ impl<S: PageStore> BTree<S> {
     /// in `tests/reseek_prop.rs`); only the cost differs.
     pub fn reseek(&mut self, cur: &mut Cursor, key: &[u8]) -> Result<()> {
         if cur.epoch != self.epoch() {
+            self.metrics.reseek_full.inc();
             *cur = self.seek(key)?;
             return Ok(());
         }
@@ -249,11 +252,13 @@ impl<S: PageStore> BTree<S> {
             };
             cur.slot = leaf.entries.partition_point(|e| e.key.as_slice() < key);
             self.seek_stats_mut().leaf_reseeks += 1;
+            self.metrics.reseek_leaf.inc();
             return Ok(());
         }
         // Lowest retained ancestor covering the target. The root level
         // covers everything, so a non-empty path always yields one.
         let Some(depth) = cur.path.iter().rposition(|lvl| lvl.covers(key)) else {
+            self.metrics.reseek_full.inc();
             *cur = self.seek(key)?;
             return Ok(());
         };
@@ -273,6 +278,7 @@ impl<S: PageStore> BTree<S> {
         } else {
             Some(int.seps[ci].clone())
         };
+        self.metrics.reseek_lca.inc();
         self.descend(cur, depth + 1, child, child_lo, child_hi, key)
     }
 

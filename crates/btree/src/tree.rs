@@ -27,6 +27,34 @@ pub struct BTree<S: PageStore> {
     /// while this is unchanged (see [`BTree::reseek`]).
     epoch: u64,
     seek_stats: SeekStats,
+    pub(crate) metrics: TreeMetrics,
+}
+
+/// Registry handles, resolved once per tree so hot-path increments are a
+/// single `Cell` bump (catalog in DESIGN.md §9).
+pub(crate) struct TreeMetrics {
+    pub(crate) seek_descents: telemetry::Counter,
+    pub(crate) seek_nodes: telemetry::Counter,
+    /// Reseeks by resolution level: within-leaf, LCA re-descent, full seek.
+    pub(crate) reseek_leaf: telemetry::Counter,
+    pub(crate) reseek_lca: telemetry::Counter,
+    pub(crate) reseek_full: telemetry::Counter,
+    splits: telemetry::Counter,
+    merges: telemetry::Counter,
+}
+
+impl TreeMetrics {
+    fn new() -> Self {
+        TreeMetrics {
+            seek_descents: telemetry::counter("btree.seek.descents"),
+            seek_nodes: telemetry::counter("btree.seek.nodes_fetched"),
+            reseek_leaf: telemetry::counter("btree.reseek.leaf"),
+            reseek_lca: telemetry::counter("btree.reseek.lca"),
+            reseek_full: telemetry::counter("btree.reseek.full"),
+            splits: telemetry::counter("btree.splits"),
+            merges: telemetry::counter("btree.merges"),
+        }
+    }
 }
 
 /// Decoded nodes kept at most by default.
@@ -55,6 +83,7 @@ struct NodeCache {
     queue: VecDeque<(PageId, u64)>,
     cap: usize,
     next_stamp: u64,
+    evictions: telemetry::Counter,
 }
 
 impl NodeCache {
@@ -64,6 +93,7 @@ impl NodeCache {
             queue: VecDeque::new(),
             cap,
             next_stamp: 0,
+            evictions: telemetry::counter("btree.node_cache.evictions"),
         }
     }
 
@@ -116,6 +146,7 @@ impl NodeCache {
                         self.queue.push_back((id, stamp));
                     } else {
                         self.map.remove(&id);
+                        self.evictions.inc();
                         return true;
                     }
                 }
@@ -177,6 +208,7 @@ impl<S: PageStore> BTree<S> {
             node_cache: NodeCache::new(NODE_CACHE_CAP),
             epoch: 0,
             seek_stats: SeekStats::default(),
+            metrics: TreeMetrics::new(),
         })
     }
 
@@ -191,6 +223,7 @@ impl<S: PageStore> BTree<S> {
             node_cache: NodeCache::new(NODE_CACHE_CAP),
             epoch: 0,
             seek_stats: SeekStats::default(),
+            metrics: TreeMetrics::new(),
         }
     }
 
@@ -448,6 +481,7 @@ impl<S: PageStore> BTree<S> {
                 );
                 self.store_node(id, &Node::Leaf(leaf))?;
                 self.store_node(right_id, &Node::Leaf(right))?;
+                self.metrics.splits.inc();
                 Ok(Ins::Split {
                     sep,
                     right: right_id,
@@ -482,6 +516,7 @@ impl<S: PageStore> BTree<S> {
                         };
                         self.store_node(id, &Node::Internal(int))?;
                         self.store_node(right_id, &Node::Internal(right))?;
+                        self.metrics.splits.inc();
                         Ok(Ins::Split {
                             sep: promoted,
                             right: right_id,
@@ -655,6 +690,7 @@ impl<S: PageStore> BTree<S> {
                     self.free_page(right_id)?;
                     int.seps.remove(li);
                     int.children.remove(ri);
+                    self.metrics.merges.inc();
                 } else {
                     let Node::Leaf(mut combined) = combined else {
                         unreachable!()
@@ -687,6 +723,7 @@ impl<S: PageStore> BTree<S> {
                     self.free_page(right_id)?;
                     int.seps.remove(li);
                     int.children.remove(ri);
+                    self.metrics.merges.inc();
                 } else {
                     let Node::Internal(mut combined) = combined else {
                         unreachable!()

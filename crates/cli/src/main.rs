@@ -1,11 +1,16 @@
 //! The `uindex-cli` binary. Commands:
 //!
 //! ```text
-//! uindex-cli new   <db-dir> <schema.uschema> [data.udata]
-//! uindex-cli load  <db-dir> <data.udata>
-//! uindex-cli query <db-dir> '<uql>'
-//! uindex-cli info  <db-dir>
+//! uindex-cli new     <db-dir> <schema.uschema> [data.udata]
+//! uindex-cli load    <db-dir> <data.udata>
+//! uindex-cli query   <db-dir> '<uql>'
+//! uindex-cli explain <db-dir> '<uql>' [--json]
+//! uindex-cli info    <db-dir>
 //! ```
+//!
+//! `explain` runs EXPLAIN ANALYZE: it executes the query and prints the
+//! translated plan, the executed cost counters and the phase span tree,
+//! as text or (with `--json`) as a machine-readable report.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -25,7 +30,7 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: uindex-cli <new|load|query|info> ...";
+    let usage = "usage: uindex-cli <new|load|query|explain|info> ...";
     match args.first().map(String::as_str) {
         Some("new") => {
             let [_, dir, schema_path, rest @ ..] = args else {
@@ -92,6 +97,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 stats.pages_read,
                 stats.seeks
             );
+            Ok(())
+        }
+        Some("explain") => {
+            let (dir, uql, json) = match args {
+                [_, dir, uql] => (dir, uql, false),
+                [_, dir, uql, flag] if flag == "--json" => (dir, uql, true),
+                _ => return Err("usage: uindex-cli explain <db-dir> '<uql>' [--json]".into()),
+            };
+            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            let report = db.explain_uql(uql).map_err(|e| e.to_string())?;
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
             Ok(())
         }
         Some("info") => {

@@ -82,6 +82,32 @@ pub struct QueryStats {
 /// queries; [`BufferPool::begin_query`] sheds anything bigger.
 const TOUCHED_RETAIN_LIMIT: usize = 1 << 12;
 
+/// Registry handles, resolved once at pool construction so the hot path
+/// pays one `Cell` bump per event (see DESIGN.md §9 for the catalog).
+struct PoolMetrics {
+    hits: telemetry::Counter,
+    misses: telemetry::Counter,
+    read_errors: telemetry::Counter,
+    evictions: telemetry::Counter,
+    writebacks: telemetry::Counter,
+    allocations: telemetry::Counter,
+    frees: telemetry::Counter,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        PoolMetrics {
+            hits: telemetry::counter("pagestore.pool.hits"),
+            misses: telemetry::counter("pagestore.pool.misses"),
+            read_errors: telemetry::counter("pagestore.pool.read_errors"),
+            evictions: telemetry::counter("pagestore.pool.evictions"),
+            writebacks: telemetry::counter("pagestore.pool.writebacks"),
+            allocations: telemetry::counter("pagestore.pool.allocations"),
+            frees: telemetry::counter("pagestore.pool.frees"),
+        }
+    }
+}
+
 /// A single-threaded buffer pool with LRU eviction, pinning via [`PageRef`]
 /// handles, and the page-access accounting the experiments report.
 pub struct BufferPool<S: PageStore> {
@@ -95,6 +121,7 @@ pub struct BufferPool<S: PageStore> {
     /// current query. Indexed by raw page id; grows on demand.
     touched: Vec<u64>,
     epoch: u64,
+    metrics: PoolMetrics,
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -113,6 +140,7 @@ impl<S: PageStore> BufferPool<S> {
             query: QueryStats::default(),
             touched: Vec::new(),
             epoch: 1,
+            metrics: PoolMetrics::new(),
         }
     }
 
@@ -174,19 +202,30 @@ impl<S: PageStore> BufferPool<S> {
     }
 
     /// Fetch a page, reading it from the store on a miss.
+    ///
+    /// A fetch whose store read fails counts towards *no* access statistic
+    /// except `pagestore.pool.read_errors`: the caller never saw a page, so
+    /// neither the cumulative nor the per-query counters may move.
     pub fn fetch(&mut self, id: PageId) -> Result<PageRef> {
         if id.is_null() {
             return Err(Error::InvalidPageId(id));
         }
-        self.stats.logical_fetches += 1;
-        self.touch_for_query(id);
         if let Some(frame) = self.frames.get(&id).cloned() {
+            self.stats.logical_fetches += 1;
+            self.touch_for_query(id);
+            self.metrics.hits.inc();
             self.bump(&frame);
             return Ok(PageRef { frame });
         }
-        self.stats.physical_reads += 1;
         let mut data = vec![0u8; self.store.page_size()];
-        self.store.read(id, &mut data)?;
+        if let Err(e) = self.store.read(id, &mut data) {
+            self.metrics.read_errors.inc();
+            return Err(e);
+        }
+        self.stats.logical_fetches += 1;
+        self.stats.physical_reads += 1;
+        self.touch_for_query(id);
+        self.metrics.misses.inc();
         let frame = Rc::new(RefCell::new(Frame {
             id,
             data,
@@ -202,6 +241,7 @@ impl<S: PageStore> BufferPool<S> {
     pub fn allocate(&mut self) -> Result<(PageId, PageRef)> {
         let id = self.store.allocate()?;
         self.stats.allocations += 1;
+        self.metrics.allocations.inc();
         self.touch_for_query(id);
         let frame = Rc::new(RefCell::new(Frame {
             id,
@@ -228,6 +268,7 @@ impl<S: PageStore> BufferPool<S> {
         // (e.g. an unallocated id or an I/O error) leaves stats truthful.
         self.store.free(id)?;
         self.stats.frees += 1;
+        self.metrics.frees.inc();
         Ok(())
     }
 
@@ -246,6 +287,7 @@ impl<S: PageStore> BufferPool<S> {
                 self.store.write(*id, &f.data)?;
                 f.dirty = false;
                 self.stats.physical_writes += 1;
+                self.metrics.writebacks.inc();
             }
         }
         Ok(())
@@ -283,7 +325,9 @@ impl<S: PageStore> BufferPool<S> {
         if f.dirty {
             self.store.write(id, &f.data)?;
             self.stats.physical_writes += 1;
+            self.metrics.writebacks.inc();
         }
+        self.metrics.evictions.inc();
         Ok(true)
     }
 
@@ -412,6 +456,75 @@ mod tests {
         assert_eq!(p.stats().frees, 1);
         assert!(p.free(PageId(999)).is_err());
         assert_eq!(p.stats().frees, 1);
+    }
+
+    #[test]
+    fn faulted_fetch_is_not_counted_as_access() {
+        use crate::fault::{Fault, FaultStore};
+        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        let (a, _) = p.allocate().unwrap();
+        // Push `a` out of the pool so the next fetch must hit the store.
+        let (_b, _) = p.allocate().unwrap();
+        let (_c, _) = p.allocate().unwrap();
+        p.begin_query();
+        let before = p.stats();
+        let hits_before = telemetry::counter_value("pagestore.pool.hits");
+        let misses_before = telemetry::counter_value("pagestore.pool.misses");
+        let errors_before = telemetry::counter_value("pagestore.pool.read_errors");
+        let at = p.store().ops();
+        p.store_mut().inject(at, Fault::IoError);
+        assert!(p.fetch(a).is_err());
+        let after = p.stats();
+        // The failed fetch reached no page: every access statistic must be
+        // unchanged, cumulative and per-query alike.
+        assert_eq!(after.logical_fetches, before.logical_fetches);
+        assert_eq!(after.physical_reads, before.physical_reads);
+        assert_eq!(p.query_stats(), QueryStats::default());
+        assert_eq!(telemetry::counter_value("pagestore.pool.hits"), hits_before);
+        assert_eq!(
+            telemetry::counter_value("pagestore.pool.misses"),
+            misses_before
+        );
+        assert_eq!(
+            telemetry::counter_value("pagestore.pool.read_errors"),
+            errors_before + 1
+        );
+        // The page itself is fine; a retry succeeds and counts normally.
+        p.fetch(a).unwrap();
+        assert_eq!(p.stats().logical_fetches, before.logical_fetches + 1);
+        assert_eq!(p.query_stats().node_visits, 1);
+    }
+
+    #[test]
+    fn stats_stay_monotonic_across_crash_and_recovery() {
+        use crate::fault::{Fault, FaultStore};
+        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        let mut ids = Vec::new();
+        for i in 0..4u8 {
+            let (id, page) = p.allocate().unwrap();
+            page.write()[0] = i;
+            ids.push(id);
+        }
+        let pre_crash = p.stats();
+        let at = p.store().ops();
+        p.store_mut().inject(at, Fault::Crash);
+        // Everything fails while crashed; counters must not move backwards
+        // (or at all — no page access completes).
+        assert!(p.fetch(ids[0]).is_err() || p.fetch(ids[1]).is_err());
+        let crashed = p.stats();
+        assert!(crashed.logical_fetches >= pre_crash.logical_fetches);
+        assert_eq!(crashed.physical_reads, pre_crash.physical_reads);
+        // "Repair the disk" and recover: counters resume from where they
+        // were, still monotonic.
+        p.store_mut().clear_faults();
+        for (i, id) in ids.iter().enumerate() {
+            let page = p.fetch(*id).unwrap();
+            assert_eq!(page.read()[0], i as u8);
+        }
+        let recovered = p.stats();
+        assert!(recovered.logical_fetches > crashed.logical_fetches);
+        assert!(recovered.physical_reads >= crashed.physical_reads);
+        assert!(recovered.physical_writes >= crashed.physical_writes);
     }
 
     #[test]

@@ -131,9 +131,14 @@ impl<S: PageStore> FaultStore<S> {
         match self.schedule.remove(&n) {
             Some(Fault::Crash) => {
                 self.crashed = true;
+                telemetry::counter("pagestore.fault.trips").inc();
                 Err(Self::fault_error("crash"))
             }
-            other => Ok(other),
+            Some(fault) => {
+                telemetry::counter("pagestore.fault.trips").inc();
+                Ok(Some(fault))
+            }
+            None => Ok(None),
         }
     }
 }

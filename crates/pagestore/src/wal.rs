@@ -163,6 +163,7 @@ impl<S: PageStore> WalStore<S> {
         let crc = crc32(&rec);
         rec.extend_from_slice(&crc.to_le_bytes());
         self.log.write_all(&rec)?;
+        telemetry::counter("pagestore.wal.appends").inc();
         Ok(())
     }
 
@@ -170,6 +171,8 @@ impl<S: PageStore> WalStore<S> {
     pub fn commit(&mut self) -> Result<()> {
         self.append(OP_COMMIT, PageId::NULL, &[])?;
         self.log.sync_data()?;
+        telemetry::counter("pagestore.wal.commits").inc();
+        telemetry::counter("pagestore.wal.fsyncs").inc();
         Ok(())
     }
 
@@ -200,6 +203,8 @@ impl<S: PageStore> WalStore<S> {
         self.log.set_len(0)?;
         self.log.seek(SeekFrom::Start(0))?;
         self.log.sync_data()?;
+        telemetry::counter("pagestore.wal.checkpoints").inc();
+        telemetry::counter("pagestore.wal.fsyncs").inc();
         Ok(())
     }
 

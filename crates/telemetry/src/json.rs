@@ -1,0 +1,295 @@
+//! Minimal JSON value model + recursive-descent parser.
+//!
+//! Exists so telemetry exports can be *verified to round-trip* without any
+//! external dependency: the exporter in `lib.rs` emits, this module parses.
+//! Numbers are held as `f64` (exact for integers up to 2^53, which covers
+//! every counter this workspace realistically produces in one run).
+
+/// Parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON document (content only, no quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(&c) => Err(format!("unexpected byte {:?} at {}", c as char, *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        // BMP only — sufficient for metric names and versions.
+                        out.push(char::from_u32(code).ok_or("surrogate in \\u escape")?);
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance over one UTF-8 scalar (metric names are ASCII, but
+                // workload names may not be).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" -12.5 ").unwrap(), Json::Num(-12.5));
+        assert_eq!(
+            parse("\"a\\n\\\"b\\\"\"").unwrap(),
+            Json::Str("a\n\"b\"".to_string())
+        );
+    }
+
+    #[test]
+    fn parses_nested() {
+        let doc = r#"{"a": [1, 2, {"b": "c"}], "d": {}}"#;
+        let v = parse(doc).unwrap();
+        let arr = v.get("a").and_then(|a| a.as_arr()).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b").and_then(|b| b.as_str()), Some("c"));
+        assert_eq!(
+            v.get("d").and_then(|d| d.as_obj()).map(|m| m.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let doc = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&doc).unwrap(), Json::Str(nasty.to_string()));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1, ]").is_err());
+        assert!(parse("\"open").is_err());
+    }
+}

@@ -1,0 +1,678 @@
+//! Process-local metrics and span tracing for the uindex workspace.
+//!
+//! The workspace is single-threaded by design (`Rc`/`RefCell` throughout), so
+//! the registry is **thread-local**: every thread sees its own independent set
+//! of metrics, which also gives each `cargo test` thread automatic isolation.
+//!
+//! Three metric kinds live in a named registry:
+//!
+//! - [`Counter`] — monotonic `u64`, cheap `Rc<Cell<_>>` handle. Resolve the
+//!   handle once (at struct construction) and keep it in a field; `inc()` on
+//!   the hot path is a single `Cell` bump.
+//! - [`Gauge`] — signed instantaneous value.
+//! - [`Histogram`] — 65 log₂ buckets: bucket 0 holds the value 0, bucket *b*
+//!   (*b ≥ 1*) covers `[2^(b-1), 2^b - 1]`, bucket 64 tops out at `u64::MAX`.
+//!
+//! [`reset()`] zeroes every metric *through the shared handles*, so handles
+//! cached in long-lived structs stay valid across queries.
+//!
+//! Span tracing is a thread-local stack of RAII guards: `Span::enter("scan")`
+//! starts a timed frame, dropping the guard closes it and attaches it to its
+//! parent (or to the finished-roots list when it is outermost). Finished roots
+//! are capped so an uninstrumented drain (e.g. a long bench loop) cannot leak.
+
+pub mod json;
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Metric handles
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter. Clone is cheap and shares the underlying cell.
+#[derive(Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    fn zero(&self) {
+        self.0.set(0);
+    }
+}
+
+/// Signed instantaneous value.
+#[derive(Clone, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.set(self.0.get().wrapping_add(d));
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+
+    fn zero(&self) {
+        self.0.set(0);
+    }
+}
+
+/// Number of log₂ buckets: one for zero plus one per bit position.
+pub const HIST_BUCKETS: usize = 65;
+
+struct HistData {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl HistData {
+    fn new() -> Self {
+        HistData {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Log₂-bucket histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram(Rc<RefCell<HistData>>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Rc::new(RefCell::new(HistData::new())))
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros(v)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < HIST_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i == 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (lo, hi)
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, v: u64) {
+        let mut d = self.0.borrow_mut();
+        d.buckets[bucket_index(v)] += 1;
+        d.count += 1;
+        d.sum = d.sum.wrapping_add(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.borrow().sum
+    }
+
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        self.0.borrow().buckets
+    }
+
+    fn zero(&self) {
+        *self.0.borrow_mut() = HistData::new();
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let d = self.0.borrow();
+        let buckets = d
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect();
+        HistogramSnapshot {
+            count: d.count,
+            sum: d.sum,
+            buckets,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+    static SPANS: RefCell<SpanCollector> = RefCell::new(SpanCollector::default());
+}
+
+/// Intern (or fetch) the counter with this name in the thread's registry.
+pub fn counter(name: &'static str) -> Counter {
+    REGISTRY.with(|r| r.borrow_mut().counters.entry(name).or_default().clone())
+}
+
+/// Intern (or fetch) the gauge with this name.
+pub fn gauge(name: &'static str) -> Gauge {
+    REGISTRY.with(|r| r.borrow_mut().gauges.entry(name).or_default().clone())
+}
+
+/// Intern (or fetch) the histogram with this name.
+pub fn histogram(name: &'static str) -> Histogram {
+    REGISTRY.with(|r| r.borrow_mut().histograms.entry(name).or_default().clone())
+}
+
+/// Current value of a counter (interning it if absent, value 0).
+pub fn counter_value(name: &'static str) -> u64 {
+    counter(name).get()
+}
+
+/// Zero every metric in the thread's registry, preserving all handed-out
+/// handles (they share the underlying cells).
+pub fn reset() {
+    REGISTRY.with(|r| {
+        let r = r.borrow();
+        for c in r.counters.values() {
+            c.zero();
+        }
+        for g in r.gauges.values() {
+            g.zero();
+        }
+        for h in r.histograms.values() {
+            h.zero();
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots + JSON export
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of one histogram: only non-empty buckets are retained,
+/// each as `(lo, hi, count)` with inclusive bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Point-in-time copy of the whole registry, ordered by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Take a snapshot of the thread's registry.
+pub fn snapshot() -> Snapshot {
+    REGISTRY.with(|r| {
+        let r = r.borrow();
+        Snapshot {
+            counters: r
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: r
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: r
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    })
+}
+
+impl Snapshot {
+    pub fn to_json(&self) -> String {
+        self.to_json_with(None)
+    }
+
+    /// JSON export; with `Some(provenance)` a `"provenance"` header object is
+    /// emitted first (schema documented in `docs/bench-format.md`).
+    pub fn to_json_with(&self, provenance: Option<&Provenance>) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        if let Some(p) = provenance {
+            let _ = writeln!(s, "  \"provenance\": {},", p.to_json());
+        }
+        s.push_str("  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\n    \"{}\": {}", json::escape(k), v);
+        }
+        s.push_str(if first { "},\n" } else { "\n  },\n" });
+        s.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "\n    \"{}\": {}", json::escape(k), v);
+        }
+        s.push_str(if first { "},\n" } else { "\n  },\n" });
+        s.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json::escape(k),
+                h.count,
+                h.sum
+            );
+            for (i, (lo, hi, c)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{{\"lo\": {lo}, \"hi\": {hi}, \"count\": {c}}}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str(if first { "}\n" } else { "\n  }\n" });
+        s.push('}');
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Provenance
+// ---------------------------------------------------------------------------
+
+/// Reproducibility header attached to exported measurement JSON: which
+/// workload produced the numbers, under which seed and scale, by which build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    pub seed: u64,
+    pub workload: String,
+    pub objects: u64,
+    pub version: String,
+}
+
+impl Provenance {
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seed\": {}, \"workload\": \"{}\", \"objects\": {}, \"version\": \"{}\"}}",
+            self.seed,
+            json::escape(&self.workload),
+            self.objects,
+            json::escape(&self.version)
+        )
+    }
+}
+
+/// Build a git-describe-able tool version string. Tries `git describe
+/// --always --dirty` (cheap, local-only); falls back to the bare package
+/// version when git or the repository is unavailable (e.g. from a source
+/// tarball).
+pub fn tool_version(pkg_version: &str) -> String {
+    let described = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    match described {
+        Some(d) => format!("{pkg_version}+g{d}"),
+        None => pkg_version.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// A finished, timed span with its nested children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    pub name: &'static str,
+    pub nanos: u64,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"name\": \"{}\", \"nanos\": {}, \"children\": [",
+            json::escape(self.name),
+            self.nanos
+        );
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&c.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Depth-first lookup of the first descendant (or self) with this name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+struct OpenSpan {
+    name: &'static str,
+    started: Instant,
+    children: Vec<SpanNode>,
+}
+
+/// Finished root spans are capped so an undrained collector (e.g. inside a
+/// bench loop) stays bounded; the oldest roots are shed first.
+const FINISHED_ROOTS_CAP: usize = 64;
+
+#[derive(Default)]
+struct SpanCollector {
+    stack: Vec<OpenSpan>,
+    finished: Vec<SpanNode>,
+}
+
+/// RAII guard for a timed span. Create with [`Span::enter`]; the span closes
+/// when the guard drops. Guards must drop in LIFO order (the natural scoping
+/// order) — interleaved drops mis-attribute children to the wrong parent.
+pub struct Span {
+    // !Send: spans belong to the thread-local collector they were opened on.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Span {
+    pub fn enter(name: &'static str) -> Span {
+        SPANS.with(|s| {
+            s.borrow_mut().stack.push(OpenSpan {
+                name,
+                started: Instant::now(),
+                children: Vec::new(),
+            });
+        });
+        Span {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        SPANS.with(|s| {
+            let mut s = s.borrow_mut();
+            let Some(open) = s.stack.pop() else {
+                return; // take_spans() or unbalanced drop already cleared it
+            };
+            let node = SpanNode {
+                name: open.name,
+                nanos: open.started.elapsed().as_nanos() as u64,
+                children: open.children,
+            };
+            if let Some(parent) = s.stack.last_mut() {
+                parent.children.push(node);
+            } else {
+                s.finished.push(node);
+                if s.finished.len() > FINISHED_ROOTS_CAP {
+                    let excess = s.finished.len() - FINISHED_ROOTS_CAP;
+                    s.finished.drain(..excess);
+                }
+            }
+        });
+    }
+}
+
+/// Drain all finished root spans collected on this thread, oldest first.
+pub fn take_spans() -> Vec<SpanNode> {
+    SPANS.with(|s| std::mem::take(&mut s.borrow_mut().finished))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handle_survives_reset() {
+        let c = counter("test.counter.survives");
+        c.add(5);
+        assert_eq!(c.get(), 5);
+        reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(counter_value("test.counter.survives"), 1);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = gauge("test.gauge");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        // Spot-check the documented bucket layout.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bounds(0), (0, 0));
+        assert_eq!(bucket_bounds(1), (1, 1));
+        assert_eq!(bucket_bounds(2), (2, 3));
+        assert_eq!(bucket_bounds(64), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn histogram_records() {
+        let h = histogram("test.hist");
+        for v in [0u64, 1, 2, 3, 100, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_000_106);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1); // 0
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2, 3
+        assert_eq!(buckets.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn spans_nest_and_drain() {
+        {
+            let _root = Span::enter("root");
+            {
+                let _a = Span::enter("a");
+                let _b = Span::enter("b");
+            }
+            let _c = Span::enter("c");
+        }
+        let roots = take_spans();
+        let root = roots.last().expect("root span retained");
+        assert_eq!(root.name, "root");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "a");
+        assert_eq!(root.children[0].children[0].name, "b");
+        assert_eq!(root.children[1].name, "c");
+        assert!(root.find("b").is_some());
+        assert!(take_spans().is_empty(), "drain empties the collector");
+    }
+
+    #[test]
+    fn finished_roots_are_capped() {
+        take_spans();
+        for _ in 0..(FINISHED_ROOTS_CAP + 10) {
+            let _s = Span::enter("loop");
+        }
+        assert_eq!(take_spans().len(), FINISHED_ROOTS_CAP);
+    }
+
+    #[test]
+    fn snapshot_orders_by_name() {
+        reset();
+        counter("test.z").inc();
+        counter("test.a").add(2);
+        let snap = snapshot();
+        let keys: Vec<_> = snap.counters.keys().cloned().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(snap.counters["test.a"], 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        reset();
+        counter("rt.pages").add(123);
+        counter("rt.seeks").add(7);
+        gauge("rt.depth").set(-4);
+        let h = histogram("rt.hist");
+        for v in [0u64, 1, 5, 5, 900] {
+            h.record(v);
+        }
+        let prov = Provenance {
+            seed: 42,
+            workload: "uniform-scan".to_string(),
+            objects: 5000,
+            version: tool_version("0.1.0"),
+        };
+        let text = snapshot().to_json_with(Some(&prov));
+        let parsed = json::parse(&text).expect("export must parse");
+
+        let p = parsed.get("provenance").expect("provenance header");
+        assert_eq!(p.get("seed").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(
+            p.get("workload").and_then(|v| v.as_str()),
+            Some("uniform-scan")
+        );
+        assert_eq!(p.get("objects").and_then(|v| v.as_u64()), Some(5000));
+        assert!(p.get("version").and_then(|v| v.as_str()).is_some());
+
+        let counters = parsed.get("counters").expect("counters object");
+        assert_eq!(counters.get("rt.pages").and_then(|v| v.as_u64()), Some(123));
+        assert_eq!(counters.get("rt.seeks").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(
+            parsed
+                .get("gauges")
+                .and_then(|g| g.get("rt.depth"))
+                .and_then(|v| v.as_f64()),
+            Some(-4.0)
+        );
+
+        let hist = parsed
+            .get("histograms")
+            .and_then(|h| h.get("rt.hist"))
+            .expect("histogram entry");
+        assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(hist.get("sum").and_then(|v| v.as_u64()), Some(911));
+        let buckets = hist
+            .get("buckets")
+            .and_then(|b| b.as_arr())
+            .expect("buckets array");
+        let total: u64 = buckets
+            .iter()
+            .map(|b| b.get("count").and_then(|v| v.as_u64()).unwrap())
+            .sum();
+        assert_eq!(total, 5, "bucket counts must add up to the sample count");
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            // Satellite: every recorded value lands in exactly one bucket and
+            // that bucket's bounds contain it.
+            #[test]
+            fn value_lands_in_exactly_one_bucket(v in any::<u64>()) {
+                let mut containing = 0usize;
+                for i in 0..HIST_BUCKETS {
+                    let (lo, hi) = bucket_bounds(i);
+                    if v >= lo && v <= hi {
+                        containing += 1;
+                        prop_assert_eq!(bucket_index(v), i);
+                    }
+                }
+                prop_assert_eq!(containing, 1);
+            }
+
+            // Bucket totals always match the sample count, sum matches input.
+            #[test]
+            fn totals_match_count(values in proptest::collection::vec(any::<u64>(), 0..64)) {
+                let h = Histogram::default();
+                let mut expect_sum = 0u64;
+                for &v in &values {
+                    h.record(v);
+                    expect_sum = expect_sum.wrapping_add(v);
+                }
+                prop_assert_eq!(h.count(), values.len() as u64);
+                prop_assert_eq!(h.sum(), expect_sum);
+                prop_assert_eq!(h.bucket_counts().iter().sum::<u64>(), values.len() as u64);
+            }
+        }
+    }
+}

@@ -291,4 +291,34 @@ impl Database {
     pub fn query_with_stats(&mut self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
         self.index.query(q)
     }
+
+    /// Execute `q` and build an EXPLAIN ANALYZE report: the translated plan
+    /// plus the executed [`crate::QueryTrace`].
+    pub fn explain_query(&mut self, q: &Query) -> Result<crate::ExplainReport> {
+        crate::explain::explain(self, q)
+    }
+
+    /// Parse a [`crate::uql`] string (an optional leading `explain analyze`
+    /// is accepted and stripped) and build an EXPLAIN ANALYZE report.
+    pub fn explain_uql(&mut self, input: &str) -> Result<crate::ExplainReport> {
+        let stripped = strip_explain_prefix(input);
+        let q = crate::uql::parse(&self.index, self.store.schema(), stripped)?;
+        self.explain_query(&q)
+    }
+}
+
+/// Strip a case-insensitive leading `explain analyze` / `explain`, so both
+/// `explain analyze color: ...` and a bare query string reach the parser.
+fn strip_explain_prefix(input: &str) -> &str {
+    let trimmed = input.trim_start();
+    for kw in ["explain analyze", "explain"] {
+        if trimmed.len() >= kw.len() && trimmed[..kw.len()].eq_ignore_ascii_case(kw) {
+            let rest = &trimmed[kw.len()..];
+            // Keyword must end at a word boundary ("explainx" is not it).
+            if rest.starts_with(char::is_whitespace) {
+                return rest.trim_start();
+            }
+        }
+    }
+    trimmed
 }

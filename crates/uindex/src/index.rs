@@ -671,8 +671,35 @@ impl<S: PageStore> UIndex<S> {
 
     /// Run a query, returning hits and the scan cost counters.
     pub fn query(&mut self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
-        let matcher = self.matcher(q)?;
-        scan::execute(&mut self.tree, &matcher, q.algorithm, q.distinct_upto)
+        let (hits, stats, _) = self.query_traced(q)?;
+        Ok((hits, stats))
+    }
+
+    /// Run a query collecting the full executed trace: registry-derived
+    /// breakdowns (reseek tiers, pool hits/misses, partial keys expanded)
+    /// and the per-phase span tree `query` → `plan` / `descend` / `scan`.
+    pub fn query_traced(
+        &mut self,
+        q: &Query,
+    ) -> Result<(Vec<QueryHit>, ScanStats, crate::scan::QueryTrace)> {
+        let root = telemetry::Span::enter("query");
+        let planned = {
+            let _plan = telemetry::Span::enter("plan");
+            self.matcher(q)
+        };
+        let result = planned.and_then(|matcher| {
+            scan::execute_traced(&mut self.tree, &matcher, q.algorithm, q.distinct_upto)
+        });
+        drop(root);
+        // The freshly closed "query" root is the last finished span; keep it
+        // in the trace and drop older undrained roots.
+        let span = telemetry::take_spans()
+            .into_iter()
+            .rev()
+            .find(|s| s.name == "query");
+        let (hits, stats, mut trace) = result?;
+        trace.span = span;
+        Ok((hits, stats, trace))
     }
 
     /// Verify the underlying B-tree and return its shape statistics.

@@ -57,6 +57,7 @@ pub mod analysis;
 pub mod catalog;
 mod db;
 mod error;
+pub mod explain;
 mod index;
 mod key;
 pub mod oracle;
@@ -68,8 +69,9 @@ pub mod uql;
 pub use catalog::{catalog_entry_count, CATALOG_ID};
 pub use db::Database;
 pub use error::{Error, Result};
+pub use explain::ExplainReport;
 pub use index::{IndexId, UIndex};
 pub use key::{EntryKey, PathElem};
 pub use query::{distinct_oids_at, ClassSel, OidSel, PosPred, Query, QueryHit, ValuePred};
-pub use scan::{ScanAlgorithm, ScanStats};
+pub use scan::{QueryTrace, ScanAlgorithm, ScanStats};
 pub use spec::{IndexSpec, PathStep, SpecBuilder};

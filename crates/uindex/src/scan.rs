@@ -66,6 +66,38 @@ pub struct ScanStats {
     pub reseek_depth_total: u64,
 }
 
+/// Executed-query trace: everything [`ScanStats`] reports plus the
+/// registry-derived breakdowns a single counter struct cannot carry — how
+/// the skip-seeks resolved (within-leaf / LCA re-descent / full descent),
+/// how the buffer pool behaved, how many partial keys the matcher expanded
+/// — and the per-phase timing span tree (`query` → `plan`/`descend`/`scan`)
+/// when produced via `Database::explain_*`.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace {
+    /// Skip targets the matcher computed ("next possible key values" in the
+    /// paper's Algorithm 1), whether or not a seek was issued for them.
+    pub partial_keys_expanded: u64,
+    /// Skip-seeks actually issued (`== ScanStats::seeks`).
+    pub skips: u64,
+    pub entries_examined: u64,
+    pub matches: u64,
+    pub pages_read: u64,
+    pub node_visits: u64,
+    pub descents: u64,
+    pub reseek_depth_total: u64,
+    /// Skip-seeks resolved inside the current leaf (zero fetches).
+    pub reseeks_leaf: u64,
+    /// Skip-seeks resolved by LCA re-descent over the retained path.
+    pub reseeks_lca: u64,
+    /// Skip-seeks that fell back to a full root descent.
+    pub reseeks_full: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    /// Root span of the query ("query" → "plan"/"descend"/"scan"), when
+    /// collected by the caller.
+    pub span: Option<telemetry::SpanNode>,
+}
+
 /// Constraints for one path position.
 #[derive(Debug, Clone)]
 pub(crate) struct PosConstraint {
@@ -380,18 +412,35 @@ fn skip_seek<S: PageStore>(
 /// the shared decoded leaf — and parses them into reusable scratch, so
 /// examining an entry copies no key or value bytes and performs no
 /// allocation; only actual matches materialize owned data.
-pub(crate) fn execute<S: PageStore>(
+///
+/// Registry counter deltas captured around the scan attribute the
+/// skip-seeks to their resolution tier and the page fetches to pool hits
+/// vs misses, forming the returned [`QueryTrace`]. All cumulative
+/// `uindex.*` registry counters and the per-query histograms are fed here,
+/// so every query path (UQL, programmatic, benches) reports through one
+/// place.
+pub(crate) fn execute_traced<S: PageStore>(
     tree: &mut BTree<S>,
     matcher: &Matcher,
     algorithm: ScanAlgorithm,
     distinct_upto: Option<usize>,
-) -> Result<(Vec<QueryHit>, ScanStats)> {
+) -> Result<(Vec<QueryHit>, ScanStats, QueryTrace)> {
     tree.pool_mut().begin_query();
     tree.reset_seek_stats();
+    let reseek_leaf_0 = telemetry::counter_value("btree.reseek.leaf");
+    let reseek_lca_0 = telemetry::counter_value("btree.reseek.lca");
+    let reseek_full_0 = telemetry::counter_value("btree.reseek.full");
+    let pool_hits_0 = telemetry::counter_value("pagestore.pool.hits");
+    let pool_misses_0 = telemetry::counter_value("pagestore.pool.misses");
     let mut stats = ScanStats::default();
+    let mut trace = QueryTrace::default();
     let mut scratch = ScanScratch::default();
     let mut hits = Vec::new();
-    let mut cur = tree.seek(&matcher.initial_seek())?;
+    let mut cur = {
+        let _descend = telemetry::Span::enter("descend");
+        tree.seek(&matcher.initial_seek())?
+    };
+    let scan_span = telemetry::Span::enter("scan");
     while let Some(e) = tree.cursor_entry_ref(&mut cur)? {
         stats.entries_examined += 1;
         match matcher.advise_with(e.key(), &mut scratch)? {
@@ -408,6 +457,9 @@ pub(crate) fn execute<S: PageStore>(
                     key: EntryKey::decode(e.key())?,
                     assignment,
                 });
+                if skip.is_some() {
+                    trace.partial_keys_expanded += 1;
+                }
                 match skip {
                     Some(t) if algorithm.skips() && t.as_slice() > e.key() => {
                         stats.seeks += 1;
@@ -418,6 +470,7 @@ pub(crate) fn execute<S: PageStore>(
             }
             Advice::Step => tree.cursor_advance(&mut cur),
             Advice::SkipTo(t) => {
+                trace.partial_keys_expanded += 1;
                 if t.as_slice() <= e.key() {
                     // A non-advancing skip target would loop the scan
                     // forever. It cannot arise from a well-formed matcher,
@@ -435,13 +488,39 @@ pub(crate) fn execute<S: PageStore>(
             Advice::Done => break,
         }
     }
+    drop(scan_span);
     let q = tree.pool().query_stats();
     stats.pages_read = q.distinct_pages;
     stats.node_visits = q.node_visits;
     let s = tree.seek_stats();
     stats.descents = s.descents;
     stats.reseek_depth_total = s.depth_total;
-    Ok((hits, stats))
+
+    trace.skips = stats.seeks;
+    trace.entries_examined = stats.entries_examined;
+    trace.matches = stats.matches;
+    trace.pages_read = stats.pages_read;
+    trace.node_visits = stats.node_visits;
+    trace.descents = stats.descents;
+    trace.reseek_depth_total = stats.reseek_depth_total;
+    trace.reseeks_leaf = telemetry::counter_value("btree.reseek.leaf") - reseek_leaf_0;
+    trace.reseeks_lca = telemetry::counter_value("btree.reseek.lca") - reseek_lca_0;
+    trace.reseeks_full = telemetry::counter_value("btree.reseek.full") - reseek_full_0;
+    trace.pool_hits = telemetry::counter_value("pagestore.pool.hits") - pool_hits_0;
+    trace.pool_misses = telemetry::counter_value("pagestore.pool.misses") - pool_misses_0;
+
+    telemetry::counter("uindex.query.count").inc();
+    telemetry::counter("uindex.scan.entries_examined").add(stats.entries_examined);
+    telemetry::counter("uindex.scan.matches").add(stats.matches);
+    telemetry::counter("uindex.scan.skips").add(stats.seeks);
+    telemetry::counter("uindex.scan.partial_keys").add(trace.partial_keys_expanded);
+    telemetry::counter("uindex.scan.pages").add(stats.pages_read);
+    telemetry::counter("uindex.scan.node_visits").add(stats.node_visits);
+    telemetry::counter("uindex.scan.descents").add(stats.descents);
+    telemetry::counter("uindex.scan.reseek_depth").add(stats.reseek_depth_total);
+    telemetry::histogram("uindex.query.pages").record(stats.pages_read);
+    telemetry::histogram("uindex.query.entries").record(stats.entries_examined);
+    Ok((hits, stats, trace))
 }
 
 #[cfg(test)]
@@ -663,7 +742,7 @@ mod tests {
             a => panic!("expected SkipTo, got {a:?}"),
         }
         for alg in [ScanAlgorithm::Parallel, ScanAlgorithm::Forward] {
-            let (hits, stats) = execute(&mut tree, &m, alg, None).unwrap();
+            let (hits, stats, _) = execute_traced(&mut tree, &m, alg, None).unwrap();
             assert!(hits.is_empty(), "nothing can match the bogus class range");
             assert_eq!(
                 stats.entries_examined, 3,

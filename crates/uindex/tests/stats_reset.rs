@@ -1,0 +1,118 @@
+//! Reset-semantics audit (ISSUE 4 satellite 1): per-query counters must be
+//! per-query. Running the same query twice in a row must report identical
+//! `ScanStats` and `QueryTrace` numbers — nothing may accumulate from the
+//! previous scan — and the repeat run must match a fresh database executing
+//! the query once (modulo buffer-pool warmth, which is why `pages_read`
+//! compares run 2 vs run 3, not run 1).
+
+use objstore::Value;
+use schema::{AttrType, Schema};
+use uindex::{ClassSel, Database, IndexSpec, Query, ScanAlgorithm, ValuePred};
+
+fn build_db() -> (Database, uindex::IndexId, schema::ClassId) {
+    let mut s = Schema::new();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    let auto = s.add_subclass("Automobile", vehicle).unwrap();
+    let truck = s.add_subclass("Truck", vehicle).unwrap();
+    let mut db = Database::in_memory(s).unwrap();
+    let idx = db
+        .define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
+        .unwrap();
+    let colors = ["Red", "Blue", "Green", "White", "Black"];
+    for i in 0..200u32 {
+        let class = match i % 3 {
+            0 => vehicle,
+            1 => auto,
+            _ => truck,
+        };
+        let o = db.create_object(class).unwrap();
+        db.set_attr(
+            o,
+            "Color",
+            Value::Str(colors[i as usize % colors.len()].into()),
+        )
+        .unwrap();
+    }
+    (db, idx, auto)
+}
+
+fn skipping_query(idx: uindex::IndexId, auto: schema::ClassId) -> Query {
+    // Class-restricted so the parallel scan actually issues skips.
+    Query::on(idx)
+        .value(ValuePred::between(
+            Value::Str("Blue".into()),
+            Value::Str("Red".into()),
+        ))
+        .class_at(0, ClassSel::SubTree(auto))
+}
+
+#[test]
+fn consecutive_queries_do_not_accumulate() {
+    for alg in [
+        ScanAlgorithm::Parallel,
+        ScanAlgorithm::ParallelFlat,
+        ScanAlgorithm::Forward,
+    ] {
+        let (mut db, idx, auto) = build_db();
+        let mut q = skipping_query(idx, auto);
+        q.algorithm = alg;
+
+        let (hits1, stats1, trace1) = db.index_mut().query_traced(&q).unwrap();
+        let (hits2, stats2, trace2) = db.index_mut().query_traced(&q).unwrap();
+
+        assert_eq!(hits1, hits2, "{alg:?}: same query, same hits");
+        assert_eq!(
+            stats1, stats2,
+            "{alg:?}: ScanStats must reset between queries"
+        );
+        assert!(
+            stats1.entries_examined > 0,
+            "{alg:?}: premise — the query does real work"
+        );
+
+        // Trace fields carry per-query numbers too (deltas, not totals).
+        assert_eq!(trace1.entries_examined, trace2.entries_examined, "{alg:?}");
+        assert_eq!(trace1.matches, trace2.matches, "{alg:?}");
+        assert_eq!(trace1.skips, trace2.skips, "{alg:?}");
+        assert_eq!(trace1.descents, trace2.descents, "{alg:?}");
+        assert_eq!(trace1.node_visits, trace2.node_visits, "{alg:?}");
+        assert_eq!(
+            trace1.partial_keys_expanded, trace2.partial_keys_expanded,
+            "{alg:?}"
+        );
+        assert_eq!(
+            (trace1.reseeks_leaf + trace1.reseeks_lca + trace1.reseeks_full),
+            (trace2.reseeks_leaf + trace2.reseeks_lca + trace2.reseeks_full),
+            "{alg:?}: reseek tier totals are per-query"
+        );
+
+        // A fresh database running the query once agrees with the repeat run
+        // on every warmth-independent counter, and on pages_read once the
+        // fresh pool has been warmed by its own first run.
+        let (mut fresh, fidx, fauto) = build_db();
+        let mut fq = skipping_query(fidx, fauto);
+        fq.algorithm = alg;
+        let (_, _, _warmup) = fresh.index_mut().query_traced(&fq).unwrap();
+        let (fhits, fstats, _) = fresh.index_mut().query_traced(&fq).unwrap();
+        assert_eq!(hits2, fhits, "{alg:?}: deterministic build, same hits");
+        assert_eq!(
+            stats2, fstats,
+            "{alg:?}: repeat run equals a fresh-db warmed run"
+        );
+    }
+}
+
+#[test]
+fn seek_stats_reset_between_queries() {
+    let (mut db, idx, auto) = build_db();
+    let q = skipping_query(idx, auto);
+    db.index_mut().query_traced(&q).unwrap();
+    let seeks_after_first = db.index().tree().seek_stats();
+    db.index_mut().query_traced(&q).unwrap();
+    let seeks_after_second = db.index().tree().seek_stats();
+    assert_eq!(
+        seeks_after_first, seeks_after_second,
+        "SeekStats must be reset at query start, not accumulate"
+    );
+}

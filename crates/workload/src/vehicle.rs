@@ -5,7 +5,7 @@ use objstore::{Oid, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use schema::{AttrType, ClassId, Schema};
-use uindex::{Database, IndexId, IndexSpec, Result};
+use uindex::{ClassSel, Database, IndexId, IndexSpec, Query, Result, ValuePred};
 
 /// The ten colors vehicles are painted with; queries use the first three.
 pub const COLORS: [&str; 10] = [
@@ -232,10 +232,128 @@ pub fn generate(seed: u64, n_vehicles: usize, max_node_entries: usize) -> Result
     })
 }
 
+/// One of Table 1's twenty queries (paper §5, experiment 1).
+#[derive(Debug, Clone)]
+pub struct Table1Query {
+    /// Row id in the paper's table: "1", "1a", … "6b".
+    pub id: &'static str,
+    /// The query, using the default (parallel) algorithm.
+    pub query: Query,
+    /// Whether the paper's table also reports the forward-scanning column
+    /// for this row (query families 3 and 4).
+    pub forward_compare: bool,
+}
+
+fn table1_colors(n: usize) -> ValuePred {
+    let cols = ["Red", "Blue", "Green"];
+    if n == 1 {
+        ValuePred::eq(Value::Str(cols[0].into()))
+    } else {
+        ValuePred::In(
+            cols[..n]
+                .iter()
+                .map(|c| Value::Str((*c).to_string()))
+                .collect(),
+        )
+    }
+}
+
+/// The twenty Table-1 queries against a generated [`VehicleWorkload`] —
+/// shared by the `table1` bench binary, the EXPLAIN ANALYZE acceptance
+/// test, and the CI smoke so they all exercise the identical query set.
+pub fn table1_queries(w: &VehicleWorkload) -> Vec<Table1Query> {
+    let c = w.classes;
+    let mut out = Vec::with_capacity(20);
+    let mut push = |id, query, forward_compare| {
+        out.push(Table1Query {
+            id,
+            query,
+            forward_compare,
+        })
+    };
+
+    // Queries 1/1a/1b/1c: all Buses, then restricted to 1..3 colors.
+    let base1 = Query::on(w.color_index).class_at(0, ClassSel::SubTree(c.bus));
+    push("1", base1.clone(), false);
+    for (id, n) in [("1a", 1), ("1b", 2), ("1c", 3)] {
+        push(id, base1.clone().value(table1_colors(n)), false);
+    }
+
+    // Queries 2/2a/2b/2c: PassengerBuses (a deeper sub-tree).
+    let base2 = Query::on(w.color_index).class_at(0, ClassSel::SubTree(c.passenger_bus));
+    push("2", base2.clone(), false);
+    for (id, n) in [("2a", 1), ("2b", 2), ("2c", 3)] {
+        push(id, base2.clone().value(table1_colors(n)), false);
+    }
+
+    // Queries 3/3a/3b/3c: Automobiles — parallel vs forward scanning.
+    let base3 = Query::on(w.color_index).class_at(0, ClassSel::SubTree(c.automobile));
+    for (id, n) in [("3", 0), ("3a", 1), ("3b", 2), ("3c", 3)] {
+        let q = if n == 0 {
+            base3.clone()
+        } else {
+            base3.clone().value(table1_colors(n))
+        };
+        push(id, q, true);
+    }
+
+    // Queries 4/4a/4b/4c: Compact OR Service automobiles (dispersed
+    // sub-classes, ForeignAuto sits between them).
+    let sel4 = ClassSel::AnyOf(vec![
+        ClassSel::SubTree(c.compact),
+        ClassSel::SubTree(c.service_auto),
+    ]);
+    let base4 = Query::on(w.color_index).class_at(0, sel4);
+    for (id, n) in [("4", 0), ("4a", 1), ("4b", 2), ("4c", 3)] {
+        let q = if n == 0 {
+            base4.clone()
+        } else {
+            base4.clone().value(table1_colors(n))
+        };
+        push(id, q, true);
+    }
+
+    // Query 5: path index — companies whose president's age is 50 (a) or
+    // above 50 (b), deduplicated through the company position (1).
+    push(
+        "5a",
+        Query::on(w.age_index)
+            .value(ValuePred::eq(Value::Int(50)))
+            .distinct_through(1),
+        false,
+    );
+    push(
+        "5b",
+        Query::on(w.age_index)
+            .value(ValuePred::at_least(Value::Int(51)))
+            .distinct_through(1),
+        false,
+    );
+
+    // Query 6: combined index — automobiles made by AutoCompanies whose
+    // president's age is above 50 (a); same for Trucks (b).
+    push(
+        "6a",
+        Query::on(w.age_index)
+            .value(ValuePred::at_least(Value::Int(51)))
+            .class_at(1, ClassSel::SubTree(c.auto_company))
+            .class_at(2, ClassSel::SubTree(c.automobile)),
+        false,
+    );
+    push(
+        "6b",
+        Query::on(w.age_index)
+            .value(ValuePred::at_least(Value::Int(51)))
+            .class_at(1, ClassSel::SubTree(c.auto_company))
+            .class_at(2, ClassSel::SubTree(c.truck)),
+        false,
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uindex::{ClassSel, Query, ValuePred};
 
     #[test]
     fn small_generation_is_consistent() {
