@@ -54,4 +54,15 @@ explain_text=$(cargo run -q --release --offline -p uindex-cli -- \
   explain "$tmpdir/db" "color: Color = 'Red'")
 echo "$explain_text" | grep -q '^Execution' || { echo "explain smoke: no Execution section"; exit 1; }
 
+echo "== corruption sweep (checksums, scrub, quarantine, salvage)"
+cargo test -q --offline -p uindex --test corruption_sweep
+
+echo "== integrity check smoke (CLI check/repair on the smoke db)"
+check_out=$(cargo run -q --release --offline -p uindex-cli -- check "$tmpdir/db")
+echo "$check_out" | grep -q 'status:  clean' || { echo "check smoke: db not clean"; exit 1; }
+repair_out=$(cargo run -q --release --offline -p uindex-cli -- repair "$tmpdir/db")
+echo "$repair_out" | grep -q 'rebuilt index' || { echo "repair smoke: no rebuild"; exit 1; }
+cargo run -q --release --offline -p uindex-cli -- check "$tmpdir/db" > /dev/null \
+  || { echo "repair smoke: post-repair check failed"; exit 1; }
+
 echo "CI green."

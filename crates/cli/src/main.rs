@@ -6,11 +6,18 @@
 //! uindex-cli query   <db-dir> '<uql>'
 //! uindex-cli explain <db-dir> '<uql>' [--json]
 //! uindex-cli info    <db-dir>
+//! uindex-cli check   <db-dir>
+//! uindex-cli repair  <db-dir>
 //! ```
 //!
 //! `explain` runs EXPLAIN ANALYZE: it executes the query and prints the
 //! translated plan, the executed cost counters and the phase span tree,
 //! as text or (with `--json`) as a machine-readable report.
+//!
+//! `check` scrubs every index page (checksum trailers), verifies the
+//! B-tree structurally, and cross-checks the entries against the object
+//! store; it exits non-zero when damage is found. `repair` rebuilds the
+//! index from the object store (the source of truth) via the bulk loader.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -30,7 +37,7 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: uindex-cli <new|load|query|explain|info> ...";
+    let usage = "usage: uindex-cli <new|load|query|explain|info|check|repair> ...";
     match args.first().map(String::as_str) {
         Some("new") => {
             let [_, dir, schema_path, rest @ ..] = args else {
@@ -151,6 +158,49 @@ fn run(args: &[String]) -> Result<(), String> {
                 stats.leaf_nodes,
                 stats.height
             );
+            Ok(())
+        }
+        Some("check") => {
+            let [_, dir] = args else {
+                return Err("usage: uindex-cli check <db-dir>".into());
+            };
+            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            let report = db.check().map_err(|e| e.to_string())?;
+            println!("scrub:   {} pages examined", report.scrub.pages);
+            for err in &report.scrub.errors {
+                println!("  damaged: {err}");
+            }
+            match &report.tree_error {
+                None => println!("tree:    ok"),
+                Some(e) => println!("tree:    FAILED: {e}"),
+            }
+            println!(
+                "content: {}",
+                if report.content_ok {
+                    "matches object store"
+                } else {
+                    "MISMATCH against object store"
+                }
+            );
+            if report.clean() {
+                println!("status:  clean");
+                Ok(())
+            } else {
+                println!("status:  QUARANTINED (queries degrade to object-store scans)");
+                Err(format!(
+                    "integrity check failed: {} damaged page(s); run `uindex-cli repair {dir}`",
+                    report.scrub.errors.len()
+                ))
+            }
+        }
+        Some("repair") => {
+            let [_, dir] = args else {
+                return Err("usage: uindex-cli repair <db-dir>".into());
+            };
+            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            let entries = db.repair().map_err(|e| e.to_string())?;
+            db.save(Path::new(dir)).map_err(|e| e.to_string())?;
+            println!("rebuilt index from object store: {entries} entries, verified");
             Ok(())
         }
         _ => Err(usage.into()),

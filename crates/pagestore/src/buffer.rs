@@ -82,6 +82,31 @@ pub struct QueryStats {
 /// queries; [`BufferPool::begin_query`] sheds anything bigger.
 const TOUCHED_RETAIN_LIMIT: usize = 1 << 12;
 
+/// Retry policy for transient read failures at fetch time.
+///
+/// Only [`Error::Io`] is retried: corruption ([`Error::is_corruption`])
+/// means the bytes on the page are wrong and re-reading them cannot help,
+/// and the remaining errors are caller mistakes. The default policy makes
+/// a single attempt — retry is opt-in, because fault-injection tests rely
+/// on one scheduled `IoError` producing exactly one failed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total read attempts, including the first. `1` disables retry.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on each further retry.
+    /// [`std::time::Duration::ZERO`] (the default) never sleeps.
+    pub backoff: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: std::time::Duration::ZERO,
+        }
+    }
+}
+
 /// Registry handles, resolved once at pool construction so the hot path
 /// pays one `Cell` bump per event (see DESIGN.md §9 for the catalog).
 struct PoolMetrics {
@@ -92,6 +117,9 @@ struct PoolMetrics {
     writebacks: telemetry::Counter,
     allocations: telemetry::Counter,
     frees: telemetry::Counter,
+    retry_attempts: telemetry::Counter,
+    retry_successes: telemetry::Counter,
+    retry_exhausted: telemetry::Counter,
 }
 
 impl PoolMetrics {
@@ -104,6 +132,9 @@ impl PoolMetrics {
             writebacks: telemetry::counter("pagestore.pool.writebacks"),
             allocations: telemetry::counter("pagestore.pool.allocations"),
             frees: telemetry::counter("pagestore.pool.frees"),
+            retry_attempts: telemetry::counter("pagestore.retry.attempts"),
+            retry_successes: telemetry::counter("pagestore.retry.successes"),
+            retry_exhausted: telemetry::counter("pagestore.retry.exhausted"),
         }
     }
 }
@@ -122,6 +153,7 @@ pub struct BufferPool<S: PageStore> {
     touched: Vec<u64>,
     epoch: u64,
     metrics: PoolMetrics,
+    retry: RetryPolicy,
 }
 
 impl<S: PageStore> BufferPool<S> {
@@ -141,7 +173,18 @@ impl<S: PageStore> BufferPool<S> {
             touched: Vec::new(),
             epoch: 1,
             metrics: PoolMetrics::new(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replace the fetch-time [`RetryPolicy`] (single-attempt by default).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The current fetch-time retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The fixed page size of the backing store.
@@ -201,6 +244,37 @@ impl<S: PageStore> BufferPool<S> {
         frame.borrow_mut().last_use = self.clock;
     }
 
+    /// Read a page, retrying transient [`Error::Io`] failures under the
+    /// configured [`RetryPolicy`]. Corruption and caller errors surface
+    /// immediately — see the policy docs.
+    fn read_with_retry(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let mut attempt = 1u32;
+        loop {
+            match self.store.read(id, buf) {
+                Ok(()) => {
+                    if attempt > 1 {
+                        self.metrics.retry_successes.inc();
+                    }
+                    return Ok(());
+                }
+                Err(Error::Io(_)) if attempt < self.retry.max_attempts => {
+                    self.metrics.retry_attempts.inc();
+                    if !self.retry.backoff.is_zero() {
+                        let shift = (attempt - 1).min(10);
+                        std::thread::sleep(self.retry.backoff * (1u32 << shift));
+                    }
+                    attempt += 1;
+                }
+                Err(e) => {
+                    if attempt > 1 {
+                        self.metrics.retry_exhausted.inc();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// Fetch a page, reading it from the store on a miss.
     ///
     /// A fetch whose store read fails counts towards *no* access statistic
@@ -218,7 +292,7 @@ impl<S: PageStore> BufferPool<S> {
             return Ok(PageRef { frame });
         }
         let mut data = vec![0u8; self.store.page_size()];
-        if let Err(e) = self.store.read(id, &mut data) {
+        if let Err(e) = self.read_with_retry(id, &mut data) {
             self.metrics.read_errors.inc();
             return Err(e);
         }
@@ -286,6 +360,29 @@ impl<S: PageStore> BufferPool<S> {
             if f.dirty {
                 self.store.write(*id, &f.data)?;
                 f.dirty = false;
+                self.stats.physical_writes += 1;
+                self.metrics.writebacks.inc();
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop every unpinned frame, writing dirty ones back first. Later
+    /// fetches must re-read from the backing store, which forces a
+    /// checksum layer underneath to re-verify pages a large cache would
+    /// otherwise keep serving from memory. Pinned frames survive.
+    pub fn invalidate_cache(&mut self) -> Result<()> {
+        let victims: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| Rc::strong_count(f) == 1)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in victims {
+            let frame = self.frames.remove(&id).expect("victim exists");
+            let f = frame.borrow();
+            if f.dirty {
+                self.store.write(id, &f.data)?;
                 self.stats.physical_writes += 1;
                 self.metrics.writebacks.inc();
             }
@@ -525,6 +622,110 @@ mod tests {
         assert!(recovered.logical_fetches > crashed.logical_fetches);
         assert!(recovered.physical_reads >= crashed.physical_reads);
         assert!(recovered.physical_writes >= crashed.physical_writes);
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_io_error() {
+        use crate::fault::{Fault, FaultStore};
+        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        p.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        });
+        let (a, page) = p.allocate().unwrap();
+        page.write()[0] = 42;
+        drop(page);
+        // Evict `a` so the next fetch must hit the store.
+        let _ = p.allocate().unwrap();
+        let _ = p.allocate().unwrap();
+        let attempts_before = telemetry::counter_value("pagestore.retry.attempts");
+        let successes_before = telemetry::counter_value("pagestore.retry.successes");
+        let at = p.store().ops();
+        p.store_mut().inject(at, Fault::IoError);
+        // One-shot fault: the first attempt fails, the retry succeeds.
+        let page = p.fetch(a).unwrap();
+        assert_eq!(page.read()[0], 42);
+        assert_eq!(
+            telemetry::counter_value("pagestore.retry.attempts"),
+            attempts_before + 1
+        );
+        assert_eq!(
+            telemetry::counter_value("pagestore.retry.successes"),
+            successes_before + 1
+        );
+    }
+
+    #[test]
+    fn retry_policy_gives_up_after_max_attempts() {
+        use crate::fault::{Fault, FaultStore};
+        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        p.set_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        });
+        let (a, _) = p.allocate().unwrap();
+        let _ = p.allocate().unwrap();
+        let _ = p.allocate().unwrap();
+        let exhausted_before = telemetry::counter_value("pagestore.retry.exhausted");
+        let at = p.store().ops();
+        p.store_mut().inject(at, Fault::IoError);
+        p.store_mut().inject(at + 1, Fault::IoError);
+        assert!(p.fetch(a).is_err());
+        assert_eq!(
+            telemetry::counter_value("pagestore.retry.exhausted"),
+            exhausted_before + 1
+        );
+    }
+
+    #[test]
+    fn corruption_is_never_retried() {
+        use crate::checksum::{ChecksumStore, TRAILER_LEN};
+        let mut p = BufferPool::new(ChecksumStore::new(MemStore::new(128 + TRAILER_LEN)), 2);
+        p.set_retry_policy(RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        });
+        let (a, page) = p.allocate().unwrap();
+        page.write()[0] = 1;
+        drop(page);
+        p.flush().unwrap();
+        p.invalidate_cache().unwrap();
+        // Damage the raw page below the checksum layer.
+        let mut full = vec![0u8; 128 + TRAILER_LEN];
+        p.store_mut().inner_mut().read(a, &mut full).unwrap();
+        full[0] ^= 0xFF;
+        p.store_mut().inner_mut().write(a, &full).unwrap();
+        let attempts_before = telemetry::counter_value("pagestore.retry.attempts");
+        match p.fetch(a) {
+            Err(e) => assert!(e.is_corruption()),
+            Ok(_) => panic!("fetch of damaged page must fail"),
+        }
+        assert_eq!(
+            telemetry::counter_value("pagestore.retry.attempts"),
+            attempts_before,
+            "corruption must surface without a retry"
+        );
+    }
+
+    #[test]
+    fn invalidate_cache_forces_reread_and_keeps_pins() {
+        let mut p = pool(8);
+        let (a, page) = p.allocate().unwrap();
+        page.write()[0] = 7;
+        drop(page);
+        let (b, pin_b) = p.allocate().unwrap();
+        pin_b.write()[0] = 8;
+        let reads_before = p.stats().physical_reads;
+        p.invalidate_cache().unwrap();
+        // `a` was dropped (after a writeback); fetching re-reads it.
+        let page = p.fetch(a).unwrap();
+        assert_eq!(page.read()[0], 7);
+        assert_eq!(p.stats().physical_reads, reads_before + 1);
+        // The pinned frame survived untouched.
+        assert_eq!(pin_b.read()[0], 8);
+        drop(pin_b);
+        let page = p.fetch(b).unwrap();
+        assert_eq!(page.read()[0], 8);
     }
 
     #[test]

@@ -11,10 +11,35 @@ pub enum Error {
     InvalidPageId(PageId),
     /// Page contents failed structural validation.
     Corrupt(String),
+    /// A page failed its checksum-trailer verification: the stored field
+    /// named by `what` (`"crc"`, `"page-id"`, `"epoch"` or `"format"`)
+    /// did not carry the expected value. Raised by
+    /// [`crate::ChecksumStore`] with full provenance so callers can
+    /// quarantine exactly the damaged page.
+    Corruption {
+        /// The page that failed verification.
+        page: PageId,
+        /// Which trailer field mismatched.
+        what: &'static str,
+        /// The value the field should have carried.
+        expected: u64,
+        /// The value actually found on the page.
+        actual: u64,
+    },
     /// An I/O error from a file-backed store.
     Io(std::io::Error),
     /// A write did not match the store's page size.
     BadPageSize { expected: usize, got: usize },
+}
+
+impl Error {
+    /// Whether this error reports damaged page *content* (structural or
+    /// checksum corruption), as opposed to a transient I/O failure or a
+    /// caller mistake. Layers above use this to decide between retrying
+    /// and quarantining.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corrupt(_) | Error::Corruption { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -23,6 +48,16 @@ impl fmt::Display for Error {
             Error::PageNotFound(id) => write!(f, "page {id} not found"),
             Error::InvalidPageId(id) => write!(f, "invalid page id {id}"),
             Error::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            Error::Corruption {
+                page,
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "page {page} corrupt: {what} mismatch (expected {expected:#010x}, \
+                 found {actual:#010x})"
+            ),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::BadPageSize { expected, got } => {
                 write!(f, "bad page size: expected {expected}, got {got}")

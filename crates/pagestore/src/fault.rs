@@ -6,8 +6,18 @@
 //! numbered from zero in the order the wrapper sees them, so a test can
 //! sweep a fault across *every* point of a workload and assert that the
 //! layers above (WAL, buffer pool, B-tree) either fail cleanly or recover.
+//!
+//! Beyond those fail-stop faults the store injects *silent* damage — the
+//! kind only a checksum layer can catch: [`Fault::BitFlip`] (bit rot),
+//! [`Fault::MisdirectedWrite`] (firmware writes the right data to the
+//! wrong sector) and [`Fault::StaleRead`] (a lost write: the read returns
+//! the page's pre-image). These report success; the corruption sweep
+//! asserts [`crate::ChecksumStore`] turns every one of them into a typed
+//! [`Error::Corruption`] instead of a wrong answer. For page-targeted
+//! sweeps, [`FaultStore::damage_now`] applies the same damage immediately
+//! to a chosen page instead of scheduling by operation number.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::error::{Error, Result};
 use crate::page::PageId;
@@ -29,6 +39,28 @@ pub enum Fault {
     /// The store loses power: this operation and every later one fail,
     /// and nothing more reaches the backing store.
     Crash,
+    /// Silent single-bit damage. On a read, bit `bit` (mod page bits) of
+    /// the *returned* data is flipped; on a write, the flipped page is
+    /// persisted. Either way the operation reports success. Degrades to
+    /// [`Fault::IoError`] on allocate/free/sync.
+    BitFlip {
+        /// Which bit to flip, counted from byte 0's LSB; reduced modulo
+        /// the page size in bits.
+        bit: usize,
+    },
+    /// A write lands on `victim` instead of its target and reports
+    /// success; the target keeps its old content. Degrades to
+    /// [`Fault::IoError`] on non-write operations.
+    MisdirectedWrite {
+        /// The page that receives the bytes instead.
+        victim: PageId,
+    },
+    /// A read silently returns the page's pre-image (its content before
+    /// the last write through this wrapper) — a lost write made visible.
+    /// Requires [`FaultStore::track_preimages`]; degrades to
+    /// [`Fault::IoError`] when no pre-image is known or on non-read
+    /// operations.
+    StaleRead,
 }
 
 /// A [`PageStore`] wrapper that injects faults from a deterministic
@@ -39,6 +71,10 @@ pub struct FaultStore<S: PageStore> {
     schedule: BTreeMap<u64, Fault>,
     ops: u64,
     crashed: bool,
+    /// Per-page content before its most recent write through this wrapper;
+    /// populated only while pre-image tracking is on (it costs a read and
+    /// a copy per write, so the transparent configuration skips it).
+    preimages: Option<HashMap<PageId, Vec<u8>>>,
 }
 
 impl<S: PageStore> FaultStore<S> {
@@ -49,6 +85,7 @@ impl<S: PageStore> FaultStore<S> {
             schedule: BTreeMap::new(),
             ops: 0,
             crashed: false,
+            preimages: None,
         }
     }
 
@@ -110,9 +147,87 @@ impl<S: PageStore> FaultStore<S> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped store, bypassing the schedule — e.g.
+    /// to snapshot or restore raw page bytes around an injected damage.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
     /// Unwrap, discarding the schedule.
     pub fn into_inner(self) -> S {
         self.inner
+    }
+
+    /// Start (or stop) recording each page's pre-image on write, which
+    /// [`Fault::StaleRead`] needs. Off by default: tracking costs one read
+    /// and one copy per write.
+    pub fn track_preimages(&mut self, on: bool) {
+        self.preimages = if on { Some(HashMap::new()) } else { None };
+    }
+
+    fn record_preimage(&mut self, id: PageId) {
+        if self.preimages.is_none() {
+            return;
+        }
+        let mut cur = vec![0u8; self.inner.page_size()];
+        if self.inner.read(id, &mut cur).is_ok() {
+            self.preimages
+                .as_mut()
+                .expect("checked above")
+                .insert(id, cur);
+        }
+    }
+
+    /// Apply `fault`'s damage to `page` *immediately*, bypassing the
+    /// operation schedule — the page-targeted hammer the corruption sweep
+    /// uses ("corrupt exactly this page, then prove it is detected").
+    /// Supports the content faults; [`Fault::IoError`] and
+    /// [`Fault::Crash`] have no content effect and are rejected.
+    pub fn damage_now(&mut self, page: PageId, fault: Fault) -> Result<()> {
+        let ps = self.inner.page_size();
+        let mut cur = vec![0u8; ps];
+        let res = match fault {
+            Fault::BitFlip { bit } => {
+                self.inner.read(page, &mut cur)?;
+                let b = bit % (ps * 8);
+                cur[b / 8] ^= 1 << (b % 8);
+                self.inner.write(page, &cur)
+            }
+            Fault::TornWrite { bytes } => {
+                // Keep the first `bytes`, clobber the tail — a power cut
+                // midway through rewriting the page's sectors.
+                self.inner.read(page, &mut cur)?;
+                let n = bytes.min(ps);
+                for b in &mut cur[n..] {
+                    *b = !*b;
+                }
+                self.inner.write(page, &cur)
+            }
+            Fault::MisdirectedWrite { victim } => {
+                // A write meant for `victim` landed here instead.
+                self.inner.read(victim, &mut cur)?;
+                self.inner.write(page, &cur)
+            }
+            Fault::StaleRead => {
+                // Roll the page back to its tracked pre-image (lost write).
+                let pre = self
+                    .preimages
+                    .as_ref()
+                    .and_then(|m| m.get(&page))
+                    .cloned()
+                    .ok_or_else(|| {
+                        Error::Corrupt(format!("no pre-image tracked for page {page}"))
+                    })?;
+                self.inner.write(page, &pre)
+            }
+            Fault::IoError | Fault::Crash => Err(Error::Corrupt(
+                "damage_now only applies content faults".into(),
+            )),
+        };
+        if res.is_ok() {
+            telemetry::counter("pagestore.fault.damage").inc();
+        }
+        res
     }
 
     fn fault_error(what: &str) -> Error {
@@ -165,13 +280,35 @@ impl<S: PageStore> PageStore for FaultStore<S> {
     fn read(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         match self.begin_op()? {
             None => self.inner.read(id, buf),
+            Some(Fault::BitFlip { bit }) => {
+                // Silent bit rot on the wire: the backing page is intact,
+                // the caller's copy is not.
+                self.inner.read(id, buf)?;
+                let b = bit % (buf.len() * 8).max(1);
+                buf[b / 8] ^= 1 << (b % 8);
+                Ok(())
+            }
+            Some(Fault::StaleRead) => {
+                // A lost write: hand back the page's pre-image as if the
+                // most recent write never reached the platter.
+                match self.preimages.as_ref().and_then(|m| m.get(&id)) {
+                    Some(pre) if pre.len() == buf.len() => {
+                        buf.copy_from_slice(pre);
+                        Ok(())
+                    }
+                    _ => Err(Self::fault_error("read failed")),
+                }
+            }
             Some(_) => Err(Self::fault_error("read failed")),
         }
     }
 
     fn write(&mut self, id: PageId, buf: &[u8]) -> Result<()> {
         match self.begin_op()? {
-            None => self.inner.write(id, buf),
+            None => {
+                self.record_preimage(id);
+                self.inner.write(id, buf)
+            }
             Some(Fault::TornWrite { bytes }) => {
                 // Persist the torn prefix over the page's current content,
                 // then report failure — like a power cut mid-sector.
@@ -179,8 +316,24 @@ impl<S: PageStore> PageStore for FaultStore<S> {
                 let mut cur = vec![0u8; self.inner.page_size()];
                 self.inner.read(id, &mut cur)?;
                 cur[..n].copy_from_slice(&buf[..n]);
+                self.record_preimage(id);
                 self.inner.write(id, &cur)?;
                 Err(Self::fault_error("torn write"))
+            }
+            Some(Fault::BitFlip { bit }) => {
+                // The flipped page is what lands on disk; success reported.
+                let mut damaged = buf.to_vec();
+                let b = bit % (damaged.len() * 8).max(1);
+                damaged[b / 8] ^= 1 << (b % 8);
+                self.record_preimage(id);
+                self.inner.write(id, &damaged)
+            }
+            Some(Fault::MisdirectedWrite { victim }) => {
+                // The bytes land on `victim`; the target keeps its old
+                // content and the caller is told everything went fine.
+                self.record_preimage(victim);
+                let _ = self.inner.write(victim, buf);
+                Ok(())
             }
             Some(_) => Err(Self::fault_error("write failed")),
         }
@@ -188,6 +341,10 @@ impl<S: PageStore> PageStore for FaultStore<S> {
 
     fn live_pages(&self) -> usize {
         self.inner.live_pages()
+    }
+
+    fn live_page_ids(&self) -> Vec<PageId> {
+        self.inner.live_page_ids()
     }
 
     fn sync(&mut self) -> Result<()> {
@@ -274,6 +431,106 @@ mod tests {
         let mut out = vec![0u8; 128];
         s.read(a, &mut out).unwrap();
         assert_eq!(out[0], 5);
+    }
+
+    #[test]
+    fn bitflip_on_read_is_transient_and_silent() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[0u8; 128]).unwrap();
+        s.inject(s.ops(), Fault::BitFlip { bit: 9 });
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[1], 0b10, "bit 9 of the returned copy flipped");
+        // The backing page itself is intact.
+        s.read(a, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn bitflip_on_write_persists_damage() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.inject(s.ops(), Fault::BitFlip { bit: 0 });
+        s.write(a, &[0u8; 128]).unwrap();
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 1, "flipped page persisted");
+    }
+
+    #[test]
+    fn misdirected_write_hits_victim_and_spares_target() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        s.write(a, &[1u8; 128]).unwrap();
+        s.write(b, &[2u8; 128]).unwrap();
+        s.inject(s.ops(), Fault::MisdirectedWrite { victim: b });
+        s.write(a, &[9u8; 128]).unwrap();
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 1, "target kept its old content");
+        s.read(b, &mut out).unwrap();
+        assert_eq!(out[0], 9, "victim received the bytes");
+    }
+
+    #[test]
+    fn stale_read_returns_preimage() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        s.track_preimages(true);
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 128]).unwrap();
+        s.write(a, &[2u8; 128]).unwrap();
+        s.inject(s.ops(), Fault::StaleRead);
+        let mut out = vec![0u8; 128];
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 1, "read returned the pre-image of the last write");
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 2, "later reads see the real content");
+    }
+
+    #[test]
+    fn stale_read_without_tracking_degrades_to_io_error() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 128]).unwrap();
+        s.inject(s.ops(), Fault::StaleRead);
+        let mut out = vec![0u8; 128];
+        assert!(matches!(s.read(a, &mut out), Err(Error::Io(_))));
+    }
+
+    #[test]
+    fn damage_now_variants() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        s.track_preimages(true);
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        s.write(a, &[1u8; 128]).unwrap();
+        s.write(b, &[2u8; 128]).unwrap();
+        let mut out = vec![0u8; 128];
+
+        s.damage_now(a, Fault::BitFlip { bit: 0 }).unwrap();
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 0, "bit 0 flipped in place");
+
+        s.damage_now(a, Fault::TornWrite { bytes: 64 }).unwrap();
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[64], !1u8, "tail clobbered");
+
+        s.damage_now(a, Fault::MisdirectedWrite { victim: b })
+            .unwrap();
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 2, "page now holds victim's content");
+
+        // Overwrite b, then roll it back to its pre-image.
+        s.write(b, &[3u8; 128]).unwrap();
+        s.damage_now(b, Fault::StaleRead).unwrap();
+        s.read(b, &mut out).unwrap();
+        assert_eq!(out[0], 2, "page rolled back to pre-image");
+
+        assert!(s.damage_now(a, Fault::IoError).is_err());
+        assert!(s.damage_now(a, Fault::Crash).is_err());
+        assert_eq!(s.pending_faults(), 0, "damage_now bypasses the schedule");
     }
 
     #[test]

@@ -146,6 +146,13 @@ impl PageStore for FileStore {
         self.live
     }
 
+    fn live_page_ids(&self) -> Vec<PageId> {
+        (0..self.num_slots)
+            .filter(|i| !self.free_list.contains(i))
+            .map(PageId)
+            .collect()
+    }
+
     fn sync(&mut self) -> Result<()> {
         self.file.sync_data()?;
         Ok(())

@@ -32,6 +32,8 @@
 //! ```
 
 mod buffer;
+mod checksum;
+mod crc;
 mod error;
 mod fault;
 mod file;
@@ -39,11 +41,13 @@ mod page;
 mod store;
 mod wal;
 
-pub use buffer::{BufferPool, PageRef, PoolStats, QueryStats};
+pub use buffer::{BufferPool, PageRef, PoolStats, QueryStats, RetryPolicy};
+pub use checksum::{ChecksumStore, ScrubReport, TRAILER_LEN};
+pub use crc::crc32;
 pub use error::{Error, Result};
 pub use fault::{Fault, FaultStore};
 pub use page::{PageId, PAGE_SIZE_DEFAULT, PAGE_SIZE_MIN};
 pub use store::{MemStore, PageStore};
 
 pub use file::FileStore;
-pub use wal::{crc32, WalStore};
+pub use wal::{RecoveryReport, WalStore};

@@ -24,6 +24,11 @@ pub trait PageStore {
     /// Number of live (allocated, not freed) pages.
     fn live_pages(&self) -> usize;
 
+    /// The ids of all live pages, in ascending order. This is the scrub
+    /// walk's enumeration: `live_page_ids().len() == live_pages()` and
+    /// every returned id must be readable.
+    fn live_page_ids(&self) -> Vec<PageId>;
+
     /// Flush any buffered writes to durable storage (no-op for memory).
     fn sync(&mut self) -> Result<()> {
         Ok(())
@@ -131,6 +136,15 @@ impl PageStore for MemStore {
     fn live_pages(&self) -> usize {
         self.live
     }
+
+    fn live_page_ids(&self) -> Vec<PageId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(i, _)| PageId(i as u32))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +180,7 @@ mod tests {
         let _b = s.allocate().unwrap();
         s.free(a).unwrap();
         assert_eq!(s.live_pages(), 1);
+        assert_eq!(s.live_page_ids(), vec![PageId(1)]);
         let c = s.allocate().unwrap();
         assert_eq!(c, a, "freed id is reused");
         // Reused page must be zeroed.

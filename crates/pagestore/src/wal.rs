@@ -16,11 +16,12 @@
 //! replayed. The overlay makes recovery idempotent: replay touches the
 //! backing file only at the next checkpoint.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::crc::crc32;
 use crate::error::{Error, Result};
 use crate::page::PageId;
 use crate::store::PageStore;
@@ -30,17 +31,33 @@ const OP_ALLOC: u8 = 2;
 const OP_FREE: u8 = 3;
 const OP_COMMIT: u8 = 4;
 
-/// CRC-32 (IEEE), bitwise implementation — small and dependency-free.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+/// What [`WalStore::open`] found and discarded while replaying the log.
+///
+/// Replay keeps only whole committed batches; everything after the last
+/// commit marker — parsed-but-uncommitted records and the torn or
+/// CRC-corrupt tail — is truncated away, counted here, and reported via
+/// the `pagestore.wal.replay_truncated` counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records replayed (members of committed batches, commits included).
+    pub replayed_records: u64,
+    /// Committed batches applied to the overlay.
+    pub replayed_batches: u64,
+    /// Well-formed records after the last commit, dropped as uncommitted.
+    pub dropped_records: u64,
+    /// Bytes of torn/CRC-corrupt tail discarded after the last parseable
+    /// record.
+    pub corrupt_tail_bytes: u64,
+    /// Byte offset the log was truncated to (end of the last committed
+    /// batch).
+    pub truncated_at: u64,
+}
+
+impl RecoveryReport {
+    /// Whether replay discarded anything (uncommitted or corrupt tail).
+    pub fn truncated(&self) -> bool {
+        self.dropped_records > 0 || self.corrupt_tail_bytes > 0
     }
-    !crc
 }
 
 /// A crash-safe page store: a [`PageStore`] plus a write-ahead log.
@@ -53,6 +70,8 @@ pub struct WalStore<S: PageStore> {
     /// Pages allocated since the last checkpoint, in order.
     pending_allocs: Vec<PageId>,
     live_delta: isize,
+    /// What the last [`WalStore::open`] replay found (None for `create`).
+    recovery: Option<RecoveryReport>,
 }
 
 impl<S: PageStore> WalStore<S> {
@@ -72,6 +91,7 @@ impl<S: PageStore> WalStore<S> {
             overlay: HashMap::new(),
             pending_allocs: Vec::new(),
             live_delta: 0,
+            recovery: None,
         })
     }
 
@@ -92,6 +112,7 @@ impl<S: PageStore> WalStore<S> {
             overlay: HashMap::new(),
             pending_allocs: Vec::new(),
             live_delta: 0,
+            recovery: None,
         };
         store.replay(&buf)?;
         Ok(store)
@@ -100,6 +121,13 @@ impl<S: PageStore> WalStore<S> {
     fn replay(&mut self, buf: &[u8]) -> Result<()> {
         // Parse records; apply batches up to each COMMIT; drop the tail.
         let mut pos = 0;
+        // Offset just past the last commit marker — everything beyond it is
+        // uncommitted and must be truncated away. Truncating only to `pos`
+        // would retain parsed-but-uncommitted batch records in the file,
+        // and the *next* commit appended after reopen would then commit
+        // that stale half-batch.
+        let mut committed_pos = 0;
+        let mut report = RecoveryReport::default();
         let mut batch: Vec<(u8, PageId, Vec<u8>)> = Vec::new();
         // Minimum record: op(1) + page(4) + len(4) + crc(4) = 13 bytes.
         while pos + 13 <= buf.len() {
@@ -117,6 +145,9 @@ impl<S: PageStore> WalStore<S> {
             }
             pos += 13 + len;
             if op == OP_COMMIT {
+                report.replayed_records += batch.len() as u64 + 1;
+                report.replayed_batches += 1;
+                committed_pos = pos;
                 for (op, page, data) in batch.drain(..) {
                     match op {
                         OP_WRITE => {
@@ -147,10 +178,19 @@ impl<S: PageStore> WalStore<S> {
                 batch.push((op, page, data.to_vec()));
             }
         }
+        report.dropped_records = batch.len() as u64;
+        report.corrupt_tail_bytes = (buf.len() - pos) as u64;
+        report.truncated_at = committed_pos as u64;
+        if report.truncated() {
+            telemetry::counter("pagestore.wal.replay_truncated")
+                .add(report.dropped_records + u64::from(report.corrupt_tail_bytes > 0));
+        }
+        self.recovery = Some(report);
         // The replayed state is durable in the log already; nothing to
-        // re-append. Position the log cursor at the last committed record.
-        self.log.set_len(pos as u64)?;
-        self.log.seek(SeekFrom::Start(pos as u64))?;
+        // re-append. Truncate to the end of the last committed batch and
+        // position the cursor there.
+        self.log.set_len(committed_pos as u64)?;
+        self.log.seek(SeekFrom::Start(committed_pos as u64))?;
         Ok(())
     }
 
@@ -211,6 +251,12 @@ impl<S: PageStore> WalStore<S> {
     /// The log file path (for crash-simulation tests).
     pub fn log_path(&self) -> &Path {
         &self.log_path
+    }
+
+    /// What the opening replay found and truncated, if this store was
+    /// produced by [`WalStore::open`] (None after [`WalStore::create`]).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The backing store, read-only (for instrumentation).
@@ -304,6 +350,23 @@ impl<S: PageStore> PageStore for WalStore<S> {
         (self.inner.live_pages() as isize + self.live_delta.min(0)) as usize
     }
 
+    fn live_page_ids(&self) -> Vec<PageId> {
+        // Inner ids adjusted by the overlay: allocations reach the inner
+        // store eagerly, so the overlay only removes (freed) or confirms.
+        let mut ids: BTreeSet<PageId> = self.inner.live_page_ids().into_iter().collect();
+        for (page, data) in &self.overlay {
+            match data {
+                Some(_) => {
+                    ids.insert(*page);
+                }
+                None => {
+                    ids.remove(page);
+                }
+            }
+        }
+        ids.into_iter().collect()
+    }
+
     fn sync(&mut self) -> Result<()> {
         self.checkpoint()
     }
@@ -388,6 +451,94 @@ mod tests {
         let mut out = vec![0u8; 128];
         recovered.read(PageId(0), &mut out).unwrap();
         assert_eq!(out[0], 7, "good prefix replays, torn tail ignored");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_reports_and_truncates_uncommitted_tail() {
+        let path = tmp("report");
+        let _inner = {
+            let mut s = WalStore::create(MemStore::new(128), &path).unwrap();
+            let a = s.allocate().unwrap();
+            s.write(a, &[1u8; 128]).unwrap();
+            s.commit().unwrap();
+            // Two uncommitted records, then a torn fragment.
+            s.write(a, &[2u8; 128]).unwrap();
+            s.free(a).unwrap();
+            s.into_inner()
+        };
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[OP_WRITE, 0, 0, 0]).unwrap();
+        }
+        let committed_len = {
+            let before = telemetry::counter_value("pagestore.wal.replay_truncated");
+            let recovered = WalStore::open(MemStore::new(128), &path).unwrap();
+            let r = *recovered.recovery().expect("open sets a recovery report");
+            assert_eq!(r.replayed_batches, 1);
+            assert_eq!(r.replayed_records, 3, "alloc + write + commit");
+            assert_eq!(r.dropped_records, 2, "uncommitted write + free");
+            assert_eq!(r.corrupt_tail_bytes, 4, "torn fragment");
+            assert!(r.truncated());
+            // 2 dropped records + 1 for the corrupt tail.
+            assert_eq!(
+                telemetry::counter_value("pagestore.wal.replay_truncated"),
+                before + 3
+            );
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                r.truncated_at,
+                "log truncated to the end of the last committed batch"
+            );
+            r.truncated_at
+        };
+        // Regression: the uncommitted records must be GONE from the file.
+        // Before the fix, replay truncated past them, so a commit appended
+        // in the new session would resurrect the stale half-batch.
+        let inner2 = {
+            let mut s = WalStore::open(MemStore::new(128), &path).unwrap();
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), committed_len);
+            s.commit().unwrap(); // empty batch — must commit nothing stale
+            s.into_inner()
+        };
+        let mut recovered = WalStore::open(inner2, &path).unwrap();
+        let mut out = vec![0u8; 128];
+        recovered.read(PageId(0), &mut out).unwrap();
+        assert_eq!(
+            out[0], 1,
+            "post-reopen commit must not resurrect the uncommitted write"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_replay_reports_nothing_truncated() {
+        let path = tmp("clean_report");
+        let inner = {
+            let mut s = WalStore::create(MemStore::new(128), &path).unwrap();
+            let a = s.allocate().unwrap();
+            s.write(a, &[9u8; 128]).unwrap();
+            s.commit().unwrap();
+            s.into_inner()
+        };
+        let recovered = WalStore::open(inner, &path).unwrap();
+        let r = recovered.recovery().unwrap();
+        assert!(!r.truncated());
+        assert_eq!(r.replayed_batches, 1);
+        assert_eq!(r.dropped_records, 0);
+        assert_eq!(r.corrupt_tail_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn live_page_ids_sees_overlay() {
+        let path = tmp("live_ids");
+        let mut s = WalStore::create(MemStore::new(128), &path).unwrap();
+        let a = s.allocate().unwrap();
+        let b = s.allocate().unwrap();
+        s.free(a).unwrap();
+        assert_eq!(s.live_page_ids(), vec![b]);
+        assert_eq!(s.live_page_ids().len(), s.live_pages());
         std::fs::remove_file(&path).ok();
     }
 

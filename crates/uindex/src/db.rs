@@ -10,27 +10,67 @@
 
 use std::collections::BTreeSet;
 
-use btree::BTreeConfig;
+use btree::{BTree, BTreeConfig};
 use objstore::{ObjectStore, Oid, Value};
-use pagestore::{BufferPool, MemStore};
+use pagestore::{
+    BufferPool, ChecksumStore, FaultStore, MemStore, RetryPolicy, ScrubReport, TRAILER_LEN,
+};
 use schema::{ClassId, Encoding, Schema};
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::index::{IndexId, UIndex};
 use crate::query::{Query, QueryHit};
-use crate::scan::ScanStats;
+use crate::scan::{QueryTrace, ScanStats};
 use crate::spec::{IndexSpec, SpecBuilder};
+
+/// The page-store stack under a [`Database`] index: checksum verification
+/// above deterministic fault injection above memory. The fault layer is
+/// below the checksums on purpose — injected silent damage must be caught
+/// by the trailer, exactly like real bit rot. With an empty fault schedule
+/// the middle layer is a pass-through.
+pub type DbStore = ChecksumStore<FaultStore<MemStore>>;
+
+/// Result of [`Database::check`]: scrub outcome, tree verification, and
+/// the entry-level cross-check against the object store.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Checksum scrub over every live page.
+    pub scrub: ScrubReport,
+    /// Structural B-tree verification outcome (`None` when it passed).
+    pub tree_error: Option<String>,
+    /// Whether the tree's entries matched a recomputation from the object
+    /// store (`false` also when the comparison could not run).
+    pub content_ok: bool,
+    /// Whether the index is quarantined after this check.
+    pub quarantined: bool,
+}
+
+impl CheckReport {
+    /// Whether every layer of the check passed.
+    pub fn clean(&self) -> bool {
+        self.scrub.clean() && self.tree_error.is_none() && self.content_ok
+    }
+}
 
 /// An OODB with automatically maintained U-indexes.
 pub struct Database {
     store: ObjectStore,
-    index: UIndex<MemStore>,
+    index: UIndex<DbStore>,
     /// Classes added by schema evolution whose codes are not assigned yet.
     /// Assignment is deferred until first use so that REF attributes
     /// declared after the class still constrain its code position
     /// (paper Fig. 4b: a new hierarchy slots between the hierarchies it
     /// references and is referenced by).
     pending_codes: BTreeSet<ClassId>,
+    /// Geometry retained for [`Database::repair`], which rebuilds the
+    /// index on a fresh store rather than trusting damaged pages.
+    page_size: usize,
+    pool_pages: usize,
+    config: BTreeConfig,
+    /// Set when corruption was detected in the index; queries fall back
+    /// to a sequential scan of the object store until a clean
+    /// [`Database::check`] or a [`Database::repair`] clears it.
+    quarantined: bool,
 }
 
 impl Database {
@@ -46,6 +86,20 @@ impl Database {
         Self::with_config(schema, page_size, pool_pages, BTreeConfig::default())
     }
 
+    /// The pool over a fresh checksummed store. The inner store's pages are
+    /// [`TRAILER_LEN`] bytes larger so the exposed page size — the one the
+    /// tree sees and the experiments' page counts are measured in — stays
+    /// exactly `page_size`.
+    fn fresh_pool(page_size: usize, pool_pages: usize) -> BufferPool<DbStore> {
+        let store = ChecksumStore::new(FaultStore::new(MemStore::new(page_size + TRAILER_LEN)));
+        let mut pool = BufferPool::new(store, pool_pages);
+        pool.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        });
+        pool
+    }
+
     /// Full control over the index B-tree configuration (the paper's first
     /// experiment caps nodes at 10 entries).
     pub fn with_config(
@@ -55,12 +109,16 @@ impl Database {
         config: BTreeConfig,
     ) -> Result<Self> {
         let encoding = Encoding::generate(&schema)?;
-        let pool = BufferPool::new(MemStore::new(page_size), pool_pages);
+        let pool = Self::fresh_pool(page_size, pool_pages);
         let index = UIndex::new(pool, config, encoding)?;
         Ok(Database {
             store: ObjectStore::new(schema),
             index,
             pending_codes: BTreeSet::new(),
+            page_size,
+            pool_pages,
+            config,
+            quarantined: false,
         })
     }
 
@@ -75,13 +133,18 @@ impl Database {
     }
 
     /// The U-index.
-    pub fn index(&self) -> &UIndex<MemStore> {
+    pub fn index(&self) -> &UIndex<DbStore> {
         &self.index
     }
 
     /// Mutable U-index access (e.g. for statistics resets).
-    pub fn index_mut(&mut self) -> &mut UIndex<MemStore> {
+    pub fn index_mut(&mut self) -> &mut UIndex<DbStore> {
         &mut self.index
+    }
+
+    /// Whether the index is quarantined (queries run degraded).
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
     }
 
     // ----- schema evolution ---------------------------------------------
@@ -274,22 +337,142 @@ impl Database {
         Ok(db)
     }
 
+    // ----- integrity: check / repair / degraded queries --------------------
+
+    /// Scrub every live index page, verify the B-tree structurally, and
+    /// cross-check its entries against a recomputation from the object
+    /// store. A clean check lifts an existing quarantine; a failed one
+    /// imposes it, so queries degrade instead of trusting damaged pages.
+    pub fn check(&mut self) -> Result<CheckReport> {
+        // Make the backing store authoritative, then drop the cache so the
+        // scrub and the verification below actually re-read (and re-verify)
+        // every page instead of being served stale frames.
+        let pool = self.index.tree_mut().pool_mut();
+        pool.flush()?;
+        pool.invalidate_cache()?;
+        let scrub = pool.store_mut().scrub();
+
+        let tree_error = if scrub.clean() {
+            match self.index.verify() {
+                Ok(_) => None,
+                Err(e) => Some(e.to_string()),
+            }
+        } else {
+            Some("scrub found damaged pages".to_string())
+        };
+
+        let content_ok = tree_error.is_none() && self.content_matches_store()?;
+
+        self.quarantined = !(scrub.clean() && tree_error.is_none() && content_ok);
+        if self.quarantined {
+            telemetry::counter("uindex.degraded.quarantines").inc();
+        }
+        Ok(CheckReport {
+            scrub,
+            tree_error,
+            content_ok,
+            quarantined: self.quarantined,
+        })
+    }
+
+    /// Compare the tree's entry keys (catalog entries excluded) with a
+    /// fresh recomputation from the object store.
+    fn content_matches_store(&mut self) -> Result<bool> {
+        let catalog_prefix = crate::catalog::CATALOG_ID.to_be_bytes();
+        let mut tree_keys: Vec<Vec<u8>> = self
+            .index
+            .tree_mut()
+            .scan_all()?
+            .into_iter()
+            .map(|(k, _)| k)
+            .filter(|k| !k.starts_with(&catalog_prefix))
+            .collect();
+        tree_keys.sort();
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for id in 0..self.index.specs().len() as IndexId {
+            for e in crate::oracle::all_entries(&self.index, &self.store, id)? {
+                expected.push(e.encode()?);
+            }
+        }
+        expected.sort();
+        Ok(tree_keys == expected)
+    }
+
+    /// Salvage the index: rebuild every registered index from the object
+    /// store into a brand-new checksummed store via the bulk loader, verify
+    /// it, and swap it in. The damaged tree is never walked — the object
+    /// store is the source of truth. Returns the number of entries loaded
+    /// and clears any quarantine.
+    pub fn repair(&mut self) -> Result<u64> {
+        let pool = Self::fresh_pool(self.page_size, self.pool_pages);
+        let tree = BTree::create(pool, self.config)?;
+        let mut index = UIndex::from_parts(
+            tree,
+            self.index.encoding().clone(),
+            self.index.specs().to_vec(),
+        );
+        let n = index.build_all(&self.store)?;
+        index.verify()?;
+        self.index = index;
+        self.quarantined = false;
+        telemetry::counter("uindex.degraded.repairs").inc();
+        Ok(n)
+    }
+
+    /// Answer `q` without the index: recompute matching entries from the
+    /// object store (the differential oracle's evaluator, proven
+    /// equivalent to all scan algorithms by its trial harness). Slower,
+    /// but immune to index damage.
+    fn degraded_eval(&self, q: &Query) -> Result<Vec<QueryHit>> {
+        let hits = crate::oracle::eval(&self.index, &self.store, q)?;
+        telemetry::counter("uindex.degraded.queries").inc();
+        Ok(match q.distinct_upto {
+            Some(pos) => crate::oracle::distinct_filter(&hits, pos),
+            None => hits,
+        })
+    }
+
+    /// Run `q` through the index, falling back to [`Database::degraded_eval`]
+    /// when the index is quarantined — or quarantining it on the spot when
+    /// the scan hits corruption. The returned flag reports whether the
+    /// degraded path answered. Queries never silently return wrong data:
+    /// damage either surfaces as [`pagestore::Error::Corruption`] inside
+    /// the scan (caught here) or was already flagged by a check.
+    pub fn query_traced_guarded(
+        &mut self,
+        q: &Query,
+    ) -> Result<(Vec<QueryHit>, ScanStats, QueryTrace, bool)> {
+        if !self.quarantined {
+            match self.index.query_traced(q) {
+                Ok((hits, stats, trace)) => return Ok((hits, stats, trace, false)),
+                Err(Error::Page(e)) if e.is_corruption() => {
+                    self.quarantined = true;
+                    telemetry::counter("uindex.degraded.quarantines").inc();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let hits = self.degraded_eval(q)?;
+        Ok((hits, ScanStats::default(), QueryTrace::default(), true))
+    }
+
     // ----- queries ---------------------------------------------------------
 
     /// Run a query, returning the hits.
     pub fn query(&mut self, q: &Query) -> Result<Vec<QueryHit>> {
-        Ok(self.index.query(q)?.0)
+        Ok(self.query_traced_guarded(q)?.0)
     }
 
     /// Parse and run a [`crate::uql`] query string.
     pub fn query_uql(&mut self, input: &str) -> Result<(Vec<QueryHit>, ScanStats)> {
         let q = crate::uql::parse(&self.index, self.store.schema(), input)?;
-        self.index.query(&q)
+        self.query_with_stats(&q)
     }
 
     /// Run a query, returning hits and scan cost counters.
     pub fn query_with_stats(&mut self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
-        self.index.query(q)
+        let (hits, stats, _, _) = self.query_traced_guarded(q)?;
+        Ok((hits, stats))
     }
 
     /// Execute `q` and build an EXPLAIN ANALYZE report: the translated plan

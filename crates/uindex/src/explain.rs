@@ -49,6 +49,10 @@ pub struct ExplainReport {
     pub stats: ScanStats,
     /// Registry-derived executed trace, including the span tree.
     pub trace: QueryTrace,
+    /// Whether the query was answered by the degraded object-store scan
+    /// instead of the (quarantined) index. The trace counters are all
+    /// zero in that case — no index pages were touched.
+    pub degraded: bool,
 }
 
 pub(crate) fn algorithm_name(a: ScanAlgorithm) -> &'static str {
@@ -101,7 +105,7 @@ pub(crate) fn explain(db: &mut Database, q: &Query) -> Result<ExplainReport> {
     }
     let value = render_value_pred(&q.value);
     let value_ranges = matcher.value_ranges.len();
-    let (hits, stats, trace) = db.index_mut().query_traced(q)?;
+    let (hits, stats, trace, degraded) = db.query_traced_guarded(q)?;
     Ok(ExplainReport {
         index: index_name,
         algorithm: algorithm_name(q.algorithm),
@@ -112,6 +116,7 @@ pub(crate) fn explain(db: &mut Database, q: &Query) -> Result<ExplainReport> {
         hits: hits.len(),
         stats,
         trace,
+        degraded,
     })
 }
 
@@ -158,6 +163,12 @@ impl ExplainReport {
         }
         let t = &self.trace;
         let _ = writeln!(s, "Execution");
+        if self.degraded {
+            let _ = writeln!(
+                s,
+                "  degraded:         index quarantined; answered by object-store scan"
+            );
+        }
         let _ = writeln!(s, "  hits:             {}", self.hits);
         let _ = writeln!(
             s,
@@ -234,7 +245,8 @@ impl ExplainReport {
              \"pages_read\": {}, \"node_visits\": {}, \"skips\": {}, \
              \"partial_keys_expanded\": {}, \"descents\": {}, \
              \"reseek_depth_total\": {}, \"reseeks_leaf\": {}, \"reseeks_lca\": {}, \
-             \"reseeks_full\": {}, \"pool_hits\": {}, \"pool_misses\": {}}}",
+             \"reseeks_full\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
+             \"degraded\": {degraded}}}",
             self.hits,
             t.entries_examined,
             t.matches,
@@ -248,7 +260,8 @@ impl ExplainReport {
             t.reseeks_lca,
             t.reseeks_full,
             t.pool_hits,
-            t.pool_misses
+            t.pool_misses,
+            degraded = self.degraded
         );
         match &t.span {
             Some(span) => {

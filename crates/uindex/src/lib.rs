@@ -67,7 +67,7 @@ mod spec;
 pub mod uql;
 
 pub use catalog::{catalog_entry_count, CATALOG_ID};
-pub use db::Database;
+pub use db::{CheckReport, Database, DbStore};
 pub use error::{Error, Result};
 pub use explain::ExplainReport;
 pub use index::{IndexId, UIndex};

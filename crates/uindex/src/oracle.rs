@@ -794,6 +794,12 @@ pub fn run_trials(seed: u64, trials: usize) -> TrialSummary {
                 ),
             }
         }
+        // End-of-trial structural check: the query workload (including its
+        // degraded/distinct variants) must leave the tree verifiable, so a
+        // scan that corrupted state cannot hide behind matching results.
+        t.db.index_mut()
+            .verify()
+            .unwrap_or_else(|e| panic!("post-trial tree verify failed (seed {tseed:#x}): {e}"));
         sum.trials += 1;
     }
     sum
