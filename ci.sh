@@ -65,4 +65,27 @@ echo "$repair_out" | grep -q 'rebuilt index' || { echo "repair smoke: no rebuild
 cargo run -q --release --offline -p uindex-cli -- check "$tmpdir/db" > /dev/null \
   || { echo "repair smoke: post-repair check failed"; exit 1; }
 
+echo "== disk tier smoke (create --disk, SIGKILL a writer mid-commit, reopen, check)"
+cargo run -q --release --offline -p uindex-cli -- \
+  new "$tmpdir/diskdb" "$tmpdir/smoke.uschema" "$tmpdir/smoke.udata" --disk
+cargo run -q --release --offline -p uindex-cli -- check "$tmpdir/diskdb" > /dev/null \
+  || { echo "disk smoke: fresh db not clean"; exit 1; }
+# Run the binary directly (not via cargo) so the SIGKILL hits the writer
+# itself; kill it as soon as commits are flowing, i.e. mid-commit-stream.
+churn_bin=target/release/uindex-cli
+"$churn_bin" churn "$tmpdir/diskdb" Vehicle Color 100000 > "$tmpdir/churn.log" 2>&1 &
+churn_pid=$!
+for _ in $(seq 1 200); do
+  grep -q "commit 5" "$tmpdir/churn.log" 2>/dev/null && break
+  sleep 0.05
+done
+kill -9 "$churn_pid" 2>/dev/null || true
+wait "$churn_pid" 2>/dev/null || true
+check_out=$(cargo run -q --release --offline -p uindex-cli -- check "$tmpdir/diskdb")
+echo "$check_out" | grep -q 'status:  clean' \
+  || { echo "disk smoke: post-SIGKILL check failed"; exit 1; }
+
+echo "== scanperf --smoke --disk (mem vs file tier, identical query streams)"
+cargo run -q --release --offline -p bench --bin scanperf -- --smoke --disk
+
 echo "CI green."

@@ -9,13 +9,23 @@
 //! parallel scans never read more pages than the forward scan — the bench
 //! doubles as an end-to-end consistency check on real workload sizes.
 //!
+//! `scanperf --disk` runs the *identical* query stream twice — on the
+//! in-memory store and on the production on-disk stack (WAL + checksums +
+//! file store), the latter bulk-loaded, checkpointed, closed, and
+//! **reopened cold** before querying — cross-checks that every query
+//! returns identical hits on both tiers and that a brute-force sweep of
+//! the raw postings agrees, and writes `BENCH_disk.json` (pages, fsyncs,
+//! wall time per tier).
+//!
 //! `scanperf --smoke` runs a tiny configuration and skips the JSON write
-//! (the CI hook).
+//! (the CI hook); the flags combine (`--smoke --disk`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use baselines::SetId;
+use objstore::Oid;
+use pagestore::{disk as pdisk, BufferPool, PageStore};
 use uindex::{ScanAlgorithm, ScanStats};
 use workload::uniform::{
     generate_postings, key_bytes, key_space, KeyCount, UIndexSet, UniformConfig,
@@ -141,10 +151,17 @@ fn query_stream(w: &Workload, keys: u32, seed: u64) -> Vec<(Vec<u8>, Vec<u8>, Ve
     out
 }
 
-fn run_workload(u: &mut UIndexSet, w: &Workload, keys: u32) -> [Acc; 3] {
+/// Run the workload's query stream under all three algorithms; returns the
+/// per-algorithm accumulators and the (parallel-scan) hits of every query,
+/// for cross-tier comparison.
+fn run_workload<P: PageStore>(
+    u: &mut UIndexSet<P>,
+    w: &Workload,
+    keys: u32,
+) -> ([Acc; 3], Vec<Vec<(SetId, Oid)>>) {
     let stream = query_stream(w, keys, 0x5CA9_F0CE_5EED_0001);
     let mut accs = [Acc::default(); 3];
-    let mut reference: Vec<(Vec<(SetId, objstore::Oid)>, u64)> = Vec::new();
+    let mut reference: Vec<(Vec<(SetId, Oid)>, u64)> = Vec::new();
     for (ai, (algo, aname)) in ALGOS.iter().enumerate() {
         u.use_algorithm(*algo);
         let mut legacy = Acc::default();
@@ -197,32 +214,12 @@ fn run_workload(u: &mut UIndexSet, w: &Workload, keys: u32) -> [Acc; 3] {
         accs[ai] = acc;
     }
     u.use_algorithm(ScanAlgorithm::Parallel);
-    accs
+    let hits = reference.into_iter().map(|(h, _)| h).collect();
+    (accs, hits)
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let objects: u32 = if smoke {
-        5_000
-    } else {
-        std::env::var("OBJECTS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(50_000)
-    };
-    let queries: u32 = if smoke { 20 } else { 200 };
-
-    let cfg = UniformConfig {
-        num_objects: objects,
-        num_sets: 8,
-        keys: KeyCount::Distinct(1000),
-        seed: 42,
-    };
-    let postings = generate_postings(&cfg);
-    let keys = key_space(&cfg);
-    let mut u = UIndexSet::build(8, &postings).expect("build U-index");
-
-    let workloads = [
+fn workloads(queries: u32) -> [Workload; 4] {
+    [
         Workload {
             name: "exact_k4",
             shape: Shape::Exact,
@@ -247,7 +244,41 @@ fn main() {
             num_sets: 2,
             queries,
         },
-    ];
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let disk = std::env::args().any(|a| a == "--disk");
+    if disk {
+        run_disk(smoke);
+    } else {
+        run_mem(smoke);
+    }
+}
+
+fn run_mem(smoke: bool) {
+    let objects: u32 = if smoke {
+        5_000
+    } else {
+        std::env::var("OBJECTS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(50_000)
+    };
+    let queries: u32 = if smoke { 20 } else { 200 };
+
+    let cfg = UniformConfig {
+        num_objects: objects,
+        num_sets: 8,
+        keys: KeyCount::Distinct(1000),
+        seed: 42,
+    };
+    let postings = generate_postings(&cfg);
+    let keys = key_space(&cfg);
+    let mut u = UIndexSet::build(8, &postings).expect("build U-index");
+
+    let workloads = workloads(queries);
 
     println!(
         "scanperf: {objects} objects, 8 sets, {keys} distinct keys{}",
@@ -280,7 +311,7 @@ fn main() {
 
     let mut skip_heavy: Option<(u64, u64)> = None;
     for (wi, w) in workloads.iter().enumerate() {
-        let accs = run_workload(&mut u, w, keys);
+        let (accs, _) = run_workload(&mut u, w, keys);
         let (par, flat) = (&accs[0], &accs[1]);
         // Hierarchical reseek must not change the distinct page set and
         // must never visit more nodes than flat skip-seeking.
@@ -345,5 +376,232 @@ fn main() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_scan.json");
     std::fs::write(&path, json).expect("write BENCH_scan.json");
+    println!("wrote {}", path.display());
+}
+
+/// Brute-force reference over the raw postings: `lo <= key < hi` and the
+/// set is selected. (The exact-shape stream encodes an exact probe as
+/// `[lo, lo + "\0")`, so one filter covers both shapes.)
+fn brute(
+    postings: &[(Vec<u8>, SetId, Oid)],
+    lo: &[u8],
+    hi: &[u8],
+    sets: &[SetId],
+) -> Vec<(SetId, Oid)> {
+    let mut out: Vec<(SetId, Oid)> = postings
+        .iter()
+        .filter(|(k, s, _)| k.as_slice() >= lo && k.as_slice() < hi && sets.contains(s))
+        .map(|(_, s, o)| (*s, *o))
+        .collect();
+    out.sort();
+    out
+}
+
+const DISK_PAGE_SIZE: usize = 1024;
+const DISK_POOL_PAGES: usize = 1 << 17;
+const DISK_GROUP_COMMIT: u32 = 8;
+
+/// MemStore vs the on-disk stack under the identical query stream. The
+/// disk index is bulk-loaded, checkpointed, **closed and reopened cold**
+/// before its query passes, so its numbers include real file reads.
+fn run_disk(smoke: bool) {
+    let objects: u32 = if smoke {
+        5_000
+    } else {
+        std::env::var("OBJECTS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1_000_000)
+    };
+    let queries: u32 = if smoke { 20 } else { 200 };
+
+    let cfg = UniformConfig {
+        num_objects: objects,
+        num_sets: 8,
+        keys: KeyCount::Distinct(1000),
+        seed: 42,
+    };
+    let postings = generate_postings(&cfg);
+    let keys = key_space(&cfg);
+    let workloads = workloads(queries);
+
+    println!(
+        "scanperf --disk: {objects} objects, 8 sets, {keys} distinct keys{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // --- Tier 1: in-memory build + query passes. ---
+    let mem_build_start = Instant::now();
+    let mut mem = UIndexSet::build(8, &postings).expect("build mem U-index");
+    let mem_build_ms = mem_build_start.elapsed().as_nanos() as f64 / 1e6;
+    let mut mem_accs = Vec::new();
+    let mut mem_hits = Vec::new();
+    for w in &workloads {
+        let (accs, hits) = run_workload(&mut mem, w, keys);
+        mem_accs.push(accs);
+        mem_hits.push(hits);
+    }
+    drop(mem);
+
+    // --- Tier 2: on-disk build, checkpoint, close; reopen cold; query. ---
+    let dir = std::env::temp_dir().join(format!("uindex_scanperf_disk_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let fsyncs0 = telemetry::counter_value("pagestore.wal.fsyncs");
+    let appends0 = telemetry::counter_value("pagestore.wal.appends");
+
+    let disk_build_start = Instant::now();
+    let mut stack = pdisk::create(&dir, DISK_PAGE_SIZE).expect("create disk stack");
+    stack.set_group_commit(DISK_GROUP_COMMIT);
+    let pool = BufferPool::new(stack, DISK_POOL_PAGES);
+    let mut disk = UIndexSet::build_with_pool(pool, 8, &postings).expect("build disk U-index");
+    let (root, len) = disk.persist().expect("persist disk U-index");
+    let mut stack = disk.into_pool().into_store();
+    stack.checkpoint().expect("checkpoint disk stack");
+    let disk_build_ms = disk_build_start.elapsed().as_nanos() as f64 / 1e6;
+    let live_pages = stack.live_pages();
+    drop(stack); // close the files: the reopen below starts cold
+    let build_fsyncs = telemetry::counter_value("pagestore.wal.fsyncs") - fsyncs0;
+    let build_appends = telemetry::counter_value("pagestore.wal.appends") - appends0;
+
+    let reopen_start = Instant::now();
+    let stack = pdisk::open(&dir).expect("reopen disk stack");
+    assert!(stack.recovery().is_some(), "reopen must report recovery");
+    let pool = BufferPool::new(stack, DISK_POOL_PAGES);
+    let mut disk = UIndexSet::open(pool, root, len).expect("reattach via catalog");
+    let reopen_ms = reopen_start.elapsed().as_nanos() as f64 / 1e6;
+
+    println!(
+        "build: mem {mem_build_ms:.0} ms; disk {disk_build_ms:.0} ms \
+         ({live_pages} pages, {build_fsyncs} fsyncs, {build_appends} WAL appends); \
+         reopen {reopen_ms:.1} ms"
+    );
+    println!(
+        "{:<12} {:>6} {:>14} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "tier", "algorithm", "pages", "visits", "wall ms", "oracle"
+    );
+
+    // --- Disk query passes: identical stream, hits must match tier 1 and
+    // a brute-force sweep of the raw postings. ---
+    let mut disk_accs = Vec::new();
+    let mut oracle_checked = 0usize;
+    for (wi, w) in workloads.iter().enumerate() {
+        let (accs, hits) = run_workload(&mut disk, w, keys);
+        assert_eq!(
+            hits.len(),
+            mem_hits[wi].len(),
+            "{}: query count diverged across tiers",
+            w.name
+        );
+        for (qi, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h, &mem_hits[wi][qi],
+                "{}: query {qi} hits differ between MemStore and FileStore",
+                w.name
+            );
+        }
+        // Brute-force oracle on a prefix of the stream (the full sweep is
+        // O(queries * objects); the prefix keeps the bench tractable while
+        // still checking every workload shape on the reopened store).
+        let stream = query_stream(w, keys, 0x5CA9_F0CE_5EED_0001);
+        let checks = stream.len().min(25);
+        for (qi, (lo, hi, sets)) in stream.iter().take(checks).enumerate() {
+            let expect = brute(&postings, lo, hi, sets);
+            assert_eq!(
+                hits[qi], expect,
+                "{}: query {qi} diverges from the brute-force oracle",
+                w.name
+            );
+        }
+        oracle_checked += checks;
+        for (tier, accs) in [("mem", &mem_accs[wi]), ("disk", &accs)] {
+            for (ai, (_, aname)) in ALGOS.iter().enumerate() {
+                println!(
+                    "{:<12} {:>6} {:>14} {:>12} {:>12} {:>12.1} {:>12}",
+                    if tier == "mem" && ai == 0 { w.name } else { "" },
+                    tier,
+                    aname,
+                    accs[ai].pages_read,
+                    accs[ai].node_visits,
+                    accs[ai].wall_nanos as f64 / 1e6,
+                    if tier == "disk" && ai == 0 {
+                        format!("{checks} ok")
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+        }
+        disk_accs.push(accs);
+    }
+    let query_fsyncs = telemetry::counter_value("pagestore.wal.fsyncs") - fsyncs0 - build_fsyncs;
+    assert_eq!(query_fsyncs, 0, "read-only query passes must not fsync");
+    drop(disk);
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "\nall {} queries identical across tiers; {oracle_checked} checked against the \
+         brute-force oracle on the reopened store",
+        mem_hits.iter().map(Vec::len).sum::<usize>(),
+    );
+
+    if smoke {
+        println!("smoke run: BENCH_disk.json not written");
+        return;
+    }
+
+    let provenance = telemetry::Provenance {
+        seed: cfg.seed,
+        workload: "uniform-scan-disk".into(),
+        objects: objects as u64,
+        version: telemetry::tool_version(env!("CARGO_PKG_VERSION")),
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"provenance\": {},", provenance.to_json());
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"objects\": {objects}, \"sets\": 8, \"distinct_keys\": {keys}, \
+         \"page_size\": {DISK_PAGE_SIZE}, \"pool_pages\": {DISK_POOL_PAGES}, \
+         \"group_commit\": {DISK_GROUP_COMMIT}, \"queries_per_workload\": {queries}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"build\": {{\"mem_wall_ms\": {mem_build_ms:.1}, \
+         \"disk_wall_ms\": {disk_build_ms:.1}, \"disk_pages\": {live_pages}, \
+         \"disk_fsyncs\": {build_fsyncs}, \"disk_wal_appends\": {build_appends}, \
+         \"reopen_wall_ms\": {reopen_ms:.3}}},"
+    );
+    json.push_str("  \"workloads\": {\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", w.name);
+        for (ti, (tier, accs)) in [("mem", &mem_accs[wi]), ("disk", &disk_accs[wi])]
+            .iter()
+            .enumerate()
+        {
+            let _ = writeln!(json, "      \"{tier}\": {{");
+            for (ai, (_, aname)) in ALGOS.iter().enumerate() {
+                let _ = write!(json, "        \"{aname}\": ");
+                accs[ai].to_json(&mut json, "");
+                json.push_str(if ai + 1 < ALGOS.len() { ",\n" } else { "\n" });
+            }
+            json.push_str(if ti == 0 { "      },\n" } else { "      }\n" });
+        }
+        json.push_str(if wi + 1 < workloads.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"summary\": {{\"hits_identical_across_tiers\": true, \
+         \"oracle_checked_queries\": {oracle_checked}, \"query_fsyncs\": {query_fsyncs}}}"
+    );
+    json.push_str("}\n");
+
+    let root_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root_dir.join("BENCH_disk.json");
+    std::fs::write(&path, json).expect("write BENCH_disk.json");
     println!("wrote {}", path.display());
 }

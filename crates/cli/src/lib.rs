@@ -30,8 +30,9 @@
 use std::collections::HashMap;
 
 use objstore::{Oid, Value};
+use pagestore::PageStore;
 use schema::{AttrType, ClassId, Schema};
-use uindex::{Database, IndexSpec};
+use uindex::{Database, DiskDatabase, DiskOptions, IndexSpec};
 
 /// Errors with a line number for every parse failure.
 #[derive(Debug)]
@@ -194,8 +195,12 @@ fn resolve_class(schema: &Schema, name: &str, line: usize) -> Result<ClassId, Cl
     })
 }
 
-/// Apply the index directives of a parsed `.uschema` to a database.
-pub fn define_indexes(db: &mut Database, directives: &[IndexDirective]) -> Result<(), CliError> {
+/// Apply the index directives of a parsed `.uschema` to a database
+/// (either storage tier).
+pub fn define_indexes<P: PageStore>(
+    db: &mut Database<P>,
+    directives: &[IndexDirective],
+) -> Result<(), CliError> {
     for d in directives {
         let target = resolve_class(db.schema(), &d.chain[0], 0)?;
         let builder = if d.hierarchy {
@@ -218,7 +223,10 @@ pub fn define_indexes(db: &mut Database, directives: &[IndexDirective]) -> Resul
 /// floats, `true`/`false`, `'strings'`, `@handle` references, or
 /// `[@h1, @h2]` reference sets. References may point at handles defined on
 /// later lines (two passes).
-pub fn load_data(db: &mut Database, input: &str) -> Result<HashMap<String, Oid>, CliError> {
+pub fn load_data<P: PageStore>(
+    db: &mut Database<P>,
+    input: &str,
+) -> Result<HashMap<String, Oid>, CliError> {
     struct Pending {
         line: usize,
         oid: Oid,
@@ -435,6 +443,29 @@ pub fn build_database(schema_text: &str, data_text: Option<&str>) -> Result<Data
     if let Some(data) = data_text {
         load_data(&mut db, data)?;
     }
+    Ok(db)
+}
+
+/// Build a *file-backed* database in `dir` from schema text and optional
+/// data text (the `new --disk` command's core). Everything is committed
+/// and checkpointed before returning.
+pub fn build_database_on_disk(
+    schema_text: &str,
+    data_text: Option<&str>,
+    dir: &std::path::Path,
+    options: DiskOptions,
+) -> Result<DiskDatabase, CliError> {
+    let internal = |e: uindex::Error| CliError {
+        line: 0,
+        message: e.to_string(),
+    };
+    let (schema, directives) = parse_schema(schema_text)?;
+    let mut db = DiskDatabase::create(schema, dir, options).map_err(internal)?;
+    define_indexes(&mut db, &directives)?;
+    if let Some(data) = data_text {
+        load_data(&mut db, data)?;
+    }
+    db.checkpoint().map_err(internal)?;
     Ok(db)
 }
 

@@ -1,14 +1,21 @@
 //! The `uindex-cli` binary. Commands:
 //!
 //! ```text
-//! uindex-cli new     <db-dir> <schema.uschema> [data.udata]
+//! uindex-cli new     <db-dir> <schema.uschema> [data.udata] [--disk]
 //! uindex-cli load    <db-dir> <data.udata>
 //! uindex-cli query   <db-dir> '<uql>'
 //! uindex-cli explain <db-dir> '<uql>' [--json]
 //! uindex-cli info    <db-dir>
 //! uindex-cli check   <db-dir>
 //! uindex-cli repair  <db-dir>
+//! uindex-cli churn   <db-dir> <Class> <Attr> <n-commits>
 //! ```
+//!
+//! `new --disk` creates a file-backed, WAL-protected database; the other
+//! commands auto-detect the tier from the directory's files, so the same
+//! invocations work on both. On the disk tier, `load` commits and
+//! checkpoints; opening replays the WAL, scrubs checksums and verifies
+//! the tree before serving (any salvage is reported on stderr).
 //!
 //! `explain` runs EXPLAIN ANALYZE: it executes the query and prints the
 //! translated plan, the executed cost counters and the phase span tree,
@@ -18,12 +25,18 @@
 //! B-tree structurally, and cross-checks the entries against the object
 //! store; it exits non-zero when damage is found. `repair` rebuilds the
 //! index from the object store (the source of truth) via the bulk loader.
+//!
+//! `churn` (disk only) runs a commit-per-object write loop — the crash
+//! smoke's target: SIGKILL it mid-commit, reopen, `check` must be green.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use uindex::Database;
-use uindex_cli::{build_database, load_data};
+use objstore::Value;
+use pagestore::PageStore;
+use schema::AttrType;
+use uindex::{Database, DiskDatabase, DiskOptions};
+use uindex_cli::{build_database, build_database_on_disk, load_data};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,75 +49,215 @@ fn main() -> ExitCode {
     }
 }
 
+fn open_disk(dir: &str) -> Result<DiskDatabase, String> {
+    let (db, report) = DiskDatabase::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    if let Some(r) = &report.recovery {
+        if r.truncated() {
+            eprintln!(
+                "recovery: dropped {} uncommitted record(s), {} corrupt tail byte(s)",
+                r.dropped_records, r.corrupt_tail_bytes
+            );
+        }
+    }
+    if report.rebuilt {
+        eprintln!("salvage: index rebuilt from the object snapshot");
+    }
+    Ok(db)
+}
+
+fn print_hits<P: PageStore>(db: &Database<P>, hits: &[uindex::QueryHit]) {
+    for h in hits {
+        let objs: Vec<String> = h
+            .key
+            .path
+            .iter()
+            .map(|e| {
+                let class = db
+                    .index()
+                    .encoding()
+                    .class_by_code(&e.code)
+                    .map(|c| db.schema().class_name(c).to_string())
+                    .unwrap_or_else(|| "?".into());
+                format!("{}={}", class, e.oid)
+            })
+            .collect();
+        println!("{:?}\t{}", h.key.value, objs.join("\t"));
+    }
+}
+
+fn cmd_query<P: PageStore>(db: &mut Database<P>, uql: &str) -> Result<(), String> {
+    let (hits, stats) = db.query_uql(uql).map_err(|e| e.to_string())?;
+    print_hits(db, &hits);
+    eprintln!(
+        "{} hits, {} pages read, {} seeks",
+        hits.len(),
+        stats.pages_read,
+        stats.seeks
+    );
+    Ok(())
+}
+
+fn cmd_explain<P: PageStore>(db: &mut Database<P>, uql: &str, json: bool) -> Result<(), String> {
+    let report = db.explain_uql(uql).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(())
+}
+
+fn cmd_info<P: PageStore>(db: &mut Database<P>) -> Result<(), String> {
+    println!("classes:");
+    for class in db.schema().class_ids() {
+        let code = db
+            .index()
+            .encoding()
+            .code(class)
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  {:<24} code {:<12} {} direct objects",
+            db.schema().class_name(class),
+            code,
+            db.store().extent(class).len()
+        );
+    }
+    println!("indexes:");
+    for (i, spec) in db.index().specs().iter().enumerate() {
+        let path: Vec<&str> = spec
+            .positions
+            .iter()
+            .map(|p| db.schema().class_name(p.class))
+            .collect();
+        println!("  [{i}] {} over {}", spec.name, path.join("/"));
+    }
+    let stats = db.index_mut().verify().map_err(|e| e.to_string())?;
+    println!(
+        "B-tree: {} entries, {} nodes ({} leaves), height {}",
+        stats.entries,
+        stats.total_nodes(),
+        stats.leaf_nodes,
+        stats.height
+    );
+    Ok(())
+}
+
+fn cmd_check<P: pagestore::Scrubbable>(db: &mut Database<P>, dir: &str) -> Result<(), String> {
+    let report = db.check().map_err(|e| e.to_string())?;
+    println!("scrub:   {} pages examined", report.scrub.pages);
+    for err in &report.scrub.errors {
+        println!("  damaged: {err}");
+    }
+    match &report.tree_error {
+        None => println!("tree:    ok"),
+        Some(e) => println!("tree:    FAILED: {e}"),
+    }
+    println!(
+        "content: {}",
+        if report.content_ok {
+            "matches object store"
+        } else {
+            "MISMATCH against object store"
+        }
+    );
+    if report.clean() {
+        println!("status:  clean");
+        Ok(())
+    } else {
+        println!("status:  QUARANTINED (queries degrade to object-store scans)");
+        Err(format!(
+            "integrity check failed: {} damaged page(s); run `uindex-cli repair {dir}`",
+            report.scrub.errors.len()
+        ))
+    }
+}
+
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: uindex-cli <new|load|query|explain|info|check|repair> ...";
+    let usage = "usage: uindex-cli <new|load|query|explain|info|check|repair|churn> ...";
     match args.first().map(String::as_str) {
         Some("new") => {
-            let [_, dir, schema_path, rest @ ..] = args else {
-                return Err("usage: uindex-cli new <db-dir> <schema.uschema> [data.udata]".into());
+            let mut rest: Vec<&String> = args[1..].iter().collect();
+            let disk = rest
+                .iter()
+                .position(|a| a.as_str() == "--disk")
+                .map(|i| {
+                    rest.remove(i);
+                })
+                .is_some();
+            let (dir, schema_path, data_path) = match rest.as_slice() {
+                [dir, schema] => (dir.as_str(), schema.as_str(), None),
+                [dir, schema, data] => (dir.as_str(), schema.as_str(), Some(data.as_str())),
+                _ => {
+                    return Err(
+                        "usage: uindex-cli new <db-dir> <schema.uschema> [data.udata] [--disk]"
+                            .into(),
+                    )
+                }
             };
             let schema_text =
                 std::fs::read_to_string(schema_path).map_err(|e| format!("{schema_path}: {e}"))?;
-            let data_text = match rest {
-                [data_path] => Some(
-                    std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?,
-                ),
-                [] => None,
-                _ => return Err("too many arguments".into()),
+            let data_text = match data_path {
+                Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
+                None => None,
             };
-            let db =
-                build_database(&schema_text, data_text.as_deref()).map_err(|e| e.to_string())?;
-            db.save(Path::new(dir)).map_err(|e| e.to_string())?;
-            println!(
-                "created {dir}: {} classes, {} indexes, {} objects",
-                db.schema().num_classes(),
-                db.index().specs().len(),
-                db.store().len()
-            );
+            if disk {
+                let db = build_database_on_disk(
+                    &schema_text,
+                    data_text.as_deref(),
+                    Path::new(dir),
+                    DiskOptions::default(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!(
+                    "created {dir} (on disk): {} classes, {} indexes, {} objects",
+                    db.schema().num_classes(),
+                    db.index().specs().len(),
+                    db.store().len()
+                );
+                db.close().map_err(|e| e.to_string())?;
+            } else {
+                let db = build_database(&schema_text, data_text.as_deref())
+                    .map_err(|e| e.to_string())?;
+                db.save(Path::new(dir)).map_err(|e| e.to_string())?;
+                println!(
+                    "created {dir}: {} classes, {} indexes, {} objects",
+                    db.schema().num_classes(),
+                    db.index().specs().len(),
+                    db.store().len()
+                );
+            }
             Ok(())
         }
         Some("load") => {
             let [_, dir, data_path] = args else {
                 return Err("usage: uindex-cli load <db-dir> <data.udata>".into());
             };
-            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
             let data =
                 std::fs::read_to_string(data_path).map_err(|e| format!("{data_path}: {e}"))?;
-            let handles = load_data(&mut db, &data).map_err(|e| e.to_string())?;
-            db.save(Path::new(dir)).map_err(|e| e.to_string())?;
-            println!("loaded {} objects into {dir}", handles.len());
+            if DiskDatabase::exists(Path::new(dir)) {
+                let mut db = open_disk(dir)?;
+                let handles = load_data(&mut db, &data).map_err(|e| e.to_string())?;
+                db.checkpoint().map_err(|e| e.to_string())?;
+                println!("loaded {} objects into {dir}", handles.len());
+            } else {
+                let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+                let handles = load_data(&mut db, &data).map_err(|e| e.to_string())?;
+                db.save(Path::new(dir)).map_err(|e| e.to_string())?;
+                println!("loaded {} objects into {dir}", handles.len());
+            }
             Ok(())
         }
         Some("query") => {
             let [_, dir, uql] = args else {
                 return Err("usage: uindex-cli query <db-dir> '<uql>'".into());
             };
-            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
-            let (hits, stats) = db.query_uql(uql).map_err(|e| e.to_string())?;
-            for h in &hits {
-                let objs: Vec<String> = h
-                    .key
-                    .path
-                    .iter()
-                    .map(|e| {
-                        let class = db
-                            .index()
-                            .encoding()
-                            .class_by_code(&e.code)
-                            .map(|c| db.schema().class_name(c).to_string())
-                            .unwrap_or_else(|| "?".into());
-                        format!("{}={}", class, e.oid)
-                    })
-                    .collect();
-                println!("{:?}\t{}", h.key.value, objs.join("\t"));
+            if DiskDatabase::exists(Path::new(dir)) {
+                cmd_query(&mut *open_disk(dir)?, uql)
+            } else {
+                let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+                cmd_query(&mut db, uql)
             }
-            eprintln!(
-                "{} hits, {} pages read, {} seeks",
-                hits.len(),
-                stats.pages_read,
-                stats.seeks
-            );
-            Ok(())
         }
         Some("explain") => {
             let (dir, uql, json) = match args {
@@ -112,95 +265,83 @@ fn run(args: &[String]) -> Result<(), String> {
                 [_, dir, uql, flag] if flag == "--json" => (dir, uql, true),
                 _ => return Err("usage: uindex-cli explain <db-dir> '<uql>' [--json]".into()),
             };
-            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
-            let report = db.explain_uql(uql).map_err(|e| e.to_string())?;
-            if json {
-                println!("{}", report.to_json());
+            if DiskDatabase::exists(Path::new(dir)) {
+                cmd_explain(&mut *open_disk(dir)?, uql, json)
             } else {
-                print!("{}", report.render_text());
+                let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+                cmd_explain(&mut db, uql, json)
             }
-            Ok(())
         }
         Some("info") => {
             let [_, dir] = args else {
                 return Err("usage: uindex-cli info <db-dir>".into());
             };
-            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
-            println!("classes:");
-            for class in db.schema().class_ids() {
-                let code = db
-                    .index()
-                    .encoding()
-                    .code(class)
-                    .map(|c| c.to_string())
-                    .unwrap_or_else(|| "-".into());
-                println!(
-                    "  {:<24} code {:<12} {} direct objects",
-                    db.schema().class_name(class),
-                    code,
-                    db.store().extent(class).len()
-                );
+            if DiskDatabase::exists(Path::new(dir)) {
+                cmd_info(&mut *open_disk(dir)?)
+            } else {
+                let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+                cmd_info(&mut db)
             }
-            println!("indexes:");
-            for (i, spec) in db.index().specs().iter().enumerate() {
-                let path: Vec<&str> = spec
-                    .positions
-                    .iter()
-                    .map(|p| db.schema().class_name(p.class))
-                    .collect();
-                println!("  [{i}] {} over {}", spec.name, path.join("/"));
-            }
-            let stats = db.index_mut().verify().map_err(|e| e.to_string())?;
-            println!(
-                "B-tree: {} entries, {} nodes ({} leaves), height {}",
-                stats.entries,
-                stats.total_nodes(),
-                stats.leaf_nodes,
-                stats.height
-            );
-            Ok(())
         }
         Some("check") => {
             let [_, dir] = args else {
                 return Err("usage: uindex-cli check <db-dir>".into());
             };
-            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
-            let report = db.check().map_err(|e| e.to_string())?;
-            println!("scrub:   {} pages examined", report.scrub.pages);
-            for err in &report.scrub.errors {
-                println!("  damaged: {err}");
-            }
-            match &report.tree_error {
-                None => println!("tree:    ok"),
-                Some(e) => println!("tree:    FAILED: {e}"),
-            }
-            println!(
-                "content: {}",
-                if report.content_ok {
-                    "matches object store"
-                } else {
-                    "MISMATCH against object store"
-                }
-            );
-            if report.clean() {
-                println!("status:  clean");
-                Ok(())
+            if DiskDatabase::exists(Path::new(dir)) {
+                cmd_check(&mut *open_disk(dir)?, dir)
             } else {
-                println!("status:  QUARANTINED (queries degrade to object-store scans)");
-                Err(format!(
-                    "integrity check failed: {} damaged page(s); run `uindex-cli repair {dir}`",
-                    report.scrub.errors.len()
-                ))
+                let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+                cmd_check(&mut db, dir)
             }
         }
         Some("repair") => {
             let [_, dir] = args else {
                 return Err("usage: uindex-cli repair <db-dir>".into());
             };
-            let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
-            let entries = db.repair().map_err(|e| e.to_string())?;
-            db.save(Path::new(dir)).map_err(|e| e.to_string())?;
-            println!("rebuilt index from object store: {entries} entries, verified");
+            if DiskDatabase::exists(Path::new(dir)) {
+                let mut db = open_disk(dir)?;
+                let entries = db.repair().map_err(|e| e.to_string())?;
+                db.close().map_err(|e| e.to_string())?;
+                println!("rebuilt index from object store: {entries} entries, verified");
+            } else {
+                let mut db = Database::open(Path::new(dir)).map_err(|e| e.to_string())?;
+                let entries = db.repair().map_err(|e| e.to_string())?;
+                db.save(Path::new(dir)).map_err(|e| e.to_string())?;
+                println!("rebuilt index from object store: {entries} entries, verified");
+            }
+            Ok(())
+        }
+        Some("churn") => {
+            let [_, dir, class_name, attr_name, n] = args else {
+                return Err("usage: uindex-cli churn <db-dir> <Class> <Attr> <n-commits>".into());
+            };
+            let n: u64 = n.parse().map_err(|_| format!("bad commit count {n:?}"))?;
+            if !DiskDatabase::exists(Path::new(dir)) {
+                return Err(format!("{dir} is not an on-disk database"));
+            }
+            let mut db = open_disk(dir)?;
+            let class = db
+                .schema()
+                .class_by_name(class_name)
+                .ok_or_else(|| format!("unknown class {class_name:?}"))?;
+            let (decl, attr) = db
+                .schema()
+                .resolve_attr(class, attr_name)
+                .ok_or_else(|| format!("unknown attribute {class_name}.{attr_name}"))?;
+            let ty = db.schema().attr_type(decl, attr);
+            for i in 0..n {
+                let oid = db.create_object(class).map_err(|e| e.to_string())?;
+                let value = match ty {
+                    AttrType::Int => Value::Int(i as i64),
+                    AttrType::Str => Value::Str(format!("churn-{i}")),
+                    _ => return Err("churn needs an int or str attribute".into()),
+                };
+                db.set_attr(oid, attr_name, value)
+                    .map_err(|e| e.to_string())?;
+                db.commit().map_err(|e| e.to_string())?;
+                println!("commit {i}");
+            }
+            db.close().map_err(|e| e.to_string())?;
             Ok(())
         }
         _ => Err(usage.into()),

@@ -193,6 +193,28 @@ impl<S: PageStore> ChecksumStore<S> {
     }
 }
 
+/// A page-store stack containing a [`ChecksumStore`] layer that generic
+/// code can scrub without knowing the exact stack shape. Implemented for
+/// a bare checksummed stack and for one wrapped in a
+/// [`crate::WalStore`] — scrub the latter only after a checkpoint, since
+/// the scrub walks the *backing* pages, not the WAL overlay.
+pub trait Scrubbable: PageStore {
+    /// Verify every live backing page's trailer.
+    fn scrub_pages(&mut self) -> ScrubReport;
+}
+
+impl<S: PageStore> Scrubbable for ChecksumStore<S> {
+    fn scrub_pages(&mut self) -> ScrubReport {
+        self.scrub()
+    }
+}
+
+impl<S: PageStore> Scrubbable for crate::wal::WalStore<ChecksumStore<S>> {
+    fn scrub_pages(&mut self) -> ScrubReport {
+        self.inner_mut().scrub()
+    }
+}
+
 impl<S: PageStore> PageStore for ChecksumStore<S> {
     fn page_size(&self) -> usize {
         self.inner.page_size() - TRAILER_LEN

@@ -1,89 +1,315 @@
+use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
+use crate::crc::crc32;
 use crate::error::{Error, Result};
 use crate::page::{PageId, PAGE_SIZE_MIN};
 use crate::store::PageStore;
 
 /// A file-backed page store.
 ///
-/// Layout: a 16-byte header (`magic`, page size) followed by pages at offset
-/// `HEADER_LEN + id * page_size`. The free list is kept in memory only;
-/// reopening a file conservatively treats every slot as live. This is enough
-/// for the durability demos — the experiments all run on [`crate::MemStore`].
+/// Layout: a 32-byte header (magic, page size, slot count, sync epoch,
+/// CRC) followed by pages at offset `HEADER_LEN + id * page_size`. The
+/// free list and slot count are persisted in a sidecar *manifest*
+/// (`<path>.free`, atomically replaced on every [`FileStore::sync`]) so a
+/// reopen after a clean sync restores the exact allocation state —
+/// including LIFO reuse order. Slots allocated after the last sync are
+/// not durable yet; [`FileStore::open`] truncates them away, which is
+/// exactly what a WAL layer above expects (its replay re-allocates them).
+///
+/// When the manifest is missing or damaged, `open` falls back to the old
+/// conservative recovery: every slot implied by the file length is
+/// treated as live and the free list starts empty.
 pub struct FileStore {
     file: File,
+    path: PathBuf,
     page_size: usize,
     num_slots: u32,
+    /// Free ids in LIFO order ([`FileStore::allocate`] pops the back).
     free_list: Vec<u32>,
+    /// Same ids as `free_list`, for O(1) liveness probes — `check` runs on
+    /// every read/write, so a `Vec::contains` scan here made
+    /// `live_page_ids` O(n²) at millions of pages.
+    free_set: HashSet<u32>,
     live: usize,
+    sync_epoch: u64,
+    /// Test hook: number of upcoming page-region writes to fail.
+    fail_writes: u32,
 }
 
-const MAGIC: &[u8; 8] = b"UIDXPGS1";
-const HEADER_LEN: u64 = 16;
+const MAGIC: &[u8; 8] = b"UIDXPGS2";
+const HEADER_LEN: u64 = 32;
+const MANIFEST_MAGIC: &[u8; 8] = b"UIDXFREE";
+
+/// The free-list manifest sitting next to a store file.
+fn manifest_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".free");
+    PathBuf::from(os)
+}
+
+/// Best-effort fsync of the directory containing `path`, so a freshly
+/// created or renamed file survives a crash of the directory itself.
+/// Errors are ignored: not every filesystem supports directory fsync.
+fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+fn encode_header(page_size: usize, num_slots: u32, sync_epoch: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
+    h[12..16].copy_from_slice(&num_slots.to_le_bytes());
+    h[16..24].copy_from_slice(&sync_epoch.to_le_bytes());
+    let crc = crc32(&h[..24]);
+    h[24..28].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+struct Manifest {
+    sync_epoch: u64,
+    num_slots: u32,
+    free: Vec<u32>,
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(28 + 4 * m.free.len());
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    buf.extend_from_slice(&m.sync_epoch.to_le_bytes());
+    buf.extend_from_slice(&m.num_slots.to_le_bytes());
+    buf.extend_from_slice(&(m.free.len() as u32).to_le_bytes());
+    for id in &m.free {
+        buf.extend_from_slice(&id.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+fn decode_manifest(buf: &[u8]) -> Option<Manifest> {
+    if buf.len() < 28 || &buf[..8] != MANIFEST_MAGIC {
+        return None;
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    if crc32(body) != u32::from_le_bytes(crc_bytes.try_into().ok()?) {
+        return None;
+    }
+    let sync_epoch = u64::from_le_bytes(body[8..16].try_into().ok()?);
+    let num_slots = u32::from_le_bytes(body[16..20].try_into().ok()?);
+    let count = u32::from_le_bytes(body[20..24].try_into().ok()?) as usize;
+    if body.len() != 24 + 4 * count {
+        return None;
+    }
+    let free = body[24..]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Some(Manifest {
+        sync_epoch,
+        num_slots,
+        free,
+    })
+}
 
 impl FileStore {
     /// Create a new store file, truncating any existing file at `path`.
+    ///
+    /// The header and the (empty) free-list manifest are fsynced before
+    /// this returns — a crash immediately after `create` still leaves an
+    /// openable store.
     pub fn create(path: &Path, page_size: usize) -> Result<Self> {
         assert!(
             page_size >= PAGE_SIZE_MIN,
             "page size {page_size} below minimum {PAGE_SIZE_MIN}"
         );
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        let mut header = [0u8; HEADER_LEN as usize];
-        header[..8].copy_from_slice(MAGIC);
-        header[8..12].copy_from_slice(&(page_size as u32).to_le_bytes());
-        file.write_all(&header)?;
-        Ok(FileStore {
+        let mut store = FileStore {
             file,
+            path: path.to_path_buf(),
             page_size,
             num_slots: 0,
             free_list: Vec::new(),
+            free_set: HashSet::new(),
             live: 0,
-        })
+            sync_epoch: 0,
+            fail_writes: 0,
+        };
+        store.write_manifest(1)?;
+        store.file.seek(SeekFrom::Start(0))?;
+        store.file.write_all(&encode_header(page_size, 0, 1))?;
+        store.file.sync_all()?;
+        sync_parent_dir(path);
+        store.sync_epoch = 1;
+        Ok(store)
     }
 
     /// Open an existing store file created by [`FileStore::create`].
     ///
-    /// Pages freed in a previous session that were not followed by a `sync`
-    /// are considered live again (conservative recovery).
+    /// A valid manifest makes the reopen *exact*: slot count and free
+    /// list (in reuse order) come back as of the last sync, and any
+    /// unsynced tail slots are truncated away. Without a manifest the
+    /// recovery is conservative: every slot implied by the file length
+    /// is live. A truncated or corrupt header is rejected with a typed
+    /// [`Error::Corrupt`], never a panic.
     pub fn open(path: &Path) -> Result<Self> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)?;
+        let mut got = 0;
+        while got < header.len() {
+            match file.read(&mut header[got..])? {
+                0 => {
+                    return Err(Error::Corrupt(format!(
+                        "truncated store header: {got} of {HEADER_LEN} bytes"
+                    )))
+                }
+                n => got += n,
+            }
+        }
         if &header[..8] != MAGIC {
             return Err(Error::Corrupt("bad magic in store header".into()));
+        }
+        let stored_crc = u32::from_le_bytes(header[24..28].try_into().unwrap());
+        if crc32(&header[..24]) != stored_crc {
+            return Err(Error::Corrupt(
+                "store header failed its CRC (partially written?)".into(),
+            ));
         }
         let page_size = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
         if page_size < PAGE_SIZE_MIN {
             return Err(Error::Corrupt(format!("bad page size {page_size}")));
         }
+        let header_epoch = u64::from_le_bytes(header[16..24].try_into().unwrap());
         let file_len = file.metadata()?.len();
-        let data_len = file_len.saturating_sub(HEADER_LEN);
-        let num_slots = (data_len / page_size as u64) as u32;
-        Ok(FileStore {
-            file,
-            page_size,
-            num_slots,
-            free_list: Vec::new(),
-            live: num_slots as usize,
-        })
+        let file_slots = (file_len.saturating_sub(HEADER_LEN) / page_size as u64) as u32;
+
+        let manifest = std::fs::read(manifest_path(path))
+            .ok()
+            .as_deref()
+            .and_then(decode_manifest)
+            // A stale manifest (older than the header says) or one that
+            // promises more slots than the file holds cannot be trusted.
+            .filter(|m| m.sync_epoch >= header_epoch && m.num_slots <= file_slots)
+            .filter(|m| m.free.iter().all(|&id| id < m.num_slots));
+
+        let mut store = match manifest {
+            Some(m) => {
+                // Exact recovery: discard slots allocated after the last
+                // sync (they are not durable; a WAL replay re-creates
+                // them) and restore the free list verbatim.
+                file.set_len(HEADER_LEN + m.num_slots as u64 * page_size as u64)?;
+                let free_set: HashSet<u32> = m.free.iter().copied().collect();
+                let live = m.num_slots as usize - free_set.len();
+                FileStore {
+                    file,
+                    path: path.to_path_buf(),
+                    page_size,
+                    num_slots: m.num_slots,
+                    free_list: m.free,
+                    free_set,
+                    live,
+                    sync_epoch: m.sync_epoch.max(header_epoch),
+                    fail_writes: 0,
+                }
+            }
+            None => FileStore {
+                file,
+                path: path.to_path_buf(),
+                page_size,
+                num_slots: file_slots,
+                free_list: Vec::new(),
+                free_set: HashSet::new(),
+                live: file_slots as usize,
+                sync_epoch: header_epoch,
+                fail_writes: 0,
+            },
+        };
+        store.file.seek(SeekFrom::Start(0))?;
+        Ok(store)
+    }
+
+    /// The store file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Epoch of the last durable sync (bumped by [`FileStore::sync`]).
+    pub fn sync_epoch(&self) -> u64 {
+        self.sync_epoch
+    }
+
+    /// Total slots in the file, free ones included.
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+
+    /// Test hook: make the next `n` page-region writes fail with an
+    /// injected I/O error. Exercises the failure paths inside `allocate`
+    /// and `write` that a wrapping [`crate::FaultStore`] cannot reach
+    /// (it sits above this store, not inside it).
+    #[doc(hidden)]
+    pub fn inject_write_failures(&mut self, n: u32) {
+        self.fail_writes = n;
     }
 
     fn offset(&self, id: PageId) -> u64 {
         HEADER_LEN + id.0 as u64 * self.page_size as u64
     }
 
+    fn write_at(&mut self, offset: u64, buf: &[u8]) -> Result<()> {
+        if self.fail_writes > 0 {
+            self.fail_writes -= 1;
+            return Err(Error::Io(std::io::Error::other("injected write failure")));
+        }
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(buf)?;
+        Ok(())
+    }
+
     fn check(&self, id: PageId) -> Result<()> {
-        if id.is_null() || id.0 >= self.num_slots || self.free_list.contains(&id.0) {
+        if id.is_null() || id.0 >= self.num_slots || self.free_set.contains(&id.0) {
             return Err(Error::PageNotFound(id));
         }
+        Ok(())
+    }
+
+    /// Atomically replace the manifest (write-to-temp, fsync, rename).
+    fn write_manifest(&mut self, epoch: u64) -> Result<()> {
+        let target = manifest_path(&self.path);
+        let mut tmp_os = target.as_os_str().to_os_string();
+        tmp_os.push(".tmp");
+        let tmp = PathBuf::from(tmp_os);
+        let bytes = encode_manifest(&Manifest {
+            sync_epoch: epoch,
+            num_slots: self.num_slots,
+            free: self.free_list.clone(),
+        });
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &target)?;
+        sync_parent_dir(&target);
         Ok(())
     }
 }
@@ -94,24 +320,28 @@ impl PageStore for FileStore {
     }
 
     fn allocate(&mut self) -> Result<PageId> {
-        self.live += 1;
-        if let Some(idx) = self.free_list.pop() {
-            let zeros = vec![0u8; self.page_size];
-            self.file.seek(SeekFrom::Start(self.offset(PageId(idx))))?;
-            self.file.write_all(&zeros)?;
+        // The zero-write is fallible, so all bookkeeping (`live`,
+        // `num_slots`, `free_list`) happens strictly *after* it succeeds —
+        // a failed allocation must leave the store exactly as it was.
+        let zeros = vec![0u8; self.page_size];
+        if let Some(&idx) = self.free_list.last() {
+            self.write_at(self.offset(PageId(idx)), &zeros)?;
+            self.free_list.pop();
+            self.free_set.remove(&idx);
+            self.live += 1;
             return Ok(PageId(idx));
         }
         let idx = self.num_slots;
+        self.write_at(self.offset(PageId(idx)), &zeros)?;
         self.num_slots += 1;
-        let zeros = vec![0u8; self.page_size];
-        self.file.seek(SeekFrom::Start(self.offset(PageId(idx))))?;
-        self.file.write_all(&zeros)?;
+        self.live += 1;
         Ok(PageId(idx))
     }
 
     fn free(&mut self, id: PageId) -> Result<()> {
         self.check(id)?;
         self.free_list.push(id.0);
+        self.free_set.insert(id.0);
         self.live -= 1;
         Ok(())
     }
@@ -137,9 +367,7 @@ impl PageStore for FileStore {
             });
         }
         self.check(id)?;
-        self.file.seek(SeekFrom::Start(self.offset(id)))?;
-        self.file.write_all(buf)?;
-        Ok(())
+        self.write_at(self.offset(id), buf)
     }
 
     fn live_pages(&self) -> usize {
@@ -148,13 +376,25 @@ impl PageStore for FileStore {
 
     fn live_page_ids(&self) -> Vec<PageId> {
         (0..self.num_slots)
-            .filter(|i| !self.free_list.contains(i))
+            .filter(|i| !self.free_set.contains(i))
             .map(PageId)
             .collect()
     }
 
     fn sync(&mut self) -> Result<()> {
+        // Order matters: page data first, then the manifest naming the
+        // durable slot frontier, then the header stamp. A crash between
+        // any two steps leaves either the previous consistent snapshot
+        // (manifest epoch == header epoch) or a newer complete manifest
+        // (epoch == header epoch + 1) — `open` accepts both.
         self.file.sync_data()?;
+        let next = self.sync_epoch + 1;
+        self.write_manifest(next)?;
+        let header = encode_header(self.page_size, self.num_slots, next);
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        self.file.sync_data()?;
+        self.sync_epoch = next;
         Ok(())
     }
 }
@@ -167,6 +407,11 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("pagestore_test_{}_{}", std::process::id(), name));
         p
+    }
+
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(manifest_path(path)).ok();
     }
 
     #[test]
@@ -189,7 +434,7 @@ mod tests {
             assert_eq!(out[0], 1);
             assert_eq!(out[1], 7);
         }
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
@@ -204,14 +449,198 @@ mod tests {
         let mut out = vec![1u8; 128];
         s.read(b, &mut out).unwrap();
         assert!(out.iter().all(|&x| x == 0));
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
     fn open_rejects_garbage() {
         let path = tmp("garbage");
-        std::fs::write(&path, b"not a store file at all").unwrap();
-        assert!(FileStore::open(&path).is_err());
-        std::fs::remove_file(&path).ok();
+        std::fs::write(&path, b"not a store file at all, padded to header length!").unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(Error::Corrupt(msg)) if msg.contains("magic")
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn open_rejects_truncated_header_with_typed_error() {
+        let path = tmp("shortheader");
+        std::fs::write(&path, &MAGIC[..6]).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(Error::Corrupt(msg)) if msg.contains("truncated")
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn open_rejects_header_with_bad_crc() {
+        let path = tmp("badcrc");
+        let mut h = encode_header(128, 0, 1).to_vec();
+        h[20] ^= 0xFF; // damage the epoch without fixing the CRC
+        std::fs::write(&path, &h).unwrap();
+        assert!(matches!(
+            FileStore::open(&path),
+            Err(Error::Corrupt(msg)) if msg.contains("CRC")
+        ));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_right_after_create_is_openable() {
+        let path = tmp("createcrash");
+        {
+            let _s = FileStore::create(&path, 128).unwrap();
+            // "Crash": drop without any sync.
+        }
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.live_pages(), 0);
+        assert_eq!(s.page_size(), 128);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn failed_allocate_leaves_counters_untouched() {
+        let path = tmp("allocfail");
+        let mut s = FileStore::create(&path, 128).unwrap();
+        let a = s.allocate().unwrap();
+        assert_eq!(s.live_pages(), 1);
+        // New-slot path: the zero-write fails; live/num_slots must not move.
+        s.inject_write_failures(1);
+        assert!(matches!(s.allocate(), Err(Error::Io(_))));
+        assert_eq!(s.live_pages(), 1);
+        assert_eq!(s.num_slots(), 1);
+        assert_eq!(s.live_page_ids(), vec![a]);
+        // Recovery: the next allocate succeeds and ids stay dense.
+        let b = s.allocate().unwrap();
+        assert_eq!(b, PageId(1));
+        assert_eq!(s.live_pages(), 2);
+        // Reuse path: free `a`, fail the zero-write — the id must stay on
+        // the free list (and still be reported free).
+        s.free(a).unwrap();
+        assert_eq!(s.live_pages(), 1);
+        s.inject_write_failures(1);
+        assert!(matches!(s.allocate(), Err(Error::Io(_))));
+        assert_eq!(s.live_pages(), 1);
+        assert_eq!(s.live_page_ids(), vec![b]);
+        // After the fault clears, the freed id is reused (LIFO) and zeroed.
+        let c = s.allocate().unwrap();
+        assert_eq!(c, a);
+        let mut out = vec![1u8; 128];
+        s.read(c, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn reopen_restores_exact_free_list_and_lifo_order() {
+        let path = tmp("manifest");
+        {
+            let mut s = FileStore::create(&path, 128).unwrap();
+            let ids: Vec<PageId> = (0..4).map(|_| s.allocate().unwrap()).collect();
+            for id in &ids {
+                s.write(*id, &[id.0 as u8 + 1; 128]).unwrap();
+            }
+            s.free(ids[1]).unwrap();
+            s.free(ids[3]).unwrap();
+            s.sync().unwrap();
+        }
+        let mut s = FileStore::open(&path).unwrap();
+        assert_eq!(s.live_pages(), 2, "exact free list survives reopen");
+        assert_eq!(s.num_slots(), 4);
+        assert_eq!(s.live_page_ids(), vec![PageId(0), PageId(2)]);
+        let mut out = vec![0u8; 128];
+        assert!(matches!(
+            s.read(PageId(1), &mut out),
+            Err(Error::PageNotFound(_))
+        ));
+        // LIFO order survives too: 3 was freed last, so it comes back
+        // first.
+        assert_eq!(s.allocate().unwrap(), PageId(3));
+        assert_eq!(s.allocate().unwrap(), PageId(1));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn unsynced_tail_slots_are_discarded_on_open() {
+        let path = tmp("tailslots");
+        {
+            let mut s = FileStore::create(&path, 128).unwrap();
+            let a = s.allocate().unwrap();
+            s.write(a, &[5u8; 128]).unwrap();
+            s.sync().unwrap();
+            // Two more slots after the sync — not durable.
+            s.allocate().unwrap();
+            s.allocate().unwrap();
+        }
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.num_slots(), 1, "unsynced tail truncated");
+        assert_eq!(s.live_pages(), 1);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            HEADER_LEN + 128,
+            "file shrunk back to the durable frontier"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn missing_manifest_falls_back_to_conservative() {
+        let path = tmp("nomanifest");
+        {
+            let mut s = FileStore::create(&path, 128).unwrap();
+            let a = s.allocate().unwrap();
+            let b = s.allocate().unwrap();
+            s.free(a).unwrap();
+            let _ = b;
+            s.sync().unwrap();
+        }
+        std::fs::remove_file(manifest_path(&path)).unwrap();
+        let s = FileStore::open(&path).unwrap();
+        // Conservative: the freed page is considered live again.
+        assert_eq!(s.live_pages(), 2);
+        assert_eq!(s.live_page_ids().len(), 2);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corrupt_manifest_falls_back_to_conservative() {
+        let path = tmp("badmanifest");
+        {
+            let mut s = FileStore::create(&path, 128).unwrap();
+            let a = s.allocate().unwrap();
+            s.free(a).unwrap();
+            s.sync().unwrap();
+        }
+        let mpath = manifest_path(&path);
+        let mut bytes = std::fs::read(&mpath).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&mpath, &bytes).unwrap();
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.live_pages(), 1, "corrupt manifest ignored");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn live_page_ids_is_not_quadratic_shape() {
+        // Smoke the HashSet path: many pages with a large free list; the
+        // old Vec::contains probe made this O(n²).
+        let path = tmp("bigfree");
+        let mut s = FileStore::create(&path, 128).unwrap();
+        let ids: Vec<PageId> = (0..512).map(|_| s.allocate().unwrap()).collect();
+        for id in ids.iter().step_by(2) {
+            s.free(*id).unwrap();
+        }
+        assert_eq!(s.live_pages(), 256);
+        assert_eq!(s.live_page_ids().len(), 256);
+        let mut buf = vec![0u8; 128];
+        assert!(s.read(PageId(1), &mut buf).is_ok());
+        assert!(matches!(
+            s.read(PageId(0), &mut buf),
+            Err(Error::PageNotFound(_))
+        ));
+        cleanup(&path);
     }
 }

@@ -34,6 +34,7 @@
 mod buffer;
 mod checksum;
 mod crc;
+pub mod disk;
 mod error;
 mod fault;
 mod file;
@@ -42,7 +43,7 @@ mod store;
 mod wal;
 
 pub use buffer::{BufferPool, PageRef, PoolStats, QueryStats, RetryPolicy};
-pub use checksum::{ChecksumStore, ScrubReport, TRAILER_LEN};
+pub use checksum::{ChecksumStore, ScrubReport, Scrubbable, TRAILER_LEN};
 pub use crc::crc32;
 pub use error::{Error, Result};
 pub use fault::{Fault, FaultStore};

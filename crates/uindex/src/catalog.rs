@@ -337,6 +337,42 @@ pub(crate) fn decode_spec(v: &[u8]) -> Result<IndexSpec> {
     })
 }
 
+/// Serialize a whole spec list as a standalone file image (`specs.bin`
+/// in both the in-memory save layout and the disk tier, where it is the
+/// rebuild path's source of index definitions when the in-tree catalog is
+/// unreadable).
+pub(crate) fn encode_spec_file(specs: &[IndexSpec]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"UIDXSPC1");
+    out.extend_from_slice(&(specs.len() as u32).to_le_bytes());
+    for spec in specs {
+        let enc = encode_spec(spec);
+        out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+        out.extend_from_slice(&enc);
+    }
+    out
+}
+
+/// Inverse of [`encode_spec_file`], with typed errors for truncation and
+/// a bad magic.
+pub(crate) fn decode_spec_file(bytes: &[u8]) -> Result<Vec<IndexSpec>> {
+    if bytes.get(..8) != Some(b"UIDXSPC1".as_slice()) {
+        return Err(Error::BadKey("bad specs.bin magic".into()));
+    }
+    let bad = || Error::BadKey("truncated specs.bin".into());
+    let n = u32::from_le_bytes(bytes.get(8..12).ok_or_else(bad)?.try_into().unwrap()) as usize;
+    let mut pos = 12;
+    let mut specs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = u32::from_le_bytes(bytes.get(pos..pos + 4).ok_or_else(bad)?.try_into().unwrap())
+            as usize;
+        pos += 4;
+        specs.push(decode_spec(bytes.get(pos..pos + len).ok_or_else(bad)?)?);
+        pos += len;
+    }
+    Ok(specs)
+}
+
 /// Number of catalog entries currently stored (diagnostic).
 pub fn catalog_entry_count<S: PageStore>(index: &mut UIndex<S>) -> Result<usize> {
     let prefix = CATALOG_ID.to_be_bytes().to_vec();

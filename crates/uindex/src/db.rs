@@ -13,7 +13,8 @@ use std::collections::BTreeSet;
 use btree::{BTree, BTreeConfig};
 use objstore::{ObjectStore, Oid, Value};
 use pagestore::{
-    BufferPool, ChecksumStore, FaultStore, MemStore, RetryPolicy, ScrubReport, TRAILER_LEN,
+    BufferPool, ChecksumStore, FaultStore, MemStore, PageStore, RetryPolicy, ScrubReport,
+    Scrubbable, TRAILER_LEN,
 };
 use schema::{ClassId, Encoding, Schema};
 
@@ -53,9 +54,15 @@ impl CheckReport {
 }
 
 /// An OODB with automatically maintained U-indexes.
-pub struct Database {
+///
+/// Generic over the page-store stack `P` under the index: the default
+/// [`DbStore`] is the in-memory production stack; the durable tier runs
+/// the same `Database` over [`crate::DiskStore`] (see
+/// [`crate::DiskDatabase`]). Everything except construction, persistence
+/// and repair is backend-agnostic.
+pub struct Database<P: PageStore = DbStore> {
     store: ObjectStore,
-    index: UIndex<DbStore>,
+    index: UIndex<P>,
     /// Classes added by schema evolution whose codes are not assigned yet.
     /// Assignment is deferred until first use so that REF attributes
     /// declared after the class still constrain its code position
@@ -74,6 +81,8 @@ pub struct Database {
 }
 
 impl Database {
+    // ----- construction (in-memory tier) ---------------------------------
+
     /// Build a database over `schema`, generating the class-code encoding.
     /// Fails if the schema's REF graph is cyclic (see
     /// [`schema::cycles::partition_acyclic`] to split it).
@@ -121,6 +130,40 @@ impl Database {
             quarantined: false,
         })
     }
+}
+
+impl<P: PageStore> Database<P> {
+    /// Assemble a database from an already-built index and object store
+    /// (the disk tier's open/rebuild paths). `page_size`/`pool_pages`/
+    /// `config` record the geometry for later rebuilds.
+    pub(crate) fn from_raw_parts(
+        store: ObjectStore,
+        index: UIndex<P>,
+        page_size: usize,
+        pool_pages: usize,
+        config: BTreeConfig,
+    ) -> Self {
+        Database {
+            store,
+            index,
+            pending_codes: BTreeSet::new(),
+            page_size,
+            pool_pages,
+            config,
+            quarantined: false,
+        }
+    }
+
+    /// Replace the object store (disk-tier open: objects come from their
+    /// own snapshot file, not the index).
+    pub(crate) fn set_store(&mut self, store: ObjectStore) {
+        self.store = store;
+    }
+
+    /// The B-tree configuration this database was built with.
+    pub fn config(&self) -> BTreeConfig {
+        self.config
+    }
 
     /// The object store.
     pub fn store(&self) -> &ObjectStore {
@@ -133,12 +176,12 @@ impl Database {
     }
 
     /// The U-index.
-    pub fn index(&self) -> &UIndex<DbStore> {
+    pub fn index(&self) -> &UIndex<P> {
         &self.index
     }
 
     /// Mutable U-index access (e.g. for statistics resets).
-    pub fn index_mut(&mut self) -> &mut UIndex<DbStore> {
+    pub fn index_mut(&mut self) -> &mut UIndex<P> {
         &mut self.index
     }
 
@@ -276,9 +319,11 @@ impl Database {
         self.apply_diff(before, after)?;
         Ok(())
     }
+}
 
-    // ----- persistence -----------------------------------------------------
+// ----- persistence (in-memory tier) -----------------------------------------
 
+impl Database {
     /// Save the database into a directory: `objects.bin` (schema + objects)
     /// and `specs.bin` (index definitions). Opening rebuilds the indexes
     /// deterministically from the data.
@@ -286,14 +331,7 @@ impl Database {
         std::fs::create_dir_all(dir).map_err(pagestore::Error::Io)?;
         std::fs::write(dir.join("objects.bin"), self.store.to_bytes())
             .map_err(pagestore::Error::Io)?;
-        let mut specs = Vec::new();
-        specs.extend_from_slice(b"UIDXSPC1");
-        specs.extend_from_slice(&(self.index.specs().len() as u32).to_le_bytes());
-        for spec in self.index.specs() {
-            let enc = crate::catalog::encode_spec(spec);
-            specs.extend_from_slice(&(enc.len() as u32).to_le_bytes());
-            specs.extend_from_slice(&enc);
-        }
+        let specs = crate::catalog::encode_spec_file(self.index.specs());
         std::fs::write(dir.join("specs.bin"), specs).map_err(pagestore::Error::Io)?;
         Ok(())
     }
@@ -306,39 +344,37 @@ impl Database {
         let mut db = Database::in_memory(schema)?;
         db.store = store;
         let specs = std::fs::read(dir.join("specs.bin")).map_err(pagestore::Error::Io)?;
-        if specs.get(..8) != Some(b"UIDXSPC1".as_slice()) {
-            return Err(crate::Error::BadKey("bad specs.bin magic".into()));
-        }
-        let n = u32::from_le_bytes(
-            specs
-                .get(8..12)
-                .ok_or_else(|| crate::Error::BadKey("truncated specs.bin".into()))?
-                .try_into()
-                .unwrap(),
-        ) as usize;
-        let mut pos = 12;
-        for _ in 0..n {
-            let len = u32::from_le_bytes(
-                specs
-                    .get(pos..pos + 4)
-                    .ok_or_else(|| crate::Error::BadKey("truncated specs.bin".into()))?
-                    .try_into()
-                    .unwrap(),
-            ) as usize;
-            pos += 4;
-            let spec = crate::catalog::decode_spec(
-                specs
-                    .get(pos..pos + len)
-                    .ok_or_else(|| crate::Error::BadKey("truncated specs.bin".into()))?,
-            )?;
-            pos += len;
+        for spec in crate::catalog::decode_spec_file(&specs)? {
             db.define_index_spec(spec)?;
         }
         Ok(db)
     }
 
-    // ----- integrity: check / repair / degraded queries --------------------
+    /// Salvage the index: rebuild every registered index from the object
+    /// store into a brand-new checksummed store via the bulk loader, verify
+    /// it, and swap it in. The damaged tree is never walked — the object
+    /// store is the source of truth. Returns the number of entries loaded
+    /// and clears any quarantine.
+    pub fn repair(&mut self) -> Result<u64> {
+        let pool = Self::fresh_pool(self.page_size, self.pool_pages);
+        let tree = BTree::create(pool, self.config)?;
+        let mut index = UIndex::from_parts(
+            tree,
+            self.index.encoding().clone(),
+            self.index.specs().to_vec(),
+        );
+        let n = index.build_all(&self.store)?;
+        index.verify()?;
+        self.index = index;
+        self.quarantined = false;
+        telemetry::counter("uindex.degraded.repairs").inc();
+        Ok(n)
+    }
+}
 
+// ----- integrity: check / repair / degraded queries --------------------------
+
+impl<P: Scrubbable> Database<P> {
     /// Scrub every live index page, verify the B-tree structurally, and
     /// cross-check its entries against a recomputation from the object
     /// store. A clean check lifts an existing quarantine; a failed one
@@ -350,7 +386,7 @@ impl Database {
         let pool = self.index.tree_mut().pool_mut();
         pool.flush()?;
         pool.invalidate_cache()?;
-        let scrub = pool.store_mut().scrub();
+        let scrub = pool.store_mut().scrub_pages();
 
         let tree_error = if scrub.clean() {
             match self.index.verify() {
@@ -374,7 +410,9 @@ impl Database {
             quarantined: self.quarantined,
         })
     }
+}
 
+impl<P: PageStore> Database<P> {
     /// Compare the tree's entry keys (catalog entries excluded) with a
     /// fresh recomputation from the object store.
     fn content_matches_store(&mut self) -> Result<bool> {
@@ -396,27 +434,6 @@ impl Database {
         }
         expected.sort();
         Ok(tree_keys == expected)
-    }
-
-    /// Salvage the index: rebuild every registered index from the object
-    /// store into a brand-new checksummed store via the bulk loader, verify
-    /// it, and swap it in. The damaged tree is never walked — the object
-    /// store is the source of truth. Returns the number of entries loaded
-    /// and clears any quarantine.
-    pub fn repair(&mut self) -> Result<u64> {
-        let pool = Self::fresh_pool(self.page_size, self.pool_pages);
-        let tree = BTree::create(pool, self.config)?;
-        let mut index = UIndex::from_parts(
-            tree,
-            self.index.encoding().clone(),
-            self.index.specs().to_vec(),
-        );
-        let n = index.build_all(&self.store)?;
-        index.verify()?;
-        self.index = index;
-        self.quarantined = false;
-        telemetry::counter("uindex.degraded.repairs").inc();
-        Ok(n)
     }
 
     /// Answer `q` without the index: recompute matching entries from the

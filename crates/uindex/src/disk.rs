@@ -1,0 +1,649 @@
+//! The durable tier: a [`Database`] over the file-backed, WAL-protected
+//! page-store stack.
+//!
+//! A [`DiskDatabase`] lives in one directory:
+//!
+//! | file             | contents                                            |
+//! |------------------|-----------------------------------------------------|
+//! | `meta.bin`       | static geometry: page size, pool size, B-tree config, group-commit interval, checkpoint period |
+//! | `pages.db`       | the index B-tree's pages ([`pagestore::FileStore`], checksummed trailers) |
+//! | `pages.db.free`  | the file store's free-list manifest                  |
+//! | `wal.log`        | write-ahead log over the page file                   |
+//! | `objects.udb`    | epoch-stamped object-store snapshot                  |
+//! | `specs.bin`      | index definitions (rebuild source when the in-tree catalog is unreadable) |
+//!
+//! Page 0 of the store is the **meta page**: the tree's root, length and
+//! the *object epoch*, all WAL-protected so they move atomically with the
+//! tree's pages at each commit. The object store has its own durability
+//! domain (`objects.udb`, replaced atomically per commit) stamped with the
+//! same epoch; [`DiskDatabase::open`] compares the two stamps, and on any
+//! mismatch — or any damage to the index files — rebuilds the index from
+//! the object snapshot, which is the source of truth (the same salvage
+//! philosophy as the in-memory [`Database::repair`]).
+//!
+//! Commit ordering (crash safety): tree pages and the meta page are
+//! flushed into the WAL overlay, then `objects.udb` is atomically
+//! replaced, then the WAL commit marker is appended. A crash between the
+//! last two steps leaves the objects one epoch ahead of the committed
+//! index — detected at open, healed by rebuild. Group commit batches the
+//! WAL fsyncs ([`pagestore::WalStore::set_group_commit`]), and every
+//! `checkpoint_every` commits the overlay is checkpointed into the page
+//! file so the log stays short.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::ops::{Deref, DerefMut};
+use std::path::{Path, PathBuf};
+
+use btree::{BTreeConfig, Capacity};
+use objstore::ObjectStore;
+use pagestore::disk as pdisk;
+use pagestore::{BufferPool, PageId, RecoveryReport, RetryPolicy, ScrubReport, Scrubbable};
+use schema::{Encoding, Schema};
+
+use crate::db::Database;
+use crate::error::{Error, Result};
+use crate::index::UIndex;
+
+/// The page-store stack under a [`DiskDatabase`]'s index.
+pub type DiskStore = pdisk::DiskStack;
+
+const DB_META_MAGIC: &[u8; 8] = b"UIDXDBM1";
+const META_PAGE_MAGIC: &[u8; 8] = b"UIDXMETA";
+const OBJECTS_MAGIC: &[u8; 8] = b"UIDXOBJ1";
+
+/// The WAL-protected meta page holding root/len/epoch.
+const META_PAGE: PageId = PageId(0);
+
+/// Geometry file inside a database directory.
+pub const DB_META_FILE: &str = "meta.bin";
+/// Object-store snapshot inside a database directory.
+pub const OBJECTS_FILE: &str = "objects.udb";
+/// Index-spec sidecar inside a database directory.
+pub const SPECS_FILE: &str = "specs.bin";
+
+/// Tuning knobs for a [`DiskDatabase`], fixed at create time and recorded
+/// in `meta.bin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskOptions {
+    /// Exposed page size (the B-tree's view; the file adds the checksum
+    /// trailer below).
+    pub page_size: usize,
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+    /// Index B-tree configuration.
+    pub config: BTreeConfig,
+    /// Fsync the WAL every this many commits (1 = every commit).
+    pub group_commit: u32,
+    /// Checkpoint the WAL into the page file every this many commits
+    /// (0 = only on explicit [`DiskDatabase::checkpoint`]/close).
+    pub checkpoint_every: u32,
+}
+
+impl Default for DiskOptions {
+    fn default() -> Self {
+        DiskOptions {
+            page_size: 1024,
+            pool_pages: 1 << 16,
+            config: BTreeConfig::default(),
+            group_commit: 8,
+            checkpoint_every: 64,
+        }
+    }
+}
+
+/// What [`DiskDatabase::open`] found while bringing the store up: WAL
+/// replay, checksum scrub, tree verification, and whether the index had
+/// to be rebuilt from the object snapshot.
+#[derive(Debug)]
+pub struct OpenReport {
+    /// WAL replay outcome (None only if the log was missing entirely).
+    pub recovery: Option<RecoveryReport>,
+    /// Checksum scrub over the page file after replay + checkpoint.
+    pub scrub: ScrubReport,
+    /// Whether the tree passed structural verification before serving.
+    pub tree_ok: bool,
+    /// Whether the index was rebuilt from `objects.udb` (epoch mismatch,
+    /// scrub damage, unreadable catalog, or failed verification).
+    pub rebuilt: bool,
+}
+
+impl OpenReport {
+    /// Whether the store came up from its own files, no salvage needed.
+    pub fn clean(&self) -> bool {
+        self.tree_ok && !self.rebuilt && self.scrub.clean()
+    }
+}
+
+/// A [`Database`] over [`DiskStore`] plus the directory bookkeeping that
+/// makes it durable. Dereferences to the inner [`Database`] for all
+/// querying, mutation and schema evolution; mutations become durable at
+/// the next [`DiskDatabase::commit`] (or [`DiskDatabase::checkpoint`]) —
+/// dropping the handle without committing loses everything since the
+/// last commit, exactly like a crash.
+pub struct DiskDatabase {
+    db: Database<DiskStore>,
+    dir: PathBuf,
+    options: DiskOptions,
+    /// Epoch stamped into both the meta page and `objects.udb` at the
+    /// last commit; bumped on each commit.
+    object_epoch: u64,
+    commits_since_checkpoint: u32,
+}
+
+impl Deref for DiskDatabase {
+    type Target = Database<DiskStore>;
+    fn deref(&self) -> &Self::Target {
+        &self.db
+    }
+}
+
+impl DerefMut for DiskDatabase {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.db
+    }
+}
+
+// ----- small file helpers ----------------------------------------------------
+
+fn io(e: std::io::Error) -> Error {
+    Error::Page(pagestore::Error::Io(e))
+}
+
+/// Write `bytes` to `path` atomically: tmp file, fsync, rename, fsync of
+/// the parent directory (so the rename itself is durable).
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp).map_err(io)?;
+        f.write_all(bytes).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = File::open(parent) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
+fn encode_db_meta(o: &DiskOptions) -> Vec<u8> {
+    let mut v = Vec::with_capacity(36);
+    v.extend_from_slice(DB_META_MAGIC);
+    v.extend_from_slice(&(o.page_size as u32).to_le_bytes());
+    v.extend_from_slice(&(o.pool_pages as u32).to_le_bytes());
+    let (kind, cap) = match o.config.capacity {
+        Capacity::Bytes => (0u8, 0u32),
+        Capacity::Entries(m) => (1u8, m as u32),
+    };
+    v.push(kind);
+    v.extend_from_slice(&cap.to_le_bytes());
+    v.push(u8::from(o.config.front_compression));
+    v.push(u8::from(o.config.suffix_truncation));
+    v.extend_from_slice(&o.group_commit.to_le_bytes());
+    v.extend_from_slice(&o.checkpoint_every.to_le_bytes());
+    let crc = pagestore::crc32(&v);
+    v.extend_from_slice(&crc.to_le_bytes());
+    v
+}
+
+fn decode_db_meta(v: &[u8]) -> Result<DiskOptions> {
+    let corrupt = |what: &str| Error::Page(pagestore::Error::Corrupt(format!("meta.bin: {what}")));
+    if v.len() != 31 + 4 {
+        return Err(corrupt("truncated"));
+    }
+    if &v[..8] != DB_META_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let crc = u32::from_le_bytes(v[31..35].try_into().unwrap());
+    if pagestore::crc32(&v[..31]) != crc {
+        return Err(corrupt("failed its CRC"));
+    }
+    let page_size = u32::from_le_bytes(v[8..12].try_into().unwrap()) as usize;
+    let pool_pages = u32::from_le_bytes(v[12..16].try_into().unwrap()) as usize;
+    let cap = u32::from_le_bytes(v[17..21].try_into().unwrap()) as usize;
+    let capacity = match v[16] {
+        0 => Capacity::Bytes,
+        1 => Capacity::Entries(cap),
+        _ => return Err(corrupt("unknown capacity kind")),
+    };
+    Ok(DiskOptions {
+        page_size,
+        pool_pages,
+        config: BTreeConfig {
+            capacity,
+            front_compression: v[21] != 0,
+            suffix_truncation: v[22] != 0,
+        },
+        group_commit: u32::from_le_bytes(v[23..27].try_into().unwrap()),
+        checkpoint_every: u32::from_le_bytes(v[27..31].try_into().unwrap()),
+    })
+}
+
+fn encode_objects(epoch: u64, payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(24 + payload.len() + 4);
+    v.extend_from_slice(OBJECTS_MAGIC);
+    v.extend_from_slice(&epoch.to_le_bytes());
+    v.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    v.extend_from_slice(payload);
+    let crc = pagestore::crc32(&v);
+    v.extend_from_slice(&crc.to_le_bytes());
+    v
+}
+
+fn decode_objects(v: &[u8]) -> Result<(u64, &[u8])> {
+    let corrupt =
+        |what: &str| Error::Page(pagestore::Error::Corrupt(format!("objects.udb: {what}")));
+    if v.len() < 28 || &v[..8] != OBJECTS_MAGIC {
+        return Err(corrupt("truncated or bad magic"));
+    }
+    let epoch = u64::from_le_bytes(v[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(v[16..24].try_into().unwrap()) as usize;
+    if v.len() != 24 + len + 4 {
+        return Err(corrupt("length mismatch"));
+    }
+    let crc = u32::from_le_bytes(v[24 + len..].try_into().unwrap());
+    if pagestore::crc32(&v[..24 + len]) != crc {
+        return Err(corrupt("failed its CRC"));
+    }
+    Ok((epoch, &v[24..24 + len]))
+}
+
+fn fresh_disk_pool(stack: DiskStore, pool_pages: usize) -> BufferPool<DiskStore> {
+    let mut pool = BufferPool::new(stack, pool_pages);
+    pool.set_retry_policy(RetryPolicy {
+        max_attempts: 3,
+        ..RetryPolicy::default()
+    });
+    pool
+}
+
+impl DiskDatabase {
+    // ----- create ---------------------------------------------------------
+
+    /// Create a fresh on-disk database in `dir` (created if missing; any
+    /// existing store there is truncated). Ends with a checkpoint, so a
+    /// crash immediately after returns an openable, empty database.
+    pub fn create(schema: Schema, dir: &Path, options: DiskOptions) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(io)?;
+        let encoding = Encoding::generate(&schema)?;
+        let mut stack = pdisk::create(dir, options.page_size)?;
+        stack.set_group_commit(options.group_commit);
+        let mut pool = fresh_disk_pool(stack, options.pool_pages);
+        let (meta_id, page) = pool.allocate()?;
+        drop(page);
+        debug_assert_eq!(meta_id, META_PAGE, "meta page must be the first allocation");
+        let mut index = UIndex::new(pool, options.config, encoding)?;
+        index.save_catalog(&schema)?;
+        let db = Database::from_raw_parts(
+            ObjectStore::new(schema),
+            index,
+            options.page_size,
+            options.pool_pages,
+            options.config,
+        );
+        write_atomic(&dir.join(DB_META_FILE), &encode_db_meta(&options))?;
+        let mut this = DiskDatabase {
+            db,
+            dir: dir.to_path_buf(),
+            options,
+            object_epoch: 0,
+            commits_since_checkpoint: 0,
+        };
+        this.checkpoint()?;
+        Ok(this)
+    }
+
+    // ----- open -----------------------------------------------------------
+
+    /// Open an existing on-disk database: replay the WAL, checkpoint the
+    /// replayed state, scrub every page's checksum, and verify the tree
+    /// before serving. Any damage — scrub errors, an unreadable meta page
+    /// or catalog, a failed verification, or an epoch mismatch between the
+    /// index and the object snapshot — triggers a rebuild from
+    /// `objects.udb` instead of failing.
+    pub fn open(dir: &Path) -> Result<(Self, OpenReport)> {
+        let meta = std::fs::read(dir.join(DB_META_FILE)).map_err(io)?;
+        let options = decode_db_meta(&meta)?;
+        let objects_raw = std::fs::read(dir.join(OBJECTS_FILE)).map_err(io)?;
+        let (object_epoch, payload) = decode_objects(&objects_raw)?;
+        let store = ObjectStore::from_bytes(payload)?;
+
+        let mut stack = pdisk::open(dir)?;
+        let recovery = stack.recovery().copied();
+        stack.set_group_commit(options.group_commit);
+        // Make the replayed state durable in the page file, then scrub it.
+        stack.checkpoint()?;
+        let scrub = stack.scrub_pages();
+        let mut report = OpenReport {
+            recovery,
+            scrub,
+            tree_ok: false,
+            rebuilt: false,
+        };
+        if !report.scrub.clean() {
+            return Self::rebuild(dir, options, store, object_epoch, report);
+        }
+
+        let mut pool = fresh_disk_pool(stack, options.pool_pages);
+        let header = Self::read_meta_page(&mut pool);
+        let Ok((root, len, meta_epoch)) = header else {
+            return Self::rebuild(dir, options, store, object_epoch, report);
+        };
+        if meta_epoch != object_epoch {
+            telemetry::counter("uindex.disk.epoch_mismatches").inc();
+            return Self::rebuild(dir, options, store, object_epoch, report);
+        }
+        match UIndex::open_with_catalog(pool, options.config, root, len) {
+            Ok((mut index, _catalog_schema)) => {
+                if index.verify().is_err() {
+                    return Self::rebuild(dir, options, store, object_epoch, report);
+                }
+                report.tree_ok = true;
+                let mut db = Database::from_raw_parts(
+                    ObjectStore::new(store.schema().clone()),
+                    index,
+                    options.page_size,
+                    options.pool_pages,
+                    options.config,
+                );
+                db.set_store(store);
+                Ok((
+                    DiskDatabase {
+                        db,
+                        dir: dir.to_path_buf(),
+                        options,
+                        object_epoch,
+                        commits_since_checkpoint: 0,
+                    },
+                    report,
+                ))
+            }
+            Err(_) => Self::rebuild(dir, options, store, object_epoch, report),
+        }
+    }
+
+    /// Whether `dir` holds an on-disk database.
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(DB_META_FILE).is_file() && pdisk::exists(dir)
+    }
+
+    fn read_meta_page(pool: &mut BufferPool<DiskStore>) -> Result<(PageId, u64, u64)> {
+        let corrupt =
+            |what: &str| Error::Page(pagestore::Error::Corrupt(format!("meta page: {what}")));
+        let page = pool.fetch(META_PAGE)?;
+        let data = page.read();
+        if data.len() < 32 || &data[..8] != META_PAGE_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let crc = u32::from_le_bytes(data[28..32].try_into().unwrap());
+        if pagestore::crc32(&data[..28]) != crc {
+            return Err(corrupt("failed its CRC"));
+        }
+        let root = PageId(u32::from_le_bytes(data[8..12].try_into().unwrap()));
+        let len = u64::from_le_bytes(data[12..20].try_into().unwrap());
+        let epoch = u64::from_le_bytes(data[20..28].try_into().unwrap());
+        Ok((root, len, epoch))
+    }
+
+    /// Rebuild the index files from the object snapshot: blow away
+    /// `pages.db`/`wal.log`, bulk-load every spec from `specs.bin`, verify,
+    /// and checkpoint. The object data is never at risk — only the
+    /// derived index is recreated (PR-4's salvage philosophy on disk).
+    fn rebuild(
+        dir: &Path,
+        options: DiskOptions,
+        store: ObjectStore,
+        object_epoch: u64,
+        mut report: OpenReport,
+    ) -> Result<(Self, OpenReport)> {
+        telemetry::counter("uindex.disk.rebuilds").inc();
+        let specs = match std::fs::read(dir.join(SPECS_FILE)) {
+            Ok(bytes) => crate::catalog::decode_spec_file(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io(e)),
+        };
+        let mut stack = pdisk::create(dir, options.page_size)?;
+        stack.set_group_commit(options.group_commit);
+        let mut pool = fresh_disk_pool(stack, options.pool_pages);
+        let (meta_id, page) = pool.allocate()?;
+        drop(page);
+        debug_assert_eq!(meta_id, META_PAGE, "meta page must be the first allocation");
+        let encoding = Encoding::generate(store.schema())?;
+        let mut index = UIndex::new(pool, options.config, encoding)?;
+        for spec in specs {
+            index.define(store.schema(), spec)?;
+        }
+        index.build_all(&store)?;
+        index.verify()?;
+        index.save_catalog(store.schema())?;
+        let mut db = Database::from_raw_parts(
+            ObjectStore::new(store.schema().clone()),
+            index,
+            options.page_size,
+            options.pool_pages,
+            options.config,
+        );
+        db.set_store(store);
+        let mut this = DiskDatabase {
+            db,
+            dir: dir.to_path_buf(),
+            options,
+            object_epoch,
+            commits_since_checkpoint: 0,
+        };
+        this.checkpoint()?;
+        report.rebuilt = true;
+        report.tree_ok = true;
+        Ok((this, report))
+    }
+
+    // ----- durability -----------------------------------------------------
+
+    /// Persist the logical state into the WAL overlay and the sidecar
+    /// files: refresh the in-tree catalog, stamp the meta page with the
+    /// next epoch, flush dirty frames, and atomically replace `specs.bin`
+    /// and `objects.udb`. The caller follows with a WAL commit or
+    /// checkpoint — until then the new tree state is not durable.
+    fn persist_logical_state(&mut self) -> Result<()> {
+        let schema = self.db.schema().clone();
+        self.db.index_mut().save_catalog(&schema)?;
+        self.object_epoch += 1;
+        let (root, len) = {
+            let tree = self.db.index().tree();
+            (tree.root(), tree.len())
+        };
+        let epoch = self.object_epoch;
+        let pool = self.db.index_mut().tree_mut().pool_mut();
+        {
+            let page = pool.fetch(META_PAGE)?;
+            let mut w = page.write();
+            w[..8].copy_from_slice(META_PAGE_MAGIC);
+            w[8..12].copy_from_slice(&root.0.to_le_bytes());
+            w[12..20].copy_from_slice(&len.to_le_bytes());
+            w[20..28].copy_from_slice(&epoch.to_le_bytes());
+            let crc = pagestore::crc32(&w[..28]);
+            w[28..32].copy_from_slice(&crc.to_le_bytes());
+        }
+        pool.flush_to_store_only()?;
+        let specs = crate::catalog::encode_spec_file(self.db.index().specs());
+        write_atomic(&self.dir.join(SPECS_FILE), &specs)?;
+        let objects = encode_objects(epoch, &self.db.store().to_bytes());
+        write_atomic(&self.dir.join(OBJECTS_FILE), &objects)?;
+        Ok(())
+    }
+
+    /// Test hook: run the pre-commit persistence step (meta page, specs,
+    /// objects snapshot) *without* the WAL commit, simulating a crash in
+    /// the window where the object snapshot is one epoch ahead of the
+    /// committed index.
+    #[doc(hidden)]
+    pub fn persist_logical_state_for_tests(&mut self) -> Result<()> {
+        self.persist_logical_state()
+    }
+
+    /// Make everything since the last commit durable (subject to the
+    /// group-commit fsync policy; see [`DiskDatabase::sync`] to force the
+    /// fsync). Triggers a checkpoint every `checkpoint_every` commits.
+    pub fn commit(&mut self) -> Result<()> {
+        self.persist_logical_state()?;
+        self.db
+            .index_mut()
+            .tree_mut()
+            .pool_mut()
+            .store_mut()
+            .commit()?;
+        telemetry::counter("uindex.disk.commits").inc();
+        self.commits_since_checkpoint += 1;
+        if self.options.checkpoint_every > 0
+            && self.commits_since_checkpoint >= self.options.checkpoint_every
+        {
+            self.force_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Force the WAL fsync for any commits still pending one under group
+    /// commit.
+    pub fn sync(&mut self) -> Result<()> {
+        Ok(self
+            .db
+            .index_mut()
+            .tree_mut()
+            .pool_mut()
+            .store_mut()
+            .sync_log()?)
+    }
+
+    /// Commit and checkpoint: apply the WAL overlay to the page file,
+    /// fsync everything, truncate the log.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.persist_logical_state()?;
+        self.force_checkpoint()
+    }
+
+    fn force_checkpoint(&mut self) -> Result<()> {
+        self.db
+            .index_mut()
+            .tree_mut()
+            .pool_mut()
+            .store_mut()
+            .checkpoint()?;
+        telemetry::counter("uindex.disk.checkpoints").inc();
+        self.commits_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Checkpoint and consume the handle — the clean way to close.
+    pub fn close(mut self) -> Result<()> {
+        self.checkpoint()
+    }
+
+    /// Rebuild the index files in place from the object store (the disk
+    /// tier's [`Database::repair`]): the current tree is discarded, every
+    /// index is bulk-loaded from scratch, verified and checkpointed.
+    /// Returns the number of entries loaded.
+    pub fn repair(&mut self) -> Result<u64> {
+        // Snapshot the objects (the only state worth keeping), then let
+        // the rebuild path recreate everything else from it.
+        let store = ObjectStore::from_bytes(&self.db.store().to_bytes())?;
+        let report = OpenReport {
+            recovery: None,
+            scrub: ScrubReport::default(),
+            tree_ok: false,
+            rebuilt: false,
+        };
+        let (rebuilt, _) = Self::rebuild(
+            &self.dir.clone(),
+            self.options,
+            store,
+            self.object_epoch,
+            report,
+        )?;
+        let n = rebuilt.db.index().tree().len();
+        *self = rebuilt;
+        telemetry::counter("uindex.degraded.repairs").inc();
+        Ok(n)
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The directory this database lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The options the store was created with.
+    pub fn options(&self) -> &DiskOptions {
+        &self.options
+    }
+
+    /// The epoch stamped at the last commit.
+    pub fn object_epoch(&self) -> u64 {
+        self.object_epoch
+    }
+
+    /// The inner database, by value (drops durability bookkeeping).
+    pub fn into_database(self) -> Database<DiskStore> {
+        self.db
+    }
+}
+
+impl Database {
+    /// Create a file-backed database in `dir` — see [`DiskDatabase`].
+    pub fn create_on_disk(
+        schema: Schema,
+        dir: &Path,
+        options: DiskOptions,
+    ) -> Result<DiskDatabase> {
+        DiskDatabase::create(schema, dir, options)
+    }
+
+    /// Open a file-backed database — see [`DiskDatabase::open`].
+    pub fn open_on_disk(dir: &Path) -> Result<(DiskDatabase, OpenReport)> {
+        DiskDatabase::open(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_meta_roundtrip() {
+        for options in [
+            DiskOptions::default(),
+            DiskOptions {
+                page_size: 256,
+                pool_pages: 32,
+                config: BTreeConfig::with_max_entries(10).without_compression(),
+                group_commit: 1,
+                checkpoint_every: 0,
+            },
+        ] {
+            let enc = encode_db_meta(&options);
+            assert_eq!(decode_db_meta(&enc).unwrap(), options);
+        }
+    }
+
+    #[test]
+    fn db_meta_rejects_damage() {
+        let mut enc = encode_db_meta(&DiskOptions::default());
+        assert!(decode_db_meta(&enc[..10]).is_err(), "truncation");
+        enc[9] ^= 0xFF;
+        assert!(decode_db_meta(&enc).is_err(), "CRC catches a flipped byte");
+    }
+
+    #[test]
+    fn objects_file_roundtrip_and_damage() {
+        let enc = encode_objects(7, b"payload");
+        let (epoch, payload) = decode_objects(&enc).unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(payload, b"payload");
+        let mut bad = enc.clone();
+        bad[25] ^= 1;
+        assert!(decode_objects(&bad).is_err());
+        assert!(decode_objects(&enc[..20]).is_err());
+    }
+}

@@ -89,7 +89,10 @@ fn render_oid_sel(o: &OidSel) -> String {
 }
 
 /// Execute `q` on `db` and build the report.
-pub(crate) fn explain(db: &mut Database, q: &Query) -> Result<ExplainReport> {
+pub(crate) fn explain<P: pagestore::PageStore>(
+    db: &mut Database<P>,
+    q: &Query,
+) -> Result<ExplainReport> {
     let matcher = db.index().matcher(q)?;
     let spec = db.index().spec(q.index)?;
     let index_name = spec.name.clone();

@@ -73,6 +73,12 @@ impl<S: PageStore> UIndex<S> {
         &mut self.tree
     }
 
+    /// Consume the index, returning the buffer pool (for handing the
+    /// underlying store back to its owner, e.g. to close a file store).
+    pub fn into_pool(self) -> pagestore::BufferPool<S> {
+        self.tree.into_pool()
+    }
+
     /// Registered index specs.
     pub fn specs(&self) -> &[IndexSpec] {
         &self.specs

@@ -56,6 +56,7 @@ pub mod advisor;
 pub mod analysis;
 pub mod catalog;
 mod db;
+pub mod disk;
 mod error;
 pub mod explain;
 mod index;
@@ -68,6 +69,7 @@ pub mod uql;
 
 pub use catalog::{catalog_entry_count, CATALOG_ID};
 pub use db::{CheckReport, Database, DbStore};
+pub use disk::{DiskDatabase, DiskOptions, DiskStore, OpenReport};
 pub use error::{Error, Result};
 pub use explain::ExplainReport;
 pub use index::{IndexId, UIndex};

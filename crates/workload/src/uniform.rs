@@ -5,7 +5,7 @@
 use baselines::{QueryCost, SetId, SetIndex};
 use btree::BTreeConfig;
 use objstore::{Oid, Value};
-use pagestore::{BufferPool, MemStore, Result as PageResult};
+use pagestore::{BufferPool, MemStore, PageId, PageStore, Result as PageResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use schema::{ClassId, Encoding, Schema};
@@ -67,23 +67,47 @@ pub fn key_space(config: &UniformConfig) -> u32 {
     }
 }
 
-/// A real U-index behind the [`SetIndex`] harness interface.
+fn corrupt(e: uindex::Error) -> pagestore::Error {
+    pagestore::Error::Corrupt(e.to_string())
+}
+
+/// A real U-index behind the [`SetIndex`] harness interface, generic over
+/// the page-store tier (`MemStore` by default; the disk bench runs it over
+/// the WAL + checksum + file stack).
 ///
 /// Sets map to the classes of a synthetic hierarchy (a root with `n-1`
 /// children, in pre-order = set-id order, so "near" sets have adjacent
 /// class codes). Postings become ordinary class-hierarchy index entries in
 /// the shared B-tree.
-pub struct UIndexSet {
-    index: UIndex<MemStore>,
+pub struct UIndexSet<P: PageStore = MemStore> {
+    index: UIndex<P>,
     id: IndexId,
     classes: Vec<ClassId>,
+    schema: Schema,
     algorithm: ScanAlgorithm,
 }
 
 impl UIndexSet {
-    /// An empty U-index over `num_sets` classes with the paper's page
-    /// geometry.
+    /// An empty in-memory U-index over `num_sets` classes with the paper's
+    /// page geometry.
     pub fn new(num_sets: u16) -> PageResult<Self> {
+        Self::with_pool(BufferPool::new(MemStore::new(1024), 1 << 17), num_sets)
+    }
+
+    /// Build an in-memory index from postings with a packed bulk load.
+    pub fn build(num_sets: u16, postings: &[(Vec<u8>, SetId, Oid)]) -> PageResult<Self> {
+        Self::build_with_pool(
+            BufferPool::new(MemStore::new(1024), 1 << 17),
+            num_sets,
+            postings,
+        )
+    }
+}
+
+impl<P: PageStore> UIndexSet<P> {
+    /// An empty U-index over `num_sets` classes on the given pool (any
+    /// store tier).
+    pub fn with_pool(pool: BufferPool<P>, num_sets: u16) -> PageResult<Self> {
         let mut schema = Schema::new();
         let root = schema.add_class("S0").expect("fresh schema");
         schema
@@ -98,34 +122,81 @@ impl UIndexSet {
             );
         }
         let encoding = Encoding::generate(&schema).expect("acyclic");
-        let pool = BufferPool::new(MemStore::new(1024), 1 << 17);
-        let mut index = UIndex::new(pool, BTreeConfig::default(), encoding)
-            .map_err(|e| pagestore::Error::Corrupt(e.to_string()))?;
+        let mut index = UIndex::new(pool, BTreeConfig::default(), encoding).map_err(corrupt)?;
         let spec = IndexSpec::class_hierarchy("key", root, "Key")
             .build(&schema)
             .expect("valid spec");
-        let id = index
-            .define(&schema, spec)
-            .map_err(|e| pagestore::Error::Corrupt(e.to_string()))?;
+        let id = index.define(&schema, spec).map_err(corrupt)?;
         Ok(UIndexSet {
             index,
             id,
             classes,
+            schema,
             algorithm: ScanAlgorithm::Parallel,
         })
     }
 
-    /// Build from postings with a packed bulk load.
-    pub fn build(num_sets: u16, postings: &[(Vec<u8>, SetId, Oid)]) -> PageResult<Self> {
-        let mut out = Self::new(num_sets)?;
+    /// Build from postings with a packed bulk load on the given pool.
+    pub fn build_with_pool(
+        pool: BufferPool<P>,
+        num_sets: u16,
+        postings: &[(Vec<u8>, SetId, Oid)],
+    ) -> PageResult<Self> {
+        let mut out = Self::with_pool(pool, num_sets)?;
         let entries: Vec<EntryKey> = postings
             .iter()
             .map(|(k, s, o)| out.entry(k, *s, *o))
             .collect();
-        out.index
-            .bulk_load_entries(&entries)
-            .map_err(|e| pagestore::Error::Corrupt(e.to_string()))?;
+        out.index.bulk_load_entries(&entries).map_err(corrupt)?;
         Ok(out)
+    }
+
+    /// Write the schema catalog into the tree and flush every dirty page to
+    /// the store. Returns `(root, len)` — everything [`UIndexSet::open`]
+    /// needs to attach to the tree after a reopen.
+    pub fn persist(&mut self) -> PageResult<(PageId, u64)> {
+        self.index.save_catalog(&self.schema).map_err(corrupt)?;
+        let root = self.index.tree().root();
+        let len = self.index.tree().len();
+        self.index.tree_mut().pool_mut().flush_to_store_only()?;
+        Ok((root, len))
+    }
+
+    /// Attach to a previously [`persist`](UIndexSet::persist)ed index on a
+    /// reopened store: the schema and spec come back from the in-tree
+    /// catalog.
+    pub fn open(pool: BufferPool<P>, root: PageId, len: u64) -> PageResult<Self> {
+        let (index, schema) =
+            UIndex::open_with_catalog(pool, BTreeConfig::default(), root, len).map_err(corrupt)?;
+        let id = index
+            .index_by_name("key")
+            .ok_or_else(|| pagestore::Error::Corrupt("catalog lost the key index".into()))?;
+        let mut classes = Vec::new();
+        while let Some(c) = schema.class_by_name(&format!("S{}", classes.len())) {
+            classes.push(c);
+        }
+        if classes.is_empty() {
+            return Err(pagestore::Error::Corrupt(
+                "catalog lost the set classes".into(),
+            ));
+        }
+        Ok(UIndexSet {
+            index,
+            id,
+            classes,
+            schema,
+            algorithm: ScanAlgorithm::Parallel,
+        })
+    }
+
+    /// The buffer pool (to flush, or reach the underlying store tier).
+    pub fn pool_mut(&mut self) -> &mut BufferPool<P> {
+        self.index.tree_mut().pool_mut()
+    }
+
+    /// Consume the adapter, returning the pool (and with it the store).
+    pub fn into_pool(self) -> BufferPool<P> {
+        self.index.into_pool()
     }
 
     /// Use the naive forward-scanning algorithm instead of the paper's
@@ -248,7 +319,7 @@ impl UIndexSet {
     }
 }
 
-impl SetIndex for UIndexSet {
+impl<P: PageStore> SetIndex for UIndexSet<P> {
     fn insert(&mut self, key: &[u8], set: SetId, oid: Oid) -> PageResult<()> {
         let e = self.entry(key, set, oid);
         self.index
