@@ -5,6 +5,10 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# The concurrency tests exercise real thread interleavings; an inherited
+# RUST_TEST_THREADS=1 must not serialize them.
+unset RUST_TEST_THREADS
+
 echo "== cargo fmt --check"
 cargo fmt --check
 
@@ -56,6 +60,12 @@ echo "$explain_text" | grep -q '^Execution' || { echo "explain smoke: no Executi
 
 echo "== corruption sweep (checksums, scrub, quarantine, salvage)"
 cargo test -q --offline -p uindex --test corruption_sweep
+
+echo "== concurrency torture smoke (4 scanners racing 1 mutator, both tiers)"
+timeout 300 cargo test -q --offline -p uindex --test concurrent_torture
+
+echo "== scanperf --smoke --threads (parallel executor, per-query hits identical)"
+cargo run -q --release --offline -p bench --bin scanperf -- --smoke --threads
 
 echo "== integrity check smoke (CLI check/repair on the smoke db)"
 check_out=$(cargo run -q --release --offline -p uindex-cli -- check "$tmpdir/db")

@@ -262,7 +262,7 @@ impl CgTree {
             let mut next = PageId::NULL;
             let mut head = PageId::NULL;
             for chunk in chunks.iter().rev() {
-                let (id, page) = self.dir.pool_mut().allocate()?;
+                let (id, page) = self.dir.pool().allocate()?;
                 encode_leaf(&mut page.write(), set, chunk, next)?;
                 next = id;
                 head = id;
@@ -290,7 +290,7 @@ impl CgTree {
         let mut pages = Vec::new();
         let mut page = head;
         while !page.is_null() {
-            let p = self.dir.pool_mut().fetch(page)?;
+            let p = self.dir.pool().fetch(page)?;
             let (_, mut ps, next) = decode_leaf(&p.read())?;
             drop(p);
             postings.append(&mut ps);
@@ -325,12 +325,12 @@ impl CgTree {
         // Allocate/reuse ids.
         let mut ids: Vec<PageId> = pages.to_vec();
         while ids.len() < chunks.len() {
-            let (id, _) = self.dir.pool_mut().allocate()?;
+            let (id, _) = self.dir.pool().allocate()?;
             ids.push(id);
         }
         while ids.len() > chunks.len() {
             let id = ids.pop().expect("non-empty");
-            self.dir.pool_mut().free(id)?;
+            self.dir.pool().free(id)?;
         }
         for (i, chunk) in chunks.iter().enumerate() {
             let next = if i + 1 < ids.len() {
@@ -338,7 +338,7 @@ impl CgTree {
             } else {
                 PageId::NULL
             };
-            let page = self.dir.pool_mut().fetch(ids[i])?;
+            let page = self.dir.pool().fetch(ids[i])?;
             encode_leaf(&mut page.write(), set, chunk, next)?;
         }
         Ok(ids[0])
@@ -449,7 +449,7 @@ impl CgTree {
             }
             let record = decode_record(&rec)?;
             for (set, head) in &record {
-                let page = self.dir.pool_mut().fetch(*head)?;
+                let page = self.dir.pool().fetch(*head)?;
                 let (s, postings, _) = decode_leaf(&page.read())?;
                 if s != *set {
                     return Err(Error::Corrupt("leaf set mismatch".into()));
@@ -481,7 +481,7 @@ impl SetIndex for CgTree {
             Some((_, p)) => *p,
             None => {
                 // First posting of this set in this partition.
-                let (id, page) = self.dir.pool_mut().allocate()?;
+                let (id, page) = self.dir.pool().allocate()?;
                 encode_leaf(
                     &mut page.write(),
                     set,
@@ -562,7 +562,7 @@ impl SetIndex for CgTree {
     }
 
     fn exact(&mut self, key: &[u8], sets: &[SetId]) -> Result<(Vec<(SetId, Oid)>, QueryCost)> {
-        self.dir.pool_mut().begin_query();
+        self.dir.pool().begin_query();
         let (_, record) = self.partition_of(key)?;
         let mut out = Vec::new();
         for (set, head) in &record {
@@ -572,7 +572,7 @@ impl SetIndex for CgTree {
             // Walk the chain; postings sorted, stop once past the key.
             let mut page = *head;
             'chain: while !page.is_null() {
-                let p = self.dir.pool_mut().fetch(page)?;
+                let p = self.dir.pool().fetch(page)?;
                 let (_, postings, next) = decode_leaf(&p.read())?;
                 drop(p);
                 for posting in &postings {
@@ -595,7 +595,7 @@ impl SetIndex for CgTree {
         hi: &[u8],
         sets: &[SetId],
     ) -> Result<(Vec<(SetId, Oid)>, QueryCost)> {
-        self.dir.pool_mut().begin_query();
+        self.dir.pool().begin_query();
         let mut out = Vec::new();
         let mut probe = lo.to_vec();
         probe.push(0x00);
@@ -616,7 +616,7 @@ impl SetIndex for CgTree {
                     if !visited.insert((*set, page)) {
                         break; // shared page already harvested
                     }
-                    let p = self.dir.pool_mut().fetch(page)?;
+                    let p = self.dir.pool().fetch(page)?;
                     let (_, postings, next) = decode_leaf(&p.read())?;
                     drop(p);
                     for posting in &postings {

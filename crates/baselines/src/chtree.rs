@@ -117,7 +117,7 @@ impl ChTree {
     fn read_chain(&mut self, mut page: PageId) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         while !page.is_null() {
-            let p = self.tree.pool_mut().fetch(page)?;
+            let p = self.tree.pool().fetch(page)?;
             let data = p.read();
             let next = PageId::from_bytes(data[..4].try_into().unwrap());
             let len = u16::from_le_bytes(data[4..6].try_into().unwrap()) as usize;
@@ -133,11 +133,11 @@ impl ChTree {
             let mut page = PageId::from_bytes(v[1..5].try_into().unwrap());
             while !page.is_null() {
                 let next = {
-                    let p = self.tree.pool_mut().fetch(page)?;
+                    let p = self.tree.pool().fetch(page)?;
                     let d = p.read();
                     PageId::from_bytes(d[..4].try_into().unwrap())
                 };
-                self.tree.pool_mut().free(page)?;
+                self.tree.pool().free(page)?;
                 page = next;
             }
         }
@@ -168,7 +168,7 @@ impl ChTree {
         let chunks: Vec<&[u8]> = bytes.chunks(payload).collect();
         let mut next = PageId::NULL;
         for chunk in chunks.iter().rev() {
-            let (id, page) = self.tree.pool_mut().allocate()?;
+            let (id, page) = self.tree.pool().allocate()?;
             {
                 let mut d = page.write();
                 d[..4].copy_from_slice(&next.to_bytes());
@@ -226,7 +226,7 @@ impl SetIndex for ChTree {
     }
 
     fn exact(&mut self, key: &[u8], sets: &[SetId]) -> Result<(Vec<(SetId, Oid)>, QueryCost)> {
-        self.tree.pool_mut().begin_query();
+        self.tree.pool().begin_query();
         let mut out = Vec::new();
         if let Some(dir) = self.read_directory(key)? {
             for (set, oids) in dir {
@@ -245,7 +245,7 @@ impl SetIndex for ChTree {
         hi: &[u8],
         sets: &[SetId],
     ) -> Result<(Vec<(SetId, Oid)>, QueryCost)> {
-        self.tree.pool_mut().begin_query();
+        self.tree.pool().begin_query();
         let mut out = Vec::new();
         let mut cur = self.tree.seek(lo)?;
         while let Some((k, v)) = self.tree.cursor_entry(&mut cur)? {

@@ -134,7 +134,7 @@ impl HTree {
             let Some(tree) = self.trees.get_mut(&set) else {
                 continue;
             };
-            tree.pool_mut().begin_query();
+            tree.pool().begin_query();
             for (k, _) in tree.range(lo, hi)? {
                 let oid = Oid::from_bytes(k[k.len() - 4..].try_into().expect("posting key"));
                 out.push((set, oid));

@@ -98,7 +98,7 @@ impl Nix {
     /// The parents of `oid` along the path (auxiliary lookup used by
     /// updates).
     pub fn parents(&mut self, class: SetId, oid: Oid) -> Result<(Vec<Oid>, QueryCost)> {
-        self.aux.pool_mut().begin_query();
+        self.aux.pool().begin_query();
         let mut prefix = Vec::with_capacity(6);
         prefix.extend_from_slice(&class.to_bytes());
         prefix.extend_from_slice(&oid.to_bytes());

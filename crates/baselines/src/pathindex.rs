@@ -57,7 +57,7 @@ impl NestedIndex {
 
     /// Top-class OIDs for an exact value.
     pub fn exact(&mut self, value: &[u8]) -> Result<(Vec<Oid>, QueryCost)> {
-        self.tree.pool_mut().begin_query();
+        self.tree.pool().begin_query();
         let mut lo = value.to_vec();
         lo.push(0x00);
         let mut hi = value.to_vec();
@@ -135,7 +135,7 @@ impl PathIndex {
 
     /// All instantiations for an exact value.
     pub fn exact(&mut self, value: &[u8]) -> Result<(Vec<Vec<Oid>>, QueryCost)> {
-        self.tree.pool_mut().begin_query();
+        self.tree.pool().begin_query();
         let mut lo = value.to_vec();
         lo.push(0x00);
         let mut hi = value.to_vec();

@@ -33,7 +33,7 @@ fn bench_compression(c: &mut Criterion) {
     let data = items(50_000);
     // Report the storage effect once.
     for compress in [true, false] {
-        let mut t = build(compress, &data);
+        let t = build(compress, &data);
         let stats = t.verify().expect("verify");
         eprintln!(
             "front_compression={compress}: {} nodes ({} leaves), height {}",
@@ -47,7 +47,7 @@ fn bench_compression(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("bulk_build", compress), |b| {
             b.iter(|| build(compress, &data).len())
         });
-        let mut tree = build(compress, &data);
+        let tree = build(compress, &data);
         group.bench_function(BenchmarkId::new("point_lookup", compress), |b| {
             let mut i = 0u32;
             b.iter(|| {

@@ -7,7 +7,7 @@ use uindex::{ClassSel, Query, ValuePred};
 use workload::vehicle::generate;
 
 fn bench_scan(c: &mut Criterion) {
-    let mut w = generate(7, 6000, 10).expect("generate");
+    let w = generate(7, 6000, 10).expect("generate");
     let classes = w.classes;
     let mut group = c.benchmark_group("scan");
     let queries = [

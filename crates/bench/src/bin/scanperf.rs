@@ -250,7 +250,10 @@ fn workloads(queries: u32) -> [Workload; 4] {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let disk = std::env::args().any(|a| a == "--disk");
-    if disk {
+    let threads = std::env::args().any(|a| a == "--threads");
+    if threads {
+        run_threads(smoke);
+    } else if disk {
         run_disk(smoke);
     } else {
         run_mem(smoke);
@@ -376,6 +379,240 @@ fn run_mem(smoke: bool) {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_scan.json");
     std::fs::write(&path, json).expect("write BENCH_scan.json");
+    println!("wrote {}", path.display());
+}
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-thread-count timing row: `(threads, wall_ms, queries_per_sec)`.
+type ThreadTiming = (usize, f64, f64);
+
+/// One tier of the concurrency bench: run the identical query stream at
+/// every thread count through [`uindex::parallel_query`], cross-check that
+/// per-query hits and per-query `ScanStats` are bit-identical to the
+/// single-threaded pass, and return `(wall_ms, queries_per_sec)` per
+/// thread count plus the reference hits (for cross-tier comparison).
+fn run_tier_threads<P: PageStore + Send + Sync>(
+    reader: &uindex::DatabaseReader<P>,
+    queries: &[uindex::Query],
+) -> (Vec<ThreadTiming>, Vec<Vec<uindex::QueryHit>>) {
+    // Warm pass: fills the buffer pool and serves as the reference run, so
+    // every timed pass (including 1 thread) measures warm scans.
+    let reference = uindex::parallel_query(reader, queries, 1).expect("warm pass");
+    let reference: Vec<(Vec<uindex::QueryHit>, ScanStats)> =
+        reference.into_iter().collect::<Vec<_>>();
+
+    let mut timings = Vec::new();
+    let mut wall_1 = 0.0f64;
+    for &t in &THREAD_COUNTS {
+        let started = Instant::now();
+        let results = uindex::parallel_query(reader, queries, t).expect("threaded pass");
+        let wall_ms = started.elapsed().as_nanos() as f64 / 1e6;
+        assert_eq!(results.len(), reference.len());
+        for (qi, ((hits, stats), (ref_hits, ref_stats))) in
+            results.iter().zip(&reference).enumerate()
+        {
+            assert_eq!(hits, ref_hits, "query {qi}: hits differ at {t} threads");
+            assert_eq!(
+                stats, ref_stats,
+                "query {qi}: per-query stats differ at {t} threads"
+            );
+        }
+        if t == 1 {
+            wall_1 = wall_ms;
+        }
+        let qps = queries.len() as f64 / (wall_ms / 1e3);
+        timings.push((t, wall_ms, qps));
+        println!(
+            "    {t:>2} threads: {wall_ms:>10.1} ms  {qps:>10.0} q/s  (speedup {:.2}x)",
+            wall_1 / wall_ms
+        );
+    }
+    (timings, reference.into_iter().map(|(h, _)| h).collect())
+}
+
+/// `scanperf --threads`: the identical read-only query stream at 1/2/4/8
+/// worker threads on both tiers. Per-query hits and stats must be
+/// bit-identical to the single-threaded run at every thread count; wall
+/// time and aggregate throughput per thread count go to
+/// `BENCH_concurrent.json`. The >= 3x speedup-at-4-threads assertion only
+/// fires on hosts that actually have >= 4 CPUs (it is recorded either way).
+fn run_threads(smoke: bool) {
+    let objects: u32 = if smoke {
+        5_000
+    } else {
+        std::env::var("OBJECTS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1_000_000)
+    };
+    let queries: u32 = if smoke { 16 } else { 160 };
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let cfg = UniformConfig {
+        num_objects: objects,
+        num_sets: 8,
+        keys: KeyCount::Distinct(1000),
+        seed: 42,
+    };
+    let postings = generate_postings(&cfg);
+    let keys = key_space(&cfg);
+
+    println!(
+        "scanperf --threads: {objects} objects, 8 sets, {keys} distinct keys, \
+         {host_cpus} host cpus{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Mixed read-only stream: exact probes (cheap, many) plus 10%-of-key-
+    // space ranges (expensive, few). The skew is the point — dynamic work
+    // claiming has to balance it.
+    let exact_w = Workload {
+        name: "exact_k4",
+        shape: Shape::Exact,
+        num_sets: 4,
+        queries,
+    };
+    let range_w = Workload {
+        name: "range10_k2",
+        shape: Shape::Range(100),
+        num_sets: 2,
+        queries: queries / 4,
+    };
+
+    let build_query_stream = |u: &UIndexSet<_>| -> Vec<uindex::Query> {
+        let mut out = Vec::new();
+        for w in [&exact_w, &range_w] {
+            for (lo, hi, sets) in query_stream(w, keys, 0x5CA9_F0CE_5EED_0002) {
+                let mut sorted = sets.clone();
+                sorted.sort();
+                out.push(match w.shape {
+                    Shape::Exact => u.exact_query(&lo, &sorted),
+                    Shape::Range(_) => u.range_query(&lo, &hi, &sorted),
+                });
+            }
+        }
+        out
+    };
+
+    // --- Tier 1: in-memory. ---
+    println!("  mem tier:");
+    let mut mem = UIndexSet::build(8, &postings).expect("build mem U-index");
+    let stream = build_query_stream(&mem);
+    let mem_reader = mem.reader();
+    let (mem_timings, mem_hits) = run_tier_threads(&mem_reader, &stream);
+    drop(mem_reader);
+    drop(mem);
+
+    // --- Tier 2: on-disk stack, reopened cold before querying. ---
+    println!("  disk tier:");
+    let dir = std::env::temp_dir().join(format!("uindex_scanperf_thr_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut stack = pdisk::create(&dir, DISK_PAGE_SIZE).expect("create disk stack");
+    stack.set_group_commit(DISK_GROUP_COMMIT);
+    let pool = BufferPool::new(stack, DISK_POOL_PAGES);
+    let mut disk = UIndexSet::build_with_pool(pool, 8, &postings).expect("build disk U-index");
+    let (root, len) = disk.persist().expect("persist disk U-index");
+    let mut stack = disk.into_pool().into_store();
+    stack.checkpoint().expect("checkpoint disk stack");
+    drop(stack);
+    let stack = pdisk::open(&dir).expect("reopen disk stack");
+    let pool = BufferPool::new(stack, DISK_POOL_PAGES);
+    let mut disk = UIndexSet::open(pool, root, len).expect("reattach via catalog");
+    let disk_reader = disk.reader();
+    let (disk_timings, disk_hits) = run_tier_threads(&disk_reader, &stream);
+
+    // Cross-tier: the same stream must answer identically on both stacks.
+    assert_eq!(mem_hits.len(), disk_hits.len());
+    for (qi, (m, d)) in mem_hits.iter().zip(&disk_hits).enumerate() {
+        assert_eq!(
+            m, d,
+            "query {qi}: hits differ between MemStore and FileStore"
+        );
+    }
+    drop(disk_reader);
+    drop(disk);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let speedup_at = |timings: &[ThreadTiming], t: usize| -> f64 {
+        let wall_1 = timings.iter().find(|(n, ..)| *n == 1).unwrap().1;
+        let wall_t = timings.iter().find(|(n, ..)| *n == t).unwrap().1;
+        wall_1 / wall_t
+    };
+    let mem_speedup4 = speedup_at(&mem_timings, 4);
+    let disk_speedup4 = speedup_at(&disk_timings, 4);
+    println!(
+        "\n4-thread speedup: mem {mem_speedup4:.2}x, disk {disk_speedup4:.2}x \
+         ({} queries, hits identical across all thread counts and tiers)",
+        stream.len()
+    );
+    let scaling_asserted = !smoke && host_cpus >= 4;
+    if scaling_asserted {
+        assert!(
+            mem_speedup4 >= 3.0,
+            "mem tier 4-thread speedup {mem_speedup4:.2}x < 3x on a {host_cpus}-cpu host"
+        );
+    } else {
+        println!(
+            "scaling assertion skipped ({}); speedups recorded, not enforced",
+            if smoke {
+                "smoke run".to_string()
+            } else {
+                format!("{host_cpus} host cpu(s) < 4")
+            }
+        );
+    }
+
+    if smoke {
+        println!("smoke run: BENCH_concurrent.json not written");
+        return;
+    }
+
+    let provenance = telemetry::Provenance {
+        seed: cfg.seed,
+        workload: "uniform-scan-concurrent".into(),
+        objects: objects as u64,
+        version: telemetry::tool_version(env!("CARGO_PKG_VERSION")),
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"provenance\": {},", provenance.to_json());
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"objects\": {objects}, \"sets\": 8, \"distinct_keys\": {keys}, \
+         \"page_size\": {DISK_PAGE_SIZE}, \"pool_pages\": {DISK_POOL_PAGES}, \
+         \"queries\": {}, \"thread_counts\": [1, 2, 4, 8], \"host_cpus\": {host_cpus}}},",
+        stream.len()
+    );
+    json.push_str("  \"tiers\": {\n");
+    for (ti, (tier, timings)) in [("mem", &mem_timings), ("disk", &disk_timings)]
+        .iter()
+        .enumerate()
+    {
+        let _ = writeln!(json, "    \"{tier}\": {{");
+        for (i, (t, wall_ms, qps)) in timings.iter().enumerate() {
+            let _ = write!(
+                json,
+                "      \"{t}\": {{\"wall_ms\": {wall_ms:.1}, \"queries_per_sec\": {qps:.0}, \
+                 \"speedup_vs_1\": {:.3}}}",
+                speedup_at(timings, *t)
+            );
+            json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+        }
+        json.push_str(if ti == 0 { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"summary\": {{\"hits_identical\": true, \"mem_speedup_at_4\": {mem_speedup4:.3}, \
+         \"disk_speedup_at_4\": {disk_speedup4:.3}, \"host_cpus\": {host_cpus}, \
+         \"scaling_asserted\": {scaling_asserted}}}"
+    );
+    json.push_str("}\n");
+
+    let root_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root_dir.join("BENCH_concurrent.json");
+    std::fs::write(&path, json).expect("write BENCH_concurrent.json");
     println!("wrote {}", path.display());
 }
 

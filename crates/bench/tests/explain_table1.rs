@@ -10,7 +10,7 @@ use workload::vehicle::{generate, table1_queries};
 
 #[test]
 fn explain_analyze_matches_legacy_counters_on_table1() {
-    let mut w = generate(2028, 2_000, 10).expect("generate");
+    let w = generate(2028, 2_000, 10).expect("generate");
     let queries = table1_queries(&w);
     assert_eq!(queries.len(), 20, "the paper's full Table 1");
 

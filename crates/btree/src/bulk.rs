@@ -124,7 +124,7 @@ impl<S: PageStore> BTree<S> {
         // Allocate ids, chain, write.
         let mut leaf_ids = Vec::with_capacity(leaves.len());
         for _ in 0..leaves.len() {
-            let (id, _) = tree.pool_mut().allocate()?;
+            let (id, _) = tree.allocate_page()?;
             leaf_ids.push(id);
         }
         for (i, leaf) in leaves.iter_mut().enumerate() {
@@ -219,7 +219,7 @@ impl<S: PageStore> BTree<S> {
 
             let mut ids = Vec::with_capacity(nodes.len());
             for node in &nodes {
-                let (id, _) = tree.pool_mut().allocate()?;
+                let (id, _) = tree.allocate_page()?;
                 tree.store_node(id, &Node::Internal(node.clone()))?;
                 ids.push(id);
             }

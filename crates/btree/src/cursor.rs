@@ -1,13 +1,15 @@
-//! Forward cursors over the leaf level, with hierarchical re-seeking.
+//! Forward cursors over the leaf level, with hierarchical re-seeking —
+//! hosted on a [`ReadView`], the `&self` read surface shared by the writer
+//! handle and snapshot readers.
 //!
 //! A [`Cursor`] holds the decoded node of its current leaf (shared with the
-//! tree's decode cache), so stepping within a leaf costs no page fetches;
-//! moving to the next leaf goes through the buffer pool and is accounted
-//! normally.
+//! frame-embedded decode cache), so stepping within a leaf costs no page
+//! fetches; moving to the next leaf goes through the buffer pool and is
+//! accounted normally.
 //!
 //! Beyond the leaf, a cursor *retains its descent path*: for every interior
 //! node between the root and the leaf it keeps the decoded node plus the
-//! separator bounds of the subtree it descended into. [`BTree::reseek`]
+//! separator bounds of the subtree it descended into. [`ReadView::reseek`]
 //! exploits this for the skip-seeks of the paper's parallel retrieval
 //! algorithm (Algorithm 1): instead of paying a full root-to-leaf descent
 //! per skip, it
@@ -25,21 +27,22 @@
 //! Because skip targets and ranges never need owned key bytes, the scan
 //! hot path reads entries through [`EntryRef`] — a borrowed view into the
 //! shared decoded leaf — instead of cloning every key and value it
-//! examines.
+//! examines. `EntryRef` holds `Arc<Node>`, so it is `Send`: worker threads
+//! can hand scan results around freely.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use pagestore::{PageId, PageStore, Result};
 
 use crate::node::Node;
-use crate::tree::BTree;
+use crate::tree::{decode_node, metrics, BTree, TreeReader, TreeShared, TreeSnapshot};
 
 /// One retained level of a cursor's descent path: an interior node plus
 /// the key range its subtree covers (`lo` inclusive, `hi` exclusive;
 /// `None` = unbounded).
 struct PathLevel {
     id: PageId,
-    node: Rc<Node>,
+    node: Arc<Node>,
     lo: Vec<u8>,
     hi: Option<Vec<u8>>,
 }
@@ -50,31 +53,10 @@ impl PathLevel {
     }
 }
 
-/// A position in the leaf level of a [`BTree`].
-///
-/// Created by [`BTree::seek`]; repositioned in place by [`BTree::reseek`].
-/// A cursor survives tree mutations (reseek then falls back to a full
-/// descent), but entries read before the mutation must not be assumed
-/// current.
-pub struct Cursor {
-    leaf: PageId,
-    slot: usize,
-    cached: Option<(PageId, Rc<Node>)>,
-    /// Interior nodes root→parent-of-leaf from the most recent descent.
-    path: Vec<PathLevel>,
-    /// Fence interval of the *descended-to* leaf. Invalidated (set to
-    /// `false`) when the cursor chains to the next leaf, because the chain
-    /// walk does not know the new leaf's separators.
-    fence_lo: Vec<u8>,
-    fence_hi: Option<Vec<u8>>,
-    fence_valid: bool,
-    /// Tree mutation epoch at descent time; a mismatch voids path+fence.
-    epoch: u64,
-}
-
-/// Descent accounting kept by the tree (survives cursor replacement):
-/// how many root-or-LCA descents were performed and how many node fetches
-/// they cost. A flat (non-hierarchical) seek always pays `height` fetches;
+/// Descent accounting, carried by the cursor (each query uses one cursor,
+/// so per-query stats are simply the cursor's at scan end): how many
+/// root-or-LCA descents were performed and how many node fetches they
+/// cost. A flat (non-hierarchical) seek always pays `height` fetches;
 /// hierarchical reseeks pay only the levels below the LCA, and zero for
 /// targets inside the current leaf. `depth_total / descents` is therefore
 /// the average re-descent depth — the units of the paper's experiment 1
@@ -89,18 +71,44 @@ pub struct SeekStats {
     pub leaf_reseeks: u64,
 }
 
-/// A borrowed view of the entry under a cursor.
+/// A position in the leaf level of a [`BTree`].
 ///
-/// Holds a reference-counted handle to the decoded leaf (shared with the
-/// tree's node cache), so no key or value bytes are copied. The view stays
-/// valid across subsequent seeks and cursor movement; after a tree
-/// *mutation* it continues to show the pre-mutation entry.
-pub struct EntryRef {
-    node: Rc<Node>,
+/// Created by [`ReadView::seek`] (or the [`BTree`] convenience wrappers);
+/// repositioned in place by [`ReadView::reseek`]. A cursor survives tree
+/// mutations (reseek then falls back to a full descent), but entries read
+/// before the mutation must not be assumed current.
+pub struct Cursor {
+    leaf: PageId,
     slot: usize,
+    cached: Option<(PageId, Arc<Node>)>,
+    /// Interior nodes root→parent-of-leaf from the most recent descent.
+    path: Vec<PathLevel>,
+    /// Fence interval of the *descended-to* leaf. Invalidated (set to
+    /// `false`) when the cursor chains to the next leaf, because the chain
+    /// walk does not know the new leaf's separators.
+    fence_lo: Vec<u8>,
+    fence_hi: Option<Vec<u8>>,
+    fence_valid: bool,
+    /// Tree mutation epoch at descent time; a mismatch voids path+fence.
+    epoch: u64,
+    stats: SeekStats,
 }
 
 impl Cursor {
+    fn new(epoch: u64) -> Self {
+        Cursor {
+            leaf: PageId::NULL,
+            slot: 0,
+            cached: None,
+            path: Vec::new(),
+            fence_lo: Vec::new(),
+            fence_hi: None,
+            fence_valid: false,
+            epoch,
+            stats: SeekStats::default(),
+        }
+    }
+
     /// Page ids of the retained descent path, root first (empty until the
     /// first descent). Diagnostics and test hook.
     pub fn path_pages(&self) -> Vec<PageId> {
@@ -111,6 +119,28 @@ impl Cursor {
     pub fn leaf_page(&self) -> PageId {
         self.leaf
     }
+
+    /// Accumulated descent accounting since this cursor was created.
+    pub fn seek_stats(&self) -> SeekStats {
+        self.stats
+    }
+
+    /// Step to the next entry (within-leaf; leaf chaining happens in
+    /// [`ReadView::cursor_entry_ref`]).
+    pub fn advance(&mut self) {
+        self.slot += 1;
+    }
+}
+
+/// A borrowed view of the entry under a cursor.
+///
+/// Holds a reference-counted handle to the decoded leaf (shared with the
+/// pool's decode cache), so no key or value bytes are copied, and the view
+/// is `Send`. It stays valid across subsequent seeks and cursor movement;
+/// after a tree *mutation* it continues to show the pre-mutation entry.
+pub struct EntryRef {
+    node: Arc<Node>,
+    slot: usize,
 }
 
 impl EntryRef {
@@ -138,29 +168,149 @@ impl EntryRef {
     }
 }
 
+/// A read-only view of one tree state: either the writer's live state
+/// ([`BTree::view`]) or a published snapshot ([`TreeReader::read`]). All
+/// cursor machinery and read queries live here, `&self` throughout, so the
+/// same code path serves the single-threaded writer and concurrent
+/// snapshot scans.
+pub struct ReadView<'a, S: PageStore> {
+    shared: &'a TreeShared<S>,
+    root: PageId,
+    len: u64,
+    epoch: u64,
+    /// `Some(epoch)` for snapshot views: node loads consult the version
+    /// store so the scan sees the tree as of that publish.
+    snap_epoch: Option<u64>,
+}
+
 impl<S: PageStore> BTree<S> {
+    /// A read view of the writer's current (possibly unpublished) state.
+    pub fn view(&self) -> ReadView<'_, S> {
+        ReadView {
+            shared: &self.shared,
+            root: self.root,
+            len: self.len(),
+            epoch: self.epoch(),
+            snap_epoch: None,
+        }
+    }
+}
+
+impl<S: PageStore> TreeReader<S> {
+    /// A read view of a snapshot. The view borrows the snapshot, so the
+    /// epoch pin outlives every cursor the view hands out.
+    pub fn read<'a>(&'a self, snap: &'a TreeSnapshot) -> ReadView<'a, S> {
+        ReadView {
+            shared: &self.shared,
+            root: snap.root,
+            len: snap.len,
+            epoch: snap.epoch(),
+            snap_epoch: Some(snap.epoch()),
+        }
+    }
+}
+
+impl<S: PageStore> ReadView<'_, S> {
+    /// The root page id of this view.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of entries visible to this view.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether this view sees no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mutation epoch this view observes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The buffer pool under the view (per-query accounting hooks).
+    pub fn pool(&self) -> &pagestore::BufferPool<S> {
+        &self.shared.pool
+    }
+
+    /// Load a node as this view sees it. Snapshot views consult the
+    /// version store around the live-frame read: preservation
+    /// happens-before mutation on the writer side, so if the re-check
+    /// after decoding still misses, the decoded bytes predate any
+    /// mutation and are the snapshot's own.
+    fn load_cached(&self, id: PageId) -> Result<Arc<Node>> {
+        let Some(e) = self.snap_epoch else {
+            let page = self.shared.pool.fetch(id)?;
+            return decode_node(&page);
+        };
+        let tracker = &self.shared.tracker;
+        if let Some(n) = tracker.lookup(id, e) {
+            metrics(|m| m.version_reads.inc());
+            return Ok(n);
+        }
+        let page = self.shared.pool.fetch(id)?;
+        let node = decode_node(&page)?;
+        if let Some(n) = tracker.lookup(id, e) {
+            metrics(|m| m.version_reads.inc());
+            return Ok(n);
+        }
+        Ok(node)
+    }
+
+    /// Point lookup: the value stored under `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut id = self.root;
+        loop {
+            let node = self.load_cached(id)?;
+            match &*node {
+                Node::Internal(int) => id = int.children[int.route(key)],
+                Node::Leaf(leaf) => {
+                    return Ok(leaf
+                        .entries
+                        .binary_search_by(|e| e.key.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| leaf.entries[i].value.clone()));
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
     /// Position a cursor at the first entry with key `>= key` via a full
     /// root-to-leaf descent.
-    pub fn seek(&mut self, key: &[u8]) -> Result<Cursor> {
-        let mut cur = Cursor {
-            leaf: PageId::NULL,
-            slot: 0,
-            cached: None,
-            path: Vec::new(),
-            fence_lo: Vec::new(),
-            fence_hi: None,
-            fence_valid: false,
-            epoch: self.epoch(),
-        };
-        self.descend(&mut cur, 0, self.root(), Vec::new(), None, key)?;
+    pub fn seek(&self, key: &[u8]) -> Result<Cursor> {
+        let mut cur = Cursor::new(self.epoch);
+        self.descend(&mut cur, 0, self.root, Vec::new(), None, key)?;
         Ok(cur)
+    }
+
+    /// Position a cursor at the smallest key in the tree.
+    pub fn seek_first(&self) -> Result<Cursor> {
+        self.seek(&[])
+    }
+
+    /// Full root descent *in place*, preserving the cursor's accumulated
+    /// [`SeekStats`] (unlike `*cur = view.seek(..)`, which would zero
+    /// them).
+    pub fn seek_into(&self, cur: &mut Cursor, key: &[u8]) -> Result<()> {
+        cur.path.clear();
+        cur.cached = None;
+        cur.fence_valid = false;
+        self.descend(cur, 0, self.root, Vec::new(), None, key)
     }
 
     /// Descend from `id` (whose subtree covers `[lo, hi)`) to the leaf
     /// containing the first entry `>= key`, rebuilding `cur.path` from
     /// `depth` downward. Fetches (and counts) every node from `id` down.
     fn descend(
-        &mut self,
+        &self,
         cur: &mut Cursor,
         depth: usize,
         id: PageId,
@@ -198,12 +348,13 @@ impl<S: PageStore> BTree<S> {
                     cur.fence_lo = lo;
                     cur.fence_hi = hi;
                     cur.fence_valid = true;
-                    cur.epoch = self.epoch();
-                    let s = self.seek_stats_mut();
-                    s.descents += 1;
-                    s.depth_total += fetched;
-                    self.metrics.seek_descents.inc();
-                    self.metrics.seek_nodes.add(fetched);
+                    cur.epoch = self.epoch;
+                    cur.stats.descents += 1;
+                    cur.stats.depth_total += fetched;
+                    metrics(|m| {
+                        m.seek_descents.inc();
+                        m.seek_nodes.add(fetched);
+                    });
                     return Ok(());
                 }
             }
@@ -217,16 +368,15 @@ impl<S: PageStore> BTree<S> {
     ///   zero fetches;
     /// * otherwise re-descend from the lowest retained ancestor whose
     ///   range covers the target, fetching only the nodes below it;
-    /// * cursor invalidated by a mutation (epoch mismatch) → fresh
-    ///   [`BTree::seek`] from the root.
+    /// * cursor invalidated by a mutation (epoch mismatch) → fresh full
+    ///   descent from the root.
     ///
-    /// Equivalent to `*cur = tree.seek(key)?` in all cases (property-tested
+    /// Equivalent to `*cur = view.seek(key)?` in all cases (property-tested
     /// in `tests/reseek_prop.rs`); only the cost differs.
-    pub fn reseek(&mut self, cur: &mut Cursor, key: &[u8]) -> Result<()> {
-        if cur.epoch != self.epoch() {
-            self.metrics.reseek_full.inc();
-            *cur = self.seek(key)?;
-            return Ok(());
+    pub fn reseek(&self, cur: &mut Cursor, key: &[u8]) -> Result<()> {
+        if cur.epoch != self.epoch {
+            metrics(|m| m.reseek_full.inc());
+            return self.seek_into(cur, key);
         }
         if cur.fence_valid
             && cur.fence_lo.as_slice() <= key
@@ -234,8 +384,8 @@ impl<S: PageStore> BTree<S> {
         {
             // The answer slot is in the descended-to leaf (or, when the
             // target is past its last entry, the chain walk in
-            // `cursor_entry` reaches it — the next leaf starts at or above
-            // the fence, which is above the target).
+            // `cursor_entry_ref` reaches it — the next leaf starts at or
+            // above the fence, which is above the target).
             let needs_load = match &cur.cached {
                 Some((id, _)) => *id != cur.leaf,
                 None => true,
@@ -251,16 +401,15 @@ impl<S: PageStore> BTree<S> {
                 ));
             };
             cur.slot = leaf.entries.partition_point(|e| e.key.as_slice() < key);
-            self.seek_stats_mut().leaf_reseeks += 1;
-            self.metrics.reseek_leaf.inc();
+            cur.stats.leaf_reseeks += 1;
+            metrics(|m| m.reseek_leaf.inc());
             return Ok(());
         }
         // Lowest retained ancestor covering the target. The root level
         // covers everything, so a non-empty path always yields one.
         let Some(depth) = cur.path.iter().rposition(|lvl| lvl.covers(key)) else {
-            self.metrics.reseek_full.inc();
-            *cur = self.seek(key)?;
-            return Ok(());
+            metrics(|m| m.reseek_full.inc());
+            return self.seek_into(cur, key);
         };
         let lvl = &cur.path[depth];
         let Node::Internal(int) = &*lvl.node else {
@@ -278,20 +427,15 @@ impl<S: PageStore> BTree<S> {
         } else {
             Some(int.seps[ci].clone())
         };
-        self.metrics.reseek_lca.inc();
+        metrics(|m| m.reseek_lca.inc());
         self.descend(cur, depth + 1, child, child_lo, child_hi, key)
-    }
-
-    /// Position a cursor at the smallest key in the tree.
-    pub fn seek_first(&mut self) -> Result<Cursor> {
-        self.seek(&[])
     }
 
     /// A borrowed view of the entry under the cursor, advancing across leaf
     /// boundaries as needed. Returns `None` when the cursor is past the
     /// last entry. This is the allocation-free scan hot path; see
-    /// [`BTree::cursor_entry`] for the owned variant.
-    pub fn cursor_entry_ref(&mut self, cur: &mut Cursor) -> Result<Option<EntryRef>> {
+    /// [`ReadView::cursor_entry`] for the owned variant.
+    pub fn cursor_entry_ref(&self, cur: &mut Cursor) -> Result<Option<EntryRef>> {
         loop {
             let needs_load = match &cur.cached {
                 Some((id, _)) => *id != cur.leaf,
@@ -327,18 +471,18 @@ impl<S: PageStore> BTree<S> {
 
     /// The entry under the cursor as owned vectors (compatibility and
     /// collection helpers; the scan hot path uses
-    /// [`BTree::cursor_entry_ref`]).
-    pub fn cursor_entry(&mut self, cur: &mut Cursor) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+    /// [`ReadView::cursor_entry_ref`]).
+    pub fn cursor_entry(&self, cur: &mut Cursor) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         Ok(self.cursor_entry_ref(cur)?.map(|e| e.to_pair()))
     }
 
     /// Step the cursor to the next entry.
-    pub fn cursor_advance(&mut self, cur: &mut Cursor) {
-        cur.slot += 1;
+    pub fn cursor_advance(&self, cur: &mut Cursor) {
+        cur.advance();
     }
 
     /// Collect all entries with `lo <= key < hi`.
-    pub fn range(&mut self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn range(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut cur = self.seek(lo)?;
         while let Some(e) = self.cursor_entry_ref(&mut cur)? {
@@ -346,13 +490,13 @@ impl<S: PageStore> BTree<S> {
                 break;
             }
             out.push(e.to_pair());
-            self.cursor_advance(&mut cur);
+            cur.advance();
         }
         Ok(out)
     }
 
     /// Collect all entries whose key starts with `prefix`.
-    pub fn prefix_scan(&mut self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn prefix_scan(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut cur = self.seek(prefix)?;
         while let Some(e) = self.cursor_entry_ref(&mut cur)? {
@@ -360,19 +504,78 @@ impl<S: PageStore> BTree<S> {
                 break;
             }
             out.push(e.to_pair());
-            self.cursor_advance(&mut cur);
+            cur.advance();
         }
         Ok(out)
     }
 
     /// Collect every entry in key order (test/debug helper).
-    pub fn scan_all(&mut self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+    pub fn scan_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut cur = self.seek_first()?;
         while let Some(e) = self.cursor_entry_ref(&mut cur)? {
             out.push(e.to_pair());
-            self.cursor_advance(&mut cur);
+            cur.advance();
         }
         Ok(out)
+    }
+}
+
+/// Convenience wrappers so existing single-threaded call sites keep their
+/// original shapes: each one builds a live [`ReadView`] and delegates.
+impl<S: PageStore> BTree<S> {
+    /// Point lookup: the value stored under `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.view().get(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        self.view().contains(key)
+    }
+
+    /// See [`ReadView::seek`].
+    pub fn seek(&self, key: &[u8]) -> Result<Cursor> {
+        self.view().seek(key)
+    }
+
+    /// See [`ReadView::seek_first`].
+    pub fn seek_first(&self) -> Result<Cursor> {
+        self.view().seek_first()
+    }
+
+    /// See [`ReadView::reseek`].
+    pub fn reseek(&self, cur: &mut Cursor, key: &[u8]) -> Result<()> {
+        self.view().reseek(cur, key)
+    }
+
+    /// See [`ReadView::cursor_entry_ref`].
+    pub fn cursor_entry_ref(&self, cur: &mut Cursor) -> Result<Option<EntryRef>> {
+        self.view().cursor_entry_ref(cur)
+    }
+
+    /// See [`ReadView::cursor_entry`].
+    pub fn cursor_entry(&self, cur: &mut Cursor) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        self.view().cursor_entry(cur)
+    }
+
+    /// See [`ReadView::cursor_advance`].
+    pub fn cursor_advance(&self, cur: &mut Cursor) {
+        cur.advance();
+    }
+
+    /// See [`ReadView::range`].
+    pub fn range(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.view().range(lo, hi)
+    }
+
+    /// See [`ReadView::prefix_scan`].
+    pub fn prefix_scan(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.view().prefix_scan(prefix)
+    }
+
+    /// See [`ReadView::scan_all`].
+    pub fn scan_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.view().scan_all()
     }
 }

@@ -51,9 +51,9 @@ mod verify;
 
 pub use codec::{common_prefix_len, truncate_separator};
 pub use config::{BTreeConfig, Capacity};
-pub use cursor::{Cursor, EntryRef, SeekStats};
+pub use cursor::{Cursor, EntryRef, ReadView, SeekStats};
 pub use node::{Entry, InternalNode, LeafNode, Node};
-pub use tree::BTree;
+pub use tree::{BTree, SnapshotTracker, TreeReader, TreeSnapshot};
 pub use verify::TreeStats;
 
 pub use pagestore::{Error, Result};

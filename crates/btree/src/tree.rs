@@ -1,37 +1,59 @@
-//! The B+-tree proper: create, get, insert, delete with rebalancing.
+//! The B+-tree proper: create, get, insert, delete with rebalancing — plus
+//! the shared-state layer that lets many reader threads run against
+//! published snapshots while a single writer mutates.
+//!
+//! # Concurrency model (DESIGN.md §12)
+//!
+//! A tree is split into a **writer handle** ([`BTree`], `&mut` for
+//! mutations) and any number of **reader handles** ([`TreeReader`],
+//! `Clone + Send`). The writer mutates pages in place and, at points of its
+//! choosing, [`BTree::publish`]es its root/len/epoch; readers open
+//! [`TreeSnapshot`]s of the last published state and scan them through a
+//! [`crate::ReadView`] without any coordination with the writer beyond a
+//! per-page version lookup.
+//!
+//! Page ids stay stable across mutations (no copy-on-write page chains — the
+//! leaf `next` pointers survive). Instead, the first time a *published* page
+//! is rewritten or freed after a publish, its decoded pre-image is preserved
+//! in a [`SnapshotTracker`] version store tagged with the epoch it was valid
+//! through. A snapshot reader at epoch `e` resolves a page by taking the
+//! oldest preserved version with `valid_through >= e`, else reading the live
+//! frame — and then re-checking the version store, which closes the race
+//! with a writer that preserved-and-mutated in between (preservation
+//! happens-before mutation, so a miss on the re-check proves the bytes read
+//! predate any mutation).
+//!
+//! Frees of published pages are deferred: the page id is queued with the
+//! epoch it was valid through and only returned to the store once no active
+//! snapshot can reach it (reclamation runs at publish). Pages allocated
+//! since the last publish are invisible to every snapshot and are freed
+//! immediately.
+//!
+//! Snapshot mode is **opt-in** ([`BTree::enable_snapshots`]): preservation
+//! must be unconditional once readers may exist (a snapshot can be opened
+//! at the current published epoch at any time), so single-threaded users —
+//! the baselines, most tests — pay nothing.
 
-use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use pagestore::{BufferPool, Error, PageId, PageStore, Result};
+use pagestore::{BufferPool, Error, PageId, PageRef, PageStore, Result};
 
 use crate::codec::truncate_separator;
 use crate::config::{BTreeConfig, Capacity};
-use crate::cursor::SeekStats;
 use crate::node::{
     segment_sizes, Entry, InternalNode, LeafNode, Node, INTERIOR_HEADER, LEAF_HEADER,
 };
 
-/// A B+-tree over a buffer pool. See the crate docs for the feature set.
-pub struct BTree<S: PageStore> {
-    pub(crate) pool: BufferPool<S>,
-    pub(crate) config: BTreeConfig,
-    pub(crate) root: PageId,
-    len: u64,
-    /// Decoded-node cache. Purely a CPU optimization: every access still
-    /// goes through [`BufferPool::fetch`] first, so page-read accounting is
-    /// unaffected; the cache only skips re-decoding bytes that have not
-    /// changed. Entries are invalidated on every write/free of their page.
-    node_cache: NodeCache,
-    /// Structural mutation counter; retained cursor paths are valid only
-    /// while this is unchanged (see [`BTree::reseek`]).
-    epoch: u64,
-    seek_stats: SeekStats,
-    pub(crate) metrics: TreeMetrics,
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Registry handles, resolved once per tree so hot-path increments are a
-/// single `Cell` bump (catalog in DESIGN.md §9).
+/// Registry handles, resolved once per thread so hot-path increments are a
+/// single `Cell` bump (catalog in DESIGN.md §9). Thread-local because the
+/// telemetry registry itself is: each worker accumulates its own counters
+/// and the coordinator merges them (`telemetry::absorb`).
 pub(crate) struct TreeMetrics {
     pub(crate) seek_descents: telemetry::Counter,
     pub(crate) seek_nodes: telemetry::Counter,
@@ -39,8 +61,14 @@ pub(crate) struct TreeMetrics {
     pub(crate) reseek_leaf: telemetry::Counter,
     pub(crate) reseek_lca: telemetry::Counter,
     pub(crate) reseek_full: telemetry::Counter,
-    splits: telemetry::Counter,
-    merges: telemetry::Counter,
+    pub(crate) splits: telemetry::Counter,
+    pub(crate) merges: telemetry::Counter,
+    /// Snapshot reads served from the version store instead of live frames.
+    pub(crate) version_reads: telemetry::Counter,
+    /// Pre-images preserved into the version store.
+    pub(crate) preserved: telemetry::Counter,
+    /// Frees deferred because a snapshot may still reach the page.
+    pub(crate) deferred_frees: telemetry::Counter,
 }
 
 impl TreeMetrics {
@@ -53,129 +81,275 @@ impl TreeMetrics {
             reseek_full: telemetry::counter("btree.reseek.full"),
             splits: telemetry::counter("btree.splits"),
             merges: telemetry::counter("btree.merges"),
+            version_reads: telemetry::counter("btree.snapshot.version_reads"),
+            preserved: telemetry::counter("btree.snapshot.preserved"),
+            deferred_frees: telemetry::counter("btree.snapshot.deferred_frees"),
         }
     }
 }
 
-/// Decoded nodes kept at most by default.
-const NODE_CACHE_CAP: usize = 1 << 16;
-
-struct CacheSlot {
-    node: Rc<Node>,
-    /// Distinguishes this occupancy from earlier ones of the same page id;
-    /// clock-queue entries carry the stamp they were enqueued with, so a
-    /// remove-then-reinsert of a page cannot be evicted through a stale
-    /// queue slot.
-    stamp: u64,
-    referenced: bool,
+thread_local! {
+    static TREE_METRICS: TreeMetrics = TreeMetrics::new();
 }
 
-/// Second-chance (clock) cache of decoded nodes. Replaces the previous
-/// wholesale `clear()` at capacity, which evicted the root and every other
-/// hot upper-level node in the middle of a scan; with clock eviction, nodes
-/// that keep being re-referenced (the root, upper interior levels) survive
-/// arbitrarily long leaf churn.
-struct NodeCache {
-    map: HashMap<PageId, CacheSlot>,
-    /// FIFO of `(page, stamp)` in insertion order; stale pairs (page
-    /// removed or re-inserted since) are skipped during eviction and
-    /// dropped by periodic compaction.
-    queue: VecDeque<(PageId, u64)>,
-    cap: usize,
-    next_stamp: u64,
-    evictions: telemetry::Counter,
+pub(crate) fn metrics<R>(f: impl FnOnce(&TreeMetrics) -> R) -> R {
+    TREE_METRICS.with(f)
 }
 
-impl NodeCache {
-    fn new(cap: usize) -> Self {
-        NodeCache {
-            map: HashMap::new(),
-            queue: VecDeque::new(),
-            cap,
-            next_stamp: 0,
-            evictions: telemetry::counter("btree.node_cache.evictions"),
+/// Decode a page into a shared node via the frame-embedded decode cache.
+/// The page fetch that produced `page` is what gets counted; decoding is
+/// skipped whenever the frame already carries a decode of the current bytes.
+pub(crate) fn decode_node(page: &PageRef) -> Result<Arc<Node>> {
+    page.get_or_decode(Node::decode)
+}
+
+/// The root/len/epoch triple visible to readers, swapped atomically by
+/// [`BTree::publish`].
+#[derive(Clone, Copy)]
+pub(crate) struct Published {
+    pub(crate) root: PageId,
+    pub(crate) len: u64,
+    pub(crate) epoch: u64,
+}
+
+/// One preserved pre-image: the decoded node as it stood at every publish
+/// up to and including epoch `valid_through`.
+struct VersionedNode {
+    valid_through: u64,
+    node: Arc<Node>,
+}
+
+#[derive(Default)]
+struct TrackInner {
+    /// Active snapshot refcounts by epoch (BTreeMap so the minimum — the
+    /// reclamation horizon — is O(1)).
+    active: BTreeMap<u64, usize>,
+    /// Preserved pre-images, per page in ascending `valid_through` order.
+    versions: HashMap<PageId, Vec<VersionedNode>>,
+    /// Freed pages still reachable from snapshots at epoch <= `.0`.
+    pending_free: Vec<(u64, PageId)>,
+}
+
+/// Snapshot bookkeeping shared between the writer and all readers: active
+/// snapshot epochs, preserved node versions, and the deferred free list.
+pub struct SnapshotTracker {
+    inner: Mutex<TrackInner>,
+    /// Lock-free fast path: readers skip the mutex entirely while the
+    /// version store is empty (the common case — an idle or absent writer).
+    nversions: AtomicUsize,
+    enabled: AtomicBool,
+}
+
+impl SnapshotTracker {
+    fn new() -> Self {
+        SnapshotTracker {
+            inner: Mutex::new(TrackInner::default()),
+            nversions: AtomicUsize::new(0),
+            enabled: AtomicBool::new(false),
         }
     }
 
-    fn get(&mut self, id: PageId) -> Option<Rc<Node>> {
-        let slot = self.map.get_mut(&id)?;
-        slot.referenced = true;
-        Some(slot.node.clone())
+    fn register(&self, epoch: u64) {
+        *lock(&self.inner).active.entry(epoch).or_insert(0) += 1;
     }
 
-    fn insert(&mut self, id: PageId, node: Rc<Node>) {
-        if self.cap == 0 {
-            return;
-        }
-        self.remove(&id);
-        while self.map.len() >= self.cap {
-            if !self.evict_one() {
-                return; // cache in a degenerate state; don't loop forever
+    fn unregister(&self, epoch: u64) {
+        let mut inner = lock(&self.inner);
+        if let Some(n) = inner.active.get_mut(&epoch) {
+            *n -= 1;
+            if *n == 0 {
+                inner.active.remove(&epoch);
             }
         }
-        let stamp = self.next_stamp;
-        self.next_stamp += 1;
-        self.map.insert(
-            id,
-            CacheSlot {
+    }
+
+    fn preserve(&self, id: PageId, valid_through: u64, node: Arc<Node>) {
+        let mut inner = lock(&self.inner);
+        let versions = inner.versions.entry(id).or_default();
+        // Idempotence across publish intervals: at most one version per
+        // (page, epoch); epochs only grow, so ascending order is invariant.
+        if versions
+            .last()
+            .is_none_or(|v| v.valid_through < valid_through)
+        {
+            versions.push(VersionedNode {
+                valid_through,
                 node,
-                stamp,
-                referenced: false,
-            },
+            });
+            self.nversions.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    fn defer_free(&self, id: PageId, valid_through: u64) {
+        lock(&self.inner).pending_free.push((valid_through, id));
+    }
+
+    /// The preserved version of `id` visible to a snapshot at `epoch`, if
+    /// the live frame is too new for it.
+    pub(crate) fn lookup(&self, id: PageId, epoch: u64) -> Option<Arc<Node>> {
+        if self.nversions.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let inner = lock(&self.inner);
+        let versions = inner.versions.get(&id)?;
+        versions
+            .iter()
+            .find(|v| v.valid_through >= epoch)
+            .map(|v| v.node.clone())
+    }
+
+    /// Drop versions no active snapshot can need and drain the deferred
+    /// frees that are past the reclamation horizon. The caller (the writer,
+    /// at publish) frees the returned pages outside the tracker mutex.
+    fn collect_reclaimable(&self) -> Vec<PageId> {
+        let mut inner = lock(&self.inner);
+        let horizon = inner.active.keys().next().copied();
+        inner.versions.retain(|_, versions| {
+            versions.retain(|v| match horizon {
+                Some(min) => v.valid_through >= min,
+                None => false,
+            });
+            !versions.is_empty()
+        });
+        let remaining: usize = inner.versions.values().map(Vec::len).sum();
+        self.nversions.store(remaining, Ordering::Release);
+        let mut freed = Vec::new();
+        inner.pending_free.retain(|(valid_through, id)| {
+            let reachable = horizon.is_some_and(|min| min <= *valid_through);
+            if !reachable {
+                freed.push(*id);
+            }
+            reachable
+        });
+        freed
+    }
+
+    /// Number of currently open snapshots (test/diagnostic hook).
+    pub fn active_snapshots(&self) -> usize {
+        lock(&self.inner).active.values().sum()
+    }
+
+    /// Number of preserved node versions (test/diagnostic hook).
+    pub fn version_count(&self) -> usize {
+        self.nversions.load(Ordering::Acquire)
+    }
+
+    /// Number of deferred (not yet reclaimed) page frees (test hook).
+    pub fn pending_frees(&self) -> usize {
+        lock(&self.inner).pending_free.len()
+    }
+}
+
+/// State shared by the writer and every reader handle.
+pub(crate) struct TreeShared<S: PageStore> {
+    pub(crate) pool: Arc<BufferPool<S>>,
+    pub(crate) published: RwLock<Published>,
+    pub(crate) tracker: Arc<SnapshotTracker>,
+    pub(crate) config: BTreeConfig,
+}
+
+/// A cloneable, `Send` handle for opening read snapshots of a tree whose
+/// writer lives on another thread. Obtained from [`BTree::reader`]; requires
+/// [`BTree::enable_snapshots`] to have been called.
+pub struct TreeReader<S: PageStore> {
+    pub(crate) shared: Arc<TreeShared<S>>,
+}
+
+impl<S: PageStore> Clone for TreeReader<S> {
+    fn clone(&self) -> Self {
+        TreeReader {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<S: PageStore> TreeReader<S> {
+    /// Open a snapshot of the last published tree state. The snapshot pins
+    /// its epoch: pages it can reach are not reclaimed until it drops.
+    ///
+    /// # Panics
+    /// Panics if the writer never called [`BTree::enable_snapshots`] —
+    /// without preservation a snapshot would silently read torn state.
+    pub fn snapshot(&self) -> TreeSnapshot {
+        let tracker = &self.shared.tracker;
+        assert!(
+            tracker.enabled.load(Ordering::Acquire),
+            "TreeReader::snapshot on a tree without enable_snapshots()"
         );
-        self.queue.push_back((id, stamp));
-        // Invalidation leaves stale pairs behind; keep the queue O(live).
-        if self.queue.len() > 2 * self.map.len() + 16 {
-            let map = &self.map;
-            self.queue
-                .retain(|(id, stamp)| map.get(id).is_some_and(|s| s.stamp == *stamp));
+        // Register under the published read lock: publish() cannot swap in
+        // a new epoch (and prune ours) between the read and the register.
+        let p = self
+            .shared
+            .published
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        tracker.register(p.epoch);
+        TreeSnapshot {
+            root: p.root,
+            len: p.len,
+            guard: SnapGuard {
+                tracker: tracker.clone(),
+                epoch: p.epoch,
+            },
         }
     }
 
-    /// Evict one unreferenced entry, giving referenced entries a second
-    /// chance. Returns `false` if nothing could be evicted.
-    fn evict_one(&mut self) -> bool {
-        // Each pop either evicts, clears a referenced bit (at most
-        // `map.len()` times in a row), or drops a stale pair, so this
-        // terminates.
-        while let Some((id, stamp)) = self.queue.pop_front() {
-            match self.map.get_mut(&id) {
-                Some(slot) if slot.stamp == stamp => {
-                    if slot.referenced {
-                        slot.referenced = false;
-                        self.queue.push_back((id, stamp));
-                    } else {
-                        self.map.remove(&id);
-                        self.evictions.inc();
-                        return true;
-                    }
-                }
-                _ => {} // stale pair; discard and keep looking
-            }
-        }
-        false
+    /// The buffer pool under the tree (statistics, `begin_query`).
+    pub fn pool(&self) -> &BufferPool<S> {
+        &self.shared.pool
     }
 
-    fn remove(&mut self, id: &PageId) {
-        // The queue pair, if any, goes stale and is skipped on eviction.
-        self.map.remove(id);
+    /// The tree's configuration.
+    pub fn config(&self) -> &BTreeConfig {
+        &self.shared.config
     }
 
-    fn contains(&self, id: &PageId) -> bool {
-        self.map.contains_key(id)
+    /// The snapshot tracker (diagnostics).
+    pub fn tracker(&self) -> &SnapshotTracker {
+        &self.shared.tracker
+    }
+}
+
+/// RAII registration of one snapshot epoch in the tracker.
+struct SnapGuard {
+    tracker: Arc<SnapshotTracker>,
+    epoch: u64,
+}
+
+impl Drop for SnapGuard {
+    fn drop(&mut self) {
+        self.tracker.unregister(self.epoch);
+    }
+}
+
+/// A consistent read-only view of the tree as of its last publish. Holding
+/// a snapshot keeps every page it can reach alive; drop it promptly once
+/// the scan is done. Read through [`TreeReader::read`].
+pub struct TreeSnapshot {
+    pub(crate) root: PageId,
+    pub(crate) len: u64,
+    guard: SnapGuard,
+}
+
+impl TreeSnapshot {
+    /// Number of entries at the snapshot's epoch.
+    pub fn len(&self) -> u64 {
+        self.len
     }
 
-    fn set_capacity(&mut self, cap: usize) {
-        self.cap = cap;
-        while self.map.len() > self.cap {
-            if !self.evict_one() {
-                break;
-            }
-        }
-        if self.cap == 0 {
-            self.map.clear();
-            self.queue.clear();
-        }
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root page id at the snapshot's epoch.
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// The mutation epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.guard.epoch
     }
 }
 
@@ -194,75 +368,133 @@ enum Del {
     Underflow(Vec<u8>),
 }
 
+/// A B+-tree over a buffer pool: the single-writer handle. See the crate
+/// docs for the feature set and the module docs for the concurrency model.
+pub struct BTree<S: PageStore> {
+    pub(crate) shared: Arc<TreeShared<S>>,
+    pub(crate) config: BTreeConfig,
+    pub(crate) root: PageId,
+    len: u64,
+    /// Structural mutation counter; retained cursor paths are valid only
+    /// while this is unchanged (see `ReadView::reseek`), and publishes
+    /// stamp it into the snapshot state.
+    epoch: u64,
+    /// `epoch` as of the last [`BTree::publish`] — the tag preserved
+    /// pre-images carry.
+    last_published: u64,
+    /// Pages allocated since the last publish: invisible to every
+    /// snapshot, so they are mutated and freed without preservation.
+    fresh: HashSet<PageId>,
+    /// Pages whose pre-image was already preserved this publish interval
+    /// (at most one preservation per page per interval).
+    preserved: HashSet<PageId>,
+    snapshots: bool,
+}
+
 impl<S: PageStore> BTree<S> {
+    fn attach(pool: BufferPool<S>, config: BTreeConfig, root: PageId, len: u64) -> Self {
+        let shared = Arc::new(TreeShared {
+            pool: Arc::new(pool),
+            published: RwLock::new(Published {
+                root,
+                len,
+                epoch: 0,
+            }),
+            tracker: Arc::new(SnapshotTracker::new()),
+            config,
+        });
+        BTree {
+            shared,
+            config,
+            root,
+            len,
+            epoch: 0,
+            last_published: 0,
+            fresh: HashSet::new(),
+            preserved: HashSet::new(),
+            snapshots: false,
+        }
+    }
+
     /// Create an empty tree in `pool`.
-    pub fn create(mut pool: BufferPool<S>, config: BTreeConfig) -> Result<Self> {
+    pub fn create(pool: BufferPool<S>, config: BTreeConfig) -> Result<Self> {
         let (root, page) = pool.allocate()?;
         Node::empty_leaf().encode(&mut page.write(), config.front_compression)?;
         drop(page);
-        Ok(BTree {
-            pool,
-            config,
-            root,
-            len: 0,
-            node_cache: NodeCache::new(NODE_CACHE_CAP),
-            epoch: 0,
-            seek_stats: SeekStats::default(),
-            metrics: TreeMetrics::new(),
-        })
+        Ok(Self::attach(pool, config, root, 0))
     }
 
     /// Re-attach to an existing tree rooted at `root` holding `len` entries
     /// (the caller is responsible for persisting those two facts).
     pub fn open(pool: BufferPool<S>, config: BTreeConfig, root: PageId, len: u64) -> Self {
-        BTree {
-            pool,
-            config,
-            root,
-            len,
-            node_cache: NodeCache::new(NODE_CACHE_CAP),
-            epoch: 0,
-            seek_stats: SeekStats::default(),
-            metrics: TreeMetrics::new(),
+        Self::attach(pool, config, root, len)
+    }
+
+    /// Turn on snapshot preservation, publish the current state, and allow
+    /// [`TreeReader::snapshot`]. Before this call the tree does zero
+    /// snapshot bookkeeping; after it, every rewrite of a published page
+    /// preserves its pre-image (a snapshot at the current published epoch
+    /// may be opened at any time).
+    pub fn enable_snapshots(&mut self) {
+        self.snapshots = true;
+        self.shared.tracker.enabled.store(true, Ordering::Release);
+        self.publish()
+            .expect("publish cannot fail with no pending frees");
+    }
+
+    /// Whether snapshot preservation is on.
+    pub fn snapshots_enabled(&self) -> bool {
+        self.snapshots
+    }
+
+    /// Publish the writer's current root/len/epoch for readers: snapshots
+    /// opened after this call observe everything up to here. Also prunes
+    /// version-store entries no snapshot can need and reclaims deferred
+    /// frees past the reclamation horizon.
+    pub fn publish(&mut self) -> Result<()> {
+        {
+            let mut p = self
+                .shared
+                .published
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            *p = Published {
+                root: self.root,
+                len: self.len,
+                epoch: self.epoch,
+            };
+        }
+        self.last_published = self.epoch;
+        self.fresh.clear();
+        self.preserved.clear();
+        for id in self.shared.tracker.collect_reclaimable() {
+            self.shared.pool.free(id)?;
+        }
+        Ok(())
+    }
+
+    /// A cloneable, `Send` handle for reader threads. Readers only see
+    /// published state — call [`BTree::publish`] after mutating.
+    pub fn reader(&self) -> TreeReader<S> {
+        TreeReader {
+            shared: self.shared.clone(),
         }
     }
 
+    /// The snapshot tracker (diagnostics and tests).
+    pub fn tracker(&self) -> &SnapshotTracker {
+        &self.shared.tracker
+    }
+
     /// Current structural-mutation epoch. Bumped by every insert, delete,
-    /// and bulk load; cursors record it at descent time so
-    /// [`BTree::reseek`] can detect that a retained path went stale.
+    /// and bulk load; cursors record it at descent time so `reseek` can
+    /// detect that a retained path went stale.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
     pub(crate) fn bump_epoch(&mut self) {
         self.epoch += 1;
-    }
-
-    /// Descent accounting since the last [`BTree::reset_seek_stats`].
-    pub fn seek_stats(&self) -> SeekStats {
-        self.seek_stats
-    }
-
-    /// Zero the descent counters (typically at the start of a query,
-    /// alongside `pool_mut().begin_query()`).
-    pub fn reset_seek_stats(&mut self) {
-        self.seek_stats = SeekStats::default();
-    }
-
-    pub(crate) fn seek_stats_mut(&mut self) -> &mut SeekStats {
-        &mut self.seek_stats
-    }
-
-    /// Cap the decoded-node cache at `cap` entries (second-chance
-    /// eviction), evicting down immediately if over. `0` disables caching.
-    pub fn set_node_cache_capacity(&mut self, cap: usize) {
-        self.node_cache.set_capacity(cap);
-    }
-
-    /// Whether `id` currently has a cached decode (test/introspection
-    /// hook for eviction behavior).
-    pub fn node_cache_contains(&self, id: PageId) -> bool {
-        self.node_cache.contains(&id)
     }
 
     /// Number of entries in the tree.
@@ -285,21 +517,33 @@ impl<S: PageStore> BTree<S> {
         &self.config
     }
 
-    /// The underlying buffer pool (for statistics).
+    /// The underlying buffer pool (statistics, `begin_query`, flushes —
+    /// the pool API is `&self` throughout).
     pub fn pool(&self) -> &BufferPool<S> {
-        &self.pool
+        &self.shared.pool
     }
 
-    /// Mutable access to the buffer pool (e.g. `begin_query`).
-    pub fn pool_mut(&mut self) -> &mut BufferPool<S> {
-        &mut self.pool
+    /// A shared handle to the buffer pool, e.g. for a background
+    /// checkpointer that must outlive this borrow.
+    pub fn pool_arc(&self) -> Arc<BufferPool<S>> {
+        self.shared.pool.clone()
     }
 
     /// Consume the tree, returning its buffer pool without flushing —
     /// crash-simulation tests use this to drop dirty frames on the floor.
     /// Reconstruct later with [`BTree::open`] and the saved root and len.
+    ///
+    /// # Panics
+    /// Panics if reader handles or snapshots are still alive.
     pub fn into_pool(self) -> BufferPool<S> {
-        self.pool
+        let shared = match Arc::try_unwrap(self.shared) {
+            Ok(s) => s,
+            Err(_) => panic!("BTree::into_pool with live reader handles"),
+        };
+        match Arc::try_unwrap(shared.pool) {
+            Ok(p) => p,
+            Err(_) => panic!("BTree::into_pool with live pool handles"),
+        }
     }
 
     /// Largest `key.len() + value.len()` accepted by [`BTree::insert`].
@@ -308,7 +552,7 @@ impl<S: PageStore> BTree<S> {
     /// maximal entries per half) while still admitting sizeable inline
     /// values such as the CG-tree's 40-set directory records.
     pub fn max_entry_size(&self) -> usize {
-        self.pool.page_size() / 3
+        self.pool().page_size() / 3
     }
 
     pub(crate) fn set_root_len(&mut self, root: PageId, len: u64) {
@@ -317,38 +561,64 @@ impl<S: PageStore> BTree<S> {
     }
 
     /// Load a node for reading. The page fetch is always performed (and
-    /// counted); decoding is skipped when the cached copy is still valid.
-    pub(crate) fn load_cached(&mut self, id: PageId) -> Result<Rc<Node>> {
-        let page = self.pool.fetch(id)?;
-        if let Some(node) = self.node_cache.get(id) {
-            return Ok(node);
-        }
-        let node = Rc::new(Node::decode(&page.read())?);
-        self.node_cache.insert(id, node.clone());
-        Ok(node)
+    /// counted); decoding is skipped when the frame's cached decode is
+    /// still valid.
+    pub(crate) fn load_cached(&self, id: PageId) -> Result<Arc<Node>> {
+        let page = self.shared.pool.fetch(id)?;
+        decode_node(&page)
     }
 
     /// Load an owned node for mutation.
-    pub(crate) fn load(&mut self, id: PageId) -> Result<Node> {
-        let node = self.load_cached(id)?;
-        Ok((*node).clone())
+    pub(crate) fn load(&self, id: PageId) -> Result<Node> {
+        Ok((*self.load_cached(id)?).clone())
     }
 
+    /// Overwrite `id` with `node`, preserving the pre-image into the
+    /// version store if this is the first write to a published page since
+    /// the last publish.
     pub(crate) fn store_node(&mut self, id: PageId, node: &Node) -> Result<()> {
-        self.node_cache.remove(&id);
-        let page = self.pool.fetch(id)?;
-        let result = node.encode(&mut page.write(), self.config.front_compression);
-        result
+        let page = self.shared.pool.fetch(id)?;
+        if self.snapshots && !self.fresh.contains(&id) && !self.preserved.contains(&id) {
+            let old = decode_node(&page)?;
+            self.shared.tracker.preserve(id, self.last_published, old);
+            self.preserved.insert(id);
+            metrics(|m| m.preserved.inc());
+        }
+        let mut bytes = page.write();
+        node.encode(&mut bytes, self.config.front_compression)
     }
 
-    /// Free a page, dropping any cached decode of it.
+    /// Free a page. Published pages are preserved and their free deferred
+    /// until no snapshot can reach them; pages allocated since the last
+    /// publish are freed immediately (no snapshot ever saw them).
     pub(crate) fn free_page(&mut self, id: PageId) -> Result<()> {
-        self.node_cache.remove(&id);
-        self.pool.free(id)
+        if self.snapshots && !self.fresh.contains(&id) {
+            if !self.preserved.contains(&id) {
+                let page = self.shared.pool.fetch(id)?;
+                let old = decode_node(&page)?;
+                self.shared.tracker.preserve(id, self.last_published, old);
+                self.preserved.insert(id);
+                metrics(|m| m.preserved.inc());
+            }
+            self.shared.tracker.defer_free(id, self.last_published);
+            metrics(|m| m.deferred_frees.inc());
+            return Ok(());
+        }
+        self.fresh.remove(&id);
+        self.shared.pool.free(id)
+    }
+
+    /// Allocate a page, recording it as invisible to snapshots.
+    pub(crate) fn allocate_page(&mut self) -> Result<(PageId, PageRef)> {
+        let (id, page) = self.shared.pool.allocate()?;
+        if self.snapshots {
+            self.fresh.insert(id);
+        }
+        Ok((id, page))
     }
 
     fn page_size(&self) -> usize {
-        self.pool.page_size()
+        self.pool().page_size()
     }
 
     pub(crate) fn fits(&self, node: &Node) -> bool {
@@ -378,30 +648,6 @@ impl<S: PageStore> BTree<S> {
         }
     }
 
-    // ----- lookup -------------------------------------------------------
-
-    /// Look up the value stored under `key`.
-    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        let mut id = self.root;
-        loop {
-            match &*self.load_cached(id)? {
-                Node::Internal(int) => id = int.children[int.route(key)],
-                Node::Leaf(leaf) => {
-                    return Ok(leaf
-                        .entries
-                        .binary_search_by(|e| e.key.as_slice().cmp(key))
-                        .ok()
-                        .map(|i| leaf.entries[i].value.clone()));
-                }
-            }
-        }
-    }
-
-    /// Whether `key` is present.
-    pub fn contains(&mut self, key: &[u8]) -> Result<bool> {
-        Ok(self.get(key)?.is_some())
-    }
-
     // ----- insert -------------------------------------------------------
 
     /// Insert `key` → `value`, returning the previous value if the key was
@@ -422,8 +668,7 @@ impl<S: PageStore> BTree<S> {
                 // Grow the tree: new root with the old root and the new
                 // right sibling as children.
                 let old_root = self.root;
-                let (new_root, page) = self.pool.allocate()?;
-                self.node_cache.remove(&new_root);
+                let (new_root, page) = self.allocate_page()?;
                 let node = Node::Internal(InternalNode {
                     seps: vec![sep],
                     children: vec![old_root, right],
@@ -469,7 +714,7 @@ impl<S: PageStore> BTree<S> {
                 };
                 let split_at = self.leaf_split_index(&leaf)?;
                 let right_entries = leaf.entries.split_off(split_at);
-                let (right_id, _) = self.pool.allocate()?;
+                let (right_id, _) = self.allocate_page()?;
                 let right = LeafNode {
                     entries: right_entries,
                     next: leaf.next,
@@ -481,7 +726,7 @@ impl<S: PageStore> BTree<S> {
                 );
                 self.store_node(id, &Node::Leaf(leaf))?;
                 self.store_node(right_id, &Node::Leaf(right))?;
-                self.metrics.splits.inc();
+                metrics(|m| m.splits.inc());
                 Ok(Ins::Split {
                     sep,
                     right: right_id,
@@ -509,14 +754,14 @@ impl<S: PageStore> BTree<S> {
                         let right_seps = int.seps.split_off(promote + 1);
                         let promoted = int.seps.pop().expect("promote index valid");
                         let right_children = int.children.split_off(promote + 1);
-                        let (right_id, _) = self.pool.allocate()?;
+                        let (right_id, _) = self.allocate_page()?;
                         let right = InternalNode {
                             seps: right_seps,
                             children: right_children,
                         };
                         self.store_node(id, &Node::Internal(int))?;
                         self.store_node(right_id, &Node::Internal(right))?;
-                        self.metrics.splits.inc();
+                        metrics(|m| m.splits.inc());
                         Ok(Ins::Split {
                             sep: promoted,
                             right: right_id,
@@ -690,7 +935,7 @@ impl<S: PageStore> BTree<S> {
                     self.free_page(right_id)?;
                     int.seps.remove(li);
                     int.children.remove(ri);
-                    self.metrics.merges.inc();
+                    metrics(|m| m.merges.inc());
                 } else {
                     let Node::Leaf(mut combined) = combined else {
                         unreachable!()
@@ -723,7 +968,7 @@ impl<S: PageStore> BTree<S> {
                     self.free_page(right_id)?;
                     int.seps.remove(li);
                     int.children.remove(ri);
-                    self.metrics.merges.inc();
+                    metrics(|m| m.merges.inc());
                 } else {
                     let Node::Internal(mut combined) = combined else {
                         unreachable!()

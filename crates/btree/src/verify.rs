@@ -37,7 +37,7 @@ impl<S: PageStore> BTree<S> {
     ///   underfull under [`crate::Capacity::Entries`];
     /// * the leaf chain visits exactly the leaves in key order;
     /// * the recorded length matches the actual entry count.
-    pub fn verify(&mut self) -> Result<TreeStats> {
+    pub fn verify(&self) -> Result<TreeStats> {
         let mut stats = TreeStats {
             height: 0,
             internal_nodes: 0,
@@ -77,7 +77,7 @@ impl<S: PageStore> BTree<S> {
     }
 
     fn verify_rec(
-        &mut self,
+        &self,
         id: PageId,
         lower: Option<&[u8]>, // inclusive bound: all keys >= lower
         upper: Option<&[u8]>, // exclusive bound: all keys < upper

@@ -236,7 +236,7 @@ fn range_and_prefix_scans() {
 fn bulk_load_matches_incremental() {
     let items: Vec<(Vec<u8>, Vec<u8>)> = (0..5000u32).map(|i| (key(i), val(i))).collect();
     let pool = BufferPool::new(MemStore::new(512), 4096);
-    let mut bulk = BTree::bulk_load(pool, BTreeConfig::default(), items.clone()).unwrap();
+    let bulk = BTree::bulk_load(pool, BTreeConfig::default(), items.clone()).unwrap();
     let stats = bulk.verify().unwrap();
     assert_eq!(stats.entries, 5000);
     assert_eq!(bulk.scan_all().unwrap(), items);
@@ -263,12 +263,12 @@ fn bulk_load_rejects_unsorted() {
 #[test]
 fn bulk_load_empty_and_tiny() {
     let pool = BufferPool::new(MemStore::new(512), 64);
-    let mut t = BTree::bulk_load(pool, BTreeConfig::default(), Vec::new()).unwrap();
+    let t = BTree::bulk_load(pool, BTreeConfig::default(), Vec::new()).unwrap();
     assert!(t.is_empty());
     t.verify().unwrap();
 
     let pool = BufferPool::new(MemStore::new(512), 64);
-    let mut t = BTree::bulk_load(
+    let t = BTree::bulk_load(
         pool,
         BTreeConfig::default(),
         vec![(b"only".to_vec(), b"one".to_vec())],
@@ -283,7 +283,7 @@ fn bulk_load_empty_and_tiny() {
 fn bulk_load_entry_capacity() {
     let items: Vec<(Vec<u8>, Vec<u8>)> = (0..997u32).map(|i| (key(i), vec![])).collect();
     let pool = BufferPool::new(MemStore::new(1024), 4096);
-    let mut t = BTree::bulk_load(pool, BTreeConfig::with_max_entries(10), items).unwrap();
+    let t = BTree::bulk_load(pool, BTreeConfig::with_max_entries(10), items).unwrap();
     let stats = t.verify().unwrap();
     assert_eq!(stats.entries, 997);
 }
@@ -333,24 +333,24 @@ fn query_page_accounting() {
     let height = t.verify().unwrap().height;
 
     // A point lookup touches exactly `height` distinct pages.
-    t.pool_mut().begin_query();
+    t.pool().begin_query();
     t.get(&key(2500)).unwrap();
-    let q = t.pool_mut().query_stats();
+    let q = t.pool().query_stats();
     assert_eq!(q.distinct_pages as usize, height);
 
     // A second lookup of the same key in the same query is free.
     t.get(&key(2500)).unwrap();
     assert_eq!(
-        t.pool_mut().query_stats().distinct_pages as usize,
+        t.pool().query_stats().distinct_pages as usize,
         height,
         "revisits are not recounted"
     );
 
     // A range scan touches height + extra leaves.
-    t.pool_mut().begin_query();
+    t.pool().begin_query();
     let r = t.range(&key(1000), &key(1200)).unwrap();
     assert_eq!(r.len(), 200);
-    let scan_pages = t.pool_mut().query_stats().distinct_pages as usize;
+    let scan_pages = t.pool().query_stats().distinct_pages as usize;
     assert!(scan_pages > height);
     assert!(scan_pages < height + 60, "got {scan_pages}");
 }

@@ -50,8 +50,8 @@ fn crash_at_every_commit_boundary_recovers_verifiable_tree() {
                 tree.insert(&k, &(i as u32).to_le_bytes()).unwrap();
                 shadow.insert(k, (i as u32).to_le_bytes().to_vec());
             }
-            tree.pool_mut().flush_to_store_only().unwrap();
-            tree.pool_mut().store_mut().commit().unwrap();
+            tree.pool().flush_to_store_only().unwrap();
+            tree.pool().store_lock().commit().unwrap();
             committed = (tree.root(), tree.len(), shadow.clone());
         }
         // Uncommitted tail: reaches the log but must not survive the crash.
@@ -59,7 +59,7 @@ fn crash_at_every_commit_boundary_recovers_verifiable_tree() {
             let i = (crash_after + 1) * PER_BATCH + j;
             tree.insert(&key(i), b"uncommitted").unwrap();
         }
-        tree.pool_mut().flush_to_store_only().unwrap();
+        tree.pool().flush_to_store_only().unwrap();
 
         // Crash: lose the WAL overlay, replay the log into the bare store.
         let inner = tree.into_pool().into_store().into_inner();
@@ -67,7 +67,7 @@ fn crash_at_every_commit_boundary_recovers_verifiable_tree() {
             .unwrap_or_else(|e| panic!("crash {crash_after}: replay failed: {e}"));
         let (root, len, want) = committed;
         let pool = BufferPool::new(recovered, 1 << 12);
-        let mut tree = BTree::open(pool, BTreeConfig::default(), root, len);
+        let tree = BTree::open(pool, BTreeConfig::default(), root, len);
         tree.verify()
             .unwrap_or_else(|e| panic!("crash {crash_after}: recovered tree unverifiable: {e}"));
         assert_eq!(tree.len(), len, "crash {crash_after}: committed len lost");
@@ -94,7 +94,7 @@ fn verify_surfaces_checksum_corruption() {
     }
     tree.verify().unwrap();
     let (root, len) = (tree.root(), tree.len());
-    tree.pool_mut().flush().unwrap();
+    tree.pool().flush().unwrap();
 
     let mut store = tree.into_pool().into_store();
     let ids = store.live_page_ids();
@@ -105,7 +105,7 @@ fn verify_surfaces_checksum_corruption() {
     store.inner_mut().write(victim, &full).unwrap();
 
     let pool = BufferPool::new(store, 64);
-    let mut tree = BTree::open(pool, BTreeConfig::default(), root, len);
+    let tree = BTree::open(pool, BTreeConfig::default(), root, len);
     let err = tree
         .verify()
         .expect_err("damaged page must fail verification");

@@ -1,16 +1,17 @@
-//! Regression tests for decoded-node cache eviction.
+//! Regression tests for the frame-embedded decode cache.
 //!
-//! The cache originally dropped *everything* once it hit capacity, so a
-//! scan over more leaves than the cap evicted the root (and every hot
-//! interior node) mid-descent, forcing a re-decode of the whole upper tree
-//! on the next seek. Second-chance eviction must keep re-referenced nodes
-//! alive through arbitrary leaf churn.
+//! Decoded nodes now live on the buffer-pool frames themselves
+//! (`PageRef::get_or_decode`), so the decode cache's capacity *is* the
+//! pool's capacity: a node stays decoded exactly as long as its page is
+//! resident, and rewriting the page bytes invalidates the cached decode
+//! atomically. These tests pin both properties plus eviction correctness
+//! under a pool far smaller than the tree.
 
 use btree::{BTree, BTreeConfig, Capacity};
 use pagestore::{BufferPool, MemStore};
 
-fn build_tree(n: u32) -> BTree<MemStore> {
-    let pool = BufferPool::new(MemStore::new(1024), 4096);
+fn build_tree(n: u32, pool_pages: usize) -> BTree<MemStore> {
+    let pool = BufferPool::new(MemStore::new(1024), pool_pages);
     let config = BTreeConfig {
         capacity: Capacity::Entries(4),
         ..BTreeConfig::default()
@@ -24,32 +25,34 @@ fn build_tree(n: u32) -> BTree<MemStore> {
 }
 
 #[test]
-fn root_survives_cache_overflowing_scan() {
-    let mut tree = build_tree(400); // ~100 leaves, far above the cap
+fn root_keeps_its_decode_through_leaf_churn() {
+    let tree = build_tree(400, 4096); // ~100 leaves, pool holds everything
     let root = tree.root();
-    tree.set_node_cache_capacity(8);
 
     // Seek-heavy scan touching every third leaf: each descent re-references
-    // the root while leaves stream through the cache and overflow it many
-    // times over.
+    // the root, so its frame must stay resident and keep its decode while
+    // leaves stream through.
     for i in (0..400u32).step_by(12) {
         let key = format!("{i:06}").into_bytes();
         let mut cur = tree.seek(&key).unwrap();
         let (k, _) = tree.cursor_entry(&mut cur).unwrap().unwrap();
         assert_eq!(k, key);
+        let frame = tree
+            .pool()
+            .peek(root)
+            .expect("root frame evicted during seek scan");
         assert!(
-            tree.node_cache_contains(root),
-            "root evicted from the node cache after seeking to {i}"
+            frame.has_decoded(),
+            "root lost its cached decode after seeking to {i}"
         );
     }
 }
 
 #[test]
 fn eviction_keeps_lookups_correct() {
-    // A cache of 2 forces constant eviction and re-decoding; results must
-    // be unaffected.
-    let mut tree = build_tree(300);
-    tree.set_node_cache_capacity(2);
+    // A pool much smaller than the tree forces constant eviction and
+    // re-decoding; results must be unaffected.
+    let tree = build_tree(300, 16);
     for i in (0..300u32).rev() {
         let key = format!("{i:06}").into_bytes();
         assert_eq!(tree.get(&key).unwrap(), Some(Vec::new()), "key {i}");
@@ -58,24 +61,38 @@ fn eviction_keeps_lookups_correct() {
 }
 
 #[test]
-fn zero_capacity_disables_caching() {
-    let mut tree = build_tree(100);
-    tree.set_node_cache_capacity(0);
-    assert!(!tree.node_cache_contains(tree.root()));
-    for i in 0..100u32 {
-        let key = format!("{i:06}").into_bytes();
-        assert_eq!(tree.get(&key).unwrap(), Some(Vec::new()));
-    }
-    assert!(!tree.node_cache_contains(tree.root()));
+fn page_write_invalidates_cached_decode() {
+    let mut tree = build_tree(100, 4096);
+    // Warm the decode of the leaf holding key 000000.
+    assert_eq!(tree.get(b"000000").unwrap(), Some(Vec::new()));
+    let cur = tree.seek(b"000000").unwrap();
+    let leaf = cur.leaf_page();
+    drop(cur);
+    assert!(tree.pool().peek(leaf).unwrap().has_decoded());
+
+    // Mutate that leaf: the rewrite must clear the frame's decode slot so
+    // no reader can ever observe a stale node.
+    tree.insert(b"000000", b"updated").unwrap();
+    assert!(
+        !tree.pool().peek(leaf).unwrap().has_decoded(),
+        "stale decode survived a page rewrite"
+    );
+    assert_eq!(tree.get(b"000000").unwrap(), Some(b"updated".to_vec()));
 }
 
 #[test]
-fn capacity_shrink_evicts_down() {
-    let mut tree = build_tree(200);
-    // Warm the cache over the whole tree, then shrink hard; lookups keep
-    // working and the cache obeys the new cap (indirectly: correctness).
+fn invalidate_cache_drops_decodes_with_frames() {
+    let tree = build_tree(200, 4096);
     assert_eq!(tree.scan_all().unwrap().len(), 200);
-    tree.set_node_cache_capacity(1);
+    let root = tree.root();
+    assert!(tree.pool().peek(root).unwrap().has_decoded());
+    tree.pool().flush().unwrap();
+    tree.pool().invalidate_cache().unwrap();
+    assert!(
+        tree.pool().peek(root).is_none(),
+        "invalidate_cache left the root frame resident"
+    );
+    // Everything still reads back correctly from the store.
     for i in [0u32, 57, 123, 199] {
         let key = format!("{i:06}").into_bytes();
         assert_eq!(tree.get(&key).unwrap(), Some(Vec::new()));

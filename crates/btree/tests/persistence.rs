@@ -22,13 +22,13 @@ fn build_flush_reopen() {
                 .unwrap();
         }
         tree.verify().unwrap();
-        tree.pool_mut().flush().unwrap();
+        tree.pool().flush().unwrap();
         (tree.root(), tree.len())
     };
     {
         let store = FileStore::open(&path).unwrap();
         let pool = BufferPool::new(store, 256);
-        let mut tree = BTree::open(pool, BTreeConfig::default(), root, len);
+        let tree = BTree::open(pool, BTreeConfig::default(), root, len);
         assert_eq!(tree.len(), 3000);
         tree.verify().unwrap();
         for i in (0..3000u32).step_by(97) {
@@ -55,7 +55,7 @@ fn mutations_after_reopen() {
         for i in 0..500u32 {
             tree.insert(format!("k{i:05}").as_bytes(), b"v").unwrap();
         }
-        tree.pool_mut().flush().unwrap();
+        tree.pool().flush().unwrap();
         (tree.root(), tree.len())
     };
     let store = FileStore::open(&path).unwrap();
@@ -72,7 +72,7 @@ fn mutations_after_reopen() {
     }
     tree.verify().unwrap();
     assert_eq!(tree.len(), 450);
-    tree.pool_mut().flush().unwrap();
+    tree.pool().flush().unwrap();
     std::fs::remove_file(&path).ok();
 }
 

@@ -104,7 +104,7 @@ proptest! {
             .map(|k| (k.clone(), vec![k.len() as u8]))
             .collect();
         let pool = BufferPool::new(MemStore::new(128), 4096);
-        let mut tree = BTree::bulk_load(pool, BTreeConfig::default(), items.clone()).unwrap();
+        let tree = BTree::bulk_load(pool, BTreeConfig::default(), items.clone()).unwrap();
         tree.verify().unwrap();
         prop_assert_eq!(tree.scan_all().unwrap(), items);
         // Spot-check point lookups.
@@ -121,7 +121,7 @@ proptest! {
         let pool = BufferPool::new(MemStore::new(128), 4096);
         let items: Vec<(Vec<u8>, Vec<u8>)> =
             keys.iter().map(|k| (k.clone(), vec![])).collect();
-        let mut tree = BTree::bulk_load(pool, BTreeConfig::default(), items).unwrap();
+        let tree = BTree::bulk_load(pool, BTreeConfig::default(), items).unwrap();
         let mut cur = tree.seek(&probe).unwrap();
         let got = tree.cursor_entry(&mut cur).unwrap().map(|(k, _)| k);
         let expected = keys.range(probe..).next().cloned();

@@ -41,7 +41,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
 
 /// The entry a cursor currently rests on, read without disturbing it.
 fn entry_at<S: pagestore::PageStore>(
-    tree: &mut BTree<S>,
+    tree: &BTree<S>,
     cur: &mut btree::Cursor,
 ) -> Option<(Vec<u8>, Vec<u8>)> {
     tree.cursor_entry(cur).unwrap()
@@ -60,9 +60,9 @@ fn run_reseek_model(initial: Vec<(Vec<u8>, Vec<u8>)>, ops: Vec<Op>, config: BTre
         match op {
             Op::Reseek(k) => {
                 tree.reseek(&mut cur, &k).unwrap();
-                let got = entry_at(&mut tree, &mut cur);
+                let got = entry_at(&tree, &mut cur);
                 let mut fresh = tree.seek(&k).unwrap();
-                let want = entry_at(&mut tree, &mut fresh);
+                let want = entry_at(&tree, &mut fresh);
                 assert_eq!(got, want, "reseek #{i} diverges from fresh seek");
                 // And both agree with the model's view of "first >= k".
                 let expect = model
@@ -73,7 +73,7 @@ fn run_reseek_model(initial: Vec<(Vec<u8>, Vec<u8>)>, ops: Vec<Op>, config: BTre
             }
             Op::Advance(n) => {
                 for _ in 0..(n % 4) {
-                    if entry_at(&mut tree, &mut cur).is_none() {
+                    if entry_at(&tree, &mut cur).is_none() {
                         break;
                     }
                     tree.cursor_advance(&mut cur);
@@ -134,57 +134,65 @@ fn reseek_paths_and_costs() {
     let mut tree =
         BTree::bulk_load(pool, config, keys.iter().map(|k| (k.clone(), Vec::new()))).unwrap();
 
-    // Initial descent.
-    tree.reset_seek_stats();
+    // Initial descent. Seek stats ride on the cursor and accumulate, so
+    // each phase below measures a delta.
     let mut cur = tree.seek(b"000000").unwrap();
-    let height = tree.seek_stats().depth_total;
+    let height = cur.seek_stats().depth_total;
     assert!(
         height >= 3,
         "tree too shallow for the test: height {height}"
     );
-    assert_eq!(tree.seek_stats().descents, 1);
+    assert_eq!(cur.seek_stats().descents, 1);
 
     // Within-leaf: next key lives in the same leaf (4-entry leaves).
-    tree.reset_seek_stats();
+    let before = cur.seek_stats();
     tree.reseek(&mut cur, b"000001").unwrap();
-    let s = tree.seek_stats();
-    assert_eq!((s.descents, s.depth_total, s.leaf_reseeks), (0, 0, 1));
+    let s = cur.seek_stats();
+    assert_eq!(
+        (
+            s.descents - before.descents,
+            s.depth_total - before.depth_total,
+            s.leaf_reseeks - before.leaf_reseeks
+        ),
+        (0, 0, 1)
+    );
     let e = tree.cursor_entry(&mut cur).unwrap().unwrap();
     assert_eq!(e.0, b"000001");
 
     // Nearby target: the LCA re-descent must fetch fewer nodes than the
     // full height.
-    tree.reset_seek_stats();
+    let before = cur.seek_stats();
     tree.reseek(&mut cur, b"000017").unwrap();
-    let s = tree.seek_stats();
-    assert_eq!(s.descents, 1);
+    let s = cur.seek_stats();
+    assert_eq!(s.descents - before.descents, 1);
     assert!(
-        s.depth_total < height,
+        s.depth_total - before.depth_total < height,
         "near reseek paid a full descent: {} vs height {height}",
-        s.depth_total
+        s.depth_total - before.depth_total
     );
     let e = tree.cursor_entry(&mut cur).unwrap().unwrap();
     assert_eq!(e.0, b"000017");
 
     // Backward target: also via the retained path, same contract.
-    tree.reset_seek_stats();
     tree.reseek(&mut cur, b"000003").unwrap();
     let e = tree.cursor_entry(&mut cur).unwrap().unwrap();
     assert_eq!(e.0, b"000003");
 
     // Mutation bumps the epoch: reseek must fall back to a full descent
-    // and still land correctly. (The insert may have grown the tree, so
-    // measure the post-mutation height with a fresh seek.)
+    // and still land correctly — *in place*, preserving the cursor's
+    // accumulated stats rather than zeroing them. (The insert may have
+    // grown the tree, so measure the post-mutation height with a fresh
+    // seek.)
     tree.insert(b"000003x", b"").unwrap();
-    tree.reset_seek_stats();
-    let _ = tree.seek(b"000003x").unwrap();
-    let new_height = tree.seek_stats().depth_total;
-    tree.reset_seek_stats();
+    let probe = tree.seek(b"000003x").unwrap();
+    let new_height = probe.seek_stats().depth_total;
+    let before = cur.seek_stats();
     tree.reseek(&mut cur, b"000003x").unwrap();
-    let s = tree.seek_stats();
-    assert_eq!(s.descents, 1);
+    let s = cur.seek_stats();
+    assert_eq!(s.descents - before.descents, 1);
     assert_eq!(
-        s.depth_total, new_height,
+        s.depth_total - before.depth_total,
+        new_height,
         "epoch-invalidated reseek must re-descend from the root"
     );
     let e = tree.cursor_entry(&mut cur).unwrap().unwrap();

@@ -508,7 +508,7 @@ mod tests {
 
     #[test]
     fn end_to_end_build_and_query() {
-        let mut db = build_database(SCHEMA, Some(DATA)).unwrap();
+        let db = build_database(SCHEMA, Some(DATA)).unwrap();
         let (hits, _) = db.query_uql("color: Color = 'Red'").unwrap();
         assert_eq!(hits.len(), 2);
         let (hits, _) = db
@@ -527,7 +527,7 @@ mod tests {
             c9 = Company Name='Late' President=@e9
             e9 = Employee Age=33
         ";
-        let mut db = build_database(SCHEMA, Some(data)).unwrap();
+        let db = build_database(SCHEMA, Some(data)).unwrap();
         let (hits, _) = db.query_uql("age: Age = 33").unwrap();
         assert_eq!(hits.len(), 1);
     }
@@ -559,7 +559,7 @@ mod tests {
         dir.push(format!("uindex_cli_test_{}", std::process::id()));
         let db = build_database(SCHEMA, Some(DATA)).unwrap();
         db.save(&dir).unwrap();
-        let mut back = Database::open(&dir).unwrap();
+        let back = Database::open(&dir).unwrap();
         let (hits, _) = back.query_uql("color: Color = 'Red'").unwrap();
         assert_eq!(hits.len(), 2);
         std::fs::remove_dir_all(&dir).ok();

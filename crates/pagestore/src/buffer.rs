@@ -1,17 +1,41 @@
-use std::cell::{Ref, RefCell, RefMut};
+use std::any::Any;
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{Error, Result};
 use crate::page::PageId;
 use crate::store::PageStore;
 
-/// A frame holding one page's bytes in memory.
+/// Unpoison a mutex: a panicking holder leaves the data in whatever state
+/// the panic found it, which for this pool is always structurally sound
+/// (worst case: a frame stays dirty and is written back again later).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A frame holding one page's bytes in memory, shareable across threads.
 struct Frame {
     id: PageId,
-    data: Vec<u8>,
-    dirty: bool,
-    last_use: u64,
+    data: RwLock<Box<[u8]>>,
+    /// Decoded representation of the current bytes (e.g. a B-tree node),
+    /// type-erased so this layer stays ignorant of what lives in a page.
+    /// Invariant: any cached value was produced from the *current* bytes —
+    /// [`PageRef::write`] clears it under the exclusive data lock, and
+    /// readers only populate it while holding the shared data lock.
+    decoded: RwLock<Option<Arc<dyn Any + Send + Sync>>>,
+    dirty: AtomicBool,
+    last_use: AtomicU64,
 }
 
 /// A handle to a buffered page.
@@ -21,30 +45,91 @@ struct Frame {
 /// (the latter marks the page dirty).
 #[derive(Clone)]
 pub struct PageRef {
-    frame: Rc<RefCell<Frame>>,
+    frame: Arc<Frame>,
+}
+
+/// Shared borrow of a page's bytes (see [`PageRef::read`]).
+pub struct PageReadGuard<'a> {
+    guard: RwLockReadGuard<'a, Box<[u8]>>,
+}
+
+impl Deref for PageReadGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+/// Exclusive borrow of a page's bytes (see [`PageRef::write`]).
+pub struct PageWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, Box<[u8]>>,
+}
+
+impl Deref for PageWriteGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+impl DerefMut for PageWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.guard
+    }
 }
 
 impl PageRef {
     /// The id of the buffered page.
     pub fn id(&self) -> PageId {
-        self.frame.borrow().id
+        self.frame.id
     }
 
     /// Borrow the page bytes immutably.
-    pub fn read(&self) -> Ref<'_, [u8]> {
-        Ref::map(self.frame.borrow(), |f| f.data.as_slice())
+    pub fn read(&self) -> PageReadGuard<'_> {
+        PageReadGuard {
+            guard: read_lock(&self.frame.data),
+        }
     }
 
-    /// Borrow the page bytes mutably and mark the page dirty.
-    pub fn write(&self) -> RefMut<'_, [u8]> {
-        let mut f = self.frame.borrow_mut();
-        f.dirty = true;
-        RefMut::map(f, |f| f.data.as_mut_slice())
+    /// Borrow the page bytes mutably and mark the page dirty. Any cached
+    /// decode is dropped — it described the old bytes.
+    pub fn write(&self) -> PageWriteGuard<'_> {
+        let guard = write_lock(&self.frame.data);
+        self.frame.dirty.store(true, Ordering::Relaxed);
+        *write_lock(&self.frame.decoded) = None;
+        PageWriteGuard { guard }
     }
 
     /// Whether the page has unwritten modifications.
     pub fn is_dirty(&self) -> bool {
-        self.frame.borrow().dirty
+        self.frame.dirty.load(Ordering::Relaxed)
+    }
+
+    /// Return the cached decoded form of this page, running `decode` on the
+    /// current bytes if none is cached. The cache is invalidated by
+    /// [`PageRef::write`], so a cached value always matches the bytes.
+    ///
+    /// Readers decode under the shared data lock; a writer cannot clear the
+    /// slot in between, so a stale decode can never be (re)published.
+    pub fn get_or_decode<T, E, F>(&self, decode: F) -> std::result::Result<Arc<T>, E>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&[u8]) -> std::result::Result<T, E>,
+    {
+        let data = read_lock(&self.frame.data);
+        if let Some(any) = read_lock(&self.frame.decoded).clone() {
+            if let Ok(hit) = any.downcast::<T>() {
+                return Ok(hit);
+            }
+        }
+        let value = Arc::new(decode(&data)?);
+        *write_lock(&self.frame.decoded) = Some(value.clone());
+        Ok(value)
+    }
+
+    /// Whether a decoded form is currently cached for this page.
+    pub fn has_decoded(&self) -> bool {
+        read_lock(&self.frame.decoded).is_some()
     }
 }
 
@@ -64,12 +149,46 @@ pub struct PoolStats {
     pub frees: u64,
 }
 
+#[derive(Default)]
+struct AtomicPoolStats {
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    logical_fetches: AtomicU64,
+    allocations: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl AtomicPoolStats {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            logical_fetches: self.logical_fetches.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.logical_fetches.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Per-query access statistics, reset by [`BufferPool::begin_query`].
 ///
 /// `distinct_pages` is the paper's metric: the number of different pages the
 /// query touched, counting a page once no matter how often it is revisited —
 /// the paper's retrieval algorithm explicitly "utilizes any page which is
 /// already in memory".
+///
+/// Queries are a per-thread notion: each worker thread runs its own query
+/// stream, so the counters live in thread-local storage keyed by pool.
+/// `begin_query` and `query_stats` therefore always refer to the calling
+/// thread's current query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Distinct pages touched since `begin_query`.
@@ -81,6 +200,63 @@ pub struct QueryStats {
 /// Largest `touched` bitmap (one `u64` per page id) carried across
 /// queries; [`BufferPool::begin_query`] sheds anything bigger.
 const TOUCHED_RETAIN_LIMIT: usize = 1 << 12;
+
+/// Per-thread, per-pool query accounting state.
+struct QueryState {
+    stats: QueryStats,
+    /// `touched[page] == epoch` means the page was already counted for the
+    /// current query. Indexed by raw page id; grows on demand.
+    touched: Vec<u64>,
+    epoch: u64,
+}
+
+impl Default for QueryState {
+    fn default() -> Self {
+        QueryState {
+            stats: QueryStats::default(),
+            touched: Vec::new(),
+            // Starts at 1 so zero-initialized `touched` slots read as
+            // not-yet-counted even before the first `begin_query`.
+            epoch: 1,
+        }
+    }
+}
+
+impl QueryState {
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.stats = QueryStats::default();
+        // `touched` grows to the highest page id a query ever visits and
+        // would otherwise stay that large for the thread's lifetime. Epochs
+        // make stale entries harmless, so shedding the memory is free.
+        if self.touched.len() > TOUCHED_RETAIN_LIMIT {
+            self.touched.clear();
+            self.touched.shrink_to(TOUCHED_RETAIN_LIMIT);
+        }
+    }
+
+    fn touch(&mut self, id: PageId) {
+        self.stats.node_visits += 1;
+        let idx = id.index();
+        if idx >= self.touched.len() {
+            self.touched.resize(idx + 1, 0);
+        }
+        if self.touched[idx] != self.epoch {
+            self.touched[idx] = self.epoch;
+            self.stats.distinct_pages += 1;
+        }
+    }
+}
+
+thread_local! {
+    /// Query state for every pool this thread has touched. A thread almost
+    /// always works against one pool, so the map stays tiny.
+    static QUERY_STATE: RefCell<HashMap<u64, QueryState>> = RefCell::new(HashMap::new());
+}
+
+fn with_query_state<R>(pool_id: u64, f: impl FnOnce(&mut QueryState) -> R) -> R {
+    QUERY_STATE.with(|m| f(m.borrow_mut().entry(pool_id).or_default()))
+}
 
 /// Retry policy for transient read failures at fetch time.
 ///
@@ -107,8 +283,11 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Registry handles, resolved once at pool construction so the hot path
-/// pays one `Cell` bump per event (see DESIGN.md §9 for the catalog).
+/// Registry handles, resolved once per thread so the hot path pays one
+/// `Cell` bump per event (see DESIGN.md §9 for the catalog). These are
+/// thread-local because the telemetry registry itself is: each worker
+/// thread accumulates its own counters and the coordinator merges them
+/// (see `telemetry::absorb`).
 struct PoolMetrics {
     hits: telemetry::Counter,
     misses: telemetry::Counter,
@@ -139,135 +318,173 @@ impl PoolMetrics {
     }
 }
 
-/// A single-threaded buffer pool with LRU eviction, pinning via [`PageRef`]
-/// handles, and the page-access accounting the experiments report.
-pub struct BufferPool<S: PageStore> {
-    store: S,
-    frames: HashMap<PageId, Rc<RefCell<Frame>>>,
-    capacity: usize,
+thread_local! {
+    static POOL_METRICS: PoolMetrics = PoolMetrics::new();
+}
+
+fn metrics<R>(f: impl FnOnce(&PoolMetrics) -> R) -> R {
+    POOL_METRICS.with(f)
+}
+
+/// One lock-striped partition of the frame table.
+struct Shard {
+    frames: HashMap<PageId, Arc<Frame>>,
+    /// Per-shard LRU clock; frames stamp `last_use` from it on access.
     clock: u64,
-    stats: PoolStats,
-    query: QueryStats,
-    /// `touched[page] == epoch` means the page was already counted for the
-    /// current query. Indexed by raw page id; grows on demand.
-    touched: Vec<u64>,
-    epoch: u64,
-    metrics: PoolMetrics,
-    retry: RetryPolicy,
+    capacity: usize,
+}
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A thread-safe buffer pool: the frame table is sharded into lock-striped
+/// partitions (hash on page id, per-shard LRU clock), the backing store sits
+/// behind its own mutex that is only taken on misses and write-backs, and
+/// the cumulative statistics are atomics. Pages pin via [`PageRef`] handles
+/// and carry an optional decoded-value cache for the layer above.
+///
+/// Lock order (see DESIGN.md §12): shard → store → frame data. A shard lock
+/// is never taken while holding the store lock, and no two shard locks are
+/// ever held together.
+pub struct BufferPool<S: PageStore> {
+    store: Mutex<S>,
+    shards: Box<[Mutex<Shard>]>,
+    shard_mask: u64,
+    page_size: usize,
+    stats: AtomicPoolStats,
+    /// Distinguishes this pool's thread-local query state from other pools'.
+    pool_id: u64,
+    retry: Mutex<RetryPolicy>,
 }
 
 impl<S: PageStore> BufferPool<S> {
-    /// Create a pool over `store` holding at most `capacity` unpinned frames.
+    /// Create a pool over `store` holding at most (approximately) `capacity`
+    /// unpinned frames, spread over power-of-two many shards.
     ///
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(store: S, capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool capacity must be positive");
+        // Enough shards that concurrent readers rarely collide, but never
+        // more than the capacity can populate (tiny test pools get tiny
+        // shard counts so eviction still triggers at the advertised size).
+        let nshards = prev_power_of_two(capacity.min(64));
+        let per_shard = (capacity / nshards).max(1);
+        let shards = (0..nshards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    frames: HashMap::new(),
+                    clock: 0,
+                    capacity: per_shard,
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let page_size = store.page_size();
         BufferPool {
-            store,
-            frames: HashMap::new(),
-            capacity,
-            clock: 0,
-            stats: PoolStats::default(),
-            query: QueryStats::default(),
-            touched: Vec::new(),
-            epoch: 1,
-            metrics: PoolMetrics::new(),
-            retry: RetryPolicy::default(),
+            store: Mutex::new(store),
+            shards,
+            shard_mask: (nshards - 1) as u64,
+            page_size,
+            stats: AtomicPoolStats::default(),
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            retry: Mutex::new(RetryPolicy::default()),
         }
     }
 
+    fn shard_for(&self, id: PageId) -> &Mutex<Shard> {
+        // Fibonacci hash spreads the dense, sequential page ids the stores
+        // hand out evenly across shards.
+        let h = (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.shard_mask) as usize]
+    }
+
+    /// Number of shards the frame table is striped over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Replace the fetch-time [`RetryPolicy`] (single-attempt by default).
-    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *lock(&self.retry) = policy;
     }
 
     /// The current fetch-time retry policy.
     pub fn retry_policy(&self) -> RetryPolicy {
-        self.retry
+        *lock(&self.retry)
     }
 
     /// The fixed page size of the backing store.
     pub fn page_size(&self) -> usize {
-        self.store.page_size()
+        self.page_size
     }
 
     /// Number of live pages in the backing store.
     pub fn live_pages(&self) -> usize {
-        self.store.live_pages()
+        lock(&self.store).live_pages()
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> PoolStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Zero the cumulative statistics.
-    pub fn reset_stats(&mut self) {
-        self.stats = PoolStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
-    /// Start a new query: zeroes the per-query counters. Every page fetched
-    /// afterwards counts once towards [`QueryStats::distinct_pages`].
-    pub fn begin_query(&mut self) {
-        self.epoch += 1;
-        self.query = QueryStats::default();
-        // `touched` grows to the highest page id a query ever visits and
-        // would otherwise stay that large for the pool's lifetime. Epochs
-        // make stale entries harmless, so shedding the memory is free.
-        if self.touched.len() > TOUCHED_RETAIN_LIMIT {
-            self.touched.clear();
-            self.touched.shrink_to(TOUCHED_RETAIN_LIMIT);
-        }
+    /// Start a new query *on the calling thread*: zeroes that thread's
+    /// per-query counters. Every page fetched afterwards counts once
+    /// towards [`QueryStats::distinct_pages`].
+    pub fn begin_query(&self) {
+        with_query_state(self.pool_id, |q| q.begin());
     }
 
-    /// The per-query counters accumulated since the last
+    /// The calling thread's per-query counters accumulated since its last
     /// [`BufferPool::begin_query`].
     pub fn query_stats(&self) -> QueryStats {
-        self.query
+        with_query_state(self.pool_id, |q| q.stats)
     }
 
-    fn touch_for_query(&mut self, id: PageId) {
-        self.query.node_visits += 1;
-        let idx = id.index();
-        if idx >= self.touched.len() {
-            self.touched.resize(idx + 1, 0);
-        }
-        if self.touched[idx] != self.epoch {
-            self.touched[idx] = self.epoch;
-            self.query.distinct_pages += 1;
-        }
+    #[cfg(test)]
+    fn touched_len(&self) -> usize {
+        with_query_state(self.pool_id, |q| q.touched.len())
     }
 
-    fn bump(&mut self, frame: &Rc<RefCell<Frame>>) {
-        self.clock += 1;
-        frame.borrow_mut().last_use = self.clock;
+    #[cfg(test)]
+    fn touched_capacity(&self) -> usize {
+        with_query_state(self.pool_id, |q| q.touched.capacity())
+    }
+
+    fn touch_for_query(&self, id: PageId) {
+        with_query_state(self.pool_id, |q| q.touch(id));
     }
 
     /// Read a page, retrying transient [`Error::Io`] failures under the
     /// configured [`RetryPolicy`]. Corruption and caller errors surface
     /// immediately — see the policy docs.
-    fn read_with_retry(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+    fn read_with_retry(&self, store: &mut S, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let retry = *lock(&self.retry);
         let mut attempt = 1u32;
         loop {
-            match self.store.read(id, buf) {
+            match store.read(id, buf) {
                 Ok(()) => {
                     if attempt > 1 {
-                        self.metrics.retry_successes.inc();
+                        metrics(|m| m.retry_successes.inc());
                     }
                     return Ok(());
                 }
-                Err(Error::Io(_)) if attempt < self.retry.max_attempts => {
-                    self.metrics.retry_attempts.inc();
-                    if !self.retry.backoff.is_zero() {
+                Err(Error::Io(_)) if attempt < retry.max_attempts => {
+                    metrics(|m| m.retry_attempts.inc());
+                    if !retry.backoff.is_zero() {
                         let shift = (attempt - 1).min(10);
-                        std::thread::sleep(self.retry.backoff * (1u32 << shift));
+                        std::thread::sleep(retry.backoff * (1u32 << shift));
                     }
                     attempt += 1;
                 }
                 Err(e) => {
                     if attempt > 1 {
-                        self.metrics.retry_exhausted.inc();
+                        metrics(|m| m.retry_exhausted.inc());
                     }
                     return Err(e);
                 }
@@ -280,88 +497,124 @@ impl<S: PageStore> BufferPool<S> {
     /// A fetch whose store read fails counts towards *no* access statistic
     /// except `pagestore.pool.read_errors`: the caller never saw a page, so
     /// neither the cumulative nor the per-query counters may move.
-    pub fn fetch(&mut self, id: PageId) -> Result<PageRef> {
+    /// The cached frame for `id`, if resident — without counting a fetch,
+    /// touching per-query state, or reading the store. Diagnostics and
+    /// cache-inspection tests only.
+    pub fn peek(&self, id: PageId) -> Option<PageRef> {
+        let shard = lock(self.shard_for(id));
+        shard
+            .frames
+            .get(&id)
+            .cloned()
+            .map(|frame| PageRef { frame })
+    }
+
+    pub fn fetch(&self, id: PageId) -> Result<PageRef> {
         if id.is_null() {
             return Err(Error::InvalidPageId(id));
         }
-        if let Some(frame) = self.frames.get(&id).cloned() {
-            self.stats.logical_fetches += 1;
+        let mut shard = lock(self.shard_for(id));
+        if let Some(frame) = shard.frames.get(&id).cloned() {
+            shard.clock += 1;
+            frame.last_use.store(shard.clock, Ordering::Relaxed);
+            drop(shard);
+            self.stats.logical_fetches.fetch_add(1, Ordering::Relaxed);
             self.touch_for_query(id);
-            self.metrics.hits.inc();
-            self.bump(&frame);
+            metrics(|m| m.hits.inc());
             return Ok(PageRef { frame });
         }
-        let mut data = vec![0u8; self.store.page_size()];
-        if let Err(e) = self.read_with_retry(id, &mut data) {
-            self.metrics.read_errors.inc();
-            return Err(e);
+        // Miss: read from the store while still holding the shard lock, so
+        // a concurrent fetch of the same page cannot install a second frame
+        // (two frames for one page would fork its contents). The store has
+        // its own mutex — this nesting is the pool's canonical lock order.
+        let mut data = vec![0u8; self.page_size].into_boxed_slice();
+        {
+            let mut store = lock(&self.store);
+            if let Err(e) = self.read_with_retry(&mut store, id, &mut data) {
+                metrics(|m| m.read_errors.inc());
+                return Err(e);
+            }
         }
-        self.stats.logical_fetches += 1;
-        self.stats.physical_reads += 1;
+        self.stats.logical_fetches.fetch_add(1, Ordering::Relaxed);
+        self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
         self.touch_for_query(id);
-        self.metrics.misses.inc();
-        let frame = Rc::new(RefCell::new(Frame {
+        metrics(|m| m.misses.inc());
+        let frame = Arc::new(Frame {
             id,
-            data,
-            dirty: false,
-            last_use: 0,
-        }));
-        self.bump(&frame);
-        self.insert_frame(id, frame.clone())?;
+            data: RwLock::new(data),
+            decoded: RwLock::new(None),
+            dirty: AtomicBool::new(false),
+            last_use: AtomicU64::new(0),
+        });
+        shard.clock += 1;
+        frame.last_use.store(shard.clock, Ordering::Relaxed);
+        self.insert_frame(&mut shard, id, frame.clone())?;
         Ok(PageRef { frame })
     }
 
     /// Allocate a fresh zeroed page and return a handle to it.
-    pub fn allocate(&mut self) -> Result<(PageId, PageRef)> {
-        let id = self.store.allocate()?;
-        self.stats.allocations += 1;
-        self.metrics.allocations.inc();
+    pub fn allocate(&self) -> Result<(PageId, PageRef)> {
+        let id = lock(&self.store).allocate()?;
+        self.stats.allocations.fetch_add(1, Ordering::Relaxed);
+        metrics(|m| m.allocations.inc());
         self.touch_for_query(id);
-        let frame = Rc::new(RefCell::new(Frame {
+        let frame = Arc::new(Frame {
             id,
-            data: vec![0u8; self.store.page_size()],
-            dirty: true,
-            last_use: 0,
-        }));
-        self.bump(&frame);
-        self.insert_frame(id, frame.clone())?;
+            data: RwLock::new(vec![0u8; self.page_size].into_boxed_slice()),
+            decoded: RwLock::new(None),
+            dirty: AtomicBool::new(true),
+            last_use: AtomicU64::new(0),
+        });
+        let mut shard = lock(self.shard_for(id));
+        shard.clock += 1;
+        frame.last_use.store(shard.clock, Ordering::Relaxed);
+        self.insert_frame(&mut shard, id, frame.clone())?;
         Ok((id, PageRef { frame }))
     }
 
     /// Free a page, dropping its frame. The caller must not hold handles to
     /// it.
-    pub fn free(&mut self, id: PageId) -> Result<()> {
-        if let Some(frame) = self.frames.remove(&id) {
-            if Rc::strong_count(&frame) > 1 {
+    pub fn free(&self, id: PageId) -> Result<()> {
+        let mut shard = lock(self.shard_for(id));
+        if let Some(frame) = shard.frames.remove(&id) {
+            if Arc::strong_count(&frame) > 1 {
                 // Put it back before failing so state stays consistent.
-                self.frames.insert(id, frame);
+                shard.frames.insert(id, frame);
                 return Err(Error::Corrupt(format!("freeing pinned page {id}")));
             }
         }
         // Count the free only once the store accepts it, so a failed free
         // (e.g. an unallocated id or an I/O error) leaves stats truthful.
-        self.store.free(id)?;
-        self.stats.frees += 1;
-        self.metrics.frees.inc();
+        lock(&self.store).free(id)?;
+        self.stats.frees.fetch_add(1, Ordering::Relaxed);
+        metrics(|m| m.frees.inc());
         Ok(())
     }
 
     /// Write all dirty frames back to the store and sync it.
-    pub fn flush(&mut self) -> Result<()> {
+    pub fn flush(&self) -> Result<()> {
         self.flush_to_store_only()?;
-        self.store.sync()
+        lock(&self.store).sync()
     }
 
     /// Write all dirty frames back to the store *without* syncing it
     /// (lets a [`crate::WalStore`] caller choose commit vs checkpoint).
-    pub fn flush_to_store_only(&mut self) -> Result<()> {
-        for (id, frame) in &self.frames {
-            let mut f = frame.borrow_mut();
-            if f.dirty {
-                self.store.write(*id, &f.data)?;
-                f.dirty = false;
-                self.stats.physical_writes += 1;
-                self.metrics.writebacks.inc();
+    ///
+    /// Must not be called while the calling thread holds a
+    /// [`PageRef::write`] guard (it would self-deadlock on the frame's
+    /// data lock). The single-writer discipline of the layers above
+    /// guarantees no *other* thread holds write guards.
+    pub fn flush_to_store_only(&self) -> Result<()> {
+        for shard in self.shards.iter() {
+            let shard = lock(shard);
+            for (id, frame) in &shard.frames {
+                if frame.dirty.load(Ordering::Relaxed) {
+                    let data = read_lock(&frame.data);
+                    lock(&self.store).write(*id, &data)?;
+                    frame.dirty.store(false, Ordering::Relaxed);
+                    self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    metrics(|m| m.writebacks.inc());
+                }
             }
         }
         Ok(())
@@ -371,20 +624,23 @@ impl<S: PageStore> BufferPool<S> {
     /// fetches must re-read from the backing store, which forces a
     /// checksum layer underneath to re-verify pages a large cache would
     /// otherwise keep serving from memory. Pinned frames survive.
-    pub fn invalidate_cache(&mut self) -> Result<()> {
-        let victims: Vec<PageId> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| Rc::strong_count(f) == 1)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in victims {
-            let frame = self.frames.remove(&id).expect("victim exists");
-            let f = frame.borrow();
-            if f.dirty {
-                self.store.write(id, &f.data)?;
-                self.stats.physical_writes += 1;
-                self.metrics.writebacks.inc();
+    pub fn invalidate_cache(&self) -> Result<()> {
+        for shard in self.shards.iter() {
+            let mut shard = lock(shard);
+            let victims: Vec<PageId> = shard
+                .frames
+                .iter()
+                .filter(|(_, f)| Arc::strong_count(f) == 1)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in victims {
+                let frame = shard.frames.remove(&id).expect("victim exists");
+                if frame.dirty.load(Ordering::Relaxed) {
+                    let data = read_lock(&frame.data);
+                    lock(&self.store).write(id, &data)?;
+                    self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+                    metrics(|m| m.writebacks.inc());
+                }
             }
         }
         Ok(())
@@ -394,52 +650,61 @@ impl<S: PageStore> BufferPool<S> {
     /// written back — call [`BufferPool::flush`] or
     /// [`BufferPool::flush_to_store_only`] first.
     pub fn into_store(self) -> S {
-        self.store
+        self.store.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn insert_frame(&mut self, id: PageId, frame: Rc<RefCell<Frame>>) -> Result<()> {
-        while self.frames.len() >= self.capacity {
-            if !self.evict_one()? {
+    /// Caller holds the shard lock. May take the store lock to write back a
+    /// victim — never the other way around.
+    fn insert_frame(&self, shard: &mut Shard, id: PageId, frame: Arc<Frame>) -> Result<()> {
+        while shard.frames.len() >= shard.capacity {
+            if !self.evict_one(shard)? {
                 break; // everything is pinned; allow temporary overflow
             }
         }
-        self.frames.insert(id, frame);
+        shard.frames.insert(id, frame);
         Ok(())
     }
 
-    fn evict_one(&mut self) -> Result<bool> {
-        let victim = self
+    fn evict_one(&self, shard: &mut Shard) -> Result<bool> {
+        let victim = shard
             .frames
             .iter()
-            .filter(|(_, f)| Rc::strong_count(f) == 1)
-            .min_by_key(|(_, f)| f.borrow().last_use)
+            .filter(|(_, f)| Arc::strong_count(f) == 1)
+            .min_by_key(|(_, f)| f.last_use.load(Ordering::Relaxed))
             .map(|(id, _)| *id);
         let Some(id) = victim else {
             return Ok(false);
         };
-        let frame = self.frames.remove(&id).expect("victim exists");
-        let f = frame.borrow();
-        if f.dirty {
-            self.store.write(id, &f.data)?;
-            self.stats.physical_writes += 1;
-            self.metrics.writebacks.inc();
+        let frame = shard.frames.remove(&id).expect("victim exists");
+        if frame.dirty.load(Ordering::Relaxed) {
+            // Write back under the shard lock: once the frame leaves the
+            // map a concurrent fetch would re-read the stale store copy.
+            let data = read_lock(&frame.data);
+            lock(&self.store).write(id, &data)?;
+            self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+            metrics(|m| m.writebacks.inc());
         }
-        self.metrics.evictions.inc();
+        metrics(|m| m.evictions.inc());
         Ok(true)
     }
 
-    /// Direct access to the backing store (e.g. to inspect `live_pages`).
-    pub fn store(&self) -> &S {
-        &self.store
-    }
-
-    /// Mutable access to the backing store — e.g. to call
+    /// Lock the backing store for direct access — e.g. to call
     /// [`crate::WalStore::commit`] on a WAL-backed pool after
-    /// [`BufferPool::flush_to_store_only`]. Mutating page contents through
-    /// this handle bypasses the cache; prefer the pool's own methods.
-    pub fn store_mut(&mut self) -> &mut S {
-        &mut self.store
+    /// [`BufferPool::flush_to_store_only`], or to inject faults in tests.
+    /// Mutating page contents through this handle bypasses the cache;
+    /// prefer the pool's own methods.
+    ///
+    /// Never call this while holding it already (the mutex is not
+    /// reentrant); the pool itself only takes the store lock with at most
+    /// one shard lock held.
+    pub fn store_lock(&self) -> MutexGuard<'_, S> {
+        lock(&self.store)
     }
+}
+
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n > 0);
+    1 << (usize::BITS - 1 - n.leading_zeros())
 }
 
 #[cfg(test)]
@@ -453,7 +718,7 @@ mod tests {
 
     #[test]
     fn fetch_counts_distinct_once() {
-        let mut p = pool(8);
+        let p = pool(8);
         let (a, _) = p.allocate().unwrap();
         let (b, _) = p.allocate().unwrap();
         p.begin_query();
@@ -468,7 +733,7 @@ mod tests {
 
     #[test]
     fn begin_query_resets() {
-        let mut p = pool(8);
+        let p = pool(8);
         let (a, _) = p.allocate().unwrap();
         p.begin_query();
         p.fetch(a).unwrap();
@@ -481,15 +746,16 @@ mod tests {
 
     #[test]
     fn eviction_and_reload() {
-        let mut p = pool(2);
+        let p = pool(2);
         let mut ids = Vec::new();
         for i in 0..4u8 {
             let (id, page) = p.allocate().unwrap();
             page.write()[0] = i;
             ids.push(id);
         }
-        // All pages were unpinned after each allocation; two must have been
-        // evicted (written back since dirty). Fetch them again and check.
+        // All pages were unpinned after each allocation; at least two must
+        // have been evicted (written back since dirty) whichever shards the
+        // four ids hashed to. Fetch them again and check.
         for (i, id) in ids.iter().enumerate() {
             let page = p.fetch(*id).unwrap();
             assert_eq!(page.read()[0], i as u8);
@@ -500,7 +766,7 @@ mod tests {
 
     #[test]
     fn pinned_pages_are_not_evicted() {
-        let mut p = pool(2);
+        let p = pool(2);
         let (a, pin_a) = p.allocate().unwrap();
         pin_a.write()[0] = 77;
         // Allocate many more pages than capacity while `a` stays pinned.
@@ -515,7 +781,7 @@ mod tests {
 
     #[test]
     fn free_pinned_fails() {
-        let mut p = pool(4);
+        let p = pool(4);
         let (a, pin) = p.allocate().unwrap();
         assert!(p.free(a).is_err());
         drop(pin);
@@ -525,7 +791,7 @@ mod tests {
 
     #[test]
     fn flush_persists_dirty_pages() {
-        let mut p = pool(4);
+        let p = pool(4);
         let (a, page) = p.allocate().unwrap();
         page.write()[5] = 99;
         drop(page);
@@ -537,13 +803,13 @@ mod tests {
 
     #[test]
     fn fetch_null_fails() {
-        let mut p = pool(4);
+        let p = pool(4);
         assert!(p.fetch(PageId::NULL).is_err());
     }
 
     #[test]
     fn failed_free_does_not_count() {
-        let mut p = pool(4);
+        let p = pool(4);
         let (a, _) = p.allocate().unwrap();
         p.free(a).unwrap();
         assert_eq!(p.stats().frees, 1);
@@ -558,18 +824,17 @@ mod tests {
     #[test]
     fn faulted_fetch_is_not_counted_as_access() {
         use crate::fault::{Fault, FaultStore};
-        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        let p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
         let (a, _) = p.allocate().unwrap();
         // Push `a` out of the pool so the next fetch must hit the store.
-        let (_b, _) = p.allocate().unwrap();
-        let (_c, _) = p.allocate().unwrap();
+        p.invalidate_cache().unwrap();
         p.begin_query();
         let before = p.stats();
         let hits_before = telemetry::counter_value("pagestore.pool.hits");
         let misses_before = telemetry::counter_value("pagestore.pool.misses");
         let errors_before = telemetry::counter_value("pagestore.pool.read_errors");
-        let at = p.store().ops();
-        p.store_mut().inject(at, Fault::IoError);
+        let at = p.store_lock().ops();
+        p.store_lock().inject(at, Fault::IoError);
         assert!(p.fetch(a).is_err());
         let after = p.stats();
         // The failed fetch reached no page: every access statistic must be
@@ -595,16 +860,19 @@ mod tests {
     #[test]
     fn stats_stay_monotonic_across_crash_and_recovery() {
         use crate::fault::{Fault, FaultStore};
-        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        let p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
         let mut ids = Vec::new();
         for i in 0..4u8 {
             let (id, page) = p.allocate().unwrap();
             page.write()[0] = i;
             ids.push(id);
         }
+        // Make sure nothing is cached so fetches hit the faulted store.
+        p.flush_to_store_only().unwrap();
+        p.invalidate_cache().unwrap();
         let pre_crash = p.stats();
-        let at = p.store().ops();
-        p.store_mut().inject(at, Fault::Crash);
+        let at = p.store_lock().ops();
+        p.store_lock().inject(at, Fault::Crash);
         // Everything fails while crashed; counters must not move backwards
         // (or at all — no page access completes).
         assert!(p.fetch(ids[0]).is_err() || p.fetch(ids[1]).is_err());
@@ -613,7 +881,7 @@ mod tests {
         assert_eq!(crashed.physical_reads, pre_crash.physical_reads);
         // "Repair the disk" and recover: counters resume from where they
         // were, still monotonic.
-        p.store_mut().clear_faults();
+        p.store_lock().clear_faults();
         for (i, id) in ids.iter().enumerate() {
             let page = p.fetch(*id).unwrap();
             assert_eq!(page.read()[0], i as u8);
@@ -627,7 +895,7 @@ mod tests {
     #[test]
     fn retry_policy_recovers_transient_io_error() {
         use crate::fault::{Fault, FaultStore};
-        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        let p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
         p.set_retry_policy(RetryPolicy {
             max_attempts: 3,
             ..RetryPolicy::default()
@@ -636,12 +904,12 @@ mod tests {
         page.write()[0] = 42;
         drop(page);
         // Evict `a` so the next fetch must hit the store.
-        let _ = p.allocate().unwrap();
-        let _ = p.allocate().unwrap();
+        p.flush_to_store_only().unwrap();
+        p.invalidate_cache().unwrap();
         let attempts_before = telemetry::counter_value("pagestore.retry.attempts");
         let successes_before = telemetry::counter_value("pagestore.retry.successes");
-        let at = p.store().ops();
-        p.store_mut().inject(at, Fault::IoError);
+        let at = p.store_lock().ops();
+        p.store_lock().inject(at, Fault::IoError);
         // One-shot fault: the first attempt fails, the retry succeeds.
         let page = p.fetch(a).unwrap();
         assert_eq!(page.read()[0], 42);
@@ -658,18 +926,17 @@ mod tests {
     #[test]
     fn retry_policy_gives_up_after_max_attempts() {
         use crate::fault::{Fault, FaultStore};
-        let mut p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
+        let p = BufferPool::new(FaultStore::new(MemStore::new(128)), 2);
         p.set_retry_policy(RetryPolicy {
             max_attempts: 2,
             ..RetryPolicy::default()
         });
         let (a, _) = p.allocate().unwrap();
-        let _ = p.allocate().unwrap();
-        let _ = p.allocate().unwrap();
+        p.invalidate_cache().unwrap();
         let exhausted_before = telemetry::counter_value("pagestore.retry.exhausted");
-        let at = p.store().ops();
-        p.store_mut().inject(at, Fault::IoError);
-        p.store_mut().inject(at + 1, Fault::IoError);
+        let at = p.store_lock().ops();
+        p.store_lock().inject(at, Fault::IoError);
+        p.store_lock().inject(at + 1, Fault::IoError);
         assert!(p.fetch(a).is_err());
         assert_eq!(
             telemetry::counter_value("pagestore.retry.exhausted"),
@@ -680,7 +947,7 @@ mod tests {
     #[test]
     fn corruption_is_never_retried() {
         use crate::checksum::{ChecksumStore, TRAILER_LEN};
-        let mut p = BufferPool::new(ChecksumStore::new(MemStore::new(128 + TRAILER_LEN)), 2);
+        let p = BufferPool::new(ChecksumStore::new(MemStore::new(128 + TRAILER_LEN)), 2);
         p.set_retry_policy(RetryPolicy {
             max_attempts: 5,
             ..RetryPolicy::default()
@@ -692,9 +959,9 @@ mod tests {
         p.invalidate_cache().unwrap();
         // Damage the raw page below the checksum layer.
         let mut full = vec![0u8; 128 + TRAILER_LEN];
-        p.store_mut().inner_mut().read(a, &mut full).unwrap();
+        p.store_lock().inner_mut().read(a, &mut full).unwrap();
         full[0] ^= 0xFF;
-        p.store_mut().inner_mut().write(a, &full).unwrap();
+        p.store_lock().inner_mut().write(a, &full).unwrap();
         let attempts_before = telemetry::counter_value("pagestore.retry.attempts");
         match p.fetch(a) {
             Err(e) => assert!(e.is_corruption()),
@@ -709,7 +976,7 @@ mod tests {
 
     #[test]
     fn invalidate_cache_forces_reread_and_keeps_pins() {
-        let mut p = pool(8);
+        let p = pool(8);
         let (a, page) = p.allocate().unwrap();
         page.write()[0] = 7;
         drop(page);
@@ -730,7 +997,7 @@ mod tests {
 
     #[test]
     fn begin_query_sheds_oversized_touched_bitmap() {
-        let mut p = pool(4);
+        let p = pool(4);
         let mut ids = Vec::new();
         for _ in 0..TOUCHED_RETAIN_LIMIT + 100 {
             ids.push(p.allocate().unwrap().0);
@@ -739,11 +1006,11 @@ mod tests {
         for &id in &ids {
             p.fetch(id).unwrap();
         }
-        assert!(p.touched.len() > TOUCHED_RETAIN_LIMIT);
+        assert!(p.touched_len() > TOUCHED_RETAIN_LIMIT);
         assert_eq!(p.query_stats().distinct_pages, ids.len() as u64);
         p.begin_query();
         assert!(
-            p.touched.capacity() <= TOUCHED_RETAIN_LIMIT,
+            p.touched_capacity() <= TOUCHED_RETAIN_LIMIT,
             "begin_query must release an oversized touched bitmap"
         );
         // Accounting still works after the shed.
@@ -751,5 +1018,87 @@ mod tests {
         p.fetch(ids[0]).unwrap();
         assert_eq!(p.query_stats().distinct_pages, 1);
         assert_eq!(p.query_stats().node_visits, 2);
+    }
+
+    #[test]
+    fn query_stats_are_per_thread() {
+        let p = Arc::new(pool(8));
+        let (a, _) = p.allocate().unwrap();
+        let (b, _) = p.allocate().unwrap();
+        p.begin_query();
+        p.fetch(a).unwrap();
+        let p2 = p.clone();
+        std::thread::spawn(move || {
+            // A fresh thread starts with zeroed query state and its
+            // fetches must not leak into the spawner's counters.
+            p2.begin_query();
+            assert_eq!(p2.query_stats(), QueryStats::default());
+            p2.fetch(a).unwrap();
+            p2.fetch(b).unwrap();
+            assert_eq!(p2.query_stats().distinct_pages, 2);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(p.query_stats().distinct_pages, 1);
+        assert_eq!(p.query_stats().node_visits, 1);
+    }
+
+    #[test]
+    fn decode_cache_roundtrip_and_invalidation() {
+        let p = pool(8);
+        let (a, page) = p.allocate().unwrap();
+        page.write()[0] = 5;
+        let decoded: Arc<u8> = page.get_or_decode::<u8, (), _>(|b| Ok(b[0])).unwrap();
+        assert_eq!(*decoded, 5);
+        assert!(page.has_decoded());
+        // A second fetch sees the cached value without re-decoding.
+        let again = p.fetch(a).unwrap();
+        let hit: Arc<u8> = again
+            .get_or_decode::<u8, (), _>(|_| panic!("must not re-decode"))
+            .unwrap();
+        assert_eq!(*hit, 5);
+        // Writing invalidates the cached decode.
+        again.write()[0] = 9;
+        assert!(!again.has_decoded());
+        let fresh: Arc<u8> = again.get_or_decode::<u8, (), _>(|b| Ok(b[0])).unwrap();
+        assert_eq!(*fresh, 9);
+    }
+
+    /// Regression for the single-threaded pool's borrow-across-call hazard
+    /// (`bump` used to hold a `RefCell` borrow while eviction re-entered the
+    /// frame map). Under the sharded pool the equivalent bug would be a
+    /// deadlock between the shard lock and the store lock; hammering one
+    /// tiny pool from several threads while evictions and write-backs race
+    /// must finish and keep every page's contents intact.
+    #[test]
+    fn concurrent_fetch_evict_no_deadlock() {
+        let p = Arc::new(pool(4));
+        let mut ids = Vec::new();
+        for i in 0..32u8 {
+            let (id, page) = p.allocate().unwrap();
+            page.write()[0] = i;
+            ids.push(id);
+        }
+        p.flush_to_store_only().unwrap();
+        let ids = Arc::new(ids);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let p = p.clone();
+            let ids = ids.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..2000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = (x as usize) % ids.len();
+                    let page = p.fetch(ids[i]).unwrap();
+                    assert_eq!(page.read()[0], i as u8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

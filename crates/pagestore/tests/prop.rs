@@ -36,7 +36,7 @@ proptest! {
         ops in proptest::collection::vec(arb_op(), 1..200),
         capacity in 1usize..8,
     ) {
-        let mut pool = BufferPool::new(MemStore::new(64), capacity);
+        let pool = BufferPool::new(MemStore::new(64), capacity);
         let mut model: HashMap<PageId, u8> = HashMap::new();
         let mut live: Vec<PageId> = Vec::new();
         let mut query_pages: HashSet<PageId> = HashSet::new();

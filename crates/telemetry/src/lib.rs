@@ -1,8 +1,13 @@
 //! Process-local metrics and span tracing for the uindex workspace.
 //!
-//! The workspace is single-threaded by design (`Rc`/`RefCell` throughout), so
-//! the registry is **thread-local**: every thread sees its own independent set
-//! of metrics, which also gives each `cargo test` thread automatic isolation.
+//! The registry is **thread-local**: every thread accumulates its own
+//! independent set of metrics with zero synchronization on the hot path
+//! (and each `cargo test` thread gets automatic isolation). Multi-threaded
+//! work rolls up explicitly: each worker takes a [`snapshot()`] of its own
+//! registry when it finishes, and the coordinator combines them with
+//! [`Snapshot::merge`] or folds them into its own registry with
+//! [`absorb`]. The JSON export is unchanged — a merged snapshot serializes
+//! bit-identically to the same events recorded on one thread.
 //!
 //! Three metric kinds live in a named registry:
 //!
@@ -151,6 +156,19 @@ impl Histogram {
         *self.0.borrow_mut() = HistData::new();
     }
 
+    /// Fold a snapshot's samples into this histogram. Snapshot buckets are
+    /// keyed by their bounds, which map back to bucket indices exactly, so
+    /// absorbing is lossless with respect to the log₂ resolution; the exact
+    /// sum is carried over from the snapshot.
+    fn absorb(&self, snap: &HistogramSnapshot) {
+        let mut d = self.0.borrow_mut();
+        for &(lo, _, c) in &snap.buckets {
+            d.buckets[bucket_index(lo)] += c;
+        }
+        d.count += snap.count;
+        d.sum = d.sum.wrapping_add(snap.sum);
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         let d = self.0.borrow();
         let buckets = d
@@ -230,7 +248,7 @@ pub fn reset() {
 
 /// Point-in-time copy of one histogram: only non-empty buckets are retained,
 /// each as `(lo, hi, count)` with inclusive bounds.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
@@ -269,7 +287,83 @@ pub fn snapshot() -> Snapshot {
     })
 }
 
+impl HistogramSnapshot {
+    /// Combine another histogram snapshot into this one: bucket counts are
+    /// added by bucket (keyed on bounds), counts and sums accumulate.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut by_lo: BTreeMap<u64, (u64, u64)> = self
+            .buckets
+            .iter()
+            .map(|&(lo, hi, c)| (lo, (hi, c)))
+            .collect();
+        for &(lo, hi, c) in &other.buckets {
+            by_lo.entry(lo).or_insert((hi, 0)).1 += c;
+        }
+        self.buckets = by_lo.into_iter().map(|(lo, (hi, c))| (lo, hi, c)).collect();
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+/// Fold a snapshot (typically taken on a finished worker thread) into the
+/// *calling thread's* registry, so worker counters roll up into the
+/// coordinator's report. Counters and histograms accumulate; gauges add,
+/// which treats each thread's gauge as an independent contribution.
+pub fn absorb(snap: &Snapshot) {
+    for (name, v) in &snap.counters {
+        if *v > 0 {
+            counter(intern_name(name)).add(*v);
+        }
+    }
+    for (name, v) in &snap.gauges {
+        if *v != 0 {
+            gauge(intern_name(name)).add(*v);
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if h.count > 0 {
+            histogram(intern_name(name)).absorb(h);
+        }
+    }
+}
+
+/// Registry keys are `&'static str` so hot-path handles never hash strings.
+/// Snapshot keys arrive as owned strings; interning leaks each *distinct*
+/// name at most once per process, and metric names are a small closed set.
+fn intern_name(name: &str) -> &'static str {
+    thread_local! {
+        static INTERNED: RefCell<BTreeMap<String, &'static str>> =
+            const { RefCell::new(BTreeMap::new()) };
+    }
+    INTERNED.with(|m| {
+        let mut m = m.borrow_mut();
+        if let Some(&s) = m.get(name) {
+            return s;
+        }
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        m.insert(name.to_string(), leaked);
+        leaked
+    })
+}
+
 impl Snapshot {
+    /// Combine another registry snapshot into this one. Counters and
+    /// histogram samples accumulate; gauges add (per-thread contributions).
+    /// Merging is associative and commutative, so worker snapshots can be
+    /// folded in any order and serialize bit-identically to the same
+    /// events recorded on a single thread.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
     pub fn to_json(&self) -> String {
         self.to_json_with(None)
     }
@@ -636,6 +730,68 @@ mod tests {
             .map(|b| b.get("count").and_then(|v| v.as_u64()).unwrap())
             .sum();
         assert_eq!(total, 5, "bucket counts must add up to the sample count");
+    }
+
+    /// The canonical multi-thread roll-up: a workload split across worker
+    /// threads, merged (or absorbed), must serialize bit-identically to the
+    /// same events recorded on one thread.
+    #[test]
+    fn merge_round_trip_matches_single_threaded() {
+        fn record_part_a() {
+            counter("mrt.pages").add(100);
+            counter("mrt.seeks").add(3);
+            gauge("mrt.depth").add(2);
+            let h = histogram("mrt.lat");
+            for v in [0u64, 4, 17] {
+                h.record(v);
+            }
+        }
+        fn record_part_b() {
+            counter("mrt.pages").add(55);
+            counter("mrt.only_b").inc();
+            gauge("mrt.depth").add(5);
+            let h = histogram("mrt.lat");
+            for v in [17u64, 900, 1] {
+                h.record(v);
+            }
+        }
+
+        // Ground truth: both parts on one registry.
+        reset();
+        record_part_a();
+        record_part_b();
+        let want = snapshot().to_json();
+
+        // Worker split: part B on its own thread, snapshotted there.
+        reset();
+        record_part_a();
+        let mut mine = snapshot();
+        let theirs = std::thread::spawn(|| {
+            record_part_b();
+            snapshot()
+        })
+        .join()
+        .unwrap();
+
+        let mut merged = mine.clone();
+        merged.merge(&theirs);
+        assert_eq!(merged.to_json(), want, "merge must be exact");
+
+        // Commuted order merges identically.
+        let mut commuted = theirs.clone();
+        commuted.merge(&mine);
+        assert_eq!(commuted.to_json(), want, "merge must commute");
+
+        // absorb() folds into the live registry with the same result.
+        reset();
+        absorb(&mine);
+        absorb(&theirs);
+        assert_eq!(snapshot().to_json(), want, "absorb must match merge");
+
+        // Merging the empty snapshot is the identity.
+        let before = mine.to_json();
+        mine.merge(&Snapshot::default());
+        assert_eq!(mine.to_json(), before);
     }
 
     mod props {

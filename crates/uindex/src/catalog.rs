@@ -154,7 +154,7 @@ impl<S: PageStore> UIndex<S> {
         root: PageId,
         len: u64,
     ) -> Result<(Self, Schema)> {
-        let mut tree = BTree::open(pool, config, root, len);
+        let tree = BTree::open(pool, config, root, len);
         let prefix = CATALOG_ID.to_be_bytes().to_vec();
         let entries = tree.prefix_scan(&prefix)?;
 

@@ -9,6 +9,7 @@
 //! clustered entry group.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use btree::{BTree, BTreeConfig};
 use objstore::{ObjectStore, Oid, Value};
@@ -76,8 +77,10 @@ pub struct Database<P: PageStore = DbStore> {
     config: BTreeConfig,
     /// Set when corruption was detected in the index; queries fall back
     /// to a sequential scan of the object store until a clean
-    /// [`Database::check`] or a [`Database::repair`] clears it.
-    quarantined: bool,
+    /// [`Database::check`] or a [`Database::repair`] clears it. Atomic so
+    /// the whole query path stays `&self` (shared across reader threads)
+    /// while still able to impose a quarantine on the spot.
+    quarantined: AtomicBool,
 }
 
 impl Database {
@@ -101,7 +104,7 @@ impl Database {
     /// exactly `page_size`.
     fn fresh_pool(page_size: usize, pool_pages: usize) -> BufferPool<DbStore> {
         let store = ChecksumStore::new(FaultStore::new(MemStore::new(page_size + TRAILER_LEN)));
-        let mut pool = BufferPool::new(store, pool_pages);
+        let pool = BufferPool::new(store, pool_pages);
         pool.set_retry_policy(RetryPolicy {
             max_attempts: 3,
             ..RetryPolicy::default()
@@ -127,7 +130,7 @@ impl Database {
             page_size,
             pool_pages,
             config,
-            quarantined: false,
+            quarantined: AtomicBool::new(false),
         })
     }
 }
@@ -150,7 +153,7 @@ impl<P: PageStore> Database<P> {
             page_size,
             pool_pages,
             config,
-            quarantined: false,
+            quarantined: AtomicBool::new(false),
         }
     }
 
@@ -187,7 +190,25 @@ impl<P: PageStore> Database<P> {
 
     /// Whether the index is quarantined (queries run degraded).
     pub fn quarantined(&self) -> bool {
-        self.quarantined
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// A `Send + Clone` read handle for concurrent queries from other
+    /// threads (see [`crate::DatabaseReader`]). Enables snapshot mode on
+    /// the index tree — from here on the writer preserves pre-images for
+    /// live snapshots and every mutation publishes a new epoch.
+    ///
+    /// `&mut self` on purpose: the reader captures the spec table, class
+    /// encoding and schema as of this call, so take it after defining
+    /// indexes and loading data.
+    pub fn reader(&mut self) -> crate::DatabaseReader<P> {
+        self.index.tree_mut().enable_snapshots();
+        crate::DatabaseReader::new(
+            self.index.tree().reader(),
+            self.index.encoding().clone(),
+            self.index.specs().to_vec(),
+            self.store.schema().clone(),
+        )
     }
 
     // ----- schema evolution ---------------------------------------------
@@ -255,6 +276,7 @@ impl<P: PageStore> Database<P> {
         self.encode_all_pending()?;
         let id = self.index.define(self.store.schema(), spec)?;
         self.index.build(&self.store, id)?;
+        self.index.tree_mut().publish()?;
         Ok(id)
     }
 
@@ -293,6 +315,10 @@ impl<P: PageStore> Database<P> {
                 self.index.tree_mut().insert(key, &[])?;
             }
         }
+        // Expose the mutated tree to snapshot readers: every Database
+        // mutation is one atomic publish, so concurrent scans only ever
+        // see entry sets that correspond to a completed mutation.
+        self.index.tree_mut().publish()?;
         Ok(())
     }
 
@@ -366,7 +392,8 @@ impl Database {
         let n = index.build_all(&self.store)?;
         index.verify()?;
         self.index = index;
-        self.quarantined = false;
+        self.index.tree_mut().publish()?;
+        self.quarantined.store(false, Ordering::Release);
         telemetry::counter("uindex.degraded.repairs").inc();
         Ok(n)
     }
@@ -383,10 +410,10 @@ impl<P: Scrubbable> Database<P> {
         // Make the backing store authoritative, then drop the cache so the
         // scrub and the verification below actually re-read (and re-verify)
         // every page instead of being served stale frames.
-        let pool = self.index.tree_mut().pool_mut();
+        let pool = self.index.tree().pool();
         pool.flush()?;
         pool.invalidate_cache()?;
-        let scrub = pool.store_mut().scrub_pages();
+        let scrub = pool.store_lock().scrub_pages();
 
         let tree_error = if scrub.clean() {
             match self.index.verify() {
@@ -399,15 +426,16 @@ impl<P: Scrubbable> Database<P> {
 
         let content_ok = tree_error.is_none() && self.content_matches_store()?;
 
-        self.quarantined = !(scrub.clean() && tree_error.is_none() && content_ok);
-        if self.quarantined {
+        let quarantined = !(scrub.clean() && tree_error.is_none() && content_ok);
+        self.quarantined.store(quarantined, Ordering::Release);
+        if quarantined {
             telemetry::counter("uindex.degraded.quarantines").inc();
         }
         Ok(CheckReport {
             scrub,
             tree_error,
             content_ok,
-            quarantined: self.quarantined,
+            quarantined,
         })
     }
 }
@@ -415,11 +443,11 @@ impl<P: Scrubbable> Database<P> {
 impl<P: PageStore> Database<P> {
     /// Compare the tree's entry keys (catalog entries excluded) with a
     /// fresh recomputation from the object store.
-    fn content_matches_store(&mut self) -> Result<bool> {
+    fn content_matches_store(&self) -> Result<bool> {
         let catalog_prefix = crate::catalog::CATALOG_ID.to_be_bytes();
         let mut tree_keys: Vec<Vec<u8>> = self
             .index
-            .tree_mut()
+            .tree()
             .scan_all()?
             .into_iter()
             .map(|(k, _)| k)
@@ -456,14 +484,14 @@ impl<P: PageStore> Database<P> {
     /// damage either surfaces as [`pagestore::Error::Corruption`] inside
     /// the scan (caught here) or was already flagged by a check.
     pub fn query_traced_guarded(
-        &mut self,
+        &self,
         q: &Query,
     ) -> Result<(Vec<QueryHit>, ScanStats, QueryTrace, bool)> {
-        if !self.quarantined {
+        if !self.quarantined.load(Ordering::Acquire) {
             match self.index.query_traced(q) {
                 Ok((hits, stats, trace)) => return Ok((hits, stats, trace, false)),
                 Err(Error::Page(e)) if e.is_corruption() => {
-                    self.quarantined = true;
+                    self.quarantined.store(true, Ordering::Release);
                     telemetry::counter("uindex.degraded.quarantines").inc();
                 }
                 Err(e) => return Err(e),
@@ -476,31 +504,31 @@ impl<P: PageStore> Database<P> {
     // ----- queries ---------------------------------------------------------
 
     /// Run a query, returning the hits.
-    pub fn query(&mut self, q: &Query) -> Result<Vec<QueryHit>> {
+    pub fn query(&self, q: &Query) -> Result<Vec<QueryHit>> {
         Ok(self.query_traced_guarded(q)?.0)
     }
 
     /// Parse and run a [`crate::uql`] query string.
-    pub fn query_uql(&mut self, input: &str) -> Result<(Vec<QueryHit>, ScanStats)> {
+    pub fn query_uql(&self, input: &str) -> Result<(Vec<QueryHit>, ScanStats)> {
         let q = crate::uql::parse(&self.index, self.store.schema(), input)?;
         self.query_with_stats(&q)
     }
 
     /// Run a query, returning hits and scan cost counters.
-    pub fn query_with_stats(&mut self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
+    pub fn query_with_stats(&self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
         let (hits, stats, _, _) = self.query_traced_guarded(q)?;
         Ok((hits, stats))
     }
 
     /// Execute `q` and build an EXPLAIN ANALYZE report: the translated plan
     /// plus the executed [`crate::QueryTrace`].
-    pub fn explain_query(&mut self, q: &Query) -> Result<crate::ExplainReport> {
+    pub fn explain_query(&self, q: &Query) -> Result<crate::ExplainReport> {
         crate::explain::explain(self, q)
     }
 
     /// Parse a [`crate::uql`] string (an optional leading `explain analyze`
     /// is accepted and stripped) and build an EXPLAIN ANALYZE report.
-    pub fn explain_uql(&mut self, input: &str) -> Result<crate::ExplainReport> {
+    pub fn explain_uql(&self, input: &str) -> Result<crate::ExplainReport> {
         let stripped = strip_explain_prefix(input);
         let q = crate::uql::parse(&self.index, self.store.schema(), stripped)?;
         self.explain_query(&q)

@@ -34,6 +34,8 @@ use std::fs::File;
 use std::io::Write as _;
 use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 
 use btree::{BTreeConfig, Capacity};
 use objstore::ObjectStore;
@@ -129,6 +131,39 @@ pub struct DiskDatabase {
     /// last commit; bumped on each commit.
     object_epoch: u64,
     commits_since_checkpoint: u32,
+    /// Background checkpointer, when enabled: periodic checkpoints run
+    /// off the commit path (see
+    /// [`DiskDatabase::enable_background_checkpoints`]).
+    bg: Option<BgCheckpointer>,
+}
+
+enum BgMsg {
+    Tick,
+    Shutdown,
+}
+
+/// Handle to the background checkpoint thread. The thread owns an
+/// `Arc` of the buffer pool and checkpoints through the store mutex, so
+/// it serializes naturally with the writer; it only ever checkpoints at
+/// commit boundaries ([`pagestore::WalStore::checkpoint_if_quiescent`]),
+/// never mid-mutation. Dropping the handle shuts the thread down.
+struct BgCheckpointer {
+    tx: mpsc::Sender<BgMsg>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    completed: Arc<AtomicU64>,
+    skipped: Arc<AtomicU64>,
+    /// Last `completed` value the commit path observed — lets it reset
+    /// its inline-fallback counter only when the thread actually ran.
+    seen: u64,
+}
+
+impl Drop for BgCheckpointer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(BgMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Deref for DiskDatabase {
@@ -251,7 +286,7 @@ fn decode_objects(v: &[u8]) -> Result<(u64, &[u8])> {
 }
 
 fn fresh_disk_pool(stack: DiskStore, pool_pages: usize) -> BufferPool<DiskStore> {
-    let mut pool = BufferPool::new(stack, pool_pages);
+    let pool = BufferPool::new(stack, pool_pages);
     pool.set_retry_policy(RetryPolicy {
         max_attempts: 3,
         ..RetryPolicy::default()
@@ -270,7 +305,7 @@ impl DiskDatabase {
         let encoding = Encoding::generate(&schema)?;
         let mut stack = pdisk::create(dir, options.page_size)?;
         stack.set_group_commit(options.group_commit);
-        let mut pool = fresh_disk_pool(stack, options.pool_pages);
+        let pool = fresh_disk_pool(stack, options.pool_pages);
         let (meta_id, page) = pool.allocate()?;
         drop(page);
         debug_assert_eq!(meta_id, META_PAGE, "meta page must be the first allocation");
@@ -290,6 +325,7 @@ impl DiskDatabase {
             options,
             object_epoch: 0,
             commits_since_checkpoint: 0,
+            bg: None,
         };
         this.checkpoint()?;
         Ok(this)
@@ -336,7 +372,7 @@ impl DiskDatabase {
             return Self::rebuild(dir, options, store, object_epoch, report);
         }
         match UIndex::open_with_catalog(pool, options.config, root, len) {
-            Ok((mut index, _catalog_schema)) => {
+            Ok((index, _catalog_schema)) => {
                 if index.verify().is_err() {
                     return Self::rebuild(dir, options, store, object_epoch, report);
                 }
@@ -356,6 +392,7 @@ impl DiskDatabase {
                         options,
                         object_epoch,
                         commits_since_checkpoint: 0,
+                        bg: None,
                     },
                     report,
                 ))
@@ -406,7 +443,7 @@ impl DiskDatabase {
         };
         let mut stack = pdisk::create(dir, options.page_size)?;
         stack.set_group_commit(options.group_commit);
-        let mut pool = fresh_disk_pool(stack, options.pool_pages);
+        let pool = fresh_disk_pool(stack, options.pool_pages);
         let (meta_id, page) = pool.allocate()?;
         drop(page);
         debug_assert_eq!(meta_id, META_PAGE, "meta page must be the first allocation");
@@ -432,6 +469,7 @@ impl DiskDatabase {
             options,
             object_epoch,
             commits_since_checkpoint: 0,
+            bg: None,
         };
         this.checkpoint()?;
         report.rebuilt = true;
@@ -455,7 +493,7 @@ impl DiskDatabase {
             (tree.root(), tree.len())
         };
         let epoch = self.object_epoch;
-        let pool = self.db.index_mut().tree_mut().pool_mut();
+        let pool = self.db.index().tree().pool();
         {
             let page = pool.fetch(META_PAGE)?;
             let mut w = page.write();
@@ -485,35 +523,121 @@ impl DiskDatabase {
 
     /// Make everything since the last commit durable (subject to the
     /// group-commit fsync policy; see [`DiskDatabase::sync`] to force the
-    /// fsync). Triggers a checkpoint every `checkpoint_every` commits.
+    /// fsync). Triggers a checkpoint every `checkpoint_every` commits —
+    /// inline, or handed to the background thread when
+    /// [`DiskDatabase::enable_background_checkpoints`] is on.
     pub fn commit(&mut self) -> Result<()> {
         self.persist_logical_state()?;
-        self.db
-            .index_mut()
-            .tree_mut()
-            .pool_mut()
-            .store_mut()
-            .commit()?;
+        self.db.index().tree().pool().store_lock().commit()?;
         telemetry::counter("uindex.disk.commits").inc();
+        if let Some(bg) = &mut self.bg {
+            // Credit checkpoints the thread finished since we last looked.
+            let done = bg.completed.load(Ordering::Acquire);
+            if done != bg.seen {
+                bg.seen = done;
+                self.commits_since_checkpoint = 0;
+            }
+        }
         self.commits_since_checkpoint += 1;
         if self.options.checkpoint_every > 0
             && self.commits_since_checkpoint >= self.options.checkpoint_every
         {
-            self.force_checkpoint()?;
+            match &self.bg {
+                // Inline fallback: if the background thread is starved or
+                // failing, the log must not grow without bound — after 4
+                // missed intervals the commit path checkpoints itself.
+                Some(_)
+                    if self.commits_since_checkpoint
+                        < self.options.checkpoint_every.saturating_mul(4) =>
+                {
+                    let bg = self.bg.as_ref().unwrap();
+                    let _ = bg.tx.send(BgMsg::Tick);
+                }
+                _ => self.force_checkpoint()?,
+            }
         }
         Ok(())
+    }
+
+    /// Move periodic checkpoints off the commit path onto a dedicated
+    /// thread. Commits signal the thread at checkpoint intervals; it
+    /// checkpoints through the shared store mutex, and only at commit
+    /// boundaries — a mutation mid-flight makes it skip and retry at the
+    /// next signal. Explicit [`DiskDatabase::checkpoint`]/
+    /// [`DiskDatabase::close`] still checkpoint inline (the store mutex
+    /// and the WAL's idempotent checkpoint make the overlap safe), and
+    /// the commit path falls back to an inline checkpoint if the thread
+    /// falls 4 intervals behind. Off by default; a no-op if already on.
+    pub fn enable_background_checkpoints(&mut self) {
+        if self.bg.is_some() {
+            return;
+        }
+        let pool = self.db.index().tree().pool_arc();
+        let (tx, rx) = mpsc::channel();
+        let completed = Arc::new(AtomicU64::new(0));
+        let skipped = Arc::new(AtomicU64::new(0));
+        let (done, missed) = (Arc::clone(&completed), Arc::clone(&skipped));
+        let handle = std::thread::Builder::new()
+            .name("uindex-bg-checkpoint".into())
+            .spawn(move || {
+                while let Ok(BgMsg::Tick) = rx.recv() {
+                    // Collapse a backlog of ticks into one checkpoint.
+                    loop {
+                        match rx.try_recv() {
+                            Ok(BgMsg::Tick) => {}
+                            Ok(BgMsg::Shutdown) => return,
+                            Err(_) => break,
+                        }
+                    }
+                    match pool.store_lock().checkpoint_if_quiescent() {
+                        Ok(true) => {
+                            done.fetch_add(1, Ordering::Release);
+                        }
+                        // Mid-mutation or I/O error: leave the log as is;
+                        // the writer retries at the next interval (or
+                        // inline once the fallback cap is hit, surfacing
+                        // any persistent error on the commit path).
+                        Ok(false) | Err(_) => {
+                            missed.fetch_add(1, Ordering::Release);
+                        }
+                    }
+                }
+            })
+            .expect("spawn background checkpoint thread");
+        self.bg = Some(BgCheckpointer {
+            tx,
+            handle: Some(handle),
+            completed,
+            skipped,
+            seen: 0,
+        });
+    }
+
+    /// Whether background checkpointing is on.
+    pub fn background_checkpoints_enabled(&self) -> bool {
+        self.bg.is_some()
+    }
+
+    /// Checkpoints completed by the background thread so far (0 when
+    /// disabled). Skipped signals are not counted.
+    pub fn background_checkpoints_completed(&self) -> u64 {
+        self.bg
+            .as_ref()
+            .map_or(0, |bg| bg.completed.load(Ordering::Acquire))
+    }
+
+    /// Background signals that did not result in a checkpoint (writer
+    /// mid-mutation, or an I/O error left for the inline fallback).
+    pub fn background_checkpoints_skipped(&self) -> u64 {
+        self.bg
+            .as_ref()
+            .map_or(0, |bg| bg.skipped.load(Ordering::Acquire))
     }
 
     /// Force the WAL fsync for any commits still pending one under group
     /// commit.
     pub fn sync(&mut self) -> Result<()> {
-        Ok(self
-            .db
-            .index_mut()
-            .tree_mut()
-            .pool_mut()
-            .store_mut()
-            .sync_log()?)
+        Ok(self.db.index().tree().pool().store_lock().sync_log()?)
     }
 
     /// Commit and checkpoint: apply the WAL overlay to the page file,
@@ -524,12 +648,7 @@ impl DiskDatabase {
     }
 
     fn force_checkpoint(&mut self) -> Result<()> {
-        self.db
-            .index_mut()
-            .tree_mut()
-            .pool_mut()
-            .store_mut()
-            .checkpoint()?;
+        self.db.index().tree().pool().store_lock().checkpoint()?;
         telemetry::counter("uindex.disk.checkpoints").inc();
         self.commits_since_checkpoint = 0;
         Ok(())
@@ -554,6 +673,9 @@ impl DiskDatabase {
             tree_ok: false,
             rebuilt: false,
         };
+        // The rebuild swaps in a brand-new pool: shut the old pool's
+        // background thread down first and re-arm it on the new one after.
+        let had_bg = self.bg.take().is_some();
         let (rebuilt, _) = Self::rebuild(
             &self.dir.clone(),
             self.options,
@@ -563,6 +685,9 @@ impl DiskDatabase {
         )?;
         let n = rebuilt.db.index().tree().len();
         *self = rebuilt;
+        if had_bg {
+            self.enable_background_checkpoints();
+        }
         telemetry::counter("uindex.degraded.repairs").inc();
         Ok(n)
     }

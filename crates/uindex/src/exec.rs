@@ -1,0 +1,207 @@
+//! Concurrent query execution: [`DatabaseReader`] handles that query a
+//! [`Database`] from other threads against epoch snapshots, plus a
+//! work-claiming thread-pool executor ([`parallel_query`]).
+//!
+//! The reader owns everything a query needs — a [`TreeReader`] into the
+//! shared tree plus cloned planning metadata (specs, encoding, schema) —
+//! so it is `Send + Clone` and never touches the `Database` again after
+//! construction. Queries run against an explicit [`DbSnapshot`]: the
+//! writer keeps mutating and publishing while scans see a frozen epoch.
+//!
+//! Telemetry is thread-local; worker threads hand their registry snapshot
+//! back and the calling thread folds them in with [`telemetry::absorb`],
+//! so aggregate counters look exactly like a single-threaded run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use btree::{TreeReader, TreeSnapshot};
+use pagestore::PageStore;
+use schema::{Encoding, Schema};
+
+use crate::error::Result;
+use crate::index::{IndexId, Planner};
+use crate::query::{Query, QueryHit};
+use crate::scan::{self, ScanStats};
+use crate::spec::IndexSpec;
+
+/// A frozen, consistent view of the index tree at one published epoch.
+/// Holding it pins the pages of that epoch (the writer defers their
+/// reclamation); drop it promptly when done scanning.
+pub struct DbSnapshot {
+    snap: TreeSnapshot,
+}
+
+impl DbSnapshot {
+    /// The writer epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    /// Number of index entries (all logical indexes plus catalog) visible.
+    pub fn entries(&self) -> u64 {
+        self.snap.len()
+    }
+}
+
+/// A shareable read handle into a [`Database`]'s index: cloned planning
+/// metadata plus a [`TreeReader`]. Obtain one from
+/// [`Database::reader`][crate::Database::reader]; clone it freely across
+/// threads.
+///
+/// The metadata is a snapshot of the database's spec table and encoding at
+/// construction time — define further indexes or evolve the schema and
+/// you need a fresh reader.
+pub struct DatabaseReader<P: PageStore> {
+    tree: TreeReader<P>,
+    encoding: Encoding,
+    specs: Vec<IndexSpec>,
+    schema: Schema,
+}
+
+impl<P: PageStore> Clone for DatabaseReader<P> {
+    fn clone(&self) -> Self {
+        DatabaseReader {
+            tree: self.tree.clone(),
+            encoding: self.encoding.clone(),
+            specs: self.specs.clone(),
+            schema: self.schema.clone(),
+        }
+    }
+}
+
+impl<P: PageStore> DatabaseReader<P> {
+    pub(crate) fn new(
+        tree: TreeReader<P>,
+        encoding: Encoding,
+        specs: Vec<IndexSpec>,
+        schema: Schema,
+    ) -> Self {
+        DatabaseReader {
+            tree,
+            encoding,
+            specs,
+            schema,
+        }
+    }
+
+    /// A reader over a bare [`crate::UIndex`] (no object store): benches
+    /// and harnesses that drive the index directly get the same concurrent
+    /// read path as [`Database::reader`][crate::Database::reader]. Enables
+    /// snapshot mode on the tree; like `Database::reader`, the spec table
+    /// and encoding are captured as of this call.
+    pub fn for_index(index: &mut crate::UIndex<P>, schema: &Schema) -> Self {
+        index.tree_mut().enable_snapshots();
+        DatabaseReader::new(
+            index.tree().reader(),
+            index.encoding().clone(),
+            index.specs().to_vec(),
+            schema.clone(),
+        )
+    }
+
+    /// The schema as of reader construction.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Look up an index id by name (reader-side spec table).
+    pub fn index_by_name(&self, name: &str) -> Option<IndexId> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| i as IndexId)
+    }
+
+    /// Pin the latest published epoch.
+    pub fn snapshot(&self) -> DbSnapshot {
+        DbSnapshot {
+            snap: self.tree.snapshot(),
+        }
+    }
+
+    /// Run `q` against `snap`, returning hits and scan cost counters.
+    /// Concurrent calls from different threads are independent; each
+    /// accumulates into its own thread-local telemetry registry.
+    pub fn query_at(&self, snap: &DbSnapshot, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
+        let matcher = Planner {
+            specs: &self.specs,
+            encoding: &self.encoding,
+        }
+        .matcher(q)?;
+        let view = self.tree.read(&snap.snap);
+        let (hits, stats, _) = scan::execute_traced(&view, &matcher, q.algorithm, q.distinct_upto)?;
+        Ok((hits, stats))
+    }
+
+    /// Convenience: pin the latest epoch and run one query against it.
+    pub fn query(&self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
+        let snap = self.snapshot();
+        self.query_at(&snap, q)
+    }
+
+    /// Parse a [`crate::uql`] query string against the reader's metadata
+    /// and run it at the latest epoch.
+    pub fn query_uql(&self, input: &str) -> Result<(Vec<QueryHit>, ScanStats)> {
+        let q = crate::uql::parse_with_specs(&self.specs, &self.schema, input)?;
+        self.query(&q)
+    }
+}
+
+/// Run every query in `queries` against one shared snapshot using
+/// `threads` worker threads, returning per-query results in input order.
+///
+/// Work is claimed dynamically (an atomic cursor, not pre-chunking), so
+/// skewed query costs still balance. Each worker accumulates telemetry in
+/// its own thread-local registry; the snapshots are folded into the
+/// calling thread's registry before returning, so counter totals match a
+/// single-threaded execution of the same stream.
+pub fn parallel_query<P>(
+    reader: &DatabaseReader<P>,
+    queries: &[Query],
+    threads: usize,
+) -> Result<Vec<(Vec<QueryHit>, ScanStats)>>
+where
+    P: PageStore + Send + Sync,
+{
+    let threads = threads.max(1);
+    let snap = reader.snapshot();
+    if threads == 1 || queries.len() <= 1 {
+        // Inline fast path: no thread or telemetry hand-off needed.
+        return queries.iter().map(|q| reader.query_at(&snap, q)).collect();
+    }
+
+    type QuerySlot = Option<Result<(Vec<QueryHit>, ScanStats)>>;
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<QuerySlot>> = Mutex::new((0..queries.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let reader = reader.clone();
+            let (snap, next, results) = (&snap, &next, &results);
+            workers.push(scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let r = reader.query_at(snap, &queries[i]);
+                    results.lock().unwrap()[i] = Some(r);
+                }
+                telemetry::snapshot()
+            }));
+        }
+        for w in workers {
+            let worker_metrics = w.join().expect("query worker panicked");
+            telemetry::absorb(&worker_metrics);
+        }
+    });
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("work claiming covered every query"))
+        .collect()
+}

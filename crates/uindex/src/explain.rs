@@ -90,7 +90,7 @@ fn render_oid_sel(o: &OidSel) -> String {
 
 /// Execute `q` on `db` and build the report.
 pub(crate) fn explain<P: pagestore::PageStore>(
-    db: &mut Database<P>,
+    db: &Database<P>,
     q: &Query,
 ) -> Result<ExplainReport> {
     let matcher = db.index().matcher(q)?;
@@ -302,7 +302,7 @@ mod tests {
 
     #[test]
     fn report_matches_direct_query() {
-        let (mut db, idx, auto) = small_db();
+        let (db, idx, auto) = small_db();
         let q = Query::on(idx)
             .value(ValuePred::eq(Value::Str("Red".into())))
             .class_at(0, ClassSel::SubTree(auto));
@@ -322,7 +322,7 @@ mod tests {
 
     #[test]
     fn text_and_json_render() {
-        let (mut db, idx, _) = small_db();
+        let (db, idx, _) = small_db();
         let q = Query::on(idx).value(ValuePred::eq(Value::Str("Red".into())));
         let report = db.explain_query(&q).unwrap();
         let text = report.render_text();
@@ -343,7 +343,7 @@ mod tests {
 
     #[test]
     fn explain_uql_strips_prefix() {
-        let (mut db, _, _) = small_db();
+        let (db, _, _) = small_db();
         for input in [
             "color: Color = 'Red'",
             "explain analyze color: Color = 'Red'",

@@ -499,6 +499,70 @@ impl<S: PageStore> UIndex<S> {
 
     // ----- querying ------------------------------------------------------
 
+    /// Build the scan [`Matcher`] for `q` (query planning). Planning only
+    /// reads the spec table and the class encoding, so it is also available
+    /// without the tree via [`Planner`].
+    pub(crate) fn matcher(&self, q: &Query) -> Result<Matcher> {
+        Planner {
+            specs: &self.specs,
+            encoding: &self.encoding,
+        }
+        .matcher(q)
+    }
+
+    /// Run a query, returning hits and the scan cost counters.
+    pub fn query(&self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
+        let (hits, stats, _) = self.query_traced(q)?;
+        Ok((hits, stats))
+    }
+
+    /// Run a query collecting the full executed trace: registry-derived
+    /// breakdowns (reseek tiers, pool hits/misses, partial keys expanded)
+    /// and the per-phase span tree `query` → `plan` / `descend` / `scan`.
+    pub fn query_traced(
+        &self,
+        q: &Query,
+    ) -> Result<(Vec<QueryHit>, ScanStats, crate::scan::QueryTrace)> {
+        let root = telemetry::Span::enter("query");
+        let planned = {
+            let _plan = telemetry::Span::enter("plan");
+            self.matcher(q)
+        };
+        let result = planned.and_then(|matcher| {
+            scan::execute_traced(&self.tree.view(), &matcher, q.algorithm, q.distinct_upto)
+        });
+        drop(root);
+        // The freshly closed "query" root is the last finished span; keep it
+        // in the trace and drop older undrained roots.
+        let span = telemetry::take_spans()
+            .into_iter()
+            .rev()
+            .find(|s| s.name == "query");
+        let (hits, stats, mut trace) = result?;
+        trace.span = span;
+        Ok((hits, stats, trace))
+    }
+
+    /// Verify the underlying B-tree and return its shape statistics.
+    pub fn verify(&self) -> Result<TreeStats> {
+        Ok(self.tree.verify()?)
+    }
+}
+
+/// Query planner over a spec table and class encoding — everything needed
+/// to translate a [`Query`] into a scan [`Matcher`] without touching the
+/// tree. [`UIndex::matcher`] delegates here; [`crate::DatabaseReader`]
+/// uses it to plan against cloned metadata on other threads.
+pub(crate) struct Planner<'a> {
+    pub(crate) specs: &'a [IndexSpec],
+    pub(crate) encoding: &'a Encoding,
+}
+
+impl Planner<'_> {
+    fn spec(&self, id: IndexId) -> Result<&IndexSpec> {
+        self.specs.get(id as usize).ok_or(Error::UnknownIndex(id))
+    }
+
     fn resolve_class_sel(
         &self,
         sel: &ClassSel,
@@ -673,43 +737,5 @@ impl<S: PageStore> UIndex<S> {
             value_ranges,
             positions,
         })
-    }
-
-    /// Run a query, returning hits and the scan cost counters.
-    pub fn query(&mut self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
-        let (hits, stats, _) = self.query_traced(q)?;
-        Ok((hits, stats))
-    }
-
-    /// Run a query collecting the full executed trace: registry-derived
-    /// breakdowns (reseek tiers, pool hits/misses, partial keys expanded)
-    /// and the per-phase span tree `query` → `plan` / `descend` / `scan`.
-    pub fn query_traced(
-        &mut self,
-        q: &Query,
-    ) -> Result<(Vec<QueryHit>, ScanStats, crate::scan::QueryTrace)> {
-        let root = telemetry::Span::enter("query");
-        let planned = {
-            let _plan = telemetry::Span::enter("plan");
-            self.matcher(q)
-        };
-        let result = planned.and_then(|matcher| {
-            scan::execute_traced(&mut self.tree, &matcher, q.algorithm, q.distinct_upto)
-        });
-        drop(root);
-        // The freshly closed "query" root is the last finished span; keep it
-        // in the trace and drop older undrained roots.
-        let span = telemetry::take_spans()
-            .into_iter()
-            .rev()
-            .find(|s| s.name == "query");
-        let (hits, stats, mut trace) = result?;
-        trace.span = span;
-        Ok((hits, stats, trace))
-    }
-
-    /// Verify the underlying B-tree and return its shape statistics.
-    pub fn verify(&mut self) -> Result<TreeStats> {
-        Ok(self.tree.verify()?)
     }
 }

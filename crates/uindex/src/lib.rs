@@ -58,6 +58,7 @@ pub mod catalog;
 mod db;
 pub mod disk;
 mod error;
+mod exec;
 pub mod explain;
 mod index;
 mod key;
@@ -71,6 +72,7 @@ pub use catalog::{catalog_entry_count, CATALOG_ID};
 pub use db::{CheckReport, Database, DbStore};
 pub use disk::{DiskDatabase, DiskOptions, DiskStore, OpenReport};
 pub use error::{Error, Result};
+pub use exec::{parallel_query, DatabaseReader, DbSnapshot};
 pub use explain::ExplainReport;
 pub use index::{IndexId, UIndex};
 pub use key::{EntryKey, PathElem};

@@ -15,7 +15,7 @@
 //!   paper's "scan relevant B-tree nodes only and utilize them for all
 //!   possible key values".
 
-use btree::BTree;
+use btree::ReadView;
 use objstore::{Oid, Value};
 use pagestore::PageStore;
 
@@ -393,15 +393,16 @@ impl Matcher {
 /// (LCA re-descent over the retained path), with a full root descent for
 /// the `ParallelFlat` baseline.
 fn skip_seek<S: PageStore>(
-    tree: &mut BTree<S>,
+    view: &ReadView<'_, S>,
     cur: &mut btree::Cursor,
     target: &[u8],
     algorithm: ScanAlgorithm,
 ) -> Result<()> {
     if algorithm == ScanAlgorithm::ParallelFlat {
-        *cur = tree.seek(target)?;
+        // In place so the cursor keeps its accumulated seek stats.
+        view.seek_into(cur, target)?;
     } else {
-        tree.reseek(cur, target)?;
+        view.reseek(cur, target)?;
     }
     Ok(())
 }
@@ -420,13 +421,12 @@ fn skip_seek<S: PageStore>(
 /// so every query path (UQL, programmatic, benches) reports through one
 /// place.
 pub(crate) fn execute_traced<S: PageStore>(
-    tree: &mut BTree<S>,
+    view: &ReadView<'_, S>,
     matcher: &Matcher,
     algorithm: ScanAlgorithm,
     distinct_upto: Option<usize>,
 ) -> Result<(Vec<QueryHit>, ScanStats, QueryTrace)> {
-    tree.pool_mut().begin_query();
-    tree.reset_seek_stats();
+    view.pool().begin_query();
     let reseek_leaf_0 = telemetry::counter_value("btree.reseek.leaf");
     let reseek_lca_0 = telemetry::counter_value("btree.reseek.lca");
     let reseek_full_0 = telemetry::counter_value("btree.reseek.full");
@@ -438,10 +438,10 @@ pub(crate) fn execute_traced<S: PageStore>(
     let mut hits = Vec::new();
     let mut cur = {
         let _descend = telemetry::Span::enter("descend");
-        tree.seek(&matcher.initial_seek())?
+        view.seek(&matcher.initial_seek())?
     };
     let scan_span = telemetry::Span::enter("scan");
-    while let Some(e) = tree.cursor_entry_ref(&mut cur)? {
+    while let Some(e) = view.cursor_entry_ref(&mut cur)? {
         stats.entries_examined += 1;
         match matcher.advise_with(e.key(), &mut scratch)? {
             Advice::Match(assignment) => {
@@ -463,12 +463,12 @@ pub(crate) fn execute_traced<S: PageStore>(
                 match skip {
                     Some(t) if algorithm.skips() && t.as_slice() > e.key() => {
                         stats.seeks += 1;
-                        skip_seek(tree, &mut cur, &t, algorithm)?;
+                        skip_seek(view, &mut cur, &t, algorithm)?;
                     }
-                    _ => tree.cursor_advance(&mut cur),
+                    _ => cur.advance(),
                 }
             }
-            Advice::Step => tree.cursor_advance(&mut cur),
+            Advice::Step => cur.advance(),
             Advice::SkipTo(t) => {
                 trace.partial_keys_expanded += 1;
                 if t.as_slice() <= e.key() {
@@ -477,22 +477,22 @@ pub(crate) fn execute_traced<S: PageStore>(
                     // but if one slips through (corrupt key bytes, a bad
                     // hand-built matcher), degrade to a plain step: every
                     // key still gets examined, only the skip is lost.
-                    tree.cursor_advance(&mut cur);
+                    cur.advance();
                 } else if algorithm.skips() {
                     stats.seeks += 1;
-                    skip_seek(tree, &mut cur, &t, algorithm)?;
+                    skip_seek(view, &mut cur, &t, algorithm)?;
                 } else {
-                    tree.cursor_advance(&mut cur);
+                    cur.advance();
                 }
             }
             Advice::Done => break,
         }
     }
     drop(scan_span);
-    let q = tree.pool().query_stats();
+    let q = view.pool().query_stats();
     stats.pages_read = q.distinct_pages;
     stats.node_visits = q.node_visits;
-    let s = tree.seek_stats();
+    let s = cur.seek_stats();
     stats.descents = s.descents;
     stats.reseek_depth_total = s.depth_total;
 
@@ -711,7 +711,7 @@ mod tests {
 
     #[test]
     fn non_advancing_skip_target_degrades_to_step() {
-        use btree::BTreeConfig;
+        use btree::{BTree, BTreeConfig};
         use pagestore::{BufferPool, MemStore};
 
         // A malformed matcher whose class range lower bound extends the
@@ -742,7 +742,7 @@ mod tests {
             a => panic!("expected SkipTo, got {a:?}"),
         }
         for alg in [ScanAlgorithm::Parallel, ScanAlgorithm::Forward] {
-            let (hits, stats, _) = execute_traced(&mut tree, &m, alg, None).unwrap();
+            let (hits, stats, _) = execute_traced(&tree.view(), &m, alg, None).unwrap();
             assert!(hits.is_empty(), "nothing can match the bogus class range");
             assert_eq!(
                 stats.entries_examined, 3,
@@ -766,10 +766,10 @@ mod advise_props {
     use proptest::prelude::*;
 
     fn check_seed(tseed: u64, qseed: u64) {
-        let mut t = oracle::gen_trial(tseed).expect("trial generation");
+        let t = oracle::gen_trial(tseed).expect("trial generation");
         let keys: Vec<Vec<u8>> =
-            t.db.index_mut()
-                .tree_mut()
+            t.db.index()
+                .tree()
                 .scan_all()
                 .expect("tree scan")
                 .into_iter()

@@ -33,15 +33,22 @@ use pagestore::PageStore;
 use schema::Schema;
 
 use crate::error::{Error, Result};
-use crate::index::UIndex;
+use crate::index::{IndexId, UIndex};
 use crate::query::{ClassSel, OidSel, Query, ValuePred};
+use crate::spec::IndexSpec;
 
 /// Parse a UQL string against the index registry.
 pub fn parse<S: PageStore>(index: &UIndex<S>, schema: &Schema, input: &str) -> Result<Query> {
+    parse_with_specs(index.specs(), schema, input)
+}
+
+/// Parse against a bare spec table — the [`crate::DatabaseReader`] path,
+/// which carries cloned specs instead of the index itself.
+pub fn parse_with_specs(specs: &[IndexSpec], schema: &Schema, input: &str) -> Result<Query> {
     Parser {
         tokens: tokenize(input)?,
         pos: 0,
-        index,
+        specs,
         schema,
     }
     .parse_query()
@@ -135,14 +142,25 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
     Ok(out)
 }
 
-struct Parser<'a, S: PageStore> {
+struct Parser<'a> {
     tokens: Vec<Tok>,
     pos: usize,
-    index: &'a UIndex<S>,
+    specs: &'a [IndexSpec],
     schema: &'a Schema,
 }
 
-impl<'a, S: PageStore> Parser<'a, S> {
+impl<'a> Parser<'a> {
+    fn index_by_name(&self, name: &str) -> Option<IndexId> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| i as IndexId)
+    }
+
+    fn spec(&self, id: IndexId) -> Result<&'a IndexSpec> {
+        self.specs.get(id as usize).ok_or(Error::UnknownIndex(id))
+    }
+
     fn peek(&self) -> Option<&Tok> {
         self.tokens.get(self.pos)
     }
@@ -195,11 +213,10 @@ impl<'a, S: PageStore> Parser<'a, S> {
     fn parse_query(&mut self) -> Result<Query> {
         let index_name = self.ident()?;
         let id = self
-            .index
             .index_by_name(&index_name)
             .ok_or_else(|| Error::BadQuery(format!("no index named {index_name:?}")))?;
         self.expect_sym(':')?;
-        let spec = self.index.spec(id)?;
+        let spec = self.spec(id)?;
         let attr_name = self.schema.attr_name(spec.attr.0, spec.attr.1).to_string();
         let mut q = Query::on(id);
         let mut first = true;
@@ -243,7 +260,7 @@ impl<'a, S: PageStore> Parser<'a, S> {
             .schema
             .class_by_name(class_name)
             .ok_or_else(|| Error::BadQuery(format!("unknown class {class_name:?}")))?;
-        let spec = self.index.spec(id)?;
+        let spec = self.spec(id)?;
         spec.positions
             .iter()
             .position(|p| {
@@ -262,7 +279,7 @@ impl<'a, S: PageStore> Parser<'a, S> {
     /// otherwise the query would silently match nothing.
     fn check_value_kinds(&self, id: crate::IndexId, pred: &ValuePred) -> Result<()> {
         use schema::AttrType;
-        let spec = self.index.spec(id)?;
+        let spec = self.spec(id)?;
         let ty = self.schema.attr_type(spec.attr.0, spec.attr.1);
         let ok = |v: &Value| -> bool {
             matches!(

@@ -102,7 +102,7 @@ fn reopen_from_file_and_query() {
         }
         index.build(&store, 0).unwrap();
         index.save_catalog(&schema).unwrap();
-        index.tree_mut().pool_mut().flush().unwrap();
+        index.tree().pool().flush().unwrap();
         (index.tree().root(), index.tree().len())
     };
 
@@ -110,7 +110,7 @@ fn reopen_from_file_and_query() {
     // back from the catalog.
     let store_file = FileStore::open(&path).unwrap();
     let pool = BufferPool::new(store_file, 512);
-    let (mut index, schema2) =
+    let (index, schema2) =
         UIndex::open_with_catalog(pool, BTreeConfig::default(), root, len).unwrap();
     assert_eq!(schema2.num_classes(), schema.num_classes());
     for c in schema.class_ids() {

@@ -46,10 +46,10 @@ fn build() -> Fixture {
     let truck = s.add_subclass("Truck", vehicle).unwrap();
 
     let mut db = Database::in_memory(s).unwrap();
-    db.index_mut()
-        .tree_mut()
-        .pool_mut()
-        .store_mut()
+    db.index()
+        .tree()
+        .pool()
+        .store_lock()
         .inner_mut()
         .track_preimages(true);
 
@@ -149,11 +149,11 @@ fn answers(db: &mut Database, queries: &[Query]) -> Vec<Vec<QueryHit>> {
 /// page, with the trailer field that identifies the fault's root cause.
 #[test]
 fn every_page_and_every_fault_kind_is_detected() {
-    let mut f = build();
-    let pool = f.db.index_mut().tree_mut().pool_mut();
+    let f = build();
+    let pool = f.db.index().tree().pool();
     pool.flush().unwrap();
     pool.invalidate_cache().unwrap();
-    let store = pool.store_mut();
+    let mut store = pool.store_lock();
     let ids = store.live_page_ids();
     assert!(ids.len() >= 64, "fixture too small: {} pages", ids.len());
     let full_ps = store.inner().page_size();
@@ -226,23 +226,25 @@ fn quarantine_degrade_repair_cycle() {
     // Stale-read first: it needs the build-time pool, whose fault layer
     // recorded pre-images; `repair` swaps in a fresh untracked pool.
     for round in ["stale-read", "bit-flip", "torn-write", "misdirected-write"] {
-        let pool = f.db.index_mut().tree_mut().pool_mut();
-        pool.flush().unwrap();
-        pool.invalidate_cache().unwrap();
-        let store = pool.store_mut();
-        let ids = store.live_page_ids();
-        assert!(ids.len() >= 16, "{round}: fixture too small");
-        let targets = [0, ids.len() / 2, ids.len() - 1];
-        for (j, &t) in targets.iter().enumerate() {
-            let fault = match round {
-                "stale-read" => Fault::StaleRead,
-                "bit-flip" => Fault::BitFlip { bit: 311 * j + 3 },
-                "torn-write" => Fault::TornWrite { bytes: 64 + 32 * j },
-                _ => Fault::MisdirectedWrite {
-                    victim: ids[(t + 1) % ids.len()],
-                },
-            };
-            store.inner_mut().damage_now(ids[t], fault).unwrap();
+        {
+            let pool = f.db.index().tree().pool();
+            pool.flush().unwrap();
+            pool.invalidate_cache().unwrap();
+            let mut store = pool.store_lock();
+            let ids = store.live_page_ids();
+            assert!(ids.len() >= 16, "{round}: fixture too small");
+            let targets = [0, ids.len() / 2, ids.len() - 1];
+            for (j, &t) in targets.iter().enumerate() {
+                let fault = match round {
+                    "stale-read" => Fault::StaleRead,
+                    "bit-flip" => Fault::BitFlip { bit: 311 * j + 3 },
+                    "torn-write" => Fault::TornWrite { bytes: 64 + 32 * j },
+                    _ => Fault::MisdirectedWrite {
+                        victim: ids[(t + 1) % ids.len()],
+                    },
+                };
+                store.inner_mut().damage_now(ids[t], fault).unwrap();
+            }
         }
 
         let report = f.db.check().unwrap();
@@ -296,15 +298,17 @@ fn total_index_loss_auto_quarantines_mid_query() {
     let queries = query_set(&f);
     let clean = answers(&mut f.db, &queries);
 
-    let pool = f.db.index_mut().tree_mut().pool_mut();
-    pool.flush().unwrap();
-    pool.invalidate_cache().unwrap();
-    let store = pool.store_mut();
-    for (i, page) in store.live_page_ids().into_iter().enumerate() {
-        store
-            .inner_mut()
-            .damage_now(page, Fault::BitFlip { bit: i * 13 + 1 })
-            .unwrap();
+    {
+        let pool = f.db.index().tree().pool();
+        pool.flush().unwrap();
+        pool.invalidate_cache().unwrap();
+        let mut store = pool.store_lock();
+        for (i, page) in store.live_page_ids().into_iter().enumerate() {
+            store
+                .inner_mut()
+                .damage_now(page, Fault::BitFlip { bit: i * 13 + 1 })
+                .unwrap();
+        }
     }
 
     // No check() ran: the query itself must hit the corruption (the root

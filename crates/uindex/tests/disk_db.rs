@@ -201,7 +201,7 @@ fn schema_evolution_survives_reopen() {
         db.checkpoint().unwrap();
         drop(db);
     }
-    let (mut db, report) = DiskDatabase::open(&dir).unwrap();
+    let (db, report) = DiskDatabase::open(&dir).unwrap();
     assert!(report.tree_ok && !report.rebuilt);
     let truck = db.schema().class_by_name("Truck").unwrap();
     let q = color_query(&db, "Red").class_at(0, ClassSel::SubTree(truck));
@@ -222,7 +222,7 @@ fn repair_rebuilds_in_place() {
     assert_eq!(db.query(&q_blue).unwrap(), before);
     assert!(db.check().unwrap().clean());
     drop(db);
-    let (mut db, report) = DiskDatabase::open(&dir).unwrap();
+    let (db, report) = DiskDatabase::open(&dir).unwrap();
     assert!(report.tree_ok);
     let q_blue = color_query(&db, "Blue");
     assert_eq!(db.query(&q_blue).unwrap(), before);

@@ -215,7 +215,7 @@ proptest! {
         ),
         queries in proptest::collection::vec(arb_query(), 1..6),
     ) {
-        let mut f = build(&raw_entries);
+        let f = build(&raw_entries);
         for rq in &queries {
             let q = build_query(&f, rq);
             let (par_hits, par_stats) = f.index.query(&q).unwrap();

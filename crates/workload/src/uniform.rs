@@ -158,7 +158,7 @@ impl<P: PageStore> UIndexSet<P> {
         self.index.save_catalog(&self.schema).map_err(corrupt)?;
         let root = self.index.tree().root();
         let len = self.index.tree().len();
-        self.index.tree_mut().pool_mut().flush_to_store_only()?;
+        self.index.tree().pool().flush_to_store_only()?;
         Ok((root, len))
     }
 
@@ -190,8 +190,8 @@ impl<P: PageStore> UIndexSet<P> {
     }
 
     /// The buffer pool (to flush, or reach the underlying store tier).
-    pub fn pool_mut(&mut self) -> &mut BufferPool<P> {
-        self.index.tree_mut().pool_mut()
+    pub fn pool(&self) -> &BufferPool<P> {
+        self.index.tree().pool()
     }
 
     /// Consume the adapter, returning the pool (and with it the store).
@@ -222,9 +222,7 @@ impl<P: PageStore> UIndexSet<P> {
         key: &[u8],
         sets: &[SetId],
     ) -> PageResult<(Vec<(SetId, Oid)>, ScanStats)> {
-        let q = Query::on(self.id)
-            .value(ValuePred::eq(Self::value_of(key)))
-            .class_at(0, self.class_sel(sets));
+        let q = self.exact_query(key, sets);
         self.run_stats(q)
     }
 
@@ -235,14 +233,59 @@ impl<P: PageStore> UIndexSet<P> {
         hi: &[u8],
         sets: &[SetId],
     ) -> PageResult<(Vec<(SetId, Oid)>, ScanStats)> {
-        let q = Query::on(self.id)
+        let q = self.range_query(lo, hi, sets);
+        self.run_stats(q)
+    }
+
+    /// Build (without running) the exact-probe [`Query`], under the
+    /// currently selected scan algorithm — for executors that take a query
+    /// stream, like [`uindex::parallel_query`].
+    pub fn exact_query(&self, key: &[u8], sets: &[SetId]) -> Query {
+        let mut q = Query::on(self.id)
+            .value(ValuePred::eq(Self::value_of(key)))
+            .class_at(0, self.class_sel(sets));
+        q.algorithm = self.algorithm;
+        q
+    }
+
+    /// Build (without running) the range [`Query`] (`lo <= key < hi`).
+    pub fn range_query(&self, lo: &[u8], hi: &[u8], sets: &[SetId]) -> Query {
+        let mut q = Query::on(self.id)
             .value(ValuePred::Range {
                 lo: Some(Self::value_of(lo)),
                 hi: Some(Self::value_of(hi)),
                 hi_inclusive: false,
             })
             .class_at(0, self.class_sel(sets));
-        self.run_stats(q)
+        q.algorithm = self.algorithm;
+        q
+    }
+
+    /// A `Send + Clone` handle for querying this index from other threads
+    /// (see [`uindex::DatabaseReader`]). Enables snapshot mode on the tree.
+    pub fn reader(&mut self) -> uindex::DatabaseReader<P> {
+        uindex::DatabaseReader::for_index(&mut self.index, &self.schema)
+    }
+
+    /// Convert raw index hits into the harness's sorted `(set, oid)` shape.
+    pub fn set_hits(&self, hits: &[uindex::QueryHit]) -> Vec<(SetId, Oid)> {
+        let mut out = Vec::with_capacity(hits.len());
+        for h in hits {
+            let class = self
+                .index
+                .encoding()
+                .class_by_code(&h.key.path[0].code)
+                .expect("known code");
+            let set = SetId(
+                self.classes
+                    .iter()
+                    .position(|&c| c == class)
+                    .expect("known class") as u16,
+            );
+            out.push((set, h.key.path[0].oid));
+        }
+        out.sort();
+        out
     }
 
     fn entry(&self, key: &[u8], set: SetId, oid: Oid) -> EntryKey {
@@ -280,23 +323,7 @@ impl<P: PageStore> UIndexSet<P> {
             .index
             .query(&q)
             .map_err(|e| pagestore::Error::Corrupt(e.to_string()))?;
-        let mut out = Vec::with_capacity(hits.len());
-        for h in &hits {
-            let class = self
-                .index
-                .encoding()
-                .class_by_code(&h.key.path[0].code)
-                .expect("known code");
-            let set = SetId(
-                self.classes
-                    .iter()
-                    .position(|&c| c == class)
-                    .expect("known class") as u16,
-            );
-            out.push((set, h.key.path[0].oid));
-        }
-        out.sort();
-        Ok((out, stats))
+        Ok((self.set_hits(&hits), stats))
     }
 
     fn class_sel(&self, sets: &[SetId]) -> ClassSel {

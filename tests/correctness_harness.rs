@@ -64,8 +64,8 @@ fn btree_over_wal_crashes_at_every_commit_boundary() {
         let mut committed = (model.clone(), tree.root(), tree.len());
         // The creation wrote the empty root page; make it durable so the
         // "crash before any commit" case has a tree to reopen.
-        tree.pool_mut().flush_to_store_only().unwrap();
-        tree.pool_mut().store_mut().commit().unwrap();
+        tree.pool().flush_to_store_only().unwrap();
+        tree.pool().store_lock().commit().unwrap();
         let mut commits_done = 0;
         'outer: for op in 0..OPS {
             let k = key(splitmix(&mut rng));
@@ -78,8 +78,8 @@ fn btree_over_wal_crashes_at_every_commit_boundary() {
                 model.insert(k, v);
             }
             if (op + 1) % COMMIT_EVERY == 0 {
-                tree.pool_mut().flush_to_store_only().unwrap();
-                tree.pool_mut().store_mut().commit().unwrap();
+                tree.pool().flush_to_store_only().unwrap();
+                tree.pool().store_lock().commit().unwrap();
                 committed = (model.clone(), tree.root(), tree.len());
                 commits_done += 1;
                 if commits_done == crash_after {
@@ -92,7 +92,7 @@ fn btree_over_wal_crashes_at_every_commit_boundary() {
         let recovered = WalStore::open(inner, &path)
             .unwrap_or_else(|e| panic!("reopen after {crash_after} commits failed: {e}"));
         let (model_c, root_c, len_c) = committed;
-        let mut tree = BTree::open(
+        let tree = BTree::open(
             BufferPool::new(recovered, 1 << 12),
             BTreeConfig::default(),
             root_c,
@@ -131,9 +131,9 @@ fn read_faults_propagate_as_errors() {
     }
     // A tiny pool guarantees lookups must read from the store; fault the
     // next several reads.
-    let base = tree.pool().store().ops();
+    let base = tree.pool().store_lock().ops();
     for j in 0..8 {
-        tree.pool_mut().store_mut().inject(base + j, Fault::IoError);
+        tree.pool().store_lock().inject(base + j, Fault::IoError);
     }
     let mut saw_error = false;
     for i in 0..200u32 {
@@ -145,7 +145,7 @@ fn read_faults_propagate_as_errors() {
         }
     }
     assert!(saw_error, "faulted reads must surface as errors");
-    assert_eq!(tree.pool().store().pending_faults(), 0);
+    assert_eq!(tree.pool().store_lock().pending_faults(), 0);
     // With the schedule drained, every key is readable again.
     for i in 0..200u32 {
         let k = i.to_be_bytes();

@@ -151,7 +151,7 @@ fn oids_at(hits: &[QueryHit], pos: usize) -> Vec<Oid> {
 
 #[test]
 fn random_world_queries_match_brute_force() {
-    let mut w = build(11, 300);
+    let w = build(11, 300);
     for color in COLORS {
         for class in w.vehicle_classes.clone() {
             let q = Query::on(w.color_idx)
@@ -249,7 +249,7 @@ fn random_mutations_keep_indexes_consistent() {
 
 #[test]
 fn query_costs_scale_sanely() {
-    let mut w = build(31, 2000);
+    let w = build(31, 2000);
     // Exact match on a narrow sub-tree reads far fewer pages than a full
     // forward scan of the whole color index.
     let q = Query::on(w.color_idx)
