@@ -98,4 +98,26 @@ echo "$check_out" | grep -q 'status:  clean' \
 echo "== scanperf --smoke --disk (mem vs file tier, identical query streams)"
 cargo run -q --release --offline -p bench --bin scanperf -- --smoke --disk
 
+echo "== serve smoke (wire protocol server + oracle-checked load generator)"
+cargo run -q --release --offline -p bench --bin loadgen -- --save-db "$tmpdir/servedb" --smoke
+serve_bin=target/release/uindex-cli
+"$serve_bin" serve "$tmpdir/servedb" --port 0 --shutdown-file "$tmpdir/serve.stop" \
+  > "$tmpdir/serve.log" 2> "$tmpdir/serve.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on " "$tmpdir/serve.log" 2>/dev/null && break
+  sleep 0.1
+done
+serve_addr=$(sed -n 's/^listening on //p' "$tmpdir/serve.log")
+[ -n "$serve_addr" ] || { echo "serve smoke: server did not start"; kill "$serve_pid" 2>/dev/null; exit 1; }
+cargo run -q --release --offline -p bench --bin loadgen -- \
+  --smoke --addr "$serve_addr" --db "$tmpdir/servedb" \
+  || { echo "serve smoke: loadgen failed"; kill "$serve_pid" 2>/dev/null; exit 1; }
+touch "$tmpdir/serve.stop"
+wait "$serve_pid" || { echo "serve smoke: server exited non-zero"; exit 1; }
+grep -q "^served " "$tmpdir/serve.log" || { echo "serve smoke: no shutdown summary"; exit 1; }
+
+echo "== serve protocol battery (malformed sweep + admission + torture)"
+timeout 300 cargo test -q --offline -p serve
+
 echo "CI green."

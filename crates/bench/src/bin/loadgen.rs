@@ -1,0 +1,404 @@
+//! Serving-layer load generator: drives N concurrent clients over real
+//! TCP with a seeded mixed UQL stream (about half through the prepared-
+//! statement path), cross-checks **every** response byte-for-byte against
+//! an in-process oracle, and writes `BENCH_serve.json` (p50/p99/p999
+//! latency from the telemetry log₂ histograms, plus throughput and server
+//! counters) at the repo root.
+//!
+//! Modes:
+//!
+//! - default: self-hosted — build the vehicle serve workload on both
+//!   store tiers, serve each from an in-process server, measure both.
+//! - `--smoke`: tiny configuration, no JSON write (the CI hook).
+//! - `--save-db DIR`: build the workload database, save it for
+//!   `uindex-cli serve`, and exit.
+//! - `--addr HOST:PORT --db DIR`: external — drive an already-running
+//!   server, with the oracle rebuilt from the saved database in DIR.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{Client, ServeOptions, ServeStats, Server, WireRow};
+use telemetry::HistogramSnapshot;
+use uindex::{Database, DatabaseReader, DiskDatabase, DiskOptions};
+
+const SEED: u64 = 42;
+
+#[derive(Clone, Copy)]
+struct Config {
+    clients: usize,
+    requests_per_client: usize,
+    vehicles: usize,
+    workers: usize,
+    max_inflight: usize,
+}
+
+impl Config {
+    fn new(smoke: bool) -> Config {
+        if smoke {
+            Config {
+                clients: 3,
+                requests_per_client: 12,
+                vehicles: 120,
+                workers: 2,
+                max_inflight: 16,
+            }
+        } else {
+            Config {
+                clients: 8,
+                requests_per_client: 300,
+                vehicles: 2000,
+                workers: 4,
+                max_inflight: 32,
+            }
+        }
+    }
+}
+
+fn build_mem(cfg: &Config) -> Database {
+    let (schema, classes) = workload::serve::schema();
+    let mut db = Database::with_page_size(schema, 1024, 1 << 14).expect("mem database");
+    workload::serve::populate(&mut db, &classes, SEED, cfg.vehicles).expect("populate");
+    db
+}
+
+/// Expected wire rows per statement — the differential oracle. Uses the
+/// identical [`WireRow::from_hit`] conversion the server uses, so any
+/// divergence is a real engine/protocol bug, never an encoding artifact.
+fn oracle<P: pagestore::PageStore>(reader: &DatabaseReader<P>) -> HashMap<String, Vec<WireRow>> {
+    workload::serve::uql_families()
+        .into_iter()
+        .map(|stmt| {
+            let q = reader.parse_uql(stmt).expect("oracle parse");
+            let (hits, _) = reader.query(&q).expect("oracle query");
+            let rows = hits
+                .iter()
+                .map(|h| WireRow::from_hit(h).expect("oracle row"))
+                .collect();
+            (stmt.to_string(), rows)
+        })
+        .collect()
+}
+
+struct DriveResult {
+    wall_secs: f64,
+    requests: u64,
+    verified: u64,
+    shed_seen: u64,
+    latency: HistogramSnapshot,
+}
+
+/// Drive `cfg.clients` threads of mixed prepared/direct requests against
+/// `addr`, verifying every successful response against the oracle.
+/// Panics (non-zero exit) on the first divergence.
+fn drive(addr: &str, expected: &HashMap<String, Vec<WireRow>>, cfg: &Config) -> DriveResult {
+    let statements = workload::serve::uql_families();
+    let started = Instant::now();
+    let mut merged = telemetry::Snapshot::default();
+    let mut requests = 0u64;
+    let mut verified = 0u64;
+    let mut shed_seen = 0u64;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.clients {
+            let statements = statements.clone();
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(SEED ^ (t as u64).wrapping_mul(0x9E3779B9));
+                let mut client = Client::connect(addr).expect("connect");
+                let prepared: Vec<u64> = statements
+                    .iter()
+                    .map(|s| client.prepare(s).expect("prepare"))
+                    .collect();
+                let hist = telemetry::histogram("serve.client.latency_us");
+                let (mut reqs, mut ok, mut shed) = (0u64, 0u64, 0u64);
+                for i in 0..cfg.requests_per_client {
+                    let which = rng.gen_range(0..statements.len());
+                    let stmt = statements[which];
+                    let t0 = Instant::now();
+                    let reply = if rng.gen_range(0..2) == 0 {
+                        client.execute(prepared[which])
+                    } else {
+                        client.query(stmt)
+                    };
+                    hist.record(t0.elapsed().as_micros() as u64);
+                    reqs += 1;
+                    match reply {
+                        Ok(reply) => {
+                            assert_eq!(
+                                reply.rows, expected[stmt],
+                                "client {t} request {i}: server response diverged from \
+                                 oracle for `{stmt}`"
+                            );
+                            ok += 1;
+                        }
+                        Err(e) if e.is_overloaded() => shed += 1,
+                        Err(e) => panic!("client {t} request {i}: {e}"),
+                    }
+                }
+                (reqs, ok, shed, telemetry::snapshot())
+            }));
+        }
+        for h in handles {
+            let (reqs, ok, shed, snap) = h.join().expect("client thread");
+            requests += reqs;
+            verified += ok;
+            shed_seen += shed;
+            merged.merge(&snap);
+        }
+    });
+
+    let latency = merged
+        .histograms
+        .get("serve.client.latency_us")
+        .cloned()
+        .unwrap_or_default();
+    DriveResult {
+        wall_secs: started.elapsed().as_secs_f64(),
+        requests,
+        verified,
+        shed_seen,
+        latency,
+    }
+}
+
+/// Percentile over a log₂-bucketed histogram: the upper bound of the
+/// bucket where the cumulative count crosses `q` — a ≤2× overestimate by
+/// construction (documented in docs/bench-format.md).
+fn percentile(h: &HistogramSnapshot, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let target = ((q * h.count as f64).ceil() as u64).clamp(1, h.count);
+    let mut cum = 0u64;
+    for &(_, hi, count) in &h.buckets {
+        cum += count;
+        if cum >= target {
+            return hi;
+        }
+    }
+    h.buckets.last().map(|&(_, hi, _)| hi).unwrap_or(0)
+}
+
+fn latency_json(h: &HistogramSnapshot) -> String {
+    let mean = h.sum.checked_div(h.count).unwrap_or(0);
+    format!(
+        "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}",
+        h.count,
+        mean,
+        percentile(h, 0.50),
+        percentile(h, 0.99),
+        percentile(h, 0.999),
+    )
+}
+
+fn stats_json(s: &ServeStats) -> String {
+    format!(
+        "{{\"connections\": {}, \"requests\": {}, \"queries\": {}, \"shed\": {}, \
+         \"rows_sent\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}}}",
+        s.connections,
+        s.requests,
+        s.queries,
+        s.shed,
+        s.rows_sent,
+        s.plan_cache_hits,
+        s.plan_cache_misses,
+    )
+}
+
+fn print_tier(tier: &str, r: &DriveResult) {
+    println!(
+        "{tier:<5} {:>8} reqs {:>10.0} req/s  p50 {:>6}us  p99 {:>6}us  p999 {:>6}us  \
+         ({} verified, {} shed)",
+        r.requests,
+        r.requests as f64 / r.wall_secs.max(1e-9),
+        percentile(&r.latency, 0.50),
+        percentile(&r.latency, 0.99),
+        percentile(&r.latency, 0.999),
+        r.verified,
+        r.shed_seen,
+    );
+}
+
+/// Self-hosted run for one tier: start an in-process server over real
+/// TCP, drive it, shut it down cleanly.
+fn run_tier<P: pagestore::PageStore + Send + Sync + 'static>(
+    reader: DatabaseReader<P>,
+    expected: &HashMap<String, Vec<WireRow>>,
+    cfg: &Config,
+) -> (DriveResult, ServeStats) {
+    let server = Server::start(
+        reader,
+        ServeOptions {
+            workers: cfg.workers,
+            max_inflight: cfg.max_inflight,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+    let result = drive(&addr, expected, cfg);
+    let report = server.shutdown();
+    assert_eq!(
+        report.stats.shed, result.shed_seen,
+        "server and clients disagree on shed count"
+    );
+    (result, report.stats)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = Config::new(smoke);
+
+    // --save-db DIR: materialize the workload database and exit.
+    if let Some(dir) = arg_value("--save-db") {
+        let db = build_mem(&cfg);
+        db.save(std::path::Path::new(&dir)).expect("save db");
+        println!(
+            "saved serve workload ({} vehicles, indexes color/age) to {dir}",
+            cfg.vehicles
+        );
+        return;
+    }
+
+    // --addr: drive an external server, oracle from --db.
+    if let Some(addr) = arg_value("--addr") {
+        let dbdir = arg_value("--db").expect("--addr requires --db DIR for the oracle");
+        let mut db = Database::open(std::path::Path::new(&dbdir)).expect("open oracle db");
+        let expected = oracle(&db.reader());
+        let result = drive(&addr, &expected, &cfg);
+        print_tier("ext", &result);
+        assert!(result.verified > 0, "no responses verified");
+        println!(
+            "oracle: {} responses verified against {} statements, 0 mismatches",
+            result.verified,
+            expected.len()
+        );
+        return;
+    }
+
+    // Self-hosted: both tiers, one JSON.
+    println!(
+        "loadgen: {} clients x {} requests, {} vehicles{}",
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.vehicles,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut mem = build_mem(&cfg);
+    let mem_reader = mem.reader();
+    let expected = oracle(&mem_reader);
+    assert!(
+        expected.values().any(|rows| !rows.is_empty()),
+        "oracle produced only empty answers"
+    );
+    let (mem_result, mem_stats) = run_tier(mem_reader, &expected, &cfg);
+    print_tier("mem", &mem_result);
+
+    let mut dir: PathBuf = std::env::temp_dir();
+    dir.push(format!("uindex_loadgen_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (schema, classes) = workload::serve::schema();
+    let mut disk = DiskDatabase::create(
+        schema,
+        &dir,
+        DiskOptions {
+            page_size: 1024,
+            pool_pages: 1 << 14,
+            ..DiskOptions::default()
+        },
+    )
+    .expect("disk database");
+    workload::serve::populate(&mut disk, &classes, SEED, cfg.vehicles).expect("populate disk");
+    disk.commit().expect("commit");
+    let disk_reader = disk.reader();
+    let disk_expected = oracle(&disk_reader);
+    assert_eq!(
+        expected, disk_expected,
+        "store tiers disagree on oracle answers"
+    );
+    let (disk_result, disk_stats) = run_tier(disk_reader, &expected, &cfg);
+    print_tier("disk", &disk_result);
+    drop(disk);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let total_verified = mem_result.verified + disk_result.verified;
+    println!(
+        "oracle: {} responses verified against {} statements, 0 mismatches",
+        total_verified,
+        expected.len()
+    );
+
+    if smoke {
+        println!("smoke run: BENCH_serve.json not written");
+        return;
+    }
+
+    let provenance = telemetry::Provenance {
+        seed: SEED,
+        workload: "vehicle-serve".into(),
+        objects: cfg.vehicles as u64,
+        version: telemetry::tool_version(env!("CARGO_PKG_VERSION")),
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"provenance\": {},", provenance.to_json());
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"clients\": {}, \"requests_per_client\": {}, \"vehicles\": {}, \
+         \"workers\": {}, \"max_inflight\": {}, \"statements\": {}}},",
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.vehicles,
+        cfg.workers,
+        cfg.max_inflight,
+        expected.len(),
+    );
+    json.push_str("  \"tiers\": {\n");
+    for (i, (tier, result, stats)) in [
+        ("mem", &mem_result, &mem_stats),
+        ("disk", &disk_result, &disk_stats),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let _ = writeln!(json, "    \"{tier}\": {{");
+        let _ = writeln!(
+            json,
+            "      \"throughput_rps\": {:.1},",
+            result.requests as f64 / result.wall_secs.max(1e-9)
+        );
+        let _ = writeln!(
+            json,
+            "      \"latency_us\": {},",
+            latency_json(&result.latency)
+        );
+        let _ = writeln!(json, "      \"server\": {}", stats_json(stats));
+        json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"oracle\": {{\"statements\": {}, \"verified_responses\": {}, \"mismatches\": 0}}",
+        expected.len(),
+        total_verified,
+    );
+    json.push_str("}\n");
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

@@ -201,21 +201,49 @@ impl SnapshotTracker {
     /// Drop versions no active snapshot can need and drain the deferred
     /// frees that are past the reclamation horizon. The caller (the writer,
     /// at publish) frees the returned pages outside the tracker mutex.
+    ///
+    /// Retention is exact, not horizon-based: a snapshot at epoch `e`
+    /// resolves a page to its first version with `valid_through >= e`, so a
+    /// version is needed only when some *active* epoch falls in the
+    /// half-open interval `(previous version's valid_through, its own
+    /// valid_through]`. A long-lived snapshot therefore pins at most one
+    /// version per page it can reach — not one per publish interval it
+    /// survives — which keeps a server reader held across many writer
+    /// epochs at O(pages) footprint instead of O(epochs).
     fn collect_reclaimable(&self) -> Vec<PageId> {
+        use std::ops::Bound::{Excluded, Included, Unbounded};
         let mut inner = lock(&self.inner);
-        let horizon = inner.active.keys().next().copied();
-        inner.versions.retain(|_, versions| {
-            versions.retain(|v| match horizon {
-                Some(min) => v.valid_through >= min,
-                None => false,
+        let TrackInner {
+            active,
+            versions,
+            pending_free,
+        } = &mut *inner;
+        versions.retain(|_, versions| {
+            // `prev` tracks the *original* predecessor bound: dropping an
+            // unneeded version never widens a survivor's interval, so the
+            // exactness argument above stays valid case by case.
+            let mut prev: Option<u64> = None;
+            versions.retain(|v| {
+                let lo = prev;
+                prev = Some(v.valid_through);
+                match lo {
+                    None => active.range(..=v.valid_through).next().is_some(),
+                    Some(lo) => active
+                        .range((Excluded(lo), Included(v.valid_through)))
+                        .next()
+                        .is_some(),
+                }
             });
             !versions.is_empty()
         });
-        let remaining: usize = inner.versions.values().map(Vec::len).sum();
+        let remaining: usize = versions.values().map(Vec::len).sum();
         self.nversions.store(remaining, Ordering::Release);
         let mut freed = Vec::new();
-        inner.pending_free.retain(|(valid_through, id)| {
-            let reachable = horizon.is_some_and(|min| min <= *valid_through);
+        pending_free.retain(|(valid_through, id)| {
+            let reachable = active
+                .range((Unbounded, Included(*valid_through)))
+                .next()
+                .is_some();
             if !reachable {
                 freed.push(*id);
             }

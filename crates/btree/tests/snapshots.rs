@@ -138,6 +138,101 @@ fn reclamation_frees_everything_after_last_snapshot_drops() {
 }
 
 #[test]
+fn long_held_snapshot_pins_pages_not_epochs() {
+    let mut tree = small_tree();
+    for i in 0..200 {
+        tree.insert(&key(i), b"v0").unwrap();
+    }
+    tree.enable_snapshots();
+    let reader = tree.reader();
+    let snap = reader.snapshot();
+
+    // A serving process can hold a reader snapshot across hundreds of
+    // writer epochs. Same-size overwrites keep the page set stable, so the
+    // version store must converge to at most one preserved pre-image per
+    // page — not one per publish interval survived.
+    let mut counts = Vec::new();
+    for round in 0..120u32 {
+        for i in 0..10u32 {
+            tree.insert(&key((i * 17) % 200), format!("r{round:04}").as_bytes())
+                .unwrap();
+        }
+        tree.publish().unwrap();
+        counts.push(tree.tracker().version_count());
+    }
+    let max = *counts.iter().max().unwrap();
+    assert!(
+        max <= tree.pool().live_pages(),
+        "version store pinned {max} versions for one snapshot over \
+         {} live pages — growing with epochs, not pages",
+        tree.pool().live_pages()
+    );
+    assert_eq!(
+        counts[30], counts[119],
+        "version count must reach a steady state while the snapshot is held"
+    );
+
+    // The pinned snapshot still reads its own epoch exactly.
+    let view = reader.read(&snap);
+    assert_eq!(view.scan_all().unwrap().len(), 200);
+    assert_eq!(view.get(&key(0)).unwrap(), Some(b"v0".to_vec()));
+
+    // Refresh the snapshot (drop + re-pin, the server's per-query
+    // pattern): the next publish must revert the footprint completely.
+    drop(snap);
+    let fresh = reader.snapshot();
+    tree.publish().unwrap();
+    assert_eq!(
+        tree.tracker().version_count(),
+        0,
+        "footprint did not revert after the oldest snapshot was refreshed"
+    );
+    assert_eq!(tree.tracker().pending_frees(), 0);
+    assert_eq!(
+        reader.read(&fresh).get(&key(0)).unwrap(),
+        Some(b"r0119".to_vec())
+    );
+}
+
+#[test]
+fn refresh_reverts_deferred_frees_from_structural_churn() {
+    let mut tree = small_tree();
+    tree.bulk_replace((0..600).map(|i| (key(i), Vec::new())))
+        .unwrap();
+    tree.enable_snapshots();
+    let reader = tree.reader();
+    let snap = reader.snapshot();
+    let pages_before = tree.pool().live_pages();
+
+    // Structural churn under a pinned snapshot: deletes merge nodes and
+    // defer their frees; the snapshot keeps every freed page live.
+    for i in 0..600 {
+        if i % 5 != 0 {
+            tree.delete(&key(i)).unwrap();
+        }
+    }
+    tree.publish().unwrap();
+    assert!(tree.tracker().pending_frees() > 0);
+    assert!(tree.pool().live_pages() >= pages_before - 1);
+    assert_eq!(reader.read(&snap).scan_all().unwrap().len(), 600);
+
+    // Refreshing the oldest (only) snapshot releases every deferred page:
+    // live pages revert to exactly the surviving tree's nodes.
+    drop(snap);
+    let fresh = reader.snapshot();
+    tree.publish().unwrap();
+    assert_eq!(tree.tracker().pending_frees(), 0);
+    assert_eq!(tree.tracker().version_count(), 0);
+    let stats = tree.verify().unwrap();
+    assert_eq!(
+        tree.pool().live_pages(),
+        stats.total_nodes(),
+        "deferred frees survived the snapshot refresh"
+    );
+    assert_eq!(reader.read(&fresh).scan_all().unwrap().len(), 120);
+}
+
+#[test]
 fn concurrent_scanners_match_model_per_epoch() {
     let mut tree = small_tree();
     tree.enable_snapshots();

@@ -9,6 +9,8 @@
 //! uindex-cli check   <db-dir>
 //! uindex-cli repair  <db-dir>
 //! uindex-cli churn   <db-dir> <Class> <Attr> <n-commits>
+//! uindex-cli serve   <db-dir> [--port N] [--workers N] [--max-inflight N]
+//!                             [--shutdown-file PATH]
 //! ```
 //!
 //! `new --disk` creates a file-backed, WAL-protected database; the other
@@ -28,6 +30,12 @@
 //!
 //! `churn` (disk only) runs a commit-per-object write loop — the crash
 //! smoke's target: SIGKILL it mid-commit, reopen, `check` must be green.
+//!
+//! `serve` opens the database read-only (either tier), starts the UQL
+//! wire-protocol server (see the `serve` crate) on the given port (0 =
+//! ephemeral; the chosen address is printed as `listening on ADDR`), and
+//! runs until the `--shutdown-file` path appears — the orchestration
+//! hook: touch the file, the server drains and prints its summary.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -173,6 +181,44 @@ fn cmd_check<P: pagestore::Scrubbable>(db: &mut Database<P>, dir: &str) -> Resul
     }
 }
 
+/// Serve a database until the shutdown file appears (or forever without
+/// one), then drain and print the lifetime summary.
+fn cmd_serve<P: PageStore + Send + Sync + 'static>(
+    reader: uindex::DatabaseReader<P>,
+    options: serve::ServeOptions,
+    shutdown_file: Option<&str>,
+) -> Result<(), String> {
+    let server = serve::Server::start(reader, options).map_err(|e| e.to_string())?;
+    println!("listening on {}", server.local_addr());
+    match shutdown_file {
+        Some(path) => {
+            while !Path::new(path).exists() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("shutdown file {path} appeared; draining");
+        }
+        None => loop {
+            // No orchestration hook: serve until the process is killed.
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    let report = server.shutdown();
+    let s = &report.stats;
+    println!(
+        "served {} requests ({} queries, {} shed, {} proto errors, {} rows) \
+         over {} connections; plan cache {} hits / {} misses",
+        s.requests,
+        s.queries,
+        s.shed,
+        s.proto_errors,
+        s.rows_sent,
+        s.connections,
+        s.plan_cache_hits,
+        s.plan_cache_misses
+    );
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let usage = "usage: uindex-cli <new|load|query|explain|info|check|repair|churn> ...";
     match args.first().map(String::as_str) {
@@ -310,6 +356,43 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("rebuilt index from object store: {entries} entries, verified");
             }
             Ok(())
+        }
+        Some("serve") => {
+            let rest = &args[1..];
+            let Some(dir) = rest.first().filter(|a| !a.starts_with("--")) else {
+                return Err("usage: uindex-cli serve <db-dir> [--port N] [--workers N] \
+                     [--max-inflight N] [--shutdown-file PATH]"
+                    .into());
+            };
+            let flag = |name: &str| {
+                rest.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| rest.get(i + 1).cloned())
+            };
+            let port: u16 = match flag("--port") {
+                Some(p) => p.parse().map_err(|_| format!("bad port {p:?}"))?,
+                None => 0,
+            };
+            let mut options = serve::ServeOptions {
+                addr: format!("127.0.0.1:{port}"),
+                ..serve::ServeOptions::default()
+            };
+            if let Some(w) = flag("--workers") {
+                options.workers = w.parse().map_err(|_| format!("bad worker count {w:?}"))?;
+            }
+            if let Some(m) = flag("--max-inflight") {
+                options.max_inflight = m
+                    .parse()
+                    .map_err(|_| format!("bad in-flight bound {m:?}"))?;
+            }
+            let shutdown_file = flag("--shutdown-file");
+            if DiskDatabase::exists(Path::new(dir.as_str())) {
+                let mut db = open_disk(dir)?;
+                cmd_serve(db.reader(), options, shutdown_file.as_deref())
+            } else {
+                let mut db = Database::open(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+                cmd_serve(db.reader(), options, shutdown_file.as_deref())
+            }
         }
         Some("churn") => {
             let [_, dir, class_name, attr_name, n] = args else {

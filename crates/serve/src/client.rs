@@ -1,0 +1,141 @@
+//! Minimal blocking client for the UQL wire protocol: used by the load
+//! generator, the test battery, and as the reference for how a foreign
+//! client should drive the server.
+
+use std::fmt;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{self, DoneInfo, ErrorCode, Frame, ProtoError, WireRow, DEFAULT_MAX_PAYLOAD};
+
+/// A failure surfaced to the client caller, keeping server-side typed
+/// errors (notably `Overloaded`) distinguishable from transport issues.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Framing/transport failure on this side of the wire.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server { code: ErrorCode, message: String },
+    /// The server sent a well-formed frame the client did not expect in
+    /// this state (e.g. a `Pong` to a `Query`).
+    Unexpected(&'static str),
+}
+
+impl ServeError {
+    /// Whether this is an admission-control shed (retryable).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Server {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Proto(e) => write!(f, "protocol: {e}"),
+            ServeError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            ServeError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        ServeError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// A complete successful query response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// All rows, concatenated across row batches in arrival order.
+    pub rows: Vec<WireRow>,
+    /// The closing execution summary.
+    pub done: DoneInfo,
+}
+
+/// One blocking connection to a UQL server.
+pub struct Client {
+    stream: TcpStream,
+    max_payload: u32,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        })
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        proto::write_frame(&mut self.stream, &Frame::Ping)?;
+        match self.read_reply()? {
+            Frame::Pong => Ok(()),
+            _ => Err(ServeError::Unexpected("wanted Pong")),
+        }
+    }
+
+    /// Parse-and-cache a statement server-side; the returned id drives
+    /// [`Client::execute`].
+    pub fn prepare(&mut self, uql: &str) -> Result<u64, ServeError> {
+        proto::write_frame(&mut self.stream, &Frame::Prepare { uql: uql.into() })?;
+        match self.read_reply()? {
+            Frame::Prepared { id } => Ok(id),
+            _ => Err(ServeError::Unexpected("wanted Prepared")),
+        }
+    }
+
+    /// Run a previously prepared statement.
+    pub fn execute(&mut self, id: u64) -> Result<QueryReply, ServeError> {
+        proto::write_frame(&mut self.stream, &Frame::Execute { id })?;
+        self.collect_rows()
+    }
+
+    /// Parse-and-run one UQL statement.
+    pub fn query(&mut self, uql: &str) -> Result<QueryReply, ServeError> {
+        proto::write_frame(&mut self.stream, &Frame::Query { uql: uql.into() })?;
+        self.collect_rows()
+    }
+
+    /// Send raw bytes as-is — the malformed-input tests' entry point.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Read one frame off the wire (for driving the protocol manually).
+    pub fn read_reply(&mut self) -> Result<Frame, ProtoError> {
+        proto::read_frame(&mut self.stream, self.max_payload)
+    }
+
+    fn collect_rows(&mut self) -> Result<QueryReply, ServeError> {
+        let mut rows = Vec::new();
+        loop {
+            match self.read_reply()? {
+                Frame::RowBatch { rows: batch } => rows.extend(batch),
+                Frame::Done(done) => return Ok(QueryReply { rows, done }),
+                Frame::Error { code, message } => return Err(ServeError::Server { code, message }),
+                _ => return Err(ServeError::Unexpected("wanted RowBatch/Done/Error")),
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! UQL serving layer for the uniform index.
+//!
+//! Four pieces, each its own module:
+//!
+//! - [`proto`] — the length-prefixed binary wire protocol (frame format,
+//!   defensive decoding, typed error codes).
+//! - [`admission`] — a counting gate bounding in-flight queries; excess
+//!   load is shed with a typed `Overloaded` error before touching the
+//!   engine.
+//! - [`cache`] — the prepared-plan cache keyed on normalized UQL text.
+//! - [`server`] / [`client`] — a blocking TCP server multiplexing N
+//!   client connections over a fixed worker pool of
+//!   [`uindex::DatabaseReader`] handles, and the reference client.
+//!
+//! The design contract threaded through all of it: responses are built
+//! from [`uindex::EntryKey::encode`] bytes, so any in-process execution
+//! of the same query over the same data is byte-comparable to what a
+//! client receives — the differential-oracle hook the test battery and
+//! load generator rely on.
+
+pub mod admission;
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use admission::{AdmissionGate, Permit};
+pub use cache::{normalize, PlanCache};
+pub use client::{Client, QueryReply, ServeError};
+pub use proto::{DoneInfo, ErrorCode, Frame, ProtoError, WireRow};
+pub use server::{ServeOptions, ServeReport, ServeStats, Server};

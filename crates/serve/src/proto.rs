@@ -1,0 +1,456 @@
+//! Length-prefixed binary wire protocol for the UQL serving layer.
+//!
+//! Every frame is `MAGIC (4) | VERSION (1) | TYPE (1) | LEN (4, BE) |
+//! PAYLOAD (LEN bytes)`. Requests carry UQL text or a prepared-statement
+//! id; responses carry row batches, execution telemetry, or typed errors.
+//!
+//! Decoding is defensive in a fixed order — magic, version, declared
+//! length against the payload cap, then type, then payload — so an
+//! oversized length prefix is rejected *before* any allocation and
+//! garbage input can never make the decoder panic. Errors are classified
+//! as fatal (the stream can no longer be framed: close after reporting)
+//! or recoverable (the frame boundary is intact: report and keep the
+//! connection).
+
+use std::fmt;
+use std::io::{Read, Write};
+
+/// First four bytes of every frame: "UQLW" (UQL wire).
+pub const MAGIC: [u8; 4] = *b"UQLW";
+/// Protocol revision; bumped on any incompatible frame change.
+pub const VERSION: u8 = 1;
+/// Fixed prefix size: magic + version + type + payload length.
+pub const HEADER_LEN: usize = 10;
+/// Default cap on a single frame's payload (1 MiB).
+pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Sentinel encoding `None` in a [`WireRow`] assignment slot.
+const NO_ASSIGNMENT: u32 = u32::MAX;
+
+/// Frame type tags. Requests are < 0x80, responses >= 0x80.
+mod tag {
+    pub const QUERY: u8 = 0x01;
+    pub const PREPARE: u8 = 0x02;
+    pub const EXECUTE: u8 = 0x03;
+    pub const PING: u8 = 0x04;
+    pub const ROW_BATCH: u8 = 0x81;
+    pub const DONE: u8 = 0x82;
+    pub const ERROR: u8 = 0x83;
+    pub const PONG: u8 = 0x84;
+    pub const PREPARED: u8 = 0x85;
+}
+
+/// Typed error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// UQL text failed to parse or plan.
+    Parse = 1,
+    /// The query planned but execution failed.
+    Exec = 2,
+    /// Admission control shed the request; retry later.
+    Overloaded = 3,
+    /// The peer sent bytes that violate the framing rules.
+    Proto = 4,
+    /// `Execute` named a prepared-statement id the server no longer holds.
+    UnknownStatement = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::Parse),
+            2 => Some(ErrorCode::Exec),
+            3 => Some(ErrorCode::Overloaded),
+            4 => Some(ErrorCode::Proto),
+            5 => Some(ErrorCode::UnknownStatement),
+            _ => None,
+        }
+    }
+}
+
+/// One query-result row: the entry's canonical key bytes
+/// ([`uindex::EntryKey::encode`]) plus the position assignment. Byte-for-
+/// byte comparable against an in-process oracle's encoding of the same
+/// hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRow {
+    /// `EntryKey::encode()` of the hit.
+    pub key: Vec<u8>,
+    /// Per-spec-position path-element index; `None` encoded as
+    /// `0xFFFF_FFFF` on the wire.
+    pub assignment: Vec<Option<u32>>,
+}
+
+impl WireRow {
+    /// Encode a [`uindex::QueryHit`] for the wire (or for oracle-side
+    /// comparison — both sides must go through this one function).
+    pub fn from_hit(hit: &uindex::QueryHit) -> Result<WireRow, uindex::Error> {
+        Ok(WireRow {
+            key: hit.key.encode()?,
+            assignment: hit.assignment.iter().map(|a| a.map(|i| i as u32)).collect(),
+        })
+    }
+}
+
+/// Execution summary closing every successful response stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DoneInfo {
+    /// Total rows sent in the preceding [`Frame::RowBatch`] frames.
+    pub rows: u64,
+    /// Scan cost: distinct pages touched.
+    pub pages_read: u64,
+    /// Scan cost: entries the matcher examined.
+    pub entries_examined: u64,
+    /// Scan cost: skip-seeks performed.
+    pub seeks: u64,
+    /// Server-side execution time in microseconds.
+    pub micros: u64,
+    /// Whether the plan came from the prepared-plan cache.
+    pub cached_plan: bool,
+}
+
+/// Every frame the protocol can carry, request and response alike.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Parse-and-run one UQL query.
+    Query { uql: String },
+    /// Parse and cache a plan; the reply names it with [`Frame::Prepared`].
+    Prepare { uql: String },
+    /// Run a previously prepared plan by id.
+    Execute { id: u64 },
+    /// Liveness probe.
+    Ping,
+    /// A chunk of result rows (large results span several batches).
+    RowBatch { rows: Vec<WireRow> },
+    /// End of a successful response stream, with execution telemetry.
+    Done(DoneInfo),
+    /// Typed failure; terminates the response stream for one request.
+    Error { code: ErrorCode, message: String },
+    /// Reply to [`Frame::Ping`].
+    Pong,
+    /// Reply to [`Frame::Prepare`]: the id to pass to [`Frame::Execute`].
+    Prepared { id: u64 },
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Query { .. } => tag::QUERY,
+            Frame::Prepare { .. } => tag::PREPARE,
+            Frame::Execute { .. } => tag::EXECUTE,
+            Frame::Ping => tag::PING,
+            Frame::RowBatch { .. } => tag::ROW_BATCH,
+            Frame::Done(_) => tag::DONE,
+            Frame::Error { .. } => tag::ERROR,
+            Frame::Pong => tag::PONG,
+            Frame::Prepared { .. } => tag::PREPARED,
+        }
+    }
+}
+
+/// Framing and payload failures, split into fatal (stream unframeable)
+/// and recoverable (frame boundary intact) by [`ProtoError::is_fatal`].
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// The peer closed the stream at a frame boundary (clean EOF).
+    Closed,
+    /// Frame did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol revision.
+    BadVersion(u8),
+    /// Type byte outside the known frame set.
+    UnknownType(u8),
+    /// Declared payload length exceeds the cap; rejected pre-allocation.
+    Oversized { len: u32, max: u32 },
+    /// Stream ended mid-frame.
+    Truncated,
+    /// Well-framed payload bytes that do not decode as the declared type.
+    BadPayload(String),
+}
+
+impl ProtoError {
+    /// Whether the connection can continue after this error. A bad magic,
+    /// version, or length means we no longer know where frames begin;
+    /// a bad payload or unknown type inside a valid frame does not.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, ProtoError::UnknownType(_) | ProtoError::BadPayload(_))
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io: {e}"),
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::UnknownType(t) => write!(f, "unknown frame type 0x{t:02x}"),
+            ProtoError::Oversized { len, max } => {
+                write!(f, "declared payload {len} bytes exceeds cap {max}")
+            }
+            ProtoError::Truncated => write!(f, "stream ended mid-frame"),
+            ProtoError::BadPayload(m) => write!(f, "bad payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtoError::BadPayload("payload shorter than declared".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length-prefixed byte string whose declared length is validated
+    /// against the bytes actually present before any allocation.
+    fn bytes(&mut self) -> Result<&'a [u8], ProtoError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| ProtoError::BadPayload("string is not UTF-8".into()))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::BadPayload(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn encode_payload(frame: &Frame) -> Vec<u8> {
+    let mut p = Vec::new();
+    match frame {
+        Frame::Query { uql } | Frame::Prepare { uql } => put_bytes(&mut p, uql.as_bytes()),
+        Frame::Execute { id } | Frame::Prepared { id } => put_u64(&mut p, *id),
+        Frame::Ping | Frame::Pong => {}
+        Frame::RowBatch { rows } => {
+            put_u32(&mut p, rows.len() as u32);
+            for row in rows {
+                put_bytes(&mut p, &row.key);
+                put_u32(&mut p, row.assignment.len() as u32);
+                for a in &row.assignment {
+                    put_u32(&mut p, a.unwrap_or(NO_ASSIGNMENT));
+                }
+            }
+        }
+        Frame::Done(d) => {
+            put_u64(&mut p, d.rows);
+            put_u64(&mut p, d.pages_read);
+            put_u64(&mut p, d.entries_examined);
+            put_u64(&mut p, d.seeks);
+            put_u64(&mut p, d.micros);
+            p.push(d.cached_plan as u8);
+        }
+        Frame::Error { code, message } => {
+            p.push(*code as u8);
+            put_bytes(&mut p, message.as_bytes());
+        }
+    }
+    p
+}
+
+fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let frame = match ty {
+        tag::QUERY => Frame::Query { uql: c.string()? },
+        tag::PREPARE => Frame::Prepare { uql: c.string()? },
+        tag::EXECUTE => Frame::Execute { id: c.u64()? },
+        tag::PING => Frame::Ping,
+        tag::PONG => Frame::Pong,
+        tag::PREPARED => Frame::Prepared { id: c.u64()? },
+        tag::ROW_BATCH => {
+            let n = c.u32()? as usize;
+            // The count is validated implicitly: each row consumes bytes
+            // from the cursor, so an inflated count fails on `take`, never
+            // on a speculative allocation.
+            let mut rows = Vec::new();
+            for _ in 0..n {
+                let key = c.bytes()?.to_vec();
+                let slots = c.u32()? as usize;
+                let mut assignment = Vec::new();
+                for _ in 0..slots {
+                    let v = c.u32()?;
+                    assignment.push((v != NO_ASSIGNMENT).then_some(v));
+                }
+                rows.push(WireRow { key, assignment });
+            }
+            Frame::RowBatch { rows }
+        }
+        tag::DONE => Frame::Done(DoneInfo {
+            rows: c.u64()?,
+            pages_read: c.u64()?,
+            entries_examined: c.u64()?,
+            seeks: c.u64()?,
+            micros: c.u64()?,
+            cached_plan: match c.u8()? {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(ProtoError::BadPayload(format!(
+                        "cached_plan flag must be 0/1, got {b}"
+                    )))
+                }
+            },
+        }),
+        tag::ERROR => {
+            let raw = c.u8()?;
+            let code = ErrorCode::from_u8(raw)
+                .ok_or_else(|| ProtoError::BadPayload(format!("unknown error code {raw}")))?;
+            Frame::Error {
+                code,
+                message: c.string()?,
+            }
+        }
+        other => return Err(ProtoError::UnknownType(other)),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Frame-level encode/decode
+// ---------------------------------------------------------------------------
+
+/// Serialize one frame (header + payload) into a fresh buffer.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = encode_payload(frame);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.tag());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validate a 10-byte header, returning `(type, payload_len)`. The
+/// declared length is checked against `max_payload` *here*, before the
+/// caller allocates a payload buffer.
+pub fn parse_header(header: &[u8; HEADER_LEN], max_payload: u32) -> Result<(u8, u32), ProtoError> {
+    if header[..4] != MAGIC {
+        return Err(ProtoError::BadMagic(header[..4].try_into().unwrap()));
+    }
+    if header[4] != VERSION {
+        return Err(ProtoError::BadVersion(header[4]));
+    }
+    let len = u32::from_be_bytes(header[6..10].try_into().unwrap());
+    if len > max_payload {
+        return Err(ProtoError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    Ok((header[5], len))
+}
+
+/// Decode a well-framed payload body for frame type `ty`.
+pub fn parse_payload(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+    decode_payload(ty, payload)
+}
+
+/// Decode one frame from the front of `buf`, returning it and the number
+/// of bytes consumed. Short input yields [`ProtoError::Truncated`].
+pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<(Frame, usize), ProtoError> {
+    if buf.len() < HEADER_LEN {
+        return Err(ProtoError::Truncated);
+    }
+    let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
+    let (ty, len) = parse_header(header, max_payload)?;
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Err(ProtoError::Truncated);
+    }
+    let frame = decode_payload(ty, &buf[HEADER_LEN..total])?;
+    Ok((frame, total))
+}
+
+/// Blocking read of exactly one frame from `r`. EOF at a frame boundary
+/// is [`ProtoError::Closed`]; EOF mid-frame is [`ProtoError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Err(ProtoError::Closed),
+            0 => return Err(ProtoError::Truncated),
+            n => got += n,
+        }
+    }
+    let (ty, len) = parse_header(&header, max_payload)?;
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..])? {
+            0 => return Err(ProtoError::Truncated),
+            n => got += n,
+        }
+    }
+    decode_payload(ty, &payload)
+}
+
+/// Blocking write of one frame to `w`.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}

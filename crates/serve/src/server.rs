@@ -1,0 +1,649 @@
+//! Blocking TCP server: one acceptor, one IO thread per connection, and a
+//! fixed worker pool of [`DatabaseReader`] handles executing queries.
+//!
+//! The split keeps the expensive resource — query execution over the
+//! buffer pool — bounded by `workers` regardless of how many clients
+//! connect, while admission control bounds how many requests may *wait*
+//! for those workers. A connection thread only parses frames, consults
+//! the plan cache, and shuttles results; it holds no snapshot and no
+//! pages, so thousands of idle connections cost only their threads.
+//!
+//! Each query executes against a fresh snapshot pinned for just that
+//! query, so a long-lived server never pins old writer epochs (see the
+//! reader-lifetime tests in `uindex` and `btree`).
+//!
+//! Shutdown protocol: set the stop flag; the acceptor (non-blocking
+//! accept + poll) exits, connection threads notice via their read
+//! timeouts and close, then workers drain the job queue and exit. Every
+//! thread's telemetry registry is merged into one [`telemetry::Snapshot`]
+//! handed back in the final [`ServeReport`], so counters add up exactly
+//! as if the whole run were single-threaded.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pagestore::PageStore;
+use telemetry::Span;
+use uindex::DatabaseReader;
+
+use crate::admission::{AdmissionGate, Permit};
+use crate::cache::{CachedPlan, PlanCache};
+use crate::proto::{
+    self, DoneInfo, ErrorCode, Frame, ProtoError, WireRow, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+};
+
+/// Rows per [`Frame::RowBatch`]; large results span several batches.
+const BATCH_ROWS: usize = 512;
+
+/// Type-erased UQL parser bound to the served reader's metadata.
+type ParseFn = Box<dyn Fn(&str) -> Result<uindex::Query, String> + Send + Sync>;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing queries (each owns a reader clone).
+    pub workers: usize,
+    /// Admission bound: queries in flight (executing or queued) before
+    /// requests are shed with `Overloaded`.
+    pub max_inflight: usize,
+    /// Per-frame payload cap; oversized frames are rejected before any
+    /// allocation.
+    pub max_payload: u32,
+    /// Bound on the prepared-plan cache (insertion-order eviction).
+    pub plan_cache_capacity: usize,
+    /// How often blocked accept/read loops re-check the stop flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_inflight: 64,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            plan_cache_capacity: 1024,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Monotonic counters describing a server's lifetime, readable live via
+/// [`Server::stats`] and returned finally in [`ServeReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames handled (queries, prepares, pings).
+    pub requests: u64,
+    /// Queries executed to completion (success or exec error).
+    pub queries: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Protocol violations observed (fatal and recoverable).
+    pub proto_errors: u64,
+    /// Result rows written to clients.
+    pub rows_sent: u64,
+    /// Connections that ended with a transport error (abrupt disconnect),
+    /// as opposed to a clean close at a frame boundary.
+    pub disconnects: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (statements parsed).
+    pub plan_cache_misses: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    proto_errors: AtomicU64,
+    rows_sent: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+/// Final accounting handed back by [`Server::shutdown`].
+pub struct ServeReport {
+    /// Lifetime counters.
+    pub stats: ServeStats,
+    /// Telemetry merged from every server thread (`serve.*` counters,
+    /// query latency/row histograms, execution spans).
+    pub metrics: telemetry::Snapshot,
+}
+
+/// One admitted query on its way to the worker pool. The admission
+/// [`Permit`] rides inside and is released when the worker finishes — or
+/// when the job is dropped unexecuted during shutdown.
+struct Job {
+    plan: Arc<CachedPlan>,
+    cached: bool,
+    permit: Permit,
+    reply: mpsc::Sender<Result<(Vec<WireRow>, DoneInfo), String>>,
+}
+
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl JobQueue {
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push_back(job);
+        self.cv.notify_one();
+    }
+
+    /// Pop a job, blocking until one arrives or `stop` is set *and* the
+    /// queue is drained (admitted queries are always answered).
+    fn pop(&self, stop: &AtomicBool, poll: Duration) -> Option<Job> {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            let (guard, _) = self.cv.wait_timeout(jobs, poll).unwrap();
+            jobs = guard;
+        }
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    /// Set only after every connection thread has been joined, so a late
+    /// job enqueued by a draining connection always finds a live worker.
+    stop_workers: AtomicBool,
+    stats: StatCells,
+    gate: Arc<AdmissionGate>,
+    cache: PlanCache,
+    queue: JobQueue,
+    /// Parses UQL against the served reader's captured metadata. Boxed so
+    /// `Shared` stays monomorphic over page stores.
+    parse: ParseFn,
+    /// Telemetry folded in by every server thread as it exits.
+    metrics: Mutex<telemetry::Snapshot>,
+    options: ServeOptions,
+}
+
+impl Shared {
+    /// Fold this thread's telemetry registry into the server-wide merge.
+    /// Called exactly once, as each server thread exits.
+    fn fold_telemetry(&self) {
+        let snap = telemetry::snapshot();
+        self.metrics.lock().unwrap().merge(&snap);
+    }
+}
+
+/// A running UQL server. Dropping it without [`Server::shutdown`] leaks
+/// the background threads; call `shutdown` to stop and join everything.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and acceptor, and start serving
+    /// `reader`'s database. Returns once the listener is live.
+    pub fn start<P>(reader: DatabaseReader<P>, options: ServeOptions) -> std::io::Result<Server>
+    where
+        P: PageStore + Send + Sync + 'static,
+    {
+        let listener =
+            TcpListener::bind(options.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(ErrorKind::InvalidInput, "unresolvable addr")
+            })?)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let parse_reader = reader.clone();
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            stop_workers: AtomicBool::new(false),
+            stats: StatCells::default(),
+            gate: AdmissionGate::new(options.max_inflight),
+            cache: PlanCache::new(options.plan_cache_capacity),
+            queue: JobQueue {
+                jobs: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            },
+            parse: Box::new(move |text| parse_reader.parse_uql(text).map_err(|e| e.to_string())),
+            metrics: Mutex::new(telemetry::Snapshot::default()),
+            options: options.clone(),
+        });
+
+        let mut workers = Vec::with_capacity(options.workers.max(1));
+        for i in 0..options.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let reader = reader.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(reader, shared))?,
+            );
+        }
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || accept_loop(listener, shared, conns))?
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The admission gate, exposed so tests and embedders can observe —
+    /// or externally occupy — the in-flight bound.
+    pub fn gate(&self) -> Arc<AdmissionGate> {
+        Arc::clone(&self.shared.gate)
+    }
+
+    /// Live lifetime counters (monotonic; safe to poll while serving).
+    pub fn stats(&self) -> ServeStats {
+        let s = &self.shared.stats;
+        let (plan_cache_hits, plan_cache_misses) = self.shared.cache.stats();
+        ServeStats {
+            connections: s.connections.load(Ordering::Relaxed),
+            requests: s.requests.load(Ordering::Relaxed),
+            queries: s.queries.load(Ordering::Relaxed),
+            shed: self.shared.gate.shed(),
+            proto_errors: s.proto_errors.load(Ordering::Relaxed),
+            rows_sent: s.rows_sent.load(Ordering::Relaxed),
+            disconnects: s.disconnects.load(Ordering::Relaxed),
+            plan_cache_hits,
+            plan_cache_misses,
+        }
+    }
+
+    /// Queries currently admitted and not yet finished.
+    pub fn inflight(&self) -> usize {
+        self.shared.gate.inflight()
+    }
+
+    /// Stop accepting, drain in-flight work, join every thread, and
+    /// return the final counters plus merged telemetry.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Connection threads observe the stop flag via their read
+        // timeouts; the acceptor has stopped adding new ones.
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for handle in conns {
+            let _ = handle.join();
+        }
+        // With no connection threads left, no new jobs can arrive;
+        // workers drain whatever remains, then exit.
+        self.shared.stop_workers.store(true, Ordering::Release);
+        self.shared.queue.cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let stats = self.stats();
+        let metrics = self.shared.metrics.lock().unwrap().clone();
+        ServeReport { stats, metrics }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    let mut next_conn = 0u64;
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.connections").inc();
+                let shared_conn = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("serve-conn-{next_conn}"))
+                    .spawn(move || connection_loop(stream, shared_conn));
+                next_conn += 1;
+                match handle {
+                    Ok(h) => conns.lock().unwrap().push(h),
+                    Err(_) => {
+                        shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(shared.options.poll_interval);
+            }
+            Err(_) => std::thread::sleep(shared.options.poll_interval),
+        }
+    }
+    shared.fold_telemetry();
+}
+
+/// Read exactly `buf.len()` bytes, re-checking the stop flag on every
+/// read timeout. `idle` distinguishes "waiting for the next frame" (EOF
+/// and stop are clean) from "mid-frame" (EOF is truncation; stop still
+/// aborts, reported as `Closed` so the caller drops the connection).
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    idle: bool,
+    stop: &AtomicBool,
+) -> Result<(), ProtoError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) if got == 0 && idle => return Err(ProtoError::Closed),
+            Ok(0) => return Err(ProtoError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if stop.load(Ordering::Acquire) {
+                    return Err(ProtoError::Closed);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(shared.options.poll_interval));
+    let _ = stream.set_nodelay(true);
+    let max_payload = shared.options.max_payload;
+
+    loop {
+        // Header first (idle: a close here is clean), then payload.
+        let mut header = [0u8; HEADER_LEN];
+        let read = read_exact_polling(&mut stream, &mut header, true, &shared.stop)
+            .and_then(|()| proto::parse_header(&header, max_payload))
+            .and_then(|(ty, len)| {
+                let mut payload = vec![0u8; len as usize];
+                read_exact_polling(&mut stream, &mut payload, false, &shared.stop)?;
+                proto::parse_payload(ty, &payload)
+            });
+
+        let frame = match read {
+            Ok(frame) => frame,
+            Err(ProtoError::Closed) => break,
+            Err(ProtoError::Io(_)) => {
+                shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(err) => {
+                // Framing violation: answer with a typed error. Fatal
+                // errors (unframeable stream) then close; recoverable
+                // ones keep serving this connection.
+                shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.proto_errors").inc();
+                let reply = Frame::Error {
+                    code: ErrorCode::Proto,
+                    message: err.to_string(),
+                };
+                if proto::write_frame(&mut stream, &reply).is_err() {
+                    shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                if err.is_fatal() {
+                    break;
+                }
+                continue;
+            }
+        };
+
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter("serve.requests").inc();
+        if !handle_request(&mut stream, frame, &shared) {
+            break;
+        }
+    }
+    shared.fold_telemetry();
+}
+
+/// Handle one request frame; returns `false` when the connection must
+/// close (transport failure writing the response).
+fn handle_request(stream: &mut TcpStream, frame: Frame, shared: &Shared) -> bool {
+    let reply_and_continue = |stream: &mut TcpStream, frame: &Frame| {
+        if proto::write_frame(stream, frame).is_err() {
+            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    };
+
+    match frame {
+        Frame::Ping => reply_and_continue(stream, &Frame::Pong),
+        Frame::Prepare { uql } => {
+            match shared
+                .cache
+                .lookup_or_parse(&uql, |text| parse_plan(shared, text))
+            {
+                Ok((id, _, hit)) => {
+                    record_cache_outcome(hit);
+                    reply_and_continue(stream, &Frame::Prepared { id })
+                }
+                Err(msg) => reply_and_continue(
+                    stream,
+                    &Frame::Error {
+                        code: ErrorCode::Parse,
+                        message: msg,
+                    },
+                ),
+            }
+        }
+        Frame::Query { uql } => {
+            match shared
+                .cache
+                .lookup_or_parse(&uql, |text| parse_plan(shared, text))
+            {
+                Ok((_, plan, hit)) => {
+                    record_cache_outcome(hit);
+                    dispatch_query(stream, plan, hit, shared)
+                }
+                Err(msg) => reply_and_continue(
+                    stream,
+                    &Frame::Error {
+                        code: ErrorCode::Parse,
+                        message: msg,
+                    },
+                ),
+            }
+        }
+        Frame::Execute { id } => match shared.cache.by_id(id) {
+            Some(plan) => dispatch_query(stream, plan, true, shared),
+            None => reply_and_continue(
+                stream,
+                &Frame::Error {
+                    code: ErrorCode::UnknownStatement,
+                    message: format!("prepared statement {id} is unknown or evicted"),
+                },
+            ),
+        },
+        // A client sending response-typed frames is violating the
+        // protocol, but the frame boundary is intact: recoverable.
+        other @ (Frame::RowBatch { .. }
+        | Frame::Done(_)
+        | Frame::Error { .. }
+        | Frame::Pong
+        | Frame::Prepared { .. }) => {
+            shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("serve.proto_errors").inc();
+            reply_and_continue(
+                stream,
+                &Frame::Error {
+                    code: ErrorCode::Proto,
+                    message: format!("unexpected response frame 0x{:02x} from client", {
+                        // Mirror of Frame::tag, which is private by design.
+                        match other {
+                            Frame::RowBatch { .. } => 0x81u8,
+                            Frame::Done(_) => 0x82,
+                            Frame::Error { .. } => 0x83,
+                            Frame::Pong => 0x84,
+                            _ => 0x85,
+                        }
+                    }),
+                },
+            )
+        }
+    }
+}
+
+/// Admit, enqueue, await the worker's result, and stream it back.
+/// Returns `false` when the connection must close.
+fn dispatch_query(
+    stream: &mut TcpStream,
+    plan: Arc<CachedPlan>,
+    cached: bool,
+    shared: &Shared,
+) -> bool {
+    // Admission first: a shed request must cost nothing downstream — no
+    // worker dispatch, no snapshot, no buffer-pool traffic.
+    let Some(permit) = shared.gate.try_admit() else {
+        telemetry::counter("serve.shed").inc();
+        let reply = Frame::Error {
+            code: ErrorCode::Overloaded,
+            message: format!(
+                "server at max in-flight queries ({}); retry",
+                shared.gate.limit()
+            ),
+        };
+        if proto::write_frame(stream, &reply).is_err() {
+            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        return true;
+    };
+
+    telemetry::counter("serve.queries").inc();
+    let (tx, rx) = mpsc::channel();
+    shared.queue.push(Job {
+        plan,
+        cached,
+        permit,
+        reply: tx,
+    });
+
+    // The worker always sends exactly one reply (or drops the sender on
+    // shutdown, surfacing as RecvError → exec error to the client).
+    let result = rx
+        .recv()
+        .unwrap_or_else(|_| Err("server shutting down".into()));
+
+    match result {
+        Ok((rows, done)) => {
+            shared
+                .stats
+                .rows_sent
+                .fetch_add(done.rows, Ordering::Relaxed);
+            for chunk in rows.chunks(BATCH_ROWS.max(1)) {
+                let frame = Frame::RowBatch {
+                    rows: chunk.to_vec(),
+                };
+                if proto::write_frame(stream, &frame).is_err() {
+                    shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+            if proto::write_frame(stream, &Frame::Done(done)).is_err() {
+                shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        }
+        Err(message) => {
+            let reply = Frame::Error {
+                code: ErrorCode::Exec,
+                message,
+            };
+            if proto::write_frame(stream, &reply).is_err() {
+                shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        }
+    }
+}
+
+fn record_cache_outcome(hit: bool) {
+    if hit {
+        telemetry::counter("serve.plan_cache.hits").inc();
+    } else {
+        telemetry::counter("serve.plan_cache.misses").inc();
+    }
+}
+
+/// Worker loop: each worker owns a reader clone and executes queries
+/// against a fresh snapshot pinned only for the duration of one query.
+fn worker_loop<P: PageStore + Send + Sync>(reader: DatabaseReader<P>, shared: Arc<Shared>) {
+    while let Some(job) = shared
+        .queue
+        .pop(&shared.stop_workers, shared.options.poll_interval)
+    {
+        let Job {
+            plan,
+            cached,
+            permit,
+            reply,
+        } = job;
+        let started = Instant::now();
+        let result = {
+            let _span = Span::enter("serve.execute");
+            reader.query(&plan.query)
+        };
+        let micros = started.elapsed().as_micros() as u64;
+        shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+        telemetry::histogram("serve.query_us").record(micros);
+
+        let outcome = result.map_err(|e| e.to_string()).and_then(|(hits, stats)| {
+            let mut rows = Vec::with_capacity(hits.len());
+            for hit in &hits {
+                rows.push(WireRow::from_hit(hit).map_err(|e| e.to_string())?);
+            }
+            telemetry::histogram("serve.rows").record(rows.len() as u64);
+            Ok((
+                rows,
+                DoneInfo {
+                    rows: hits.len() as u64,
+                    pages_read: stats.pages_read,
+                    entries_examined: stats.entries_examined,
+                    seeks: stats.seeks,
+                    micros,
+                    cached_plan: cached,
+                },
+            ))
+        });
+        // The connection may have vanished mid-query; a dead receiver
+        // just means nobody wants the answer. The permit drops either
+        // way, so abandoned queries never leak admission slots.
+        let _ = reply.send(outcome);
+        drop(permit);
+    }
+    shared.fold_telemetry();
+}
+
+fn parse_plan(shared: &Shared, text: &str) -> Result<uindex::Query, String> {
+    (shared.parse)(text)
+}

@@ -1,0 +1,357 @@
+//! Wire-protocol battery: encode≡decode round-trips for every frame type
+//! under proptest, then a deterministic malformed-input sweep — first
+//! against the decoder as a pure function, then against a live server.
+//! The contract: garbage in yields a typed error plus either a healthy
+//! connection (recoverable) or a clean close (fatal), and never a panic.
+
+use proptest::prelude::*;
+use serve::proto::{
+    self, DoneInfo, ErrorCode, Frame, ProtoError, WireRow, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC,
+    VERSION,
+};
+use serve::{Client, ServeOptions, Server};
+
+// ---------------------------------------------------------------------------
+// Round-trip property: decode(encode(f)) == f for every frame type
+// ---------------------------------------------------------------------------
+
+fn arb_row() -> impl Strategy<Value = WireRow> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..40),
+        proptest::collection::vec(prop_oneof![Just(None), (0u32..1000).prop_map(Some)], 0..5),
+    )
+        .prop_map(|(key, assignment)| WireRow { key, assignment })
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just(' '),
+            Just('\''),
+            Just(':'),
+            Just('é'),
+            Just('\u{1F600}'),
+        ],
+        0..30,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        arb_string().prop_map(|uql| Frame::Query { uql }),
+        arb_string().prop_map(|uql| Frame::Prepare { uql }),
+        any::<u64>().prop_map(|id| Frame::Execute { id }),
+        Just(Frame::Ping),
+        Just(Frame::Pong),
+        any::<u64>().prop_map(|id| Frame::Prepared { id }),
+        proptest::collection::vec(arb_row(), 0..8).prop_map(|rows| Frame::RowBatch { rows }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(rows, pages_read, entries_examined, seeks, micros, cached_plan)| {
+                    Frame::Done(DoneInfo {
+                        rows,
+                        pages_read,
+                        entries_examined,
+                        seeks,
+                        micros,
+                        cached_plan,
+                    })
+                }
+            ),
+        (
+            prop_oneof![
+                Just(ErrorCode::Parse),
+                Just(ErrorCode::Exec),
+                Just(ErrorCode::Overloaded),
+                Just(ErrorCode::Proto),
+                Just(ErrorCode::UnknownStatement),
+            ],
+            arb_string()
+        )
+            .prop_map(|(code, message)| Frame::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrip(frame in arb_frame()) {
+        let buf = proto::encode_frame(&frame);
+        let (decoded, consumed) = proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(consumed, buf.len());
+
+        // The streaming reader agrees with the buffer decoder.
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        let streamed = proto::read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(&streamed, &frame);
+
+        // With trailing bytes appended, exactly one frame is consumed.
+        let mut padded = buf.clone();
+        padded.extend_from_slice(&[0xAA; 7]);
+        let (redecoded, consumed) = proto::decode_frame(&padded, DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(&redecoded, &frame);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn truncation_never_panics(frame in arb_frame(), cut in 0usize..64) {
+        // Every proper prefix either decodes as Truncated or (if the cut
+        // lands beyond the frame) succeeds; no prefix may panic.
+        let buf = proto::encode_frame(&frame);
+        let cut = cut.min(buf.len().saturating_sub(1));
+        match proto::decode_frame(&buf[..cut], DEFAULT_MAX_PAYLOAD) {
+            Err(ProtoError::Truncated) => {}
+            other => prop_assert!(false, "prefix of len {cut} gave {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        // Arbitrary bytes: any typed error is fine, panics are not.
+        let _ = proto::decode_frame(&bytes, DEFAULT_MAX_PAYLOAD);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic malformed-input sweep: decoder level
+// ---------------------------------------------------------------------------
+
+fn header(ty: u8, len: u32) -> Vec<u8> {
+    let mut h = Vec::with_capacity(HEADER_LEN);
+    h.extend_from_slice(&MAGIC);
+    h.push(VERSION);
+    h.push(ty);
+    h.extend_from_slice(&len.to_be_bytes());
+    h
+}
+
+#[test]
+fn malformed_sweep_decoder() {
+    // Bad magic.
+    let mut buf = proto::encode_frame(&Frame::Ping);
+    buf[0] = b'X';
+    assert!(matches!(
+        proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD),
+        Err(ProtoError::BadMagic(_))
+    ));
+
+    // Bad version.
+    let mut buf = proto::encode_frame(&Frame::Ping);
+    buf[4] = VERSION + 1;
+    assert!(matches!(
+        proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD),
+        Err(ProtoError::BadVersion(_))
+    ));
+
+    // Oversized declared length: rejected from the header alone, before
+    // any payload bytes exist to allocate for.
+    let buf = header(0x01, u32::MAX);
+    match proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD) {
+        Err(ProtoError::Oversized { len, max }) => {
+            assert_eq!(len, u32::MAX);
+            assert_eq!(max, DEFAULT_MAX_PAYLOAD);
+        }
+        other => panic!("oversized prefix gave {other:?}"),
+    }
+
+    // Unknown frame type (well-framed): recoverable.
+    let buf = header(0x7F, 0);
+    match proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD) {
+        Err(e @ ProtoError::UnknownType(0x7F)) => assert!(!e.is_fatal()),
+        other => panic!("unknown type gave {other:?}"),
+    }
+
+    // Garbage payloads, each well-framed: recoverable BadPayload.
+    let cases: Vec<(u8, Vec<u8>)> = vec![
+        // Query whose inner string claims more bytes than the payload has.
+        (0x01, {
+            let mut p = 100u32.to_be_bytes().to_vec();
+            p.extend_from_slice(b"abcd");
+            p
+        }),
+        // Query whose string is not UTF-8.
+        (0x01, {
+            let mut p = 2u32.to_be_bytes().to_vec();
+            p.extend_from_slice(&[0xFF, 0xFE]);
+            p
+        }),
+        // Execute with a short id.
+        (0x03, vec![1, 2, 3]),
+        // Ping with trailing junk.
+        (0x04, vec![9]),
+        // Done with an out-of-range cached_plan flag.
+        (0x82, {
+            let mut p = Vec::new();
+            for _ in 0..5 {
+                p.extend_from_slice(&0u64.to_be_bytes());
+            }
+            p.push(7);
+            p
+        }),
+        // Error frame with an unknown error code.
+        (0x83, {
+            let mut p = vec![99u8];
+            p.extend_from_slice(&0u32.to_be_bytes());
+            p
+        }),
+        // RowBatch whose row count promises more rows than exist.
+        (0x81, 1000u32.to_be_bytes().to_vec()),
+    ];
+    for (ty, payload) in cases {
+        let mut buf = header(ty, payload.len() as u32);
+        buf.extend_from_slice(&payload);
+        match proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD) {
+            Err(e @ ProtoError::BadPayload(_)) => assert!(!e.is_fatal()),
+            other => panic!("garbage payload for type {ty:#x} gave {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic malformed-input sweep: live server
+// ---------------------------------------------------------------------------
+
+fn tiny_server() -> (uindex::Database, Server) {
+    let (schema, classes) = workload::serve::schema();
+    let mut db = uindex::Database::with_page_size(schema, 1024, 4096).unwrap();
+    workload::serve::populate(&mut db, &classes, 7, 60).unwrap();
+    let reader = db.reader();
+    let server = Server::start(
+        reader,
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    (db, server)
+}
+
+const VALID_UQL: &str = "color: Color = 'Red'";
+
+fn expect_proto_error(client: &mut Client) {
+    match client.read_reply().unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, ErrorCode::Proto),
+        other => panic!("wanted a Proto error frame, got {other:?}"),
+    }
+}
+
+fn expect_clean_close(client: &mut Client) {
+    match client.read_reply() {
+        Err(ProtoError::Closed) => {}
+        // The server closing can also surface as a reset, depending on
+        // timing; either way no further frames arrive.
+        Err(ProtoError::Io(_)) => {}
+        other => panic!("connection should be closed, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_sweep_live_server() {
+    let (_db, server) = tiny_server();
+    let addr = server.local_addr();
+
+    // Fatal: bad magic. Typed error, then clean close.
+    let mut c = Client::connect(addr).unwrap();
+    c.send_raw(b"JUNKJUNKJUNKJUNK").unwrap();
+    expect_proto_error(&mut c);
+    expect_clean_close(&mut c);
+
+    // Fatal: bad version.
+    let mut c = Client::connect(addr).unwrap();
+    let mut buf = proto::encode_frame(&Frame::Ping);
+    buf[4] = 9;
+    c.send_raw(&buf).unwrap();
+    expect_proto_error(&mut c);
+    expect_clean_close(&mut c);
+
+    // Fatal: oversized length prefix — rejected before the server reads
+    // (or allocates) a single payload byte.
+    let mut c = Client::connect(addr).unwrap();
+    c.send_raw(&header(0x01, u32::MAX)).unwrap();
+    expect_proto_error(&mut c);
+    expect_clean_close(&mut c);
+
+    // Recoverable: unknown frame type. Typed error, connection healthy —
+    // the same connection then answers a real query.
+    let mut c = Client::connect(addr).unwrap();
+    c.send_raw(&header(0x7F, 0)).unwrap();
+    expect_proto_error(&mut c);
+    let reply = c.query(VALID_UQL).unwrap();
+    assert!(reply.done.rows == reply.rows.len() as u64);
+
+    // Recoverable: garbage payload inside a valid frame.
+    let mut c = Client::connect(addr).unwrap();
+    let mut buf = header(0x01, 4);
+    buf.extend_from_slice(&100u32.to_be_bytes());
+    c.send_raw(&buf).unwrap();
+    expect_proto_error(&mut c);
+    c.ping().unwrap();
+
+    // Recoverable: a client sending response-typed frames.
+    let mut c = Client::connect(addr).unwrap();
+    c.send_raw(&proto::encode_frame(&Frame::Pong)).unwrap();
+    expect_proto_error(&mut c);
+    c.ping().unwrap();
+
+    // Truncated frame then abrupt close: the server must not leak the
+    // connection or wedge — it keeps serving new clients.
+    {
+        let mut c = Client::connect(addr).unwrap();
+        let buf = proto::encode_frame(&Frame::Query {
+            uql: VALID_UQL.into(),
+        });
+        c.send_raw(&buf[..buf.len() - 3]).unwrap();
+    } // dropped: TCP close mid-frame
+
+    // After the whole sweep the server still answers correctly.
+    let mut c = Client::connect(addr).unwrap();
+    let reply = c.query(VALID_UQL).unwrap();
+    assert_eq!(reply.done.rows, reply.rows.len() as u64);
+    drop(c);
+
+    let report = server.shutdown();
+    assert!(
+        report.stats.proto_errors >= 6,
+        "sweep recorded {} proto errors",
+        report.stats.proto_errors
+    );
+    // Quiescent: nothing in flight after shutdown.
+    assert_eq!(report.stats.shed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// UQL-level errors are typed, not protocol errors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parse_and_statement_errors_are_typed() {
+    let (_db, server) = tiny_server();
+    let mut c = Client::connect(server.local_addr()).unwrap();
+
+    match c.query("nonsense ,,, query") {
+        Err(serve::ServeError::Server { code, .. }) => assert_eq!(code, ErrorCode::Parse),
+        other => panic!("wanted Parse error, got {other:?}"),
+    }
+    // The connection survives a parse error.
+    match c.execute(123456) {
+        Err(serve::ServeError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnknownStatement)
+        }
+        other => panic!("wanted UnknownStatement, got {other:?}"),
+    }
+    let reply = c.query(VALID_UQL).unwrap();
+    assert_eq!(reply.done.rows, reply.rows.len() as u64);
+    drop(c);
+    server.shutdown();
+}

@@ -140,10 +140,18 @@ impl<P: PageStore> DatabaseReader<P> {
         self.query_at(&snap, q)
     }
 
+    /// Parse a [`crate::uql`] query string against the reader's captured
+    /// metadata without executing it — the serving layer's prepared-plan
+    /// path (parse and plan once, execute many times via
+    /// [`DatabaseReader::query_at`]).
+    pub fn parse_uql(&self, input: &str) -> Result<Query> {
+        crate::uql::parse_with_specs(&self.specs, &self.schema, input)
+    }
+
     /// Parse a [`crate::uql`] query string against the reader's metadata
     /// and run it at the latest epoch.
     pub fn query_uql(&self, input: &str) -> Result<(Vec<QueryHit>, ScanStats)> {
-        let q = crate::uql::parse_with_specs(&self.specs, &self.schema, input)?;
+        let q = self.parse_uql(input)?;
         self.query(&q)
     }
 }

@@ -1,0 +1,108 @@
+//! Long-lived [`DatabaseReader`] lifetime audit: a serving process keeps
+//! reader handles (and, between queries, pinned snapshots) alive across
+//! many writer epochs. A pinned snapshot must pin version-store memory
+//! proportional to the *pages* it can reach, never to the number of
+//! writer epochs it survives — and the footprint must revert completely
+//! once the oldest snapshot is refreshed (the server's fresh-snapshot-
+//! per-query pattern makes that refresh continuous).
+
+use objstore::Value;
+use schema::{AttrType, Schema};
+use uindex::{Database, IndexSpec, Query, ValuePred};
+
+const COLORS: [&str; 6] = ["Red", "Blue", "Green", "Black", "White", "Silver"];
+
+fn build_db(n: usize) -> Database {
+    let mut s = Schema::new();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    let mut db = Database::with_page_size(s, 256, 4096).unwrap();
+    let vehicle = db.schema().class_by_name("Vehicle").unwrap();
+    db.define_index(IndexSpec::class_hierarchy("color", vehicle, "Color"))
+        .unwrap();
+    for i in 0..n {
+        let v = db.create_object(vehicle).unwrap();
+        db.set_attr(v, "Color", Value::Str(COLORS[i % COLORS.len()].into()))
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn held_snapshot_footprint_is_bounded_and_reverts_on_refresh() {
+    let mut db = build_db(400);
+    let vehicle = db.schema().class_by_name("Vehicle").unwrap();
+    let reader = db.reader();
+
+    // The "oldest server snapshot": pinned while the writer churns.
+    let pinned = reader.snapshot();
+    let pinned_epoch = pinned.epoch();
+    let q = Query::on(0).value(ValuePred::eq(Value::Str("Red".into())));
+    let (pinned_hits, _) = reader.query_at(&pinned, &q).unwrap();
+
+    // Every mutation below publishes an epoch; recoloring a stable object
+    // population keeps the tree size (and so the page set) steady.
+    let mut counts = Vec::new();
+    let mut oid_cycle = db.store().extent(vehicle);
+    oid_cycle.sort();
+    for round in 0..150usize {
+        for k in 0..4 {
+            let oid = oid_cycle[(round * 4 + k) % oid_cycle.len()];
+            let color = COLORS[(round + k + 1) % COLORS.len()];
+            db.set_attr(oid, "Color", Value::Str(color.into())).unwrap();
+        }
+        counts.push(db.index().tree().tracker().version_count());
+    }
+
+    // Bounded by pages, not epochs: after the early intervals preserve the
+    // snapshot's reachable pages once, the count must plateau instead of
+    // growing with every one of the 600 published epochs.
+    let live_pages = db.index().tree().pool().live_pages();
+    let max = *counts.iter().max().unwrap();
+    assert!(
+        max <= live_pages,
+        "one pinned snapshot retains {max} versions over {live_pages} live \
+         pages — version store grows with epochs"
+    );
+    // Rounds 0..100 cycle through every object once; by round 120 every
+    // reachable leaf has been preserved, so late rounds must be flat.
+    let (mid, end) = (counts[120], counts[149]);
+    assert!(
+        end <= mid + 4,
+        "version count still climbing late in the run ({mid} -> {end})"
+    );
+
+    // The pinned snapshot answers for its own epoch throughout.
+    let (hits_now, _) = reader.query_at(&pinned, &q).unwrap();
+    assert_eq!(pinned_hits, hits_now, "pinned epoch {pinned_epoch} drifted");
+
+    // Refresh the oldest snapshot: drop + re-pin, then one more published
+    // mutation. Footprint must revert to (at most) the pages of the single
+    // publish interval in flight.
+    drop(pinned);
+    let fresh = reader.snapshot();
+    let oid = oid_cycle[0];
+    db.set_attr(oid, "Color", Value::Str("Red".into())).unwrap();
+    let tracker = db.index().tree().tracker();
+    let after_refresh = tracker.version_count();
+    assert!(
+        after_refresh <= 16,
+        "footprint did not revert after refresh: {after_refresh} versions \
+         still pinned (was {end} while held)"
+    );
+    assert_eq!(tracker.active_snapshots(), 1);
+
+    // Quiesce fully: no snapshots, next publish clears everything.
+    drop(fresh);
+    db.set_attr(oid, "Color", Value::Str("Blue".into()))
+        .unwrap();
+    let tracker = db.index().tree().tracker();
+    assert_eq!(tracker.version_count(), 0);
+    assert_eq!(tracker.pending_frees(), 0);
+    let stats = db.index().verify().unwrap();
+    assert_eq!(
+        db.index().tree().pool().live_pages(),
+        stats.total_nodes(),
+        "page leak after reader quiescence"
+    );
+}

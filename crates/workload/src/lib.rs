@@ -16,5 +16,6 @@
 //! All generators take explicit seeds; the experiments are deterministic.
 
 pub mod queries;
+pub mod serve;
 pub mod uniform;
 pub mod vehicle;
