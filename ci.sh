@@ -110,9 +110,30 @@ for _ in $(seq 1 100); do
 done
 serve_addr=$(sed -n 's/^listening on //p' "$tmpdir/serve.log")
 [ -n "$serve_addr" ] || { echo "serve smoke: server did not start"; kill "$serve_pid" 2>/dev/null; exit 1; }
+# Drive the load in the background and introspect the live server while
+# it runs: `top --once --json` must answer with a parseable stats doc
+# showing real traffic (windowed qps > 0). The 60 s window keeps recent
+# queries visible even if the smoke-sized run quiesces between polls.
 cargo run -q --release --offline -p bench --bin loadgen -- \
-  --smoke --addr "$serve_addr" --db "$tmpdir/servedb" \
-  || { echo "serve smoke: loadgen failed"; kill "$serve_pid" 2>/dev/null; exit 1; }
+  --smoke --addr "$serve_addr" --db "$tmpdir/servedb" > "$tmpdir/loadgen.log" 2>&1 &
+loadgen_pid=$!
+top_ok=""
+for _ in $(seq 1 100); do
+  top_json=$("$serve_bin" top "$serve_addr" --window 60 --once --json 2>/dev/null) || { sleep 0.1; continue; }
+  qps=$(echo "$top_json" | sed -n 's/.*"qps": \([0-9.][0-9.]*\).*/\1/p' | head -n 1)
+  if [ -n "$qps" ] && awk "BEGIN{exit !($qps > 0)}"; then top_ok=1; break; fi
+  sleep 0.1
+done
+[ -n "$top_ok" ] || { echo "serve smoke: top never saw qps > 0"; kill "$serve_pid" "$loadgen_pid" 2>/dev/null; exit 1; }
+wait "$loadgen_pid" \
+  || { echo "serve smoke: loadgen failed"; cat "$tmpdir/loadgen.log"; kill "$serve_pid" 2>/dev/null; exit 1; }
+# The slow-query log (threshold 0 by default: every query competes) must
+# have entries, and each dump line must come with its full Trace.
+slow_out=$("$serve_bin" slow "$serve_addr")
+echo "$slow_out" | grep -q "slow-query log: [1-9]" \
+  || { echo "serve smoke: slow-query log empty"; kill "$serve_pid" 2>/dev/null; exit 1; }
+echo "$slow_out" | grep -q '"scan_stats"' \
+  || { echo "serve smoke: slow dump has no trace"; kill "$serve_pid" 2>/dev/null; exit 1; }
 touch "$tmpdir/serve.stop"
 wait "$serve_pid" || { echo "serve smoke: server exited non-zero"; exit 1; }
 grep -q "^served " "$tmpdir/serve.log" || { echo "serve smoke: no shutdown summary"; exit 1; }

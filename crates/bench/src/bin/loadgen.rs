@@ -14,11 +14,19 @@
 //!   `uindex-cli serve`, and exit.
 //! - `--addr HOST:PORT --db DIR`: external — drive an already-running
 //!   server, with the oracle rebuilt from the saved database in DIR.
+//! - `--live-stats` (self-hosted only): while driving, a poller thread
+//!   polls the server's `Stats` frame and asserts the sampled counters
+//!   stay consistent with the client-side oracle tallies — monotone
+//!   across replies, sampled ≤ live (bounded drift), and exactly equal
+//!   to the verified total at quiesce. The sampled timeline is written
+//!   into `BENCH_serve.json` per tier.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -166,33 +174,17 @@ fn drive(addr: &str, expected: &HashMap<String, Vec<WireRow>>, cfg: &Config) -> 
     }
 }
 
-/// Percentile over a log₂-bucketed histogram: the upper bound of the
-/// bucket where the cumulative count crosses `q` — a ≤2× overestimate by
-/// construction (documented in docs/bench-format.md).
-fn percentile(h: &HistogramSnapshot, q: f64) -> u64 {
-    if h.count == 0 {
-        return 0;
-    }
-    let target = ((q * h.count as f64).ceil() as u64).clamp(1, h.count);
-    let mut cum = 0u64;
-    for &(_, hi, count) in &h.buckets {
-        cum += count;
-        if cum >= target {
-            return hi;
-        }
-    }
-    h.buckets.last().map(|&(_, hi, _)| hi).unwrap_or(0)
-}
-
 fn latency_json(h: &HistogramSnapshot) -> String {
     let mean = h.sum.checked_div(h.count).unwrap_or(0);
+    // Percentiles are bucket upper bounds — a ≤2× overestimate by
+    // construction (documented in docs/bench-format.md).
     format!(
         "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}",
         h.count,
         mean,
-        percentile(h, 0.50),
-        percentile(h, 0.99),
-        percentile(h, 0.999),
+        h.percentile(0.50),
+        h.percentile(0.99),
+        h.percentile(0.999),
     )
 }
 
@@ -216,38 +208,169 @@ fn print_tier(tier: &str, r: &DriveResult) {
          ({} verified, {} shed)",
         r.requests,
         r.requests as f64 / r.wall_secs.max(1e-9),
-        percentile(&r.latency, 0.50),
-        percentile(&r.latency, 0.99),
-        percentile(&r.latency, 0.999),
+        r.latency.percentile(0.50),
+        r.latency.percentile(0.99),
+        r.latency.percentile(0.999),
         r.verified,
         r.shed_seen,
     );
 }
 
+fn ju64(v: &telemetry::json::Json, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key).unwrap_or(&telemetry::json::Json::Null);
+    }
+    cur.as_u64().unwrap_or(0)
+}
+
+fn jf64(v: &telemetry::json::Json, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key).unwrap_or(&telemetry::json::Json::Null);
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// One mid-run `Stats` observation.
+struct Sample {
+    t_ms: u64,
+    tick: u64,
+    cum_queries: u64,
+    live_queries: u64,
+    qps: f64,
+    p99_us: u64,
+    inflight: u64,
+    shed: u64,
+}
+
+/// Mid-run timeline plus the quiesce reconciliation outcome.
+struct LiveCapture {
+    timeline: Vec<Sample>,
+    expected: u64,
+    sampled: u64,
+    live: u64,
+}
+
+/// Poll `Stats` until `stop` is set, asserting every reply parses and the
+/// counters are consistent: monotone across replies, and the sampled
+/// cumulative tally never ahead of the live atomic (workers bump the
+/// atomic *before* recording the histogram the sampler folds, so sampled
+/// ≤ live always holds — the bounded-drift direction).
+fn poll_stats(addr: &str, stop: &AtomicBool) -> Vec<Sample> {
+    let mut client = Client::connect(addr).expect("stats poller connect");
+    let started = Instant::now();
+    let mut timeline = Vec::new();
+    let mut last_cum = 0u64;
+    let mut last_live = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        let doc = client.stats(10).expect("mid-run Stats must succeed");
+        let v = telemetry::json::parse(&doc).expect("StatsReply must parse");
+        let cum = ju64(&v, &["cumulative", "queries"]);
+        let live = ju64(&v, &["live", "queries"]);
+        assert!(
+            cum >= last_cum && live >= last_live,
+            "stats went backwards: cum {last_cum}->{cum}, live {last_live}->{live}"
+        );
+        assert!(
+            cum <= live,
+            "sampled cumulative ({cum}) ran ahead of the live counter ({live})"
+        );
+        last_cum = cum;
+        last_live = live;
+        timeline.push(Sample {
+            t_ms: started.elapsed().as_millis() as u64,
+            tick: ju64(&v, &["tick"]),
+            cum_queries: cum,
+            live_queries: live,
+            qps: jf64(&v, &["window", "qps"]),
+            p99_us: ju64(&v, &["window", "query_us", "p99_us"]),
+            inflight: ju64(&v, &["live", "inflight"]),
+            shed: ju64(&v, &["live", "shed"]),
+        });
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    timeline
+}
+
+/// After the drive quiesces, poll until the sampled cumulative tally and
+/// the live counter both equal the oracle-verified total. The sampler
+/// converges within a couple of its intervals; 5 s is a generous bound.
+fn reconcile(addr: &str, expected: u64) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("reconcile connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let doc = client.stats(0).expect("quiesce Stats must succeed");
+        let v = telemetry::json::parse(&doc).expect("StatsReply must parse");
+        let sampled = ju64(&v, &["cumulative", "queries"]);
+        let live = ju64(&v, &["live", "queries"]);
+        assert!(
+            live <= expected && sampled <= expected,
+            "server reports more queries ({live} live, {sampled} sampled) than the \
+             oracle verified ({expected})"
+        );
+        if sampled == expected && live == expected {
+            return (sampled, live);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stats failed to reconcile with the oracle at quiesce: \
+             sampled {sampled}, live {live}, expected {expected}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 /// Self-hosted run for one tier: start an in-process server over real
-/// TCP, drive it, shut it down cleanly.
+/// TCP, drive it (optionally with a live Stats poller riding along),
+/// reconcile at quiesce, and shut it down cleanly.
 fn run_tier<P: pagestore::PageStore + Send + Sync + 'static>(
     reader: DatabaseReader<P>,
     expected: &HashMap<String, Vec<WireRow>>,
     cfg: &Config,
-) -> (DriveResult, ServeStats) {
+    live_stats: bool,
+) -> (DriveResult, ServeStats, Option<LiveCapture>) {
     let server = Server::start(
         reader,
         ServeOptions {
             workers: cfg.workers,
             max_inflight: cfg.max_inflight,
+            // Fine-grained sampling so the mid-run timeline has several
+            // points even in short runs, and quiesce reconciles fast.
+            sample_interval: Duration::from_millis(100),
             ..ServeOptions::default()
         },
     )
     .expect("server start");
     let addr = server.local_addr().to_string();
+
+    let stop_poller = Arc::new(AtomicBool::new(false));
+    let poller = live_stats.then(|| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop_poller);
+        std::thread::spawn(move || poll_stats(&addr, &stop))
+    });
+
     let result = drive(&addr, expected, cfg);
+
+    stop_poller.store(true, Ordering::Release);
+    let capture = poller.map(|handle| {
+        let timeline = handle.join().expect("stats poller");
+        let (sampled, live) = reconcile(&addr, result.verified);
+        LiveCapture {
+            timeline,
+            expected: result.verified,
+            sampled,
+            live,
+        }
+    });
+
     let report = server.shutdown();
     assert_eq!(
         report.stats.shed, result.shed_seen,
         "server and clients disagree on shed count"
     );
-    (result, report.stats)
+    (result, report.stats, capture)
 }
 
 fn arg_value(name: &str) -> Option<String> {
@@ -259,6 +382,7 @@ fn arg_value(name: &str) -> Option<String> {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let live_stats = std::env::args().any(|a| a == "--live-stats");
     let cfg = Config::new(smoke);
 
     // --save-db DIR: materialize the workload database and exit.
@@ -304,8 +428,15 @@ fn main() {
         expected.values().any(|rows| !rows.is_empty()),
         "oracle produced only empty answers"
     );
-    let (mem_result, mem_stats) = run_tier(mem_reader, &expected, &cfg);
+    let (mem_result, mem_stats, mem_capture) = run_tier(mem_reader, &expected, &cfg, live_stats);
     print_tier("mem", &mem_result);
+    if let Some(c) = &mem_capture {
+        println!(
+            "live-stats: {} samples, reconciled exactly at quiesce ({} queries)",
+            c.timeline.len(),
+            c.expected
+        );
+    }
 
     let mut dir: PathBuf = std::env::temp_dir();
     dir.push(format!("uindex_loadgen_{}", std::process::id()));
@@ -329,8 +460,16 @@ fn main() {
         expected, disk_expected,
         "store tiers disagree on oracle answers"
     );
-    let (disk_result, disk_stats) = run_tier(disk_reader, &expected, &cfg);
+    let (disk_result, disk_stats, disk_capture) =
+        run_tier(disk_reader, &expected, &cfg, live_stats);
     print_tier("disk", &disk_result);
+    if let Some(c) = &disk_capture {
+        println!(
+            "live-stats: {} samples, reconciled exactly at quiesce ({} queries)",
+            c.timeline.len(),
+            c.expected
+        );
+    }
     drop(disk);
     std::fs::remove_dir_all(&dir).ok();
 
@@ -367,9 +506,9 @@ fn main() {
         expected.len(),
     );
     json.push_str("  \"tiers\": {\n");
-    for (i, (tier, result, stats)) in [
-        ("mem", &mem_result, &mem_stats),
-        ("disk", &disk_result, &disk_stats),
+    for (i, (tier, result, stats, capture)) in [
+        ("mem", &mem_result, &mem_stats, &mem_capture),
+        ("disk", &disk_result, &disk_stats, &disk_capture),
     ]
     .into_iter()
     .enumerate()
@@ -385,7 +524,38 @@ fn main() {
             "      \"latency_us\": {},",
             latency_json(&result.latency)
         );
-        let _ = writeln!(json, "      \"server\": {}", stats_json(stats));
+        let trailer = if capture.is_some() { "," } else { "" };
+        let _ = writeln!(json, "      \"server\": {}{trailer}", stats_json(stats));
+        if let Some(c) = capture {
+            json.push_str("      \"timeline\": [\n");
+            for (j, s) in c.timeline.iter().enumerate() {
+                let _ = writeln!(
+                    json,
+                    "        {{\"t_ms\": {}, \"tick\": {}, \"cum_queries\": {}, \
+                     \"live_queries\": {}, \"qps\": {:.3}, \"p99_us\": {}, \
+                     \"inflight\": {}, \"shed\": {}}}{}",
+                    s.t_ms,
+                    s.tick,
+                    s.cum_queries,
+                    s.live_queries,
+                    s.qps,
+                    s.p99_us,
+                    s.inflight,
+                    s.shed,
+                    if j + 1 == c.timeline.len() { "" } else { "," },
+                );
+            }
+            json.push_str("      ],\n");
+            let _ = writeln!(
+                json,
+                "      \"reconcile\": {{\"expected\": {}, \"sampled\": {}, \"live\": {}, \
+                 \"exact\": {}}}",
+                c.expected,
+                c.sampled,
+                c.live,
+                c.sampled == c.expected && c.live == c.expected,
+            );
+        }
         json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
     }
     json.push_str("  },\n");

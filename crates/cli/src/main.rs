@@ -10,7 +10,10 @@
 //! uindex-cli repair  <db-dir>
 //! uindex-cli churn   <db-dir> <Class> <Attr> <n-commits>
 //! uindex-cli serve   <db-dir> [--port N] [--workers N] [--max-inflight N]
-//!                             [--shutdown-file PATH]
+//!                             [--shutdown-file PATH] [--slow-query-us N]
+//!                             [--sample-interval-ms N] [--read-deadline-ms N]
+//! uindex-cli top     <addr>   [--window N] [--once] [--json]
+//! uindex-cli slow    <addr>
 //! ```
 //!
 //! `new --disk` creates a file-backed, WAL-protected database; the other
@@ -36,6 +39,15 @@
 //! ephemeral; the chosen address is printed as `listening on ADDR`), and
 //! runs until the `--shutdown-file` path appears — the orchestration
 //! hook: touch the file, the server drains and prints its summary.
+//!
+//! `top` connects to a *running* server and polls the `Stats` frame every
+//! second, rendering a one-screen live dashboard (plain ANSI). `--once`
+//! polls a single time and exits; with `--json` it prints the raw
+//! `StatsReply` document instead — the scripting/CI entry point. `slow`
+//! dumps the server's slow-query log: each retained entry's summary line
+//! followed by its full `Trace` document (the after-the-fact EXPLAIN
+//! ANALYZE). Both talk to an address, not a db-dir — they observe a live
+//! process and never open the database files.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -219,8 +231,145 @@ fn cmd_serve<P: PageStore + Send + Sync + 'static>(
     Ok(())
 }
 
+/// JSON path lookup helpers for the StatsReply document.
+fn jget<'a>(v: &'a telemetry::json::Json, path: &[&str]) -> Option<&'a telemetry::json::Json> {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    Some(cur)
+}
+
+fn jf64(v: &telemetry::json::Json, path: &[&str]) -> f64 {
+    jget(v, path).and_then(|x| x.as_f64()).unwrap_or(0.0)
+}
+
+fn ju64(v: &telemetry::json::Json, path: &[&str]) -> u64 {
+    jget(v, path).and_then(|x| x.as_u64()).unwrap_or(0)
+}
+
+/// Render one StatsReply as the `top` dashboard screen.
+fn render_top(addr: &str, v: &telemetry::json::Json) {
+    println!(
+        "uindex top — {addr}    tick {} (interval {} ms)",
+        ju64(v, &["tick"]),
+        ju64(v, &["interval_ms"])
+    );
+    println!(
+        "window {}s ({} ticks): qps {:.1}  rows/s {:.1}  \
+         query µs p50 {} / p99 {} / p999 {} (mean {})",
+        ju64(v, &["window", "requested_s"]),
+        ju64(v, &["window", "ticks"]),
+        jf64(v, &["window", "qps"]),
+        jf64(v, &["window", "rows_per_s"]),
+        ju64(v, &["window", "query_us", "p50_us"]),
+        ju64(v, &["window", "query_us", "p99_us"]),
+        ju64(v, &["window", "query_us", "p999_us"]),
+        ju64(v, &["window", "query_us", "mean_us"]),
+    );
+    println!(
+        "pool hit rate {:.1}% ({} hits / {} misses)    plan cache {:.1}% ({} / {})",
+        jf64(v, &["window", "pool", "hit_rate"]) * 100.0,
+        ju64(v, &["window", "pool", "hits"]),
+        ju64(v, &["window", "pool", "misses"]),
+        jf64(v, &["live", "plan_cache_hit_rate"]) * 100.0,
+        ju64(v, &["live", "plan_cache_hits"]),
+        ju64(v, &["live", "plan_cache_misses"]),
+    );
+    println!(
+        "live: inflight {}/{}  queued {}  shed {}  queries {}  conns {}  \
+         proto-errors {}  deadline-closed {}",
+        ju64(v, &["live", "inflight"]),
+        ju64(v, &["live", "max_inflight"]),
+        ju64(v, &["live", "queued"]),
+        ju64(v, &["live", "shed"]),
+        ju64(v, &["live", "queries"]),
+        ju64(v, &["live", "connections"]),
+        ju64(v, &["live", "proto_errors"]),
+        ju64(v, &["live", "deadline_closed"]),
+    );
+    if let Some(workers) = v.get("workers").and_then(|w| w.as_arr()) {
+        let cells: Vec<String> = workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                format!(
+                    "w{i}: {}q {}ms",
+                    ju64(w, &["queries"]),
+                    ju64(w, &["busy_us"]) / 1000
+                )
+            })
+            .collect();
+        println!("workers: {}", cells.join("  "));
+    }
+    if let Some(slow) = v.get("slow").and_then(|s| s.as_arr()) {
+        println!("slow queries ({}):", slow.len());
+        for entry in slow.iter().take(8) {
+            println!(
+                "  id {:<6} {:>8} µs  {:>6} rows  {}",
+                ju64(entry, &["id"]),
+                ju64(entry, &["micros"]),
+                ju64(entry, &["rows"]),
+                jget(entry, &["uql"])
+                    .and_then(|u| u.as_str())
+                    .unwrap_or("?"),
+            );
+        }
+    }
+}
+
+/// Poll a running server's Stats frame and render the live dashboard.
+fn cmd_top(addr: &str, window_s: u32, once: bool, json: bool) -> Result<(), String> {
+    let mut client = serve::Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    loop {
+        let doc = client.stats(window_s).map_err(|e| e.to_string())?;
+        if json {
+            println!("{doc}");
+        } else {
+            let v = telemetry::json::parse(&doc).map_err(|e| format!("bad StatsReply: {e}"))?;
+            if !once {
+                // Clear screen + home, plain ANSI.
+                print!("\x1b[2J\x1b[H");
+            }
+            render_top(addr, &v);
+        }
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}
+
+/// Dump a running server's slow-query log: each summary line followed by
+/// the full Trace document.
+fn cmd_slow(addr: &str) -> Result<(), String> {
+    let mut client = serve::Client::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let doc = client.stats(0).map_err(|e| e.to_string())?;
+    let v = telemetry::json::parse(&doc).map_err(|e| format!("bad StatsReply: {e}"))?;
+    let slow = v.get("slow").and_then(|s| s.as_arr()).unwrap_or(&[]);
+    println!("slow-query log: {} entries", slow.len());
+    for entry in slow {
+        let id = ju64(entry, &["id"]);
+        println!(
+            "-- id {id}: {} µs, {} rows, {}",
+            ju64(entry, &["micros"]),
+            ju64(entry, &["rows"]),
+            jget(entry, &["uql"])
+                .and_then(|u| u.as_str())
+                .unwrap_or("?"),
+        );
+        match client.trace(id) {
+            Ok(trace) => println!("{trace}"),
+            // The entry can be evicted between Stats and Trace; keep going.
+            Err(e) => println!("  (trace unavailable: {e})"),
+        }
+    }
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
-    let usage = "usage: uindex-cli <new|load|query|explain|info|check|repair|churn> ...";
+    let usage =
+        "usage: uindex-cli <new|load|query|explain|info|check|repair|churn|serve|top|slow> ...";
     match args.first().map(String::as_str) {
         Some("new") => {
             let mut rest: Vec<&String> = args[1..].iter().collect();
@@ -385,6 +534,23 @@ fn run(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| format!("bad in-flight bound {m:?}"))?;
             }
+            if let Some(t) = flag("--slow-query-us") {
+                options.slow_query_us = t
+                    .parse()
+                    .map_err(|_| format!("bad slow-query threshold {t:?}"))?;
+            }
+            if let Some(ms) = flag("--sample-interval-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad sample interval {ms:?}"))?;
+                options.sample_interval = std::time::Duration::from_millis(ms.max(1));
+            }
+            if let Some(ms) = flag("--read-deadline-ms") {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad read deadline {ms:?}"))?;
+                options.read_deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             let shutdown_file = flag("--shutdown-file");
             if DiskDatabase::exists(Path::new(dir.as_str())) {
                 let mut db = open_disk(dir)?;
@@ -393,6 +559,30 @@ fn run(args: &[String]) -> Result<(), String> {
                 let mut db = Database::open(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
                 cmd_serve(db.reader(), options, shutdown_file.as_deref())
             }
+        }
+        Some("top") => {
+            let rest = &args[1..];
+            let Some(addr) = rest.first().filter(|a| !a.starts_with("--")) else {
+                return Err("usage: uindex-cli top <addr> [--window N] [--once] [--json]".into());
+            };
+            let window_s: u32 = match rest.iter().position(|a| a == "--window") {
+                Some(i) => {
+                    let w = rest
+                        .get(i + 1)
+                        .ok_or_else(|| "missing value for --window".to_string())?;
+                    w.parse().map_err(|_| format!("bad window {w:?}"))?
+                }
+                None => 10,
+            };
+            let once = rest.iter().any(|a| a == "--once");
+            let json = rest.iter().any(|a| a == "--json");
+            cmd_top(addr, window_s, once, json)
+        }
+        Some("slow") => {
+            let [_, addr] = args else {
+                return Err("usage: uindex-cli slow <addr>".into());
+            };
+            cmd_slow(addr)
         }
         Some("churn") => {
             let [_, dir, class_name, attr_name, n] = args else {

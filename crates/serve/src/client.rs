@@ -32,6 +32,22 @@ impl ServeError {
             }
         )
     }
+
+    /// Whether the connection is unusable after this error — the same
+    /// fatal/recoverable split the server applies to client input. An
+    /// unknown-but-well-framed response tag ([`ProtoError::UnknownType`])
+    /// and a typed server error both leave the stream at a frame
+    /// boundary, so the connection can keep being used; anything that
+    /// loses framing (truncation, bad magic, IO failure) cannot.
+    pub fn is_fatal(&self) -> bool {
+        match self {
+            ServeError::Proto(e) => e.is_fatal(),
+            ServeError::Server { .. } => false,
+            // The frame parsed; it just arrived in the wrong state. The
+            // stream is still framed.
+            ServeError::Unexpected(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -115,6 +131,30 @@ impl Client {
     pub fn query(&mut self, uql: &str) -> Result<QueryReply, ServeError> {
         proto::write_frame(&mut self.stream, &Frame::Query { uql: uql.into() })?;
         self.collect_rows()
+    }
+
+    /// Fetch the server's live stats document for the last `window_s`
+    /// seconds. Answered even by a saturated server — Stats bypasses
+    /// admission control.
+    pub fn stats(&mut self, window_s: u32) -> Result<String, ServeError> {
+        proto::write_frame(&mut self.stream, &Frame::Stats { window_s })?;
+        match self.read_reply()? {
+            Frame::StatsReply { json } => Ok(json),
+            Frame::Error { code, message } => Err(ServeError::Server { code, message }),
+            _ => Err(ServeError::Unexpected("wanted StatsReply")),
+        }
+    }
+
+    /// Fetch the slow-query log entry for query `id` (an id previously
+    /// reported in a `StatsReply` slow list). `NotFound` means the entry
+    /// was evicted or never logged.
+    pub fn trace(&mut self, id: u64) -> Result<String, ServeError> {
+        proto::write_frame(&mut self.stream, &Frame::Trace { id })?;
+        match self.read_reply()? {
+            Frame::TraceReply { json } => Ok(json),
+            Frame::Error { code, message } => Err(ServeError::Server { code, message }),
+            _ => Err(ServeError::Unexpected("wanted TraceReply")),
+        }
     }
 
     /// Send raw bytes as-is — the malformed-input tests' entry point.

@@ -11,6 +11,9 @@
 //! - [`server`] / [`client`] — a blocking TCP server multiplexing N
 //!   client connections over a fixed worker pool of
 //!   [`uindex::DatabaseReader`] handles, and the reference client.
+//! - [`stats`] / [`slowlog`] — live introspection: the rolling-window
+//!   sampler state behind the `Stats` frame and the worst-N slow-query
+//!   log behind `Trace` (see DESIGN.md §14).
 //!
 //! The design contract threaded through all of it: responses are built
 //! from [`uindex::EntryKey::encode`] bytes, so any in-process execution
@@ -23,9 +26,12 @@ pub mod cache;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod slowlog;
+pub mod stats;
 
 pub use admission::{AdmissionGate, Permit};
 pub use cache::{normalize, PlanCache};
 pub use client::{Client, QueryReply, ServeError};
 pub use proto::{DoneInfo, ErrorCode, Frame, ProtoError, WireRow};
 pub use server::{ServeOptions, ServeReport, ServeStats, Server};
+pub use slowlog::{SlowLog, SlowQueryEntry};

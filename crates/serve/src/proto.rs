@@ -33,11 +33,15 @@ mod tag {
     pub const PREPARE: u8 = 0x02;
     pub const EXECUTE: u8 = 0x03;
     pub const PING: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const TRACE: u8 = 0x06;
     pub const ROW_BATCH: u8 = 0x81;
     pub const DONE: u8 = 0x82;
     pub const ERROR: u8 = 0x83;
     pub const PONG: u8 = 0x84;
     pub const PREPARED: u8 = 0x85;
+    pub const STATS_REPLY: u8 = 0x86;
+    pub const TRACE_REPLY: u8 = 0x87;
 }
 
 /// Typed error codes carried by [`Frame::Error`].
@@ -53,6 +57,9 @@ pub enum ErrorCode {
     Proto = 4,
     /// `Execute` named a prepared-statement id the server no longer holds.
     UnknownStatement = 5,
+    /// `Trace` named a query id the slow-query log does not hold (never
+    /// logged, below the threshold, or already evicted by a worse query).
+    NotFound = 6,
 }
 
 impl ErrorCode {
@@ -63,6 +70,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::Overloaded),
             4 => Some(ErrorCode::Proto),
             5 => Some(ErrorCode::UnknownStatement),
+            6 => Some(ErrorCode::NotFound),
             _ => None,
         }
     }
@@ -120,6 +128,14 @@ pub enum Frame {
     Execute { id: u64 },
     /// Liveness probe.
     Ping,
+    /// Live introspection: counters, rates and percentiles over the most
+    /// recent `window_s` seconds. Answered on the connection thread,
+    /// *bypassing* admission control — an overloaded server must still
+    /// answer Stats.
+    Stats { window_s: u32 },
+    /// Fetch the slow-query log entry for one query id (ids are listed in
+    /// the `StatsReply` payload) — an after-the-fact EXPLAIN ANALYZE.
+    Trace { id: u64 },
     /// A chunk of result rows (large results span several batches).
     RowBatch { rows: Vec<WireRow> },
     /// End of a successful response stream, with execution telemetry.
@@ -130,6 +146,12 @@ pub enum Frame {
     Pong,
     /// Reply to [`Frame::Prepare`]: the id to pass to [`Frame::Execute`].
     Prepared { id: u64 },
+    /// Reply to [`Frame::Stats`]: a JSON document (schema in DESIGN.md
+    /// §14). JSON rather than binary fields so the payload can grow
+    /// without a protocol revision; it is introspection, not the hot path.
+    StatsReply { json: String },
+    /// Reply to [`Frame::Trace`]: the slow-log entry as JSON.
+    TraceReply { json: String },
 }
 
 impl Frame {
@@ -139,11 +161,15 @@ impl Frame {
             Frame::Prepare { .. } => tag::PREPARE,
             Frame::Execute { .. } => tag::EXECUTE,
             Frame::Ping => tag::PING,
+            Frame::Stats { .. } => tag::STATS,
+            Frame::Trace { .. } => tag::TRACE,
             Frame::RowBatch { .. } => tag::ROW_BATCH,
             Frame::Done(_) => tag::DONE,
             Frame::Error { .. } => tag::ERROR,
             Frame::Pong => tag::PONG,
             Frame::Prepared { .. } => tag::PREPARED,
+            Frame::StatsReply { .. } => tag::STATS_REPLY,
+            Frame::TraceReply { .. } => tag::TRACE_REPLY,
         }
     }
 }
@@ -168,6 +194,10 @@ pub enum ProtoError {
     Truncated,
     /// Well-framed payload bytes that do not decode as the declared type.
     BadPayload(String),
+    /// The peer left a frame half-written past the server's read
+    /// deadline; the connection is closed rather than holding its IO
+    /// thread's buffer forever.
+    ReadDeadline,
 }
 
 impl ProtoError {
@@ -192,6 +222,7 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::Truncated => write!(f, "stream ended mid-frame"),
             ProtoError::BadPayload(m) => write!(f, "bad payload: {m}"),
+            ProtoError::ReadDeadline => write!(f, "read deadline exceeded mid-frame"),
         }
     }
 }
@@ -283,8 +314,14 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut p = Vec::new();
     match frame {
         Frame::Query { uql } | Frame::Prepare { uql } => put_bytes(&mut p, uql.as_bytes()),
-        Frame::Execute { id } | Frame::Prepared { id } => put_u64(&mut p, *id),
+        Frame::Execute { id } | Frame::Prepared { id } | Frame::Trace { id } => {
+            put_u64(&mut p, *id)
+        }
         Frame::Ping | Frame::Pong => {}
+        Frame::Stats { window_s } => put_u32(&mut p, *window_s),
+        Frame::StatsReply { json } | Frame::TraceReply { json } => {
+            put_bytes(&mut p, json.as_bytes())
+        }
         Frame::RowBatch { rows } => {
             put_u32(&mut p, rows.len() as u32);
             for row in rows {
@@ -318,8 +355,12 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
         tag::PREPARE => Frame::Prepare { uql: c.string()? },
         tag::EXECUTE => Frame::Execute { id: c.u64()? },
         tag::PING => Frame::Ping,
+        tag::STATS => Frame::Stats { window_s: c.u32()? },
+        tag::TRACE => Frame::Trace { id: c.u64()? },
         tag::PONG => Frame::Pong,
         tag::PREPARED => Frame::Prepared { id: c.u64()? },
+        tag::STATS_REPLY => Frame::StatsReply { json: c.string()? },
+        tag::TRACE_REPLY => Frame::TraceReply { json: c.string()? },
         tag::ROW_BATCH => {
             let n = c.u32()? as usize;
             // The count is validated implicitly: each row consumes bytes

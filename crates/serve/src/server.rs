@@ -37,6 +37,8 @@ use crate::cache::{CachedPlan, PlanCache};
 use crate::proto::{
     self, DoneInfo, ErrorCode, Frame, ProtoError, WireRow, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
 };
+use crate::slowlog::{SlowLog, SlowQueryEntry};
+use crate::stats::{self, LiveStats, SamplerState, WorkerSlot};
 
 /// Rows per [`Frame::RowBatch`]; large results span several batches.
 const BATCH_ROWS: usize = 512;
@@ -62,6 +64,25 @@ pub struct ServeOptions {
     pub plan_cache_capacity: usize,
     /// How often blocked accept/read loops re-check the stop flag.
     pub poll_interval: Duration,
+    /// Per-frame read deadline for untrusted clients: once the first byte
+    /// of a frame arrives, the rest must follow within this budget or the
+    /// connection is closed with a typed fatal error (counted as
+    /// `serve.conn.deadline_closed`). `None` disables the deadline; a
+    /// fully idle connection (no bytes of the next header yet) is never
+    /// subject to it.
+    pub read_deadline: Option<Duration>,
+    /// Latency threshold for the slow-query log: only queries at or above
+    /// this many microseconds compete for a slot. 0 means every query
+    /// competes (the log still retains only the worst N).
+    pub slow_query_us: u64,
+    /// Worst-N retention of the slow-query log; 0 disables slow-query
+    /// capture entirely (no per-query registry snapshots are taken).
+    pub slow_log_capacity: usize,
+    /// Sampling interval for the rolling stats window — how often worker
+    /// registries are folded into one interval delta.
+    pub sample_interval: Duration,
+    /// Intervals retained by the rolling window (e.g. 60 × 1s).
+    pub window_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -73,6 +94,11 @@ impl Default for ServeOptions {
             max_payload: DEFAULT_MAX_PAYLOAD,
             plan_cache_capacity: 1024,
             poll_interval: Duration::from_millis(25),
+            read_deadline: Some(Duration::from_secs(5)),
+            slow_query_us: 0,
+            slow_log_capacity: 32,
+            sample_interval: Duration::from_secs(1),
+            window_capacity: 60,
         }
     }
 }
@@ -100,6 +126,8 @@ pub struct ServeStats {
     pub plan_cache_hits: u64,
     /// Plan-cache misses (statements parsed).
     pub plan_cache_misses: u64,
+    /// Connections closed for exceeding the per-frame read deadline.
+    pub deadline_closed: u64,
 }
 
 #[derive(Default)]
@@ -110,6 +138,7 @@ struct StatCells {
     proto_errors: AtomicU64,
     rows_sent: AtomicU64,
     disconnects: AtomicU64,
+    deadline_closed: AtomicU64,
 }
 
 /// Final accounting handed back by [`Server::shutdown`].
@@ -136,26 +165,43 @@ struct JobQueue {
     cv: Condvar,
 }
 
+/// Outcome of one bounded wait on the job queue.
+enum Pop {
+    /// A job to execute.
+    Job(Job),
+    /// The wait timed out with no work — the worker gets control back so
+    /// it can publish its telemetry snapshot for the sampler.
+    Idle,
+    /// Stop is set and the queue is drained (admitted queries are always
+    /// answered before workers exit).
+    Stopped,
+}
+
 impl JobQueue {
     fn push(&self, job: Job) {
         self.jobs.lock().unwrap().push_back(job);
         self.cv.notify_one();
     }
 
-    /// Pop a job, blocking until one arrives or `stop` is set *and* the
-    /// queue is drained (admitted queries are always answered).
-    fn pop(&self, stop: &AtomicBool, poll: Duration) -> Option<Job> {
+    /// Pop a job, waiting at most one `poll` interval. Unlike a blocking
+    /// pop, this hands control back to the worker on every timeout so the
+    /// worker can service the sampler between jobs.
+    fn pop_timeout(&self, stop: &AtomicBool, poll: Duration) -> Pop {
         let mut jobs = self.jobs.lock().unwrap();
-        loop {
-            if let Some(job) = jobs.pop_front() {
-                return Some(job);
-            }
-            if stop.load(Ordering::Acquire) {
-                return None;
-            }
-            let (guard, _) = self.cv.wait_timeout(jobs, poll).unwrap();
-            jobs = guard;
+        if let Some(job) = jobs.pop_front() {
+            return Pop::Job(job);
         }
+        if stop.load(Ordering::Acquire) {
+            return Pop::Stopped;
+        }
+        let (mut jobs, _) = self.cv.wait_timeout(jobs, poll).unwrap();
+        if let Some(job) = jobs.pop_front() {
+            return Pop::Job(job);
+        }
+        if stop.load(Ordering::Acquire) {
+            return Pop::Stopped;
+        }
+        Pop::Idle
     }
 }
 
@@ -174,6 +220,20 @@ struct Shared {
     /// Telemetry folded in by every server thread as it exits.
     metrics: Mutex<telemetry::Snapshot>,
     options: ServeOptions,
+    /// Monotonic query ids, assigned by workers at execution.
+    query_ids: AtomicU64,
+    /// Worst-N slow-query log (see [`crate::slowlog`]).
+    slow_log: Mutex<SlowLog>,
+    /// Rolling-window sampler state; written by the sampler thread once
+    /// per interval, read by Stats handlers. Never held together with
+    /// `slow_log` or a worker slot lock (strict lock ordering: slots →
+    /// sampler, slow_log alone).
+    sampler: Mutex<SamplerState>,
+    /// Bumped by the sampler each tick; workers publish their registry
+    /// snapshot into their slot when they see a new epoch.
+    sample_epoch: AtomicU64,
+    /// One publication slot per worker.
+    worker_slots: Vec<WorkerSlot>,
 }
 
 impl Shared {
@@ -192,6 +252,7 @@ pub struct Server {
     local_addr: std::net::SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -210,6 +271,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
 
         let parse_reader = reader.clone();
+        let worker_count = options.workers.max(1);
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             stop_workers: AtomicBool::new(false),
@@ -222,19 +284,34 @@ impl Server {
             },
             parse: Box::new(move |text| parse_reader.parse_uql(text).map_err(|e| e.to_string())),
             metrics: Mutex::new(telemetry::Snapshot::default()),
+            query_ids: AtomicU64::new(0),
+            slow_log: Mutex::new(SlowLog::new(options.slow_log_capacity)),
+            sampler: Mutex::new(SamplerState::new(
+                options.window_capacity,
+                options.sample_interval,
+            )),
+            sample_epoch: AtomicU64::new(0),
+            worker_slots: (0..worker_count).map(|_| WorkerSlot::default()).collect(),
             options: options.clone(),
         });
 
-        let mut workers = Vec::with_capacity(options.workers.max(1));
-        for i in 0..options.workers.max(1) {
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
             let shared = Arc::clone(&shared);
             let reader = reader.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(reader, shared))?,
+                    .spawn(move || worker_loop(reader, shared, i))?,
             );
         }
+
+        let sampler = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-sampler".into())
+                .spawn(move || sampler_loop(shared))?
+        };
 
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -250,6 +327,7 @@ impl Server {
             local_addr,
             acceptor: Some(acceptor),
             workers,
+            sampler: Some(sampler),
             conns,
         })
     }
@@ -279,6 +357,7 @@ impl Server {
             disconnects: s.disconnects.load(Ordering::Relaxed),
             plan_cache_hits,
             plan_cache_misses,
+            deadline_closed: s.deadline_closed.load(Ordering::Relaxed),
         }
     }
 
@@ -306,6 +385,9 @@ impl Server {
         self.shared.queue.cv.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
         }
         let stats = self.stats();
         let metrics = self.shared.metrics.lock().unwrap().clone();
@@ -345,18 +427,33 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, conns: Arc<Mutex<Vec<
 /// read timeout. `idle` distinguishes "waiting for the next frame" (EOF
 /// and stop are clean) from "mid-frame" (EOF is truncation; stop still
 /// aborts, reported as `Closed` so the caller drops the connection).
+///
+/// `deadline` bounds how long a *partially received* frame may stall: for
+/// idle reads the clock starts at the first byte (a quiet connection that
+/// has sent nothing is never killed), for payload reads at entry — the
+/// header already arrived, so the connection is mid-frame by definition.
 fn read_exact_polling(
     stream: &mut TcpStream,
     buf: &mut [u8],
     idle: bool,
     stop: &AtomicBool,
+    deadline: Option<Duration>,
 ) -> Result<(), ProtoError> {
     let mut got = 0;
+    let mut started: Option<Instant> = if idle { None } else { Some(Instant::now()) };
     while got < buf.len() {
+        if let (Some(limit), Some(t0)) = (deadline, started) {
+            if t0.elapsed() > limit {
+                return Err(ProtoError::ReadDeadline);
+            }
+        }
         match stream.read(&mut buf[got..]) {
             Ok(0) if got == 0 && idle => return Err(ProtoError::Closed),
             Ok(0) => return Err(ProtoError::Truncated),
-            Ok(n) => got += n,
+            Ok(n) => {
+                got += n;
+                started.get_or_insert_with(Instant::now);
+            }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if stop.load(Ordering::Acquire) {
                     return Err(ProtoError::Closed);
@@ -373,15 +470,16 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(shared.options.poll_interval));
     let _ = stream.set_nodelay(true);
     let max_payload = shared.options.max_payload;
+    let deadline = shared.options.read_deadline;
 
     loop {
         // Header first (idle: a close here is clean), then payload.
         let mut header = [0u8; HEADER_LEN];
-        let read = read_exact_polling(&mut stream, &mut header, true, &shared.stop)
+        let read = read_exact_polling(&mut stream, &mut header, true, &shared.stop, deadline)
             .and_then(|()| proto::parse_header(&header, max_payload))
             .and_then(|(ty, len)| {
                 let mut payload = vec![0u8; len as usize];
-                read_exact_polling(&mut stream, &mut payload, false, &shared.stop)?;
+                read_exact_polling(&mut stream, &mut payload, false, &shared.stop, deadline)?;
                 proto::parse_payload(ty, &payload)
             });
 
@@ -396,6 +494,10 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 // Framing violation: answer with a typed error. Fatal
                 // errors (unframeable stream) then close; recoverable
                 // ones keep serving this connection.
+                if matches!(err, ProtoError::ReadDeadline) {
+                    shared.stats.deadline_closed.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("serve.conn.deadline_closed").inc();
+                }
                 shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
                 telemetry::counter("serve.proto_errors").inc();
                 let reply = Frame::Error {
@@ -482,13 +584,36 @@ fn handle_request(stream: &mut TcpStream, frame: Frame, shared: &Shared) -> bool
                 },
             ),
         },
+        // Answered inline on the connection thread: no admission permit,
+        // no worker dispatch, no snapshot, no buffer-pool traffic. An
+        // overloaded server — even one configured with max_inflight = 0 —
+        // must still answer Stats; that is the whole point of the frame.
+        Frame::Stats { window_s } => {
+            let json = build_stats_reply(shared, window_s);
+            reply_and_continue(stream, &Frame::StatsReply { json })
+        }
+        Frame::Trace { id } => {
+            let entry = shared.slow_log.lock().unwrap().get(id);
+            match entry {
+                Some(e) => reply_and_continue(stream, &Frame::TraceReply { json: e.to_json() }),
+                None => reply_and_continue(
+                    stream,
+                    &Frame::Error {
+                        code: ErrorCode::NotFound,
+                        message: format!("query {id} is not in the slow-query log"),
+                    },
+                ),
+            }
+        }
         // A client sending response-typed frames is violating the
         // protocol, but the frame boundary is intact: recoverable.
         other @ (Frame::RowBatch { .. }
         | Frame::Done(_)
         | Frame::Error { .. }
         | Frame::Pong
-        | Frame::Prepared { .. }) => {
+        | Frame::Prepared { .. }
+        | Frame::StatsReply { .. }
+        | Frame::TraceReply { .. }) => {
             shared.stats.proto_errors.fetch_add(1, Ordering::Relaxed);
             telemetry::counter("serve.proto_errors").inc();
             reply_and_continue(
@@ -502,13 +627,51 @@ fn handle_request(stream: &mut TcpStream, frame: Frame, shared: &Shared) -> bool
                             Frame::Done(_) => 0x82,
                             Frame::Error { .. } => 0x83,
                             Frame::Pong => 0x84,
-                            _ => 0x85,
+                            Frame::Prepared { .. } => 0x85,
+                            Frame::StatsReply { .. } => 0x86,
+                            _ => 0x87,
                         }
                     }),
                 },
             )
         }
     }
+}
+
+/// Gather every input for a `StatsReply` without touching the admission
+/// gate, the worker pool, or the buffer pool, and build the document.
+fn build_stats_reply(shared: &Shared, window_s: u32) -> String {
+    let s = &shared.stats;
+    let (plan_cache_hits, plan_cache_misses) = shared.cache.stats();
+    let live = LiveStats {
+        connections: s.connections.load(Ordering::Relaxed),
+        requests: s.requests.load(Ordering::Relaxed),
+        queries: s.queries.load(Ordering::Relaxed),
+        shed: shared.gate.shed(),
+        proto_errors: s.proto_errors.load(Ordering::Relaxed),
+        rows_sent: s.rows_sent.load(Ordering::Relaxed),
+        disconnects: s.disconnects.load(Ordering::Relaxed),
+        deadline_closed: s.deadline_closed.load(Ordering::Relaxed),
+        plan_cache_hits,
+        plan_cache_misses,
+        inflight: shared.gate.inflight(),
+        queued: shared.queue.jobs.lock().unwrap().len(),
+        max_inflight: shared.gate.limit(),
+        workers: shared.worker_slots.len(),
+    };
+    let workers: Vec<(u64, u64)> = shared
+        .worker_slots
+        .iter()
+        .map(|w| {
+            (
+                w.queries.load(Ordering::Relaxed),
+                w.busy_us.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    let slow = shared.slow_log.lock().unwrap().entries();
+    let sampler = shared.sampler.lock().unwrap();
+    stats::build_stats_json(&sampler, window_s, &live, &workers, &slow)
 }
 
 /// Admit, enqueue, await the worker's result, and stream it back.
@@ -597,27 +760,65 @@ fn record_cache_outcome(hit: bool) {
 
 /// Worker loop: each worker owns a reader clone and executes queries
 /// against a fresh snapshot pinned only for the duration of one query.
-fn worker_loop<P: PageStore + Send + Sync>(reader: DatabaseReader<P>, shared: Arc<Shared>) {
-    while let Some(job) = shared
-        .queue
-        .pop(&shared.stop_workers, shared.options.poll_interval)
-    {
+///
+/// Between jobs the worker services the sampler: when the sample epoch
+/// advances, it publishes its full thread-local registry snapshot into
+/// its [`WorkerSlot`]. Publication is opportunistic — a worker stuck in
+/// a long query publishes late and the sampler merges its previous
+/// snapshot meanwhile, which under-reports but never over-reports.
+fn worker_loop<P: PageStore + Send + Sync>(
+    reader: DatabaseReader<P>,
+    shared: Arc<Shared>,
+    index: usize,
+) {
+    let slot = &shared.worker_slots[index];
+    let mut last_epoch = 0u64;
+    loop {
+        let epoch = shared.sample_epoch.load(Ordering::Acquire);
+        if epoch != last_epoch {
+            *slot.snap.lock().unwrap() = telemetry::snapshot();
+            slot.published.store(epoch, Ordering::Release);
+            last_epoch = epoch;
+        }
+
+        let job = match shared
+            .queue
+            .pop_timeout(&shared.stop_workers, shared.options.poll_interval)
+        {
+            Pop::Job(job) => job,
+            Pop::Idle => continue,
+            Pop::Stopped => break,
+        };
         let Job {
             plan,
             cached,
             permit,
             reply,
         } = job;
+
+        let id = shared.query_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        // Slow-query capture needs a registry snapshot *before* execution
+        // so the entry can carry the per-query delta; skip the cost
+        // entirely when the log is disabled.
+        let slow_enabled = shared.options.slow_log_capacity > 0;
+        let before = slow_enabled.then(telemetry::snapshot);
+
+        let snap = reader.snapshot();
+        let snapshot_epoch = snap.epoch();
         let started = Instant::now();
         let result = {
             let _span = Span::enter("serve.execute");
-            reader.query(&plan.query)
+            reader.query_at(&snap, &plan.query)
         };
         let micros = started.elapsed().as_micros() as u64;
         shared.stats.queries.fetch_add(1, Ordering::Relaxed);
         telemetry::histogram("serve.query_us").record(micros);
+        slot.queries.fetch_add(1, Ordering::Relaxed);
+        slot.busy_us.fetch_add(micros, Ordering::Relaxed);
 
+        let mut executed = None; // (rows, ScanStats) on success
         let outcome = result.map_err(|e| e.to_string()).and_then(|(hits, stats)| {
+            executed = Some((hits.len() as u64, stats));
             let mut rows = Vec::with_capacity(hits.len());
             for hit in &hits {
                 rows.push(WireRow::from_hit(hit).map_err(|e| e.to_string())?);
@@ -635,11 +836,77 @@ fn worker_loop<P: PageStore + Send + Sync>(reader: DatabaseReader<P>, shared: Ar
                 },
             ))
         });
+
+        if micros >= shared.options.slow_query_us {
+            if let (Some(before), Some((rows, stats))) = (before, executed) {
+                let delta = telemetry::snapshot().delta(&before);
+                shared.slow_log.lock().unwrap().offer(SlowQueryEntry {
+                    id,
+                    uql: plan.text.clone(),
+                    micros,
+                    rows,
+                    cached_plan: cached,
+                    snapshot_epoch,
+                    stats,
+                    delta,
+                });
+            }
+        }
+
         // The connection may have vanished mid-query; a dead receiver
         // just means nobody wants the answer. The permit drops either
         // way, so abandoned queries never leak admission slots.
         let _ = reply.send(outcome);
         drop(permit);
+    }
+    shared.fold_telemetry();
+}
+
+/// Sampler loop: once per `sample_interval`, bump the epoch, give the
+/// workers a bounded head start to publish, then fold their latest
+/// snapshots into the rolling window. The wall clock lives only here —
+/// the window itself (and everything Stats computes from it) is a pure
+/// function of the pushed intervals.
+fn sampler_loop(shared: Arc<Shared>) {
+    let interval = shared.options.sample_interval.max(Duration::from_millis(1));
+    let poll = shared.options.poll_interval.max(Duration::from_millis(1));
+    let mut epoch = 0u64;
+    loop {
+        // Sleep one interval in poll-size chunks so shutdown is prompt.
+        let wake = Instant::now() + interval;
+        loop {
+            let now = Instant::now();
+            if now >= wake || shared.stop_workers.load(Ordering::Acquire) {
+                break;
+            }
+            std::thread::sleep(poll.min(wake - now));
+        }
+        if shared.stop_workers.load(Ordering::Acquire) {
+            break;
+        }
+
+        epoch += 1;
+        shared.sample_epoch.store(epoch, Ordering::Release);
+        // Nudge idle workers out of their queue wait so they publish
+        // promptly even with long poll intervals.
+        shared.queue.cv.notify_all();
+        let deadline = Instant::now() + poll * 4;
+        while Instant::now() < deadline {
+            let all_published = shared
+                .worker_slots
+                .iter()
+                .all(|s| s.published.load(Ordering::Acquire) >= epoch);
+            if all_published {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let mut merged = telemetry::Snapshot::default();
+        for slot in &shared.worker_slots {
+            merged.merge(&slot.snap.lock().unwrap());
+        }
+        shared.sampler.lock().unwrap().advance(merged);
     }
     shared.fold_telemetry();
 }

@@ -1,0 +1,338 @@
+//! Live-stats plumbing: per-worker snapshot slots the sampler polls, the
+//! rolling-window sampler state, and the `StatsReply` JSON builder.
+//!
+//! Division of labor with `server.rs`: the server owns the threads (the
+//! sampler loop, the workers publishing into their slots) and gathers the
+//! live atomic counters; this module owns the *data* — how interval
+//! deltas are derived from cumulative worker snapshots, how windows are
+//! folded, and how the reply document is laid out. Everything here is
+//! clock-free and deterministic, so the window math is testable with
+//! synthetic snapshots.
+
+use std::fmt::Write as _;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use telemetry::{json, RollingWindow, Snapshot};
+
+use crate::slowlog::SlowQueryEntry;
+
+/// Histogram names the window math consumes.
+const QUERY_US: &str = "serve.query_us";
+const ROWS: &str = "serve.rows";
+const POOL_HITS: &str = "pagestore.pool.hits";
+const POOL_MISSES: &str = "pagestore.pool.misses";
+
+/// One worker's publication slot. The worker overwrites `snap` with its
+/// full (cumulative) thread-local registry snapshot whenever the sampler
+/// bumps the epoch; the sampler merges whatever was last published, so a
+/// worker stuck in a long query simply contributes its previous snapshot
+/// until it surfaces.
+#[derive(Default)]
+pub struct WorkerSlot {
+    /// Latest cumulative registry snapshot published by this worker.
+    pub snap: Mutex<Snapshot>,
+    /// The sample epoch `snap` was published for (lags during long queries).
+    pub published: AtomicU64,
+    /// Queries this worker has finished (live atomic, not sampled).
+    pub queries: AtomicU64,
+    /// Microseconds this worker has spent executing (live atomic).
+    pub busy_us: AtomicU64,
+}
+
+/// Sampler-owned state: the rolling window of interval deltas plus the
+/// cumulative merge the deltas are computed against. Guarded by one mutex
+/// in `Shared`; the sampler writes once per interval, Stats handlers read.
+pub struct SamplerState {
+    window: RollingWindow,
+    /// Merge of the most recent published snapshot from every worker.
+    /// Monotone because each worker's registry is monotone.
+    cumulative: Snapshot,
+    interval: Duration,
+}
+
+impl SamplerState {
+    pub fn new(window_capacity: usize, interval: Duration) -> SamplerState {
+        SamplerState {
+            window: RollingWindow::new(window_capacity),
+            cumulative: Snapshot::default(),
+            interval,
+        }
+    }
+
+    /// Fold one sampling tick: `merged` is the merge of every worker's
+    /// latest published snapshot. The interval delta (vs the previous
+    /// cumulative) goes into the window; `merged` becomes the new basis.
+    pub fn advance(&mut self, merged: Snapshot) {
+        let delta = merged.delta(&self.cumulative);
+        self.window.push(delta);
+        self.cumulative = merged;
+    }
+
+    pub fn window(&self) -> &RollingWindow {
+        &self.window
+    }
+
+    pub fn cumulative(&self) -> &Snapshot {
+        &self.cumulative
+    }
+
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Ticks sampled so far (the id of the newest interval).
+    pub fn tick(&self) -> u64 {
+        self.window.ticks()
+    }
+}
+
+/// Live (un-sampled) counter values the server reads straight from its
+/// atomics at Stats time. Always current, unlike the sampled window.
+#[derive(Debug, Clone, Default)]
+pub struct LiveStats {
+    pub connections: u64,
+    pub requests: u64,
+    pub queries: u64,
+    pub shed: u64,
+    pub proto_errors: u64,
+    pub rows_sent: u64,
+    pub disconnects: u64,
+    pub deadline_closed: u64,
+    pub plan_cache_hits: u64,
+    pub plan_cache_misses: u64,
+    pub inflight: usize,
+    pub queued: usize,
+    pub max_inflight: usize,
+    pub workers: usize,
+}
+
+fn hist_count(s: &Snapshot, name: &str) -> u64 {
+    s.histograms.get(name).map_or(0, |h| h.count)
+}
+
+fn hist_sum(s: &Snapshot, name: &str) -> u64 {
+    s.histograms.get(name).map_or(0, |h| h.sum)
+}
+
+fn counter(s: &Snapshot, name: &str) -> u64 {
+    s.counters.get(name).copied().unwrap_or(0)
+}
+
+fn rate(n: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        n as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total > 0 {
+        hits as f64 / total as f64
+    } else {
+        0.0
+    }
+}
+
+/// Assemble the `StatsReply` JSON document. Pure function of its inputs;
+/// the caller (connection thread) gathers them without touching the
+/// buffer pool or the admission gate.
+pub fn build_stats_json(
+    sampler: &SamplerState,
+    window_s: u32,
+    live: &LiveStats,
+    workers: &[(u64, u64)],
+    slow: &[Arc<SlowQueryEntry>],
+) -> String {
+    let interval_ms = sampler.interval().as_millis().max(1) as u64;
+    // How many sampled intervals cover the requested wall-clock window
+    // (at least one, so `Stats { window_s: 0 }` means "newest interval").
+    let want = ((window_s as u64 * 1000).div_ceil(interval_ms)).max(1) as usize;
+    let (win, covered) = sampler.window().merged(want);
+    let seconds = covered as f64 * interval_ms as f64 / 1000.0;
+
+    let qcount = hist_count(&win, QUERY_US);
+    let qsum = hist_sum(&win, QUERY_US);
+    let empty = telemetry::HistogramSnapshot::default();
+    let qh = win.histograms.get(QUERY_US).unwrap_or(&empty);
+    let mean_us = qsum.checked_div(qcount).unwrap_or(0);
+    let pool_hits = counter(&win, POOL_HITS);
+    let pool_misses = counter(&win, POOL_MISSES);
+
+    let cum = sampler.cumulative();
+
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\n  \"tick\": {},\n  \"interval_ms\": {},\n",
+        sampler.tick(),
+        interval_ms
+    );
+    let _ = writeln!(
+        out,
+        "  \"window\": {{\"requested_s\": {window_s}, \"ticks\": {covered}, \"seconds\": {seconds}, \
+         \"qps\": {:.3}, \"rows_per_s\": {:.3}, \
+         \"query_us\": {{\"count\": {qcount}, \"mean_us\": {mean_us}, \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}}}, \
+         \"pool\": {{\"hits\": {pool_hits}, \"misses\": {pool_misses}, \"hit_rate\": {:.4}}}}},",
+        rate(qcount, seconds),
+        rate(hist_sum(&win, ROWS), seconds),
+        qh.percentile(0.50),
+        qh.percentile(0.99),
+        qh.percentile(0.999),
+        ratio(pool_hits, pool_misses),
+    );
+    let _ = writeln!(
+        out,
+        "  \"cumulative\": {{\"queries\": {}, \"rows\": {}, \"query_us_sum\": {}, \
+         \"pool_hits\": {}, \"pool_misses\": {}}},",
+        hist_count(cum, QUERY_US),
+        hist_sum(cum, ROWS),
+        hist_sum(cum, QUERY_US),
+        counter(cum, POOL_HITS),
+        counter(cum, POOL_MISSES),
+    );
+    let _ = writeln!(
+        out,
+        "  \"live\": {{\"connections\": {}, \"requests\": {}, \"queries\": {}, \"shed\": {}, \
+         \"proto_errors\": {}, \"rows_sent\": {}, \"disconnects\": {}, \"deadline_closed\": {}, \
+         \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"plan_cache_hit_rate\": {:.4}, \
+         \"inflight\": {}, \"queued\": {}, \"max_inflight\": {}, \"workers\": {}}},",
+        live.connections,
+        live.requests,
+        live.queries,
+        live.shed,
+        live.proto_errors,
+        live.rows_sent,
+        live.disconnects,
+        live.deadline_closed,
+        live.plan_cache_hits,
+        live.plan_cache_misses,
+        ratio(live.plan_cache_hits, live.plan_cache_misses),
+        live.inflight,
+        live.queued,
+        live.max_inflight,
+        live.workers,
+    );
+    out.push_str("  \"workers\": [");
+    for (i, (queries, busy_us)) in workers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{{\"queries\": {queries}, \"busy_us\": {busy_us}}}");
+    }
+    out.push_str("],\n  \"slow\": [");
+    for (i, entry) in slow.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&entry.summary_json());
+    }
+    out.push_str("]\n}");
+    debug_assert!(json::parse(&out).is_ok(), "StatsReply JSON must parse");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::HistogramSnapshot;
+
+    /// A cumulative snapshot with `n` queries of `us` µs each and matching
+    /// pool traffic.
+    fn cumulative(n: u64, us: u64, pool_hits: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        let bucket_hi = us.next_power_of_two().max(1);
+        s.histograms.insert(
+            QUERY_US.into(),
+            HistogramSnapshot {
+                count: n,
+                sum: n * us,
+                buckets: vec![(bucket_hi / 2 + 1, bucket_hi, n)],
+            },
+        );
+        s.histograms.insert(
+            ROWS.into(),
+            HistogramSnapshot {
+                count: n,
+                sum: n * 3,
+                buckets: vec![(2, 3, n)],
+            },
+        );
+        s.counters.insert(POOL_HITS.into(), pool_hits);
+        s.counters.insert(POOL_MISSES.into(), pool_hits / 4);
+        s
+    }
+
+    #[test]
+    fn windowed_rates_from_interval_deltas() {
+        let mut st = SamplerState::new(60, Duration::from_secs(1));
+        // Three 1s ticks: 10, then 30, then 60 cumulative queries.
+        for (n, hits) in [(10, 40), (30, 120), (60, 240)] {
+            st.advance(cumulative(n, 100, hits));
+        }
+        assert_eq!(st.tick(), 3);
+        assert_eq!(hist_count(st.cumulative(), QUERY_US), 60);
+
+        // Last 2 seconds saw 60 - 10 = 50 queries → 25 qps.
+        let doc = build_stats_json(&st, 2, &LiveStats::default(), &[], &[]);
+        let v = json::parse(&doc).expect("stats JSON parses");
+        let win = v.get("window").unwrap();
+        assert_eq!(win.get("ticks").and_then(|t| t.as_u64()), Some(2));
+        let qps = win.get("qps").and_then(|q| q.as_f64()).unwrap();
+        assert!((qps - 25.0).abs() < 1e-9, "qps {qps} != 25");
+        assert_eq!(
+            win.get("query_us")
+                .and_then(|q| q.get("count"))
+                .and_then(|c| c.as_u64()),
+            Some(50)
+        );
+        assert_eq!(
+            v.get("cumulative")
+                .and_then(|c| c.get("queries"))
+                .and_then(|q| q.as_u64()),
+            Some(60)
+        );
+        // Pool hit rate: window saw 200 hits, 50 misses.
+        let pool = win.get("pool").unwrap();
+        assert_eq!(pool.get("hits").and_then(|h| h.as_u64()), Some(200));
+        let rate = pool.get("hit_rate").and_then(|r| r.as_f64()).unwrap();
+        assert!((rate - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_means_newest_interval() {
+        let mut st = SamplerState::new(8, Duration::from_millis(100));
+        st.advance(cumulative(5, 50, 0));
+        st.advance(cumulative(9, 50, 0));
+        let doc = build_stats_json(&st, 0, &LiveStats::default(), &[], &[]);
+        let v = json::parse(&doc).unwrap();
+        let win = v.get("window").unwrap();
+        assert_eq!(win.get("ticks").and_then(|t| t.as_u64()), Some(1));
+        assert_eq!(
+            win.get("query_us")
+                .and_then(|q| q.get("count"))
+                .and_then(|c| c.as_u64()),
+            Some(4),
+            "newest 100ms interval saw 9 - 5 = 4 queries"
+        );
+    }
+
+    #[test]
+    fn empty_sampler_yields_parseable_zeros() {
+        let st = SamplerState::new(60, Duration::from_secs(1));
+        let live = LiveStats {
+            shed: 7,
+            max_inflight: 0,
+            ..LiveStats::default()
+        };
+        let doc = build_stats_json(&st, 60, &live, &[(0, 0)], &[]);
+        let v = json::parse(&doc).expect("empty-window stats must still parse");
+        let live = v.get("live").unwrap();
+        assert_eq!(live.get("shed").and_then(|s| s.as_u64()), Some(7));
+        let win = v.get("window").unwrap();
+        assert_eq!(win.get("qps").and_then(|q| q.as_f64()), Some(0.0));
+    }
+}

@@ -146,10 +146,29 @@ fn shed_requests_never_touch_the_buffer_pool() {
             other => panic!("zero-bound server must shed, got {other:?}"),
         }
     }
+
+    // The saturated server must still answer Stats — the introspection
+    // path bypasses the admission gate entirely — and the reply must
+    // carry the correct shed count.
+    let doc = c.stats(10).expect("Stats must succeed at max_inflight = 0");
+    let v = telemetry::json::parse(&doc).expect("StatsReply parses");
+    let shed = v
+        .get("live")
+        .and_then(|l| l.get("shed"))
+        .and_then(|s| s.as_u64());
+    assert_eq!(shed, Some(26), "Stats must report the sheds so far");
+    assert_eq!(
+        v.get("live")
+            .and_then(|l| l.get("max_inflight"))
+            .and_then(|m| m.as_u64()),
+        Some(0)
+    );
+
     let after = db.index().tree().pool().stats();
 
-    // The shed path stops at the gate: no fetches, no IO, no allocation
-    // in the page layer.
+    // The shed path stops at the gate — and the Stats path never leaves
+    // the connection thread: no fetches, no IO, no allocation in the
+    // page layer from either.
     assert_eq!(before.logical_fetches, after.logical_fetches);
     assert_eq!(before.physical_reads, after.physical_reads);
     assert_eq!(before.physical_writes, after.physical_writes);

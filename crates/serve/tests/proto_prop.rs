@@ -75,10 +75,15 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 Just(ErrorCode::Overloaded),
                 Just(ErrorCode::Proto),
                 Just(ErrorCode::UnknownStatement),
+                Just(ErrorCode::NotFound),
             ],
             arb_string()
         )
             .prop_map(|(code, message)| Frame::Error { code, message }),
+        any::<u32>().prop_map(|window_s| Frame::Stats { window_s }),
+        any::<u64>().prop_map(|id| Frame::Trace { id }),
+        arb_string().prop_map(|json| Frame::StatsReply { json }),
+        arb_string().prop_map(|json| Frame::TraceReply { json }),
     ]
 }
 
@@ -206,6 +211,24 @@ fn malformed_sweep_decoder() {
         }),
         // RowBatch whose row count promises more rows than exist.
         (0x81, 1000u32.to_be_bytes().to_vec()),
+        // Stats with a short window (u32 needs 4 bytes).
+        (0x05, vec![0, 1]),
+        // Stats with trailing junk after the window.
+        (0x05, vec![0, 0, 0, 1, 0xEE]),
+        // Trace with a short id.
+        (0x06, vec![1, 2, 3]),
+        // StatsReply whose JSON string is not UTF-8.
+        (0x86, {
+            let mut p = 2u32.to_be_bytes().to_vec();
+            p.extend_from_slice(&[0xFF, 0xFE]);
+            p
+        }),
+        // TraceReply whose string claims more bytes than the payload has.
+        (0x87, {
+            let mut p = 100u32.to_be_bytes().to_vec();
+            p.extend_from_slice(b"{}");
+            p
+        }),
     ];
     for (ty, payload) in cases {
         let mut buf = header(ty, payload.len() as u32);

@@ -27,6 +27,9 @@
 //! are capped so an uninstrumented drain (e.g. a long bench loop) cannot leak.
 
 pub mod json;
+pub mod window;
+
+pub use window::RollingWindow;
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -303,6 +306,47 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum = self.sum.wrapping_add(other.sum);
     }
+
+    /// The samples recorded here but not in `base`, where `base` is an
+    /// earlier snapshot of the *same* histogram (bucket counts subtract;
+    /// the result of subtracting an unrelated snapshot is meaningless).
+    /// Saturating, so a torn base never underflows.
+    pub fn delta(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let base_by_lo: BTreeMap<u64, u64> =
+            base.buckets.iter().map(|&(lo, _, c)| (lo, c)).collect();
+        let buckets = self
+            .buckets
+            .iter()
+            .filter_map(|&(lo, hi, c)| {
+                let rem = c.saturating_sub(base_by_lo.get(&lo).copied().unwrap_or(0));
+                (rem > 0).then_some((lo, hi, rem))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.wrapping_sub(base.sum),
+            buckets,
+        }
+    }
+
+    /// Quantile `q` in `[0, 1]` as the upper bound of the bucket where the
+    /// cumulative count crosses `ceil(q * count)` — a ≤2× overestimate by
+    /// log₂ construction (documented in `docs/bench-format.md`). 0 when
+    /// the histogram is empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(_, hi, count) in &self.buckets {
+            cum += count;
+            if cum >= target {
+                return hi;
+            }
+        }
+        self.buckets.last().map(|&(_, hi, _)| hi).unwrap_or(0)
+    }
 }
 
 /// Fold a snapshot (typically taken on a finished worker thread) into the
@@ -362,6 +406,39 @@ impl Snapshot {
         for (name, h) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(h);
         }
+    }
+
+    /// The events recorded here but not in `base`, where `base` is an
+    /// earlier snapshot of the same (or a merged-subset) registry — the
+    /// sampler's per-interval delta. Counters and histogram samples
+    /// subtract (saturating); gauges subtract signed, treating the delta
+    /// as the gauge's movement over the interval. Metrics absent from
+    /// `base` pass through whole; zero-valued deltas are dropped so an
+    /// idle interval stays an empty snapshot.
+    pub fn delta(&self, base: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (name, &v) in &self.counters {
+            let d = v.saturating_sub(base.counters.get(name).copied().unwrap_or(0));
+            if d > 0 {
+                out.counters.insert(name.clone(), d);
+            }
+        }
+        for (name, &v) in &self.gauges {
+            let d = v.wrapping_sub(base.gauges.get(name).copied().unwrap_or(0));
+            if d != 0 {
+                out.gauges.insert(name.clone(), d);
+            }
+        }
+        for (name, h) in &self.histograms {
+            let d = match base.histograms.get(name) {
+                Some(b) => h.delta(b),
+                None => h.clone(),
+            };
+            if d.count > 0 {
+                out.histograms.insert(name.clone(), d);
+            }
+        }
+        out
     }
 
     pub fn to_json(&self) -> String {
@@ -792,6 +869,63 @@ mod tests {
         let before = mine.to_json();
         mine.merge(&Snapshot::default());
         assert_eq!(mine.to_json(), before);
+    }
+
+    /// delta is the inverse of merge: for cumulative snapshots a ⊆ b,
+    /// a.merge(b.delta(a)) reproduces b exactly.
+    #[test]
+    fn delta_inverts_merge() {
+        reset();
+        counter("dl.pages").add(10);
+        gauge("dl.depth").set(3);
+        let h = histogram("dl.lat");
+        for v in [1u64, 5, 5] {
+            h.record(v);
+        }
+        let a = snapshot();
+        counter("dl.pages").add(7);
+        counter("dl.new").add(2);
+        gauge("dl.depth").set(1);
+        for v in [5u64, 900] {
+            h.record(v);
+        }
+        let b = snapshot();
+
+        let d = b.delta(&a);
+        assert_eq!(d.counters.get("dl.pages"), Some(&7));
+        assert_eq!(d.counters.get("dl.new"), Some(&2));
+        assert_eq!(d.gauges.get("dl.depth"), Some(&-2));
+        let dh = &d.histograms["dl.lat"];
+        assert_eq!(dh.count, 2);
+        assert_eq!(dh.sum, 905);
+
+        let mut rebuilt = a.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt.to_json(), b.to_json(), "a + (b - a) == b");
+
+        // Self-delta is empty.
+        let zero = b.delta(&b);
+        assert!(zero.counters.is_empty());
+        assert!(zero.gauges.is_empty());
+        assert!(zero.histograms.is_empty());
+    }
+
+    #[test]
+    fn percentile_on_snapshots() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().percentile(0.99), 0, "empty histogram");
+        // 99 fast samples and one slow one: p50 stays in the fast bucket,
+        // p999 reaches the slow bucket's upper bound.
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(5000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.50), bucket_bounds(bucket_index(10)).1);
+        assert_eq!(s.percentile(0.999), bucket_bounds(bucket_index(5000)).1);
+        // q=0 clamps to the first sample, q=1 to the last.
+        assert_eq!(s.percentile(0.0), bucket_bounds(bucket_index(10)).1);
+        assert_eq!(s.percentile(1.0), bucket_bounds(bucket_index(5000)).1);
     }
 
     mod props {

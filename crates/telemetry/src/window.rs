@@ -1,0 +1,205 @@
+//! Rolling time-window aggregation over registry [`Snapshot`]s.
+//!
+//! A [`RollingWindow`] is a fixed ring of *interval* snapshots — each slot
+//! holds the metric deltas for one sampling interval (e.g. one second),
+//! pushed by whatever thread drives the sampling. The window itself never
+//! reads a clock: the sampler that fills it owns all timing, so merges and
+//! queries are deterministic and testable with synthetic intervals.
+//!
+//! Two read paths:
+//!
+//! - [`RollingWindow::merged`] — fold the most recent *n* intervals into
+//!   one [`Snapshot`] (rate/percentile queries over "the last n ticks").
+//! - [`RollingWindow::since`] — fold every interval pushed after a
+//!   caller-held cursor, for pollers that want deltas rather than windows.
+//!   A cursor older than the ring's retention is reported as truncated so
+//!   the poller knows its delta is incomplete.
+
+use crate::Snapshot;
+
+/// Fixed ring of per-interval [`Snapshot`] deltas with windowed merges.
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    /// `slots[i]` holds the interval ending at tick `ticks - k` where the
+    /// ring index works out via `(ticks - 1 - k) % capacity`; only the
+    /// first `min(ticks, capacity)` slots are meaningful.
+    slots: Vec<Snapshot>,
+    capacity: usize,
+    /// Total intervals ever pushed (monotone; also the newest tick id).
+    ticks: u64,
+}
+
+impl RollingWindow {
+    /// A window retaining the most recent `capacity` intervals (min 1).
+    pub fn new(capacity: usize) -> RollingWindow {
+        let capacity = capacity.max(1);
+        RollingWindow {
+            slots: vec![Snapshot::default(); capacity],
+            capacity,
+            ticks: 0,
+        }
+    }
+
+    /// Number of intervals the ring can retain.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total intervals pushed so far; the id of the newest interval.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Number of intervals currently retained.
+    pub fn len(&self) -> usize {
+        self.ticks.min(self.capacity as u64) as usize
+    }
+
+    /// Whether no interval has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ticks == 0
+    }
+
+    /// Advance the window by one interval, overwriting the oldest slot.
+    /// Called by the sampler with the metric *delta* for the interval.
+    pub fn push(&mut self, interval: Snapshot) {
+        let slot = (self.ticks % self.capacity as u64) as usize;
+        self.slots[slot] = interval;
+        self.ticks += 1;
+    }
+
+    /// Merge the most recent `last_n` intervals into one snapshot,
+    /// returning it together with the number of intervals actually
+    /// covered (fewer than requested while the ring is still filling, or
+    /// when `last_n` exceeds the capacity).
+    pub fn merged(&self, last_n: usize) -> (Snapshot, usize) {
+        let n = last_n.min(self.len());
+        let mut out = Snapshot::default();
+        for k in 0..n {
+            let tick = self.ticks - 1 - k as u64;
+            out.merge(&self.slots[(tick % self.capacity as u64) as usize]);
+        }
+        (out, n)
+    }
+
+    /// Merge every interval pushed after `cursor` (a tick id previously
+    /// returned from this method, or 0 for "everything retained").
+    /// Returns `(delta, new_cursor, truncated)`: pass `new_cursor` back on
+    /// the next poll; `truncated` is true when intervals between `cursor`
+    /// and the ring's retention horizon were already overwritten, i.e. the
+    /// delta is missing data and the poller should resynchronize.
+    pub fn since(&self, cursor: u64) -> (Snapshot, u64, bool) {
+        let available = self.ticks.saturating_sub(cursor).min(self.ticks);
+        let truncated = available > self.capacity as u64;
+        let (delta, _) = self.merged(available.min(self.capacity as u64) as usize);
+        (delta, self.ticks, truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistogramSnapshot;
+
+    /// An interval snapshot with one counter and one single-sample
+    /// histogram, both carrying `v` — enough to watch merges add up.
+    fn interval(v: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert("w.count".into(), v);
+        s.histograms.insert(
+            "w.hist".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: v,
+                buckets: vec![(0, 0, 1)],
+            },
+        );
+        s
+    }
+
+    fn counter(s: &Snapshot) -> u64 {
+        s.counters.get("w.count").copied().unwrap_or(0)
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut w = RollingWindow::new(4);
+        assert!(w.is_empty());
+        for v in 1..=6u64 {
+            w.push(interval(v));
+        }
+        assert_eq!(w.ticks(), 6);
+        assert_eq!(w.len(), 4, "ring retains capacity intervals");
+
+        // Last 2 intervals: 6 + 5.
+        let (snap, n) = w.merged(2);
+        assert_eq!(n, 2);
+        assert_eq!(counter(&snap), 11);
+        assert_eq!(snap.histograms["w.hist"].count, 2);
+
+        // Asking for more than retained clamps to the ring: 6+5+4+3.
+        let (snap, n) = w.merged(100);
+        assert_eq!(n, 4);
+        assert_eq!(counter(&snap), 18);
+    }
+
+    #[test]
+    fn merged_while_filling() {
+        let mut w = RollingWindow::new(8);
+        w.push(interval(10));
+        w.push(interval(20));
+        let (snap, n) = w.merged(5);
+        assert_eq!(n, 2, "only two intervals exist");
+        assert_eq!(counter(&snap), 30);
+    }
+
+    #[test]
+    fn since_cursor_deltas() {
+        let mut w = RollingWindow::new(4);
+        for v in 1..=3u64 {
+            w.push(interval(v));
+        }
+        let (delta, cursor, truncated) = w.since(0);
+        assert_eq!(counter(&delta), 6);
+        assert_eq!(cursor, 3);
+        assert!(!truncated);
+
+        // Nothing new: empty delta, cursor unchanged.
+        let (delta, cursor2, truncated) = w.since(cursor);
+        assert_eq!(counter(&delta), 0);
+        assert_eq!(cursor2, 3);
+        assert!(!truncated);
+
+        // Two more intervals: the delta is exactly those two.
+        w.push(interval(4));
+        w.push(interval(5));
+        let (delta, cursor3, truncated) = w.since(cursor2);
+        assert_eq!(counter(&delta), 9);
+        assert_eq!(cursor3, 5);
+        assert!(!truncated);
+    }
+
+    #[test]
+    fn since_reports_truncation() {
+        let mut w = RollingWindow::new(2);
+        for v in 1..=5u64 {
+            w.push(interval(v));
+        }
+        // Cursor 1 wants ticks 2..=5 but only 4 and 5 survive.
+        let (delta, cursor, truncated) = w.since(1);
+        assert_eq!(counter(&delta), 9);
+        assert_eq!(cursor, 5);
+        assert!(truncated, "overwritten intervals must be reported");
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let mut w = RollingWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.push(interval(7));
+        w.push(interval(9));
+        let (snap, n) = w.merged(10);
+        assert_eq!(n, 1);
+        assert_eq!(counter(&snap), 9, "only the newest interval survives");
+    }
+}
