@@ -138,6 +138,34 @@ touch "$tmpdir/serve.stop"
 wait "$serve_pid" || { echo "serve smoke: server exited non-zero"; exit 1; }
 grep -q "^served " "$tmpdir/serve.log" || { echo "serve smoke: no shutdown summary"; exit 1; }
 
+echo "== chaos smoke (fault proxy + storage faults, oracle-checked, both tiers)"
+chaos_out=$(timeout 300 cargo run -q --release --offline -p bench --bin loadgen -- --chaos --smoke)
+echo "$chaos_out" | grep -q ", 0 mismatches" \
+  || { echo "chaos smoke: no oracle verdict"; echo "$chaos_out"; exit 1; }
+echo "$chaos_out" | grep -q "degraded-ok" \
+  || { echo "chaos smoke: no degraded-path answers"; echo "$chaos_out"; exit 1; }
+
+echo "== SIGTERM drain smoke (signal -> drain -> shutdown summary)"
+"$serve_bin" serve "$tmpdir/servedb" --port 0 \
+  > "$tmpdir/drain.log" 2> "$tmpdir/drain.err" &
+drain_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on " "$tmpdir/drain.log" 2>/dev/null && break
+  sleep 0.1
+done
+kill -TERM "$drain_pid"
+wait "$drain_pid" || { echo "drain smoke: server exited non-zero"; cat "$tmpdir/drain.err"; exit 1; }
+grep -q "signal received; draining" "$tmpdir/drain.err" \
+  || { echo "drain smoke: no drain log line"; cat "$tmpdir/drain.err"; exit 1; }
+grep -q "^served " "$tmpdir/drain.log" \
+  || { echo "drain smoke: no shutdown summary"; cat "$tmpdir/drain.log"; exit 1; }
+
+echo "== chaos drill (SIGKILL a real serve process mid-load, restart, repoint)"
+drill_out=$(timeout 300 cargo run -q --release --offline -p bench --bin loadgen -- \
+  --chaos-drill --cli-bin "$serve_bin")
+echo "$drill_out" | grep -q "after restart" \
+  || { echo "chaos drill: no restart ledger"; echo "$drill_out"; exit 1; }
+
 echo "== serve protocol battery (malformed sweep + admission + torture)"
 timeout 300 cargo test -q --offline -p serve
 

@@ -1,0 +1,375 @@
+//! A deterministic TCP fault proxy for the chaos harness: sits between
+//! the load generator's clients and a UQL server, forwarding bytes while
+//! injecting faults — delays, stalls, single-bit corruption, mid-frame
+//! truncation, abrupt drops — on a seeded schedule.
+//!
+//! Determinism is the whole design: every fault fires at an **absolute
+//! byte offset** within one direction of one connection, with both the
+//! offsets and the actions drawn from a SplitMix64 stream keyed on
+//! `(seed, connection, direction)`. Offsets are independent of TCP
+//! chunking, so the same seed against the same byte streams produces the
+//! same [`FaultEvent`] trace — pinned by the `chaos_proxy` test.
+//!
+//! The proxy is also the stable endpoint for the crash-restart drill:
+//! clients keep their `proxy:port` address while
+//! [`ChaosProxy::set_upstream`] repoints new connections at a restarted
+//! server.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One direction of a proxied connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dir {
+    /// Client → server bytes.
+    Up,
+    /// Server → client bytes.
+    Down,
+}
+
+/// A fault the proxy can inject at a byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Pause this direction briefly before forwarding further bytes.
+    Delay { ms: u64 },
+    /// A longer pause — enough to trip client read patience.
+    Stall { ms: u64 },
+    /// Flip one bit of the byte at the fault offset (caught by the
+    /// protocol's CRC, surfacing as `BadCrc` / a server `Proto` error).
+    CorruptBit { bit: u8 },
+    /// Forward bytes up to the offset, then close both ways mid-frame.
+    Truncate,
+    /// Close both ways at the offset without forwarding the byte.
+    Drop,
+}
+
+/// One injected fault, for the deterministic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Connection id in accept order (0-based).
+    pub conn: u64,
+    /// Which direction of that connection.
+    pub dir: Dir,
+    /// Absolute byte offset within the direction's stream.
+    pub offset: u64,
+    /// What was done there.
+    pub action: ChaosAction,
+}
+
+/// Fault schedule parameters. All randomness derives from `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed for every per-(conn, dir) fault stream.
+    pub seed: u64,
+    /// Mean bytes between faults per direction; 0 disables injection.
+    pub mean_gap_bytes: u64,
+    /// Relative weights of each action (all zero also disables).
+    pub delay_weight: u32,
+    pub stall_weight: u32,
+    pub corrupt_weight: u32,
+    pub truncate_weight: u32,
+    pub drop_weight: u32,
+    /// Sleep for `Delay` faults.
+    pub delay_ms: u64,
+    /// Sleep for `Stall` faults.
+    pub stall_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            mean_gap_bytes: 4096,
+            delay_weight: 4,
+            stall_weight: 1,
+            corrupt_weight: 2,
+            truncate_weight: 1,
+            drop_weight: 1,
+            delay_ms: 2,
+            stall_ms: 20,
+        }
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64 stream of fault points for one (conn, dir).
+struct FaultStream {
+    state: u64,
+    cfg: ChaosConfig,
+    /// Absolute offset of the next fault.
+    next_at: u64,
+}
+
+impl FaultStream {
+    fn new(cfg: ChaosConfig, conn: u64, dir: Dir) -> FaultStream {
+        let dir_salt = match dir {
+            Dir::Up => 0x9e37_79b9_7f4a_7c15u64,
+            Dir::Down => 0x2545_f491_4f6c_dd1du64,
+        };
+        let mut s = FaultStream {
+            state: mix(cfg.seed ^ conn.wrapping_mul(0xa076_1d64_78bd_642f) ^ dir_salt),
+            cfg,
+            next_at: 0,
+        };
+        s.next_at = s.gap();
+        s
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix(self.state)
+    }
+
+    fn gap(&mut self) -> u64 {
+        if self.cfg.mean_gap_bytes == 0 {
+            return u64::MAX;
+        }
+        1 + self.next_u64() % (2 * self.cfg.mean_gap_bytes)
+    }
+
+    fn pick_action(&mut self) -> Option<ChaosAction> {
+        let cfg = self.cfg;
+        let total = u64::from(cfg.delay_weight)
+            + u64::from(cfg.stall_weight)
+            + u64::from(cfg.corrupt_weight)
+            + u64::from(cfg.truncate_weight)
+            + u64::from(cfg.drop_weight);
+        if total == 0 {
+            return None;
+        }
+        let mut roll = self.next_u64() % total;
+        let bit_roll = (self.next_u64() % 8) as u8;
+        for (weight, action) in [
+            (cfg.delay_weight, ChaosAction::Delay { ms: cfg.delay_ms }),
+            (cfg.stall_weight, ChaosAction::Stall { ms: cfg.stall_ms }),
+            (
+                cfg.corrupt_weight,
+                ChaosAction::CorruptBit { bit: bit_roll },
+            ),
+            (cfg.truncate_weight, ChaosAction::Truncate),
+            (cfg.drop_weight, ChaosAction::Drop),
+        ] {
+            if roll < u64::from(weight) {
+                return Some(action);
+            }
+            roll -= u64::from(weight);
+        }
+        None
+    }
+
+    /// The next fault landing in `[offset, offset + len)`, if any,
+    /// advancing the schedule past it.
+    fn next_in(&mut self, offset: u64, len: u64) -> Option<(u64, ChaosAction)> {
+        if self.next_at >= offset + len {
+            return None;
+        }
+        let at = self.next_at;
+        let gap = self.gap();
+        self.next_at = at.saturating_add(gap);
+        self.pick_action().map(|a| (at, a))
+    }
+}
+
+struct ProxyShared {
+    upstream: Mutex<SocketAddr>,
+    stop: AtomicBool,
+    trace: Mutex<Vec<FaultEvent>>,
+    conns: AtomicU64,
+    cfg: ChaosConfig,
+}
+
+/// The running proxy. [`ChaosProxy::shutdown`] stops the acceptor and
+/// joins every pump thread.
+pub struct ChaosProxy {
+    shared: Arc<ProxyShared>,
+    local: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Bind an ephemeral local port and start proxying to `upstream`.
+    pub fn start(upstream: SocketAddr, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            upstream: Mutex::new(upstream),
+            stop: AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
+            conns: AtomicU64::new(0),
+            cfg,
+        });
+        let pumps: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let pumps = Arc::clone(&pumps);
+            std::thread::Builder::new()
+                .name("chaos-acceptor".into())
+                .spawn(move || accept_loop(listener, shared, pumps))?
+        };
+        Ok(ChaosProxy {
+            shared,
+            local,
+            acceptor: Some(acceptor),
+            pumps,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Repoint **new** connections at a different upstream (the crash-
+    /// restart drill: the proxy endpoint is stable, the server isn't).
+    pub fn set_upstream(&self, addr: SocketAddr) {
+        *self.shared.upstream.lock().unwrap() = addr;
+    }
+
+    /// The fault trace so far, sorted by (conn, dir, offset) so two runs
+    /// are comparable whatever the thread interleaving was.
+    pub fn trace(&self) -> Vec<FaultEvent> {
+        let mut t = self.shared.trace.lock().unwrap().clone();
+        t.sort_by_key(|e| (e.conn, e.dir, e.offset));
+        t
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.shared.conns.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, sever every proxied connection, join all threads,
+    /// and return the final trace.
+    pub fn shutdown(mut self) -> Vec<FaultEvent> {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for pump in std::mem::take(&mut *self.pumps.lock().unwrap()) {
+            let _ = pump.join();
+        }
+        self.trace()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ProxyShared>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((down, _)) => {
+                let conn = shared.conns.fetch_add(1, Ordering::Relaxed);
+                let upstream = *shared.upstream.lock().unwrap();
+                let up = match TcpStream::connect_timeout(&upstream, Duration::from_millis(500)) {
+                    Ok(s) => s,
+                    // Server down (crash drill): refuse by closing; the
+                    // client sees a clean Closed and retries.
+                    Err(_) => continue,
+                };
+                let _ = down.set_nodelay(true);
+                let _ = up.set_nodelay(true);
+                for (dir, from, to) in [(Dir::Up, &down, &up), (Dir::Down, &up, &down)] {
+                    let from = from.try_clone().expect("clone stream");
+                    let to = to.try_clone().expect("clone stream");
+                    let shared = Arc::clone(&shared);
+                    let stream = FaultStream::new(shared.cfg, conn, dir);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("chaos-{conn}-{dir:?}"))
+                        .spawn(move || pump(from, to, stream, shared, conn, dir))
+                        .expect("spawn pump");
+                    pumps.lock().unwrap().push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Forward one direction, applying scheduled faults at their exact byte
+/// offsets (independent of how TCP chunked the stream).
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mut faults: FaultStream,
+    shared: Arc<ProxyShared>,
+    conn: u64,
+    dir: Dir,
+) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut offset = 0u64;
+    let mut buf = [0u8; 4096];
+    let record = |offset: u64, action: ChaosAction| {
+        shared.trace.lock().unwrap().push(FaultEvent {
+            conn,
+            dir,
+            offset,
+            action,
+        });
+    };
+    let sever = |from: &TcpStream, to: &TcpStream| {
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    };
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        let chunk = &mut buf[..n];
+        let mut severed = false;
+        while let Some((at, action)) = faults.next_in(offset, n as u64) {
+            record(at, action);
+            match action {
+                ChaosAction::Delay { ms } | ChaosAction::Stall { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                ChaosAction::CorruptBit { bit } => {
+                    chunk[(at - offset) as usize] ^= 1 << (bit & 7);
+                }
+                ChaosAction::Truncate => {
+                    let keep = (at - offset) as usize;
+                    let _ = to.write_all(&chunk[..keep]);
+                    severed = true;
+                    break;
+                }
+                ChaosAction::Drop => {
+                    severed = true;
+                    break;
+                }
+            }
+        }
+        if severed {
+            sever(&from, &to);
+            return;
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+        offset += n as u64;
+    }
+    sever(&from, &to);
+}

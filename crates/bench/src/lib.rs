@@ -7,6 +7,8 @@
 //! random for the CG-tree, random key or range) and average the distinct
 //! pages read.
 
+pub mod chaos;
+
 use baselines::{CgConfig, CgTree, SetId, SetIndex};
 use objstore::Oid;
 use rand::rngs::StdRng;

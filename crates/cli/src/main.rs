@@ -51,12 +51,35 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use objstore::Value;
 use pagestore::PageStore;
 use schema::AttrType;
 use uindex::{Database, DiskDatabase, DiskOptions};
 use uindex_cli::{build_database, build_database_on_disk, load_data};
+
+/// Set by the SIGINT/SIGTERM handler; `serve` polls it and drains — the
+/// same graceful path as the shutdown file.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Route SIGINT and SIGTERM to the drain flag. Raw `signal(2)` via FFI —
+/// no crate dependency, and an atomic store is async-signal-safe.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -193,36 +216,58 @@ fn cmd_check<P: pagestore::Scrubbable>(db: &mut Database<P>, dir: &str) -> Resul
     }
 }
 
-/// Serve a database until the shutdown file appears (or forever without
-/// one), then drain and print the lifetime summary.
-fn cmd_serve<P: PageStore + Send + Sync + 'static>(
-    reader: uindex::DatabaseReader<P>,
+/// Serve a database until the shutdown file appears or SIGINT/SIGTERM
+/// arrives, then drain and print the lifetime summary. The server runs
+/// over a fallback-armed reader, so storage faults degrade answers to
+/// object-store scans instead of killing queries; while quarantined, a
+/// once-per-second health probe re-runs the integrity check and lifts
+/// the quarantine as soon as the store reads clean again.
+fn cmd_serve<P: pagestore::Scrubbable + Send + Sync + 'static>(
+    db: &mut Database<P>,
     options: serve::ServeOptions,
     shutdown_file: Option<&str>,
 ) -> Result<(), String> {
-    let server = serve::Server::start(reader, options).map_err(|e| e.to_string())?;
+    install_signal_handlers();
+    let server =
+        serve::Server::start(db.reader_with_fallback(), options).map_err(|e| e.to_string())?;
     println!("listening on {}", server.local_addr());
-    match shutdown_file {
-        Some(path) => {
-            while !Path::new(path).exists() {
-                std::thread::sleep(std::time::Duration::from_millis(100));
-            }
-            eprintln!("shutdown file {path} appeared; draining");
+    let mut ticks: u64 = 0;
+    let drain_reason = loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            break "signal received".to_string();
         }
-        None => loop {
-            // No orchestration hook: serve until the process is killed.
-            std::thread::sleep(std::time::Duration::from_secs(3600));
-        },
-    }
+        if let Some(path) = shutdown_file {
+            if Path::new(path).exists() {
+                break format!("shutdown file {path} appeared");
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        ticks += 1;
+        if ticks.is_multiple_of(10) && db.quarantined() {
+            // Health probe: a clean check lifts the quarantine live.
+            match db.check() {
+                Ok(r) if r.clean() => {
+                    eprintln!("health probe: integrity check clean; quarantine lifted")
+                }
+                Ok(r) => eprintln!(
+                    "health probe: still degraded ({} damaged page(s))",
+                    r.scrub.errors.len()
+                ),
+                Err(e) => eprintln!("health probe: check failed: {e}"),
+            }
+        }
+    };
+    eprintln!("{drain_reason}; draining");
     let report = server.shutdown();
     let s = &report.stats;
     println!(
-        "served {} requests ({} queries, {} shed, {} proto errors, {} rows) \
+        "served {} requests ({} queries, {} shed, {} proto errors, {} degraded, {} rows) \
          over {} connections; plan cache {} hits / {} misses",
         s.requests,
         s.queries,
         s.shed,
         s.proto_errors,
+        s.degraded_answers,
         s.rows_sent,
         s.connections,
         s.plan_cache_hits,
@@ -276,9 +321,12 @@ fn render_top(addr: &str, v: &telemetry::json::Json) {
         ju64(v, &["live", "plan_cache_hits"]),
         ju64(v, &["live", "plan_cache_misses"]),
     );
+    let degraded = jget(v, &["live", "degraded"])
+        .and_then(|d| d.as_bool())
+        .unwrap_or(false);
     println!(
         "live: inflight {}/{}  queued {}  shed {}  queries {}  conns {}  \
-         proto-errors {}  deadline-closed {}",
+         proto-errors {}  deadline-closed {}  degraded-answers {}{}",
         ju64(v, &["live", "inflight"]),
         ju64(v, &["live", "max_inflight"]),
         ju64(v, &["live", "queued"]),
@@ -287,6 +335,8 @@ fn render_top(addr: &str, v: &telemetry::json::Json) {
         ju64(v, &["live", "connections"]),
         ju64(v, &["live", "proto_errors"]),
         ju64(v, &["live", "deadline_closed"]),
+        ju64(v, &["live", "degraded_answers"]),
+        if degraded { "  [DEGRADED]" } else { "" },
     );
     if let Some(workers) = v.get("workers").and_then(|w| w.as_arr()) {
         let cells: Vec<String> = workers
@@ -554,10 +604,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let shutdown_file = flag("--shutdown-file");
             if DiskDatabase::exists(Path::new(dir.as_str())) {
                 let mut db = open_disk(dir)?;
-                cmd_serve(db.reader(), options, shutdown_file.as_deref())
+                cmd_serve(&mut db, options, shutdown_file.as_deref())
             } else {
                 let mut db = Database::open(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
-                cmd_serve(db.reader(), options, shutdown_file.as_deref())
+                cmd_serve(&mut db, options, shutdown_file.as_deref())
             }
         }
         Some("top") => {

@@ -311,9 +311,9 @@ impl PoolMetrics {
             writebacks: telemetry::counter("pagestore.pool.writebacks"),
             allocations: telemetry::counter("pagestore.pool.allocations"),
             frees: telemetry::counter("pagestore.pool.frees"),
-            retry_attempts: telemetry::counter("pagestore.retry.attempts"),
-            retry_successes: telemetry::counter("pagestore.retry.successes"),
-            retry_exhausted: telemetry::counter("pagestore.retry.exhausted"),
+            retry_attempts: telemetry::counter("pagestore.pool.retries"),
+            retry_successes: telemetry::counter("pagestore.pool.retry_successes"),
+            retry_exhausted: telemetry::counter("pagestore.pool.retry_exhausted"),
         }
     }
 }
@@ -906,19 +906,19 @@ mod tests {
         // Evict `a` so the next fetch must hit the store.
         p.flush_to_store_only().unwrap();
         p.invalidate_cache().unwrap();
-        let attempts_before = telemetry::counter_value("pagestore.retry.attempts");
-        let successes_before = telemetry::counter_value("pagestore.retry.successes");
+        let attempts_before = telemetry::counter_value("pagestore.pool.retries");
+        let successes_before = telemetry::counter_value("pagestore.pool.retry_successes");
         let at = p.store_lock().ops();
         p.store_lock().inject(at, Fault::IoError);
         // One-shot fault: the first attempt fails, the retry succeeds.
         let page = p.fetch(a).unwrap();
         assert_eq!(page.read()[0], 42);
         assert_eq!(
-            telemetry::counter_value("pagestore.retry.attempts"),
+            telemetry::counter_value("pagestore.pool.retries"),
             attempts_before + 1
         );
         assert_eq!(
-            telemetry::counter_value("pagestore.retry.successes"),
+            telemetry::counter_value("pagestore.pool.retry_successes"),
             successes_before + 1
         );
     }
@@ -933,13 +933,13 @@ mod tests {
         });
         let (a, _) = p.allocate().unwrap();
         p.invalidate_cache().unwrap();
-        let exhausted_before = telemetry::counter_value("pagestore.retry.exhausted");
+        let exhausted_before = telemetry::counter_value("pagestore.pool.retry_exhausted");
         let at = p.store_lock().ops();
         p.store_lock().inject(at, Fault::IoError);
         p.store_lock().inject(at + 1, Fault::IoError);
         assert!(p.fetch(a).is_err());
         assert_eq!(
-            telemetry::counter_value("pagestore.retry.exhausted"),
+            telemetry::counter_value("pagestore.pool.retry_exhausted"),
             exhausted_before + 1
         );
     }
@@ -962,13 +962,13 @@ mod tests {
         p.store_lock().inner_mut().read(a, &mut full).unwrap();
         full[0] ^= 0xFF;
         p.store_lock().inner_mut().write(a, &full).unwrap();
-        let attempts_before = telemetry::counter_value("pagestore.retry.attempts");
+        let attempts_before = telemetry::counter_value("pagestore.pool.retries");
         match p.fetch(a) {
             Err(e) => assert!(e.is_corruption()),
             Ok(_) => panic!("fetch of damaged page must fail"),
         }
         assert_eq!(
-            telemetry::counter_value("pagestore.retry.attempts"),
+            telemetry::counter_value("pagestore.pool.retries"),
             attempts_before,
             "corruption must surface without a retry"
         );

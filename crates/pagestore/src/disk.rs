@@ -70,6 +70,13 @@ pub fn checksum_layer(stack: &mut DiskStack) -> &mut ChecksumStore<FaultStore<Fi
     stack.inner_mut()
 }
 
+/// A clonable handle onto the stack's [`FaultStore`] schedule — the live
+/// chaos-injection channel. Faults scheduled through it land *below* the
+/// checksum layer, so silent damage is detected like real bit rot.
+pub fn fault_handle(stack: &DiskStack) -> crate::fault::FaultHandle {
+    stack.inner().inner().handle()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

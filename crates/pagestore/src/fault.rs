@@ -18,6 +18,7 @@
 //! to a chosen page instead of scheduling by operation number.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::error::{Error, Result};
 use crate::page::PageId;
@@ -63,11 +64,11 @@ pub enum Fault {
     StaleRead,
 }
 
-/// A [`PageStore`] wrapper that injects faults from a deterministic
-/// schedule. Counted operations are `allocate`, `free`, `read`, `write`
-/// and `sync`; `page_size` and `live_pages` are free.
-pub struct FaultStore<S: PageStore> {
-    inner: S,
+/// The mutable half of a [`FaultStore`]: the schedule and its bookkeeping,
+/// shared between the store (which consumes faults on every counted
+/// operation) and any number of [`FaultHandle`]s (which inject them —
+/// possibly from another thread while the store is serving traffic).
+struct FaultState {
     schedule: BTreeMap<u64, Fault>,
     ops: u64,
     crashed: bool,
@@ -77,22 +78,96 @@ pub struct FaultStore<S: PageStore> {
     preimages: Option<HashMap<PageId, Vec<u8>>>,
 }
 
-impl<S: PageStore> FaultStore<S> {
-    /// Wrap `inner` with an empty schedule (fully transparent).
-    pub fn new(inner: S) -> Self {
-        FaultStore {
-            inner,
+impl FaultState {
+    fn new() -> Self {
+        FaultState {
             schedule: BTreeMap::new(),
             ops: 0,
             crashed: false,
             preimages: None,
         }
     }
+}
+
+fn lock_state(state: &Mutex<FaultState>) -> MutexGuard<'_, FaultState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A clonable, thread-safe handle onto a [`FaultStore`]'s schedule: the
+/// live-injection channel chaos harnesses use to schedule faults against a
+/// store that is buried under a buffer pool inside a serving database.
+/// Injecting while the store is mid-operation is safe — the schedule lock
+/// is taken per counted operation.
+#[derive(Clone)]
+pub struct FaultHandle {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultHandle {
+    /// Schedule `fault` to fire at counted operation number `at`.
+    pub fn inject(&self, at: u64, fault: Fault) {
+        lock_state(&self.state).schedule.insert(at, fault);
+    }
+
+    /// Schedule `fault` at `count` consecutive operations starting at
+    /// `at` — a burst that outlasts bounded retry.
+    pub fn inject_burst(&self, at: u64, count: u64, fault: Fault) {
+        let mut s = lock_state(&self.state);
+        for i in 0..count {
+            s.schedule.insert(at + i, fault);
+        }
+    }
+
+    /// Operations counted so far.
+    pub fn ops(&self) -> u64 {
+        lock_state(&self.state).ops
+    }
+
+    /// Scheduled faults that have not fired yet.
+    pub fn pending_faults(&self) -> usize {
+        lock_state(&self.state).schedule.len()
+    }
+
+    /// Whether a [`Fault::Crash`] has fired.
+    pub fn crashed(&self) -> bool {
+        lock_state(&self.state).crashed
+    }
+
+    /// Drop all pending faults and clear the crashed flag ("repair the
+    /// disk"), e.g. before a recovery attempt.
+    pub fn clear_faults(&self) {
+        let mut s = lock_state(&self.state);
+        s.schedule.clear();
+        s.crashed = false;
+    }
+
+    /// A copy of the pending schedule, for determinism assertions.
+    pub fn schedule(&self) -> BTreeMap<u64, Fault> {
+        lock_state(&self.state).schedule.clone()
+    }
+}
+
+/// A [`PageStore`] wrapper that injects faults from a deterministic
+/// schedule. Counted operations are `allocate`, `free`, `read`, `write`
+/// and `sync`; `page_size` and `live_pages` are free.
+pub struct FaultStore<S: PageStore> {
+    inner: S,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl<S: PageStore> FaultStore<S> {
+    /// Wrap `inner` with an empty schedule (fully transparent).
+    pub fn new(inner: S) -> Self {
+        FaultStore {
+            inner,
+            state: Arc::new(Mutex::new(FaultState::new())),
+        }
+    }
 
     /// Wrap `inner` with a pseudo-random schedule of `faults` faults over
     /// operations `[0, horizon)`, derived from `seed` (SplitMix64).
     pub fn seeded(inner: S, seed: u64, faults: usize, horizon: u64) -> Self {
-        let mut s = Self::new(inner);
+        let s = Self::new(inner);
         let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
         let mut next = move || {
             state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -101,45 +176,55 @@ impl<S: PageStore> FaultStore<S> {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        for _ in 0..faults {
-            let at = next() % horizon.max(1);
-            let fault = match next() % 3 {
-                0 => Fault::IoError,
-                1 => Fault::TornWrite {
-                    bytes: (next() % 64) as usize,
-                },
-                _ => Fault::Crash,
-            };
-            s.schedule.insert(at, fault);
+        {
+            let mut st = lock_state(&s.state);
+            for _ in 0..faults {
+                let at = next() % horizon.max(1);
+                let fault = match next() % 3 {
+                    0 => Fault::IoError,
+                    1 => Fault::TornWrite {
+                        bytes: (next() % 64) as usize,
+                    },
+                    _ => Fault::Crash,
+                };
+                st.schedule.insert(at, fault);
+            }
         }
         s
     }
 
+    /// A clonable handle onto this store's schedule, usable from other
+    /// threads while the store itself is behind a pool mutex.
+    pub fn handle(&self) -> FaultHandle {
+        FaultHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
     /// Schedule `fault` to fire at counted operation number `at`.
     pub fn inject(&mut self, at: u64, fault: Fault) {
-        self.schedule.insert(at, fault);
+        self.handle().inject(at, fault);
     }
 
     /// Operations counted so far.
     pub fn ops(&self) -> u64 {
-        self.ops
+        self.handle().ops()
     }
 
     /// Scheduled faults that have not fired yet.
     pub fn pending_faults(&self) -> usize {
-        self.schedule.len()
+        self.handle().pending_faults()
     }
 
     /// Whether a [`Fault::Crash`] has fired.
     pub fn crashed(&self) -> bool {
-        self.crashed
+        self.handle().crashed()
     }
 
     /// Drop all pending faults and clear the crashed flag ("repair the
     /// disk"), e.g. before a recovery attempt.
     pub fn clear_faults(&mut self) {
-        self.schedule.clear();
-        self.crashed = false;
+        self.handle().clear_faults();
     }
 
     /// The wrapped store, read-only.
@@ -162,16 +247,17 @@ impl<S: PageStore> FaultStore<S> {
     /// [`Fault::StaleRead`] needs. Off by default: tracking costs one read
     /// and one copy per write.
     pub fn track_preimages(&mut self, on: bool) {
-        self.preimages = if on { Some(HashMap::new()) } else { None };
+        lock_state(&self.state).preimages = if on { Some(HashMap::new()) } else { None };
     }
 
     fn record_preimage(&mut self, id: PageId) {
-        if self.preimages.is_none() {
+        if lock_state(&self.state).preimages.is_none() {
             return;
         }
         let mut cur = vec![0u8; self.inner.page_size()];
         if self.inner.read(id, &mut cur).is_ok() {
-            self.preimages
+            lock_state(&self.state)
+                .preimages
                 .as_mut()
                 .expect("checked above")
                 .insert(id, cur);
@@ -210,7 +296,7 @@ impl<S: PageStore> FaultStore<S> {
             }
             Fault::StaleRead => {
                 // Roll the page back to its tracked pre-image (lost write).
-                let pre = self
+                let pre = lock_state(&self.state)
                     .preimages
                     .as_ref()
                     .and_then(|m| m.get(&page))
@@ -238,14 +324,15 @@ impl<S: PageStore> FaultStore<S> {
     /// Fired faults leave the schedule, so tests can tell whether a
     /// scheduled fault was ever reached.
     fn begin_op(&mut self) -> Result<Option<Fault>> {
-        if self.crashed {
+        let mut s = lock_state(&self.state);
+        if s.crashed {
             return Err(Self::fault_error("store crashed"));
         }
-        let n = self.ops;
-        self.ops += 1;
-        match self.schedule.remove(&n) {
+        let n = s.ops;
+        s.ops += 1;
+        match s.schedule.remove(&n) {
             Some(Fault::Crash) => {
-                self.crashed = true;
+                s.crashed = true;
                 telemetry::counter("pagestore.fault.trips").inc();
                 Err(Self::fault_error("crash"))
             }
@@ -291,7 +378,11 @@ impl<S: PageStore> PageStore for FaultStore<S> {
             Some(Fault::StaleRead) => {
                 // A lost write: hand back the page's pre-image as if the
                 // most recent write never reached the platter.
-                match self.preimages.as_ref().and_then(|m| m.get(&id)) {
+                match lock_state(&self.state)
+                    .preimages
+                    .as_ref()
+                    .and_then(|m| m.get(&id))
+                {
                     Some(pre) if pre.len() == buf.len() => {
                         buf.copy_from_slice(pre);
                         Ok(())
@@ -537,10 +628,37 @@ mod tests {
     fn seeded_schedules_are_deterministic() {
         let a = FaultStore::seeded(MemStore::new(128), 42, 5, 100);
         let b = FaultStore::seeded(MemStore::new(128), 42, 5, 100);
-        assert_eq!(a.schedule, b.schedule);
-        assert!(!a.schedule.is_empty());
+        assert_eq!(a.handle().schedule(), b.handle().schedule());
+        assert!(!a.handle().schedule().is_empty());
         let c = FaultStore::seeded(MemStore::new(128), 43, 5, 100);
-        assert_ne!(a.schedule, c.schedule);
-        assert!(a.schedule.keys().all(|&k| k < 100));
+        assert_ne!(a.handle().schedule(), c.handle().schedule());
+        assert!(a.handle().schedule().keys().all(|&k| k < 100));
+    }
+
+    #[test]
+    fn handle_injects_live_and_sees_state() {
+        let mut s = FaultStore::new(MemStore::new(128));
+        let h = s.handle();
+        let a = s.allocate().unwrap();
+        s.write(a, &[1u8; 128]).unwrap();
+        assert_eq!(h.ops(), 2);
+        h.inject(h.ops(), Fault::IoError);
+        assert_eq!(h.pending_faults(), 1);
+        let mut out = vec![0u8; 128];
+        assert!(s.read(a, &mut out).is_err());
+        assert_eq!(h.pending_faults(), 0);
+        // A burst of faults fires on consecutive operations.
+        h.inject_burst(h.ops(), 2, Fault::IoError);
+        assert!(s.read(a, &mut out).is_err());
+        assert!(s.read(a, &mut out).is_err());
+        s.read(a, &mut out).unwrap();
+        assert_eq!(out[0], 1);
+        // Crash state is visible through the handle and clearable from it.
+        h.inject(h.ops(), Fault::Crash);
+        assert!(s.read(a, &mut out).is_err());
+        assert!(h.crashed());
+        h.clear_faults();
+        assert!(!h.crashed());
+        s.read(a, &mut out).unwrap();
     }
 }

@@ -48,7 +48,7 @@ pub use buffer::{
 pub use checksum::{ChecksumStore, ScrubReport, Scrubbable, TRAILER_LEN};
 pub use crc::crc32;
 pub use error::{Error, Result};
-pub use fault::{Fault, FaultStore};
+pub use fault::{Fault, FaultHandle, FaultStore};
 pub use page::{PageId, PAGE_SIZE_DEFAULT, PAGE_SIZE_MIN};
 pub use store::{MemStore, PageStore};
 

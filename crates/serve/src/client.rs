@@ -33,6 +33,35 @@ impl ServeError {
         )
     }
 
+    /// Whether a retry can possibly succeed **and** cannot change
+    /// observable state, given whether the request was `idempotent`.
+    ///
+    /// The table, pinned by unit tests below:
+    ///
+    /// * typed `Overloaded` / `Unavailable` — the server explicitly said
+    ///   "retry later"; always retryable.
+    /// * any other typed server error (`Parse`, `Exec`, `Proto`,
+    ///   `UnknownStatement`, `NotFound`) — deterministic; retrying
+    ///   re-earns the same answer, so never retryable.
+    /// * framing/transport loss (`Io`, `Closed`, `Truncated`, `BadMagic`,
+    ///   `BadVersion`, `Oversized`, `BadCrc`, `ReadDeadline`) — the
+    ///   request may or may not have executed, so retryable **only** for
+    ///   idempotent requests (reads). All UQL statements are reads today,
+    ///   but the split keeps the client honest if that ever changes.
+    /// * a well-framed-but-wrong frame (`UnknownType`, `BadPayload`,
+    ///   [`ServeError::Unexpected`]) — the peers disagree about the
+    ///   protocol; retrying cannot fix that.
+    pub fn is_retryable(&self, idempotent: bool) -> bool {
+        match self {
+            ServeError::Server { code, .. } => {
+                matches!(code, ErrorCode::Overloaded | ErrorCode::Unavailable)
+            }
+            ServeError::Proto(ProtoError::UnknownType(_) | ProtoError::BadPayload(_)) => false,
+            ServeError::Proto(_) => idempotent,
+            ServeError::Unexpected(_) => false,
+        }
+    }
+
     /// Whether the connection is unusable after this error — the same
     /// fatal/recoverable split the server applies to client input. An
     /// unknown-but-well-framed response tag ([`ProtoError::UnknownType`])
@@ -100,6 +129,19 @@ impl Client {
             stream,
             max_payload: DEFAULT_MAX_PAYLOAD,
         })
+    }
+
+    /// Bound every blocking read on this connection. Without one, a lost
+    /// or garbled reply (e.g. a corrupted length header making the peer
+    /// wait for bytes that never come) blocks the caller forever; with
+    /// one, the read fails with a timed-out I/O error, which
+    /// [`ServeError::is_fatal`] marks as connection-poisoning — exactly
+    /// what a retrying caller needs to tear down and reconnect.
+    pub fn set_read_timeout(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Liveness round-trip.
@@ -176,6 +218,74 @@ impl Client {
                 Frame::Error { code, message } => return Err(ServeError::Server { code, message }),
                 _ => return Err(ServeError::Unexpected("wanted RowBatch/Done/Error")),
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(code: ErrorCode) -> ServeError {
+        ServeError::Server {
+            code,
+            message: "x".into(),
+        }
+    }
+
+    #[test]
+    fn overloaded_and_unavailable_always_retry() {
+        for code in [ErrorCode::Overloaded, ErrorCode::Unavailable] {
+            assert!(server(code).is_retryable(true));
+            assert!(server(code).is_retryable(false));
+        }
+    }
+
+    #[test]
+    fn deterministic_server_errors_never_retry() {
+        for code in [
+            ErrorCode::Parse,
+            ErrorCode::Exec,
+            ErrorCode::Proto,
+            ErrorCode::UnknownStatement,
+            ErrorCode::NotFound,
+        ] {
+            assert!(!server(code).is_retryable(true), "{code:?}");
+            assert!(!server(code).is_retryable(false), "{code:?}");
+        }
+    }
+
+    #[test]
+    fn framing_loss_retries_only_idempotent_requests() {
+        let losses = [
+            ServeError::Proto(ProtoError::Io(std::io::Error::other("boom"))),
+            ServeError::Proto(ProtoError::Closed),
+            ServeError::Proto(ProtoError::Truncated),
+            ServeError::Proto(ProtoError::BadMagic(*b"nope")),
+            ServeError::Proto(ProtoError::BadVersion(9)),
+            ServeError::Proto(ProtoError::Oversized { len: 9, max: 1 }),
+            ServeError::Proto(ProtoError::ReadDeadline),
+            ServeError::Proto(ProtoError::BadCrc {
+                expected: 1,
+                actual: 2,
+            }),
+        ];
+        for e in losses {
+            assert!(e.is_retryable(true), "{e}");
+            assert!(!e.is_retryable(false), "{e}");
+        }
+    }
+
+    #[test]
+    fn protocol_disagreement_never_retries() {
+        let disagreements = [
+            ServeError::Proto(ProtoError::UnknownType(0x7f)),
+            ServeError::Proto(ProtoError::BadPayload("bad".into())),
+            ServeError::Unexpected("wanted Pong"),
+        ];
+        for e in disagreements {
+            assert!(!e.is_retryable(true), "{e}");
+            assert!(!e.is_retryable(false), "{e}");
         }
     }
 }

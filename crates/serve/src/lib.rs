@@ -11,6 +11,9 @@
 //! - [`server`] / [`client`] — a blocking TCP server multiplexing N
 //!   client connections over a fixed worker pool of
 //!   [`uindex::DatabaseReader`] handles, and the reference client.
+//! - [`retry`] — client-side fault survival: bounded, deterministic
+//!   retry/backoff and a reconnecting client that re-prepares statements
+//!   before any `Execute` retry.
 //! - [`stats`] / [`slowlog`] — live introspection: the rolling-window
 //!   sampler state behind the `Stats` frame and the worst-N slow-query
 //!   log behind `Trace` (see DESIGN.md §14).
@@ -25,6 +28,7 @@ pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod slowlog;
 pub mod stats;
@@ -33,5 +37,6 @@ pub use admission::{AdmissionGate, Permit};
 pub use cache::{normalize, PlanCache};
 pub use client::{Client, QueryReply, ServeError};
 pub use proto::{DoneInfo, ErrorCode, Frame, ProtoError, WireRow};
+pub use retry::{RetryClient, RetryPolicy, Stmt};
 pub use server::{ServeOptions, ServeReport, ServeStats, Server};
 pub use slowlog::{SlowLog, SlowQueryEntry};

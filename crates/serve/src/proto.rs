@@ -1,26 +1,34 @@
 //! Length-prefixed binary wire protocol for the UQL serving layer.
 //!
 //! Every frame is `MAGIC (4) | VERSION (1) | TYPE (1) | LEN (4, BE) |
-//! PAYLOAD (LEN bytes)`. Requests carry UQL text or a prepared-statement
-//! id; responses carry row batches, execution telemetry, or typed errors.
+//! CRC32 (4, BE) | PAYLOAD (LEN bytes)`. Requests carry UQL text or a
+//! prepared-statement id; responses carry row batches, execution
+//! telemetry, or typed errors. The CRC covers the payload bytes
+//! (`pagestore::crc32`), so a network that flips a bit *inside* a
+//! well-framed payload produces a typed [`ProtoError::BadCrc`] instead
+//! of silently decoding into wrong rows — the wire analog of the page
+//! checksum trailers.
 //!
 //! Decoding is defensive in a fixed order — magic, version, declared
-//! length against the payload cap, then type, then payload — so an
-//! oversized length prefix is rejected *before* any allocation and
-//! garbage input can never make the decoder panic. Errors are classified
-//! as fatal (the stream can no longer be framed: close after reporting)
-//! or recoverable (the frame boundary is intact: report and keep the
-//! connection).
+//! length against the payload cap, then type, then payload (CRC checked
+//! once the payload bytes are in hand) — so an oversized length prefix
+//! is rejected *before* any allocation and garbage input can never make
+//! the decoder panic. Errors are classified as fatal (the stream can no
+//! longer be framed: close after reporting) or recoverable (the frame
+//! boundary is intact: report and keep the connection).
 
 use std::fmt;
 use std::io::{Read, Write};
 
+use pagestore::crc32;
+
 /// First four bytes of every frame: "UQLW" (UQL wire).
 pub const MAGIC: [u8; 4] = *b"UQLW";
 /// Protocol revision; bumped on any incompatible frame change.
-pub const VERSION: u8 = 1;
-/// Fixed prefix size: magic + version + type + payload length.
-pub const HEADER_LEN: usize = 10;
+/// v2 added the payload CRC32 header field and the `Done` degraded flag.
+pub const VERSION: u8 = 2;
+/// Fixed prefix size: magic + version + type + payload length + CRC32.
+pub const HEADER_LEN: usize = 14;
 /// Default cap on a single frame's payload (1 MiB).
 pub const DEFAULT_MAX_PAYLOAD: u32 = 1 << 20;
 
@@ -60,6 +68,9 @@ pub enum ErrorCode {
     /// `Trace` named a query id the slow-query log does not hold (never
     /// logged, below the threshold, or already evicted by a worse query).
     NotFound = 6,
+    /// A storage fault prevented answering and no degraded path was
+    /// available; the data is intact, retry later.
+    Unavailable = 7,
 }
 
 impl ErrorCode {
@@ -71,6 +82,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::Proto),
             5 => Some(ErrorCode::UnknownStatement),
             6 => Some(ErrorCode::NotFound),
+            7 => Some(ErrorCode::Unavailable),
             _ => None,
         }
     }
@@ -115,6 +127,10 @@ pub struct DoneInfo {
     pub micros: u64,
     /// Whether the plan came from the prepared-plan cache.
     pub cached_plan: bool,
+    /// Whether the answer came from the degraded object-store scan path
+    /// (index quarantined or faulting) rather than the index. Degraded
+    /// answers are still exact — just slower.
+    pub degraded: bool,
 }
 
 /// Every frame the protocol can carry, request and response alike.
@@ -198,6 +214,14 @@ pub enum ProtoError {
     /// deadline; the connection is closed rather than holding its IO
     /// thread's buffer forever.
     ReadDeadline,
+    /// The payload bytes do not match the header's CRC32 — the frame was
+    /// damaged in transit. Fatal: the stream can no longer be trusted.
+    BadCrc {
+        /// CRC declared in the header.
+        expected: u32,
+        /// CRC of the payload bytes actually received.
+        actual: u32,
+    },
 }
 
 impl ProtoError {
@@ -223,6 +247,12 @@ impl fmt::Display for ProtoError {
             ProtoError::Truncated => write!(f, "stream ended mid-frame"),
             ProtoError::BadPayload(m) => write!(f, "bad payload: {m}"),
             ProtoError::ReadDeadline => write!(f, "read deadline exceeded mid-frame"),
+            ProtoError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "payload crc mismatch: header {expected:08x}, received bytes {actual:08x}"
+                )
+            }
         }
     }
 }
@@ -339,6 +369,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             put_u64(&mut p, d.seeks);
             put_u64(&mut p, d.micros);
             p.push(d.cached_plan as u8);
+            p.push(d.degraded as u8);
         }
         Frame::Error { code, message } => {
             p.push(*code as u8);
@@ -394,6 +425,15 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                     )))
                 }
             },
+            degraded: match c.u8()? {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(ProtoError::BadPayload(format!(
+                        "degraded flag must be 0/1, got {b}"
+                    )))
+                }
+            },
         }),
         tag::ERROR => {
             let raw = c.u8()?;
@@ -422,14 +462,19 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.push(VERSION);
     out.push(frame.tag());
     put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
     out.extend_from_slice(&payload);
     out
 }
 
-/// Validate a 10-byte header, returning `(type, payload_len)`. The
-/// declared length is checked against `max_payload` *here*, before the
-/// caller allocates a payload buffer.
-pub fn parse_header(header: &[u8; HEADER_LEN], max_payload: u32) -> Result<(u8, u32), ProtoError> {
+/// Validate a 14-byte header, returning `(type, payload_len, payload_crc)`.
+/// The declared length is checked against `max_payload` *here*, before the
+/// caller allocates a payload buffer; the CRC is checked by
+/// [`verify_crc`] once the payload bytes are in hand.
+pub fn parse_header(
+    header: &[u8; HEADER_LEN],
+    max_payload: u32,
+) -> Result<(u8, u32, u32), ProtoError> {
     if header[..4] != MAGIC {
         return Err(ProtoError::BadMagic(header[..4].try_into().unwrap()));
     }
@@ -443,7 +488,18 @@ pub fn parse_header(header: &[u8; HEADER_LEN], max_payload: u32) -> Result<(u8, 
             max: max_payload,
         });
     }
-    Ok((header[5], len))
+    let crc = u32::from_be_bytes(header[10..14].try_into().unwrap());
+    Ok((header[5], len, crc))
+}
+
+/// Check received payload bytes against the header's declared CRC.
+pub fn verify_crc(expected: u32, payload: &[u8]) -> Result<(), ProtoError> {
+    let actual = crc32(payload);
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(ProtoError::BadCrc { expected, actual })
+    }
 }
 
 /// Decode a well-framed payload body for frame type `ty`.
@@ -458,11 +514,12 @@ pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<(Frame, usize), Prot
         return Err(ProtoError::Truncated);
     }
     let header: &[u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().unwrap();
-    let (ty, len) = parse_header(header, max_payload)?;
+    let (ty, len, crc) = parse_header(header, max_payload)?;
     let total = HEADER_LEN + len as usize;
     if buf.len() < total {
         return Err(ProtoError::Truncated);
     }
+    verify_crc(crc, &buf[HEADER_LEN..total])?;
     let frame = decode_payload(ty, &buf[HEADER_LEN..total])?;
     Ok((frame, total))
 }
@@ -479,7 +536,7 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame, ProtoErr
             n => got += n,
         }
     }
-    let (ty, len) = parse_header(&header, max_payload)?;
+    let (ty, len, crc) = parse_header(&header, max_payload)?;
     let mut payload = vec![0u8; len as usize];
     let mut got = 0;
     while got < payload.len() {
@@ -488,6 +545,7 @@ pub fn read_frame(r: &mut impl Read, max_payload: u32) -> Result<Frame, ProtoErr
             n => got += n,
         }
     }
+    verify_crc(crc, &payload)?;
     decode_payload(ty, &payload)
 }
 

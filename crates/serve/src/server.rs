@@ -128,6 +128,13 @@ pub struct ServeStats {
     pub plan_cache_misses: u64,
     /// Connections closed for exceeding the per-frame read deadline.
     pub deadline_closed: u64,
+    /// Queries answered from the degraded fallback path (object-store
+    /// evaluation) instead of the index — still correct answers, flagged
+    /// per-response in [`DoneInfo::degraded`].
+    pub degraded_answers: u64,
+    /// Whether the served reader's index is currently quarantined —
+    /// every query is answering degraded until a clean `check()`.
+    pub degraded: bool,
 }
 
 #[derive(Default)]
@@ -139,6 +146,7 @@ struct StatCells {
     rows_sent: AtomicU64,
     disconnects: AtomicU64,
     deadline_closed: AtomicU64,
+    degraded_answers: AtomicU64,
 }
 
 /// Final accounting handed back by [`Server::shutdown`].
@@ -150,6 +158,10 @@ pub struct ServeReport {
     pub metrics: telemetry::Snapshot,
 }
 
+/// What a worker hands back for one query: the rows plus execution
+/// footprint, or a typed error for the wire.
+type QueryOutcome = Result<(Vec<WireRow>, DoneInfo), (ErrorCode, String)>;
+
 /// One admitted query on its way to the worker pool. The admission
 /// [`Permit`] rides inside and is released when the worker finishes — or
 /// when the job is dropped unexecuted during shutdown.
@@ -157,7 +169,7 @@ struct Job {
     plan: Arc<CachedPlan>,
     cached: bool,
     permit: Permit,
-    reply: mpsc::Sender<Result<(Vec<WireRow>, DoneInfo), String>>,
+    reply: mpsc::Sender<QueryOutcome>,
 }
 
 struct JobQueue {
@@ -217,6 +229,10 @@ struct Shared {
     /// Parses UQL against the served reader's captured metadata. Boxed so
     /// `Shared` stays monomorphic over page stores.
     parse: ParseFn,
+    /// Probes the served reader's shared quarantine flag — `true` while
+    /// the index is quarantined and every answer is degraded. Always
+    /// `false` for readers without a fallback source.
+    degraded_probe: Box<dyn Fn() -> bool + Send + Sync>,
     /// Telemetry folded in by every server thread as it exits.
     metrics: Mutex<telemetry::Snapshot>,
     options: ServeOptions,
@@ -271,6 +287,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
 
         let parse_reader = reader.clone();
+        let probe_reader = reader.clone();
         let worker_count = options.workers.max(1);
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
@@ -283,6 +300,7 @@ impl Server {
                 cv: Condvar::new(),
             },
             parse: Box::new(move |text| parse_reader.parse_uql(text).map_err(|e| e.to_string())),
+            degraded_probe: Box::new(move || probe_reader.quarantined()),
             metrics: Mutex::new(telemetry::Snapshot::default()),
             query_ids: AtomicU64::new(0),
             slow_log: Mutex::new(SlowLog::new(options.slow_log_capacity)),
@@ -358,7 +376,15 @@ impl Server {
             plan_cache_hits,
             plan_cache_misses,
             deadline_closed: s.deadline_closed.load(Ordering::Relaxed),
+            degraded_answers: s.degraded_answers.load(Ordering::Relaxed),
+            degraded: (self.shared.degraded_probe)(),
         }
+    }
+
+    /// Whether the served reader is currently quarantined (every answer
+    /// degraded until a clean `check()` on the owning database).
+    pub fn degraded(&self) -> bool {
+        (self.shared.degraded_probe)()
     }
 
     /// Queries currently admitted and not yet finished.
@@ -477,9 +503,10 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         let mut header = [0u8; HEADER_LEN];
         let read = read_exact_polling(&mut stream, &mut header, true, &shared.stop, deadline)
             .and_then(|()| proto::parse_header(&header, max_payload))
-            .and_then(|(ty, len)| {
+            .and_then(|(ty, len, crc)| {
                 let mut payload = vec![0u8; len as usize];
                 read_exact_polling(&mut stream, &mut payload, false, &shared.stop, deadline)?;
+                proto::verify_crc(crc, &payload)?;
                 proto::parse_payload(ty, &payload)
             });
 
@@ -658,6 +685,8 @@ fn build_stats_reply(shared: &Shared, window_s: u32) -> String {
         queued: shared.queue.jobs.lock().unwrap().len(),
         max_inflight: shared.gate.limit(),
         workers: shared.worker_slots.len(),
+        degraded_answers: s.degraded_answers.load(Ordering::Relaxed),
+        degraded: (shared.degraded_probe)(),
     };
     let workers: Vec<(u64, u64)> = shared
         .worker_slots
@@ -710,10 +739,10 @@ fn dispatch_query(
     });
 
     // The worker always sends exactly one reply (or drops the sender on
-    // shutdown, surfacing as RecvError → exec error to the client).
+    // shutdown, surfacing as RecvError → a retryable Unavailable).
     let result = rx
         .recv()
-        .unwrap_or_else(|_| Err("server shutting down".into()));
+        .unwrap_or_else(|_| Err((ErrorCode::Unavailable, "server shutting down".to_string())));
 
     match result {
         Ok((rows, done)) => {
@@ -736,11 +765,8 @@ fn dispatch_query(
             }
             true
         }
-        Err(message) => {
-            let reply = Frame::Error {
-                code: ErrorCode::Exec,
-                message,
-            };
+        Err((code, message)) => {
+            let reply = Frame::Error { code, message };
             if proto::write_frame(stream, &reply).is_err() {
                 shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
                 return false;
@@ -806,9 +832,15 @@ fn worker_loop<P: PageStore + Send + Sync>(
         let snap = reader.snapshot();
         let snapshot_epoch = snap.epoch();
         let started = Instant::now();
+        // Guarded execution behind a panic boundary: a storage fault
+        // degrades or maps to a typed `Unavailable`, and a worker never
+        // dies mid-job — the permit is released and the client gets a
+        // typed error either way.
         let result = {
             let _span = Span::enter("serve.execute");
-            reader.query_at(&snap, &plan.query)
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                reader.query_guarded_at(&snap, &plan.query)
+            }))
         };
         let micros = started.elapsed().as_micros() as u64;
         shared.stats.queries.fetch_add(1, Ordering::Relaxed);
@@ -817,25 +849,55 @@ fn worker_loop<P: PageStore + Send + Sync>(
         slot.busy_us.fetch_add(micros, Ordering::Relaxed);
 
         let mut executed = None; // (rows, ScanStats) on success
-        let outcome = result.map_err(|e| e.to_string()).and_then(|(hits, stats)| {
-            executed = Some((hits.len() as u64, stats));
-            let mut rows = Vec::with_capacity(hits.len());
-            for hit in &hits {
-                rows.push(WireRow::from_hit(hit).map_err(|e| e.to_string())?);
+        let outcome = match result {
+            Err(panic) => {
+                telemetry::counter("serve.worker.panics").inc();
+                Err((
+                    ErrorCode::Exec,
+                    format!("query execution panicked: {}", panic_message(&*panic)),
+                ))
             }
-            telemetry::histogram("serve.rows").record(rows.len() as u64);
-            Ok((
-                rows,
-                DoneInfo {
-                    rows: hits.len() as u64,
-                    pages_read: stats.pages_read,
-                    entries_examined: stats.entries_examined,
-                    seeks: stats.seeks,
-                    micros,
-                    cached_plan: cached,
-                },
-            ))
-        });
+            Ok(Err(e)) => Err((error_code_for(&e), e.to_string())),
+            Ok(Ok((hits, stats, degraded))) => {
+                if degraded {
+                    shared
+                        .stats
+                        .degraded_answers
+                        .fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("serve.degraded_answers").inc();
+                }
+                executed = Some((hits.len() as u64, stats));
+                let mut rows = Vec::with_capacity(hits.len());
+                let mut encode_err = None;
+                for hit in &hits {
+                    match WireRow::from_hit(hit) {
+                        Ok(row) => rows.push(row),
+                        Err(e) => {
+                            encode_err = Some((ErrorCode::Exec, e.to_string()));
+                            break;
+                        }
+                    }
+                }
+                match encode_err {
+                    Some(err) => Err(err),
+                    None => {
+                        telemetry::histogram("serve.rows").record(rows.len() as u64);
+                        Ok((
+                            rows,
+                            DoneInfo {
+                                rows: hits.len() as u64,
+                                pages_read: stats.pages_read,
+                                entries_examined: stats.entries_examined,
+                                seeks: stats.seeks,
+                                micros,
+                                cached_plan: cached,
+                                degraded,
+                            },
+                        ))
+                    }
+                }
+            }
+        };
 
         if micros >= shared.options.slow_query_us {
             if let (Some(before), Some((rows, stats))) = (before, executed) {
@@ -913,4 +975,24 @@ fn sampler_loop(shared: Arc<Shared>) {
 
 fn parse_plan(shared: &Shared, text: &str) -> Result<uindex::Query, String> {
     (shared.parse)(text)
+}
+
+/// Map an engine error to the wire code. Storage trouble — pages or the
+/// object store — is [`ErrorCode::Unavailable`]: the data is intact, the
+/// request is retryable. Everything else (planning, bad queries) is a
+/// deterministic [`ErrorCode::Exec`].
+fn error_code_for(e: &uindex::Error) -> ErrorCode {
+    match e {
+        uindex::Error::Page(_) | uindex::Error::Store(_) => ErrorCode::Unavailable,
+        _ => ErrorCode::Exec,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| panic.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }

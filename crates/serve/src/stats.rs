@@ -106,6 +106,11 @@ pub struct LiveStats {
     pub queued: usize,
     pub max_inflight: usize,
     pub workers: usize,
+    /// Queries answered from the degraded fallback path so far.
+    pub degraded_answers: u64,
+    /// Whether the served index is currently quarantined (every answer
+    /// degraded until a clean check).
+    pub degraded: bool,
 }
 
 fn hist_count(s: &Snapshot, name: &str) -> u64 {
@@ -199,7 +204,8 @@ pub fn build_stats_json(
         "  \"live\": {{\"connections\": {}, \"requests\": {}, \"queries\": {}, \"shed\": {}, \
          \"proto_errors\": {}, \"rows_sent\": {}, \"disconnects\": {}, \"deadline_closed\": {}, \
          \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"plan_cache_hit_rate\": {:.4}, \
-         \"inflight\": {}, \"queued\": {}, \"max_inflight\": {}, \"workers\": {}}},",
+         \"inflight\": {}, \"queued\": {}, \"max_inflight\": {}, \"workers\": {}, \
+         \"degraded_answers\": {}, \"degraded\": {}}},",
         live.connections,
         live.requests,
         live.queries,
@@ -215,6 +221,8 @@ pub fn build_stats_json(
         live.queued,
         live.max_inflight,
         live.workers,
+        live.degraded_answers,
+        live.degraded,
     );
     out.push_str("  \"workers\": [");
     for (i, (queries, busy_us)) in workers.iter().enumerate() {

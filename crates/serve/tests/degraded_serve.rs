@@ -1,0 +1,174 @@
+//! The live server under storage faults: corruption mid-query degrades
+//! the service (right answers from the fallback path, `degraded` flagged
+//! on the wire and in Stats) instead of killing workers or connections;
+//! exhausted transient I/O on a reader without a fallback maps to a typed
+//! retryable `Unavailable`; and a [`serve::RetryClient`] rides straight
+//! through it. A clean `check()` on the owning database restores the
+//! index path for the running server — no restart.
+
+use std::time::Duration;
+
+use pagestore::Fault;
+use serve::{Client, ErrorCode, RetryClient, RetryPolicy, ServeError, ServeOptions, Server};
+use uindex::Database;
+
+const SEED: u64 = 42;
+const STMT: &str = "color: Color = 'Red'";
+
+type MemDb = Database<uindex::DbStore>;
+
+fn build_db(n_vehicles: usize) -> MemDb {
+    let (schema, classes) = workload::serve::schema();
+    let mut db = Database::with_page_size(schema, 1024, 1 << 14).unwrap();
+    workload::serve::populate(&mut db, &classes, SEED, n_vehicles).unwrap();
+    db
+}
+
+fn options() -> ServeOptions {
+    ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    }
+}
+
+/// Flush the pool's cache so the next scan reads through the fault layer.
+fn expose_store(db: &MemDb) {
+    let pool = db.index().tree().pool();
+    pool.flush().unwrap();
+    pool.invalidate_cache().unwrap();
+}
+
+#[test]
+fn corruption_degrades_the_live_service_and_check_heals_it() {
+    let mut db = build_db(200);
+    let reader = db.reader_with_fallback();
+    let server = Server::start(reader, options()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let healthy = client.query(STMT).unwrap();
+    assert!(!healthy.rows.is_empty());
+    assert!(!healthy.done.degraded);
+    assert!(!server.stats().degraded);
+
+    // Silent single-bit damage under the cache: the next scan detects
+    // corruption mid-query, on a worker thread.
+    expose_store(&db);
+    let h = db.fault_handle();
+    h.inject(h.ops(), Fault::BitFlip { bit: 6 });
+
+    let degraded = client.query(STMT).unwrap();
+    assert!(
+        degraded.done.degraded,
+        "the answer must be flagged degraded"
+    );
+    assert_eq!(
+        degraded.rows, healthy.rows,
+        "degraded answers must match healthy ones byte-for-byte"
+    );
+
+    // The quarantine latched (shared flag): subsequent queries stay
+    // degraded — and still right — until a clean check.
+    let again = client.query(STMT).unwrap();
+    assert!(again.done.degraded);
+    assert_eq!(again.rows, healthy.rows);
+
+    let stats = server.stats();
+    assert!(stats.degraded, "the server must report the quarantine");
+    assert!(stats.degraded_answers >= 2);
+    let json = client.stats(0).unwrap();
+    assert!(
+        json.contains("\"degraded\": true"),
+        "Stats JSON must surface degraded mode: {json}"
+    );
+
+    // The damage was transient (one poisoned read); a clean check lifts
+    // the quarantine for the running server — no restart, no reconnect.
+    let report = db.check().unwrap();
+    assert!(report.clean());
+    let healed = client.query(STMT).unwrap();
+    assert!(
+        !healed.done.degraded,
+        "a clean check restores the index path"
+    );
+    assert_eq!(healed.rows, healthy.rows);
+    assert!(!server.stats().degraded);
+
+    let report = server.shutdown();
+    assert!(report.stats.degraded_answers >= 2);
+    assert_eq!(
+        report
+            .metrics
+            .counters
+            .get("serve.worker.panics")
+            .copied()
+            .unwrap_or(0),
+        0,
+        "no worker may die under storage faults"
+    );
+}
+
+#[test]
+fn exhausted_io_without_fallback_is_a_typed_unavailable() {
+    let mut db = build_db(200);
+    let reader = db.reader(); // no fallback source
+    let server = Server::start(reader, options()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let healthy = client.query(STMT).unwrap();
+
+    // Three consecutive I/O failures exhaust the pool's bounded retries.
+    expose_store(&db);
+    let h = db.fault_handle();
+    h.inject_burst(h.ops(), 3, Fault::IoError);
+
+    let err = client
+        .query(STMT)
+        .expect_err("no fallback: the query fails");
+    match &err {
+        ServeError::Server { code, .. } => assert_eq!(*code, ErrorCode::Unavailable),
+        other => panic!("wanted a typed server error, got {other}"),
+    }
+    assert!(
+        err.is_retryable(true),
+        "Unavailable must invite the client to retry"
+    );
+    assert!(!err.is_fatal(), "the connection survives");
+    assert!(!db.quarantined(), "transient I/O never quarantines");
+
+    // The burst is consumed; the same connection, same statement, works.
+    let recovered = client.query(STMT).unwrap();
+    assert_eq!(recovered.rows, healthy.rows);
+    assert!(!recovered.done.degraded);
+    let report = server.shutdown();
+    assert_eq!(report.stats.degraded_answers, 0);
+}
+
+#[test]
+fn retry_client_rides_through_transient_unavailability() {
+    let mut db = build_db(200);
+    let server = Server::start(db.reader(), options()).unwrap();
+    let mut healthy_client = Client::connect(server.local_addr()).unwrap();
+    let healthy = healthy_client.query(STMT).unwrap();
+
+    expose_store(&db);
+    let h = db.fault_handle();
+    h.inject_burst(h.ops(), 3, Fault::IoError);
+
+    let retries0 = telemetry::counter_value("serve.client.retries");
+    let mut client = RetryClient::new(
+        server.local_addr().to_string(),
+        RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        },
+    );
+    let reply = client
+        .query(STMT)
+        .expect("the retry client must absorb the fault window");
+    assert_eq!(reply.rows, healthy.rows);
+    assert!(!reply.done.degraded);
+    assert!(
+        telemetry::counter_value("serve.client.retries") > retries0,
+        "success required at least one retry"
+    );
+    server.shutdown();
+}

@@ -54,10 +54,11 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            any::<bool>(),
             any::<bool>()
         )
             .prop_map(
-                |(rows, pages_read, entries_examined, seeks, micros, cached_plan)| {
+                |(rows, pages_read, entries_examined, seeks, micros, cached_plan, degraded)| {
                     Frame::Done(DoneInfo {
                         rows,
                         pages_read,
@@ -65,6 +66,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                         seeks,
                         micros,
                         cached_plan,
+                        degraded,
                     })
                 }
             ),
@@ -76,6 +78,7 @@ fn arb_frame() -> impl Strategy<Value = Frame> {
                 Just(ErrorCode::Proto),
                 Just(ErrorCode::UnknownStatement),
                 Just(ErrorCode::NotFound),
+                Just(ErrorCode::Unavailable),
             ],
             arb_string()
         )
@@ -131,13 +134,31 @@ proptest! {
 // Deterministic malformed-input sweep: decoder level
 // ---------------------------------------------------------------------------
 
+/// A v2 header declaring `len` payload bytes and carrying `crc`. For a
+/// zero-length payload the CRC of the empty slice is correct; headers
+/// whose declared length is rejected before any payload is read never
+/// have their CRC checked, so the empty-slice CRC is fine there too.
 fn header(ty: u8, len: u32) -> Vec<u8> {
     let mut h = Vec::with_capacity(HEADER_LEN);
     h.extend_from_slice(&MAGIC);
     h.push(VERSION);
     h.push(ty);
     h.extend_from_slice(&len.to_be_bytes());
+    h.extend_from_slice(&pagestore::crc32(&[]).to_be_bytes());
     h
+}
+
+/// A complete well-framed v2 frame around a hand-crafted payload: header
+/// with the payload's true length and CRC, then the payload bytes.
+fn frame_bytes(ty: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    buf.push(ty);
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&pagestore::crc32(payload).to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf
 }
 
 #[test]
@@ -201,6 +222,17 @@ fn malformed_sweep_decoder() {
                 p.extend_from_slice(&0u64.to_be_bytes());
             }
             p.push(7);
+            p.push(0);
+            p
+        }),
+        // Done with an out-of-range degraded flag.
+        (0x82, {
+            let mut p = Vec::new();
+            for _ in 0..5 {
+                p.extend_from_slice(&0u64.to_be_bytes());
+            }
+            p.push(1);
+            p.push(7);
             p
         }),
         // Error frame with an unknown error code.
@@ -231,12 +263,29 @@ fn malformed_sweep_decoder() {
         }),
     ];
     for (ty, payload) in cases {
-        let mut buf = header(ty, payload.len() as u32);
-        buf.extend_from_slice(&payload);
+        let buf = frame_bytes(ty, &payload);
         match proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD) {
             Err(e @ ProtoError::BadPayload(_)) => assert!(!e.is_fatal()),
             other => panic!("garbage payload for type {ty:#x} gave {other:?}"),
         }
+    }
+
+    // A bit flipped inside a well-framed payload: typed BadCrc, fatal —
+    // corrupted bytes must never decode into a (wrong) frame.
+    let mut buf = proto::encode_frame(&Frame::Query {
+        uql: "color: Color = 'Red'".into(),
+    });
+    let target = HEADER_LEN + 6;
+    buf[target] ^= 0x10;
+    match proto::decode_frame(&buf, DEFAULT_MAX_PAYLOAD) {
+        Err(e @ ProtoError::BadCrc { .. }) => assert!(e.is_fatal()),
+        other => panic!("corrupted payload gave {other:?}"),
+    }
+    // The streaming reader agrees.
+    let mut cursor = std::io::Cursor::new(buf);
+    match proto::read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD) {
+        Err(ProtoError::BadCrc { .. }) => {}
+        other => panic!("corrupted payload streamed gave {other:?}"),
     }
 }
 
@@ -315,11 +364,21 @@ fn malformed_sweep_live_server() {
 
     // Recoverable: garbage payload inside a valid frame.
     let mut c = Client::connect(addr).unwrap();
-    let mut buf = header(0x01, 4);
-    buf.extend_from_slice(&100u32.to_be_bytes());
-    c.send_raw(&buf).unwrap();
+    c.send_raw(&frame_bytes(0x01, &100u32.to_be_bytes()))
+        .unwrap();
     expect_proto_error(&mut c);
     c.ping().unwrap();
+
+    // Fatal: a payload bit flipped in transit. Typed error, clean close —
+    // the server must never decode (let alone execute) the damaged frame.
+    let mut c = Client::connect(addr).unwrap();
+    let mut buf = proto::encode_frame(&Frame::Query {
+        uql: VALID_UQL.into(),
+    });
+    buf[HEADER_LEN + 6] ^= 0x10;
+    c.send_raw(&buf).unwrap();
+    expect_proto_error(&mut c);
+    expect_clean_close(&mut c);
 
     // Recoverable: a client sending response-typed frames.
     let mut c = Client::connect(addr).unwrap();

@@ -281,6 +281,7 @@ fn client_splits_fatal_from_recoverable_responses() {
         unknown.push(VERSION);
         unknown.push(0xEE);
         unknown.extend_from_slice(&0u32.to_be_bytes());
+        unknown.extend_from_slice(&pagestore::crc32(&[]).to_be_bytes());
         sock.write_all(&unknown).unwrap();
         // 2: a valid Pong — proves the stream stayed usable.
         sock.write_all(&proto::encode_frame(&Frame::Pong)).unwrap();
@@ -335,7 +336,7 @@ fn stats_and_trace_roundtrip_over_live_wire() {
     let v = json::parse(&doc).unwrap();
     assert!(v.get("window").is_some() && v.get("live").is_some());
     // Zero-length header frames still round-trip.
-    assert_eq!(HEADER_LEN, 10);
+    assert_eq!(HEADER_LEN, 14);
     drop(c);
     server.shutdown();
 }

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use btree::{BTree, BTreeConfig};
 use objstore::{ObjectStore, Oid, Value};
@@ -79,8 +80,10 @@ pub struct Database<P: PageStore = DbStore> {
     /// to a sequential scan of the object store until a clean
     /// [`Database::check`] or a [`Database::repair`] clears it. Atomic so
     /// the whole query path stays `&self` (shared across reader threads)
-    /// while still able to impose a quarantine on the spot.
-    quarantined: AtomicBool,
+    /// while still able to impose a quarantine on the spot; `Arc`-shared
+    /// so readers armed via [`Database::reader_with_fallback`] see — and
+    /// can impose — the same quarantine from other threads.
+    quarantined: Arc<AtomicBool>,
 }
 
 impl Database {
@@ -130,7 +133,7 @@ impl Database {
             page_size,
             pool_pages,
             config,
-            quarantined: AtomicBool::new(false),
+            quarantined: Arc::new(AtomicBool::new(false)),
         })
     }
 }
@@ -153,7 +156,7 @@ impl<P: PageStore> Database<P> {
             page_size,
             pool_pages,
             config,
-            quarantined: AtomicBool::new(false),
+            quarantined: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -209,6 +212,26 @@ impl<P: PageStore> Database<P> {
             self.index.specs().to_vec(),
             self.store.schema().clone(),
         )
+    }
+
+    /// Like [`Database::reader`], additionally arming the reader with a
+    /// degraded-mode fallback: a frozen clone of the object store plus the
+    /// database's own quarantine flag. Such a reader answers queries from
+    /// the object store when the index is quarantined or faulting (see
+    /// [`crate::DatabaseReader::query_guarded_at`]) instead of failing —
+    /// the serving tier's availability path. Costs one object-store clone;
+    /// the plain [`Database::reader`] stays clone-free for perf paths.
+    pub fn reader_with_fallback(&mut self) -> crate::DatabaseReader<P> {
+        let mut reader = self.reader();
+        reader.enable_fallback(Arc::new(self.store.clone()), Arc::clone(&self.quarantined));
+        reader
+    }
+
+    /// The shared quarantine flag: set on detected corruption (by the
+    /// writer or any fallback-armed reader), cleared by a clean
+    /// [`Database::check`] or a repair.
+    pub fn quarantine_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.quarantined)
     }
 
     // ----- schema evolution ---------------------------------------------
@@ -396,6 +419,14 @@ impl Database {
         self.quarantined.store(false, Ordering::Release);
         telemetry::counter("uindex.degraded.repairs").inc();
         Ok(n)
+    }
+
+    /// A clonable handle onto the in-memory stack's fault-injection
+    /// schedule — the live chaos channel for tests and harnesses. Faults
+    /// land *below* the checksum layer, so injected silent damage is
+    /// detected like real bit rot.
+    pub fn fault_handle(&self) -> pagestore::FaultHandle {
+        self.index.tree().pool().store_lock().inner().handle()
     }
 }
 

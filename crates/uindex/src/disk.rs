@@ -709,6 +709,14 @@ impl DiskDatabase {
         self.object_epoch
     }
 
+    /// A clonable handle onto the on-disk stack's fault-injection
+    /// schedule — the live chaos channel for crash/degradation drills.
+    /// Faults land below the checksum layer (above the file), so injected
+    /// silent damage is detected exactly like real bit rot.
+    pub fn fault_handle(&self) -> pagestore::FaultHandle {
+        pdisk::fault_handle(&self.db.index().tree().pool().store_lock())
+    }
+
     /// The inner database, by value (drops durability bookkeeping).
     pub fn into_database(self) -> Database<DiskStore> {
         self.db

@@ -12,14 +12,15 @@
 //! back and the calling thread folds them in with [`telemetry::absorb`],
 //! so aggregate counters look exactly like a single-threaded run.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use btree::{TreeReader, TreeSnapshot};
+use objstore::ObjectStore;
 use pagestore::PageStore;
 use schema::{Encoding, Schema};
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::index::{IndexId, Planner};
 use crate::query::{Query, QueryHit};
 use crate::scan::{self, ScanStats};
@@ -57,6 +58,19 @@ pub struct DatabaseReader<P: PageStore> {
     encoding: Encoding,
     specs: Vec<IndexSpec>,
     schema: Schema,
+    /// Armed by [`crate::Database::reader_with_fallback`]: everything the
+    /// degraded path needs to answer without the tree.
+    degraded: Option<DegradedSource>,
+}
+
+/// The degraded path's inputs: a frozen clone of the object store (taken
+/// at reader construction, like the rest of the reader's metadata) plus
+/// the quarantine flag shared with the owning [`crate::Database`] — a
+/// writer-side quarantine degrades every armed reader, and a clean
+/// `check()`/`repair()` restores them all.
+struct DegradedSource {
+    store: Arc<ObjectStore>,
+    flag: Arc<AtomicBool>,
 }
 
 impl<P: PageStore> Clone for DatabaseReader<P> {
@@ -66,6 +80,10 @@ impl<P: PageStore> Clone for DatabaseReader<P> {
             encoding: self.encoding.clone(),
             specs: self.specs.clone(),
             schema: self.schema.clone(),
+            degraded: self.degraded.as_ref().map(|d| DegradedSource {
+                store: Arc::clone(&d.store),
+                flag: Arc::clone(&d.flag),
+            }),
         }
     }
 }
@@ -82,7 +100,14 @@ impl<P: PageStore> DatabaseReader<P> {
             encoding,
             specs,
             schema,
+            degraded: None,
         }
+    }
+
+    /// Arm the degraded-mode fallback (see
+    /// [`crate::Database::reader_with_fallback`]).
+    pub(crate) fn enable_fallback(&mut self, store: Arc<ObjectStore>, flag: Arc<AtomicBool>) {
+        self.degraded = Some(DegradedSource { store, flag });
     }
 
     /// A reader over a bare [`crate::UIndex`] (no object store): benches
@@ -138,6 +163,77 @@ impl<P: PageStore> DatabaseReader<P> {
     pub fn query(&self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
         let snap = self.snapshot();
         self.query_at(&snap, q)
+    }
+
+    /// Whether this reader carries a degraded-mode fallback source.
+    pub fn has_fallback(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Whether the shared quarantine flag is currently set. Always false
+    /// for a reader without a fallback source.
+    pub fn quarantined(&self) -> bool {
+        self.degraded
+            .as_ref()
+            .is_some_and(|d| d.flag.load(Ordering::Acquire))
+    }
+
+    /// Answer `q` from the fallback object store via the differential
+    /// oracle's evaluator — slower, but immune to index damage, and proven
+    /// hit-for-hit equivalent to the scans by the oracle's trial harness.
+    fn degraded_eval(&self, src: &DegradedSource, q: &Query) -> Result<Vec<QueryHit>> {
+        telemetry::counter("uindex.degraded.queries").inc();
+        let hits = crate::oracle::eval_with(&self.specs, &self.encoding, &src.store, q)?;
+        Ok(match q.distinct_upto {
+            Some(pos) => crate::oracle::distinct_filter(&hits, pos),
+            None => hits,
+        })
+    }
+
+    /// Run `q` against `snap` with graceful degradation: when the index is
+    /// quarantined — or the scan hits storage trouble on the spot — the
+    /// answer is recomputed from the fallback object store instead of
+    /// failing (or worse, trusting damaged pages). The returned flag says
+    /// whether the degraded path answered.
+    ///
+    /// Fault policy, mirroring [`crate::Database::query_traced_guarded`]:
+    ///
+    /// * detected **corruption** quarantines the index immediately (flag
+    ///   shared with the writer) and answers degraded;
+    /// * a transient **I/O error** — the buffer pool's bounded retries
+    ///   already exhausted — answers degraded *without* quarantining, so
+    ///   the next query tries the index again;
+    /// * anything else (bad queries, planning errors) propagates, and a
+    ///   reader without a fallback source propagates every error.
+    pub fn query_guarded_at(
+        &self,
+        snap: &DbSnapshot,
+        q: &Query,
+    ) -> Result<(Vec<QueryHit>, ScanStats, bool)> {
+        let Some(src) = &self.degraded else {
+            return self.query_at(snap, q).map(|(h, s)| (h, s, false));
+        };
+        if src.flag.load(Ordering::Acquire) {
+            return Ok((self.degraded_eval(src, q)?, ScanStats::default(), true));
+        }
+        match self.query_at(snap, q) {
+            Ok((h, s)) => Ok((h, s, false)),
+            Err(Error::Page(e)) if e.is_corruption() => {
+                src.flag.store(true, Ordering::Release);
+                telemetry::counter("uindex.degraded.quarantines").inc();
+                Ok((self.degraded_eval(src, q)?, ScanStats::default(), true))
+            }
+            Err(Error::Page(pagestore::Error::Io(_))) => {
+                Ok((self.degraded_eval(src, q)?, ScanStats::default(), true))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Convenience: pin the latest epoch and run one guarded query.
+    pub fn query_guarded(&self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats, bool)> {
+        let snap = self.snapshot();
+        self.query_guarded_at(&snap, q)
     }
 
     /// Parse a [`crate::uql`] query string against the reader's captured

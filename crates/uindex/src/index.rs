@@ -116,6 +116,202 @@ impl<S: PageStore> UIndex<S> {
     }
 
     // ----- entry enumeration ---------------------------------------------
+    //
+    // Entry enumeration walks the *object store* only — never the tree —
+    // so the implementations live on [`Planner`], where the degraded
+    // query path can reach them from cloned metadata without a `UIndex`.
+    // The methods here delegate for callers that hold the index.
+
+    /// All entry keys anchored at `anchor` (a would-be position-0 object),
+    /// computed from the current store state. Empty if the object is out of
+    /// scope or has no value for the indexed attribute.
+    pub fn entries_for_anchor(
+        &self,
+        store: &ObjectStore,
+        id: IndexId,
+        anchor: Oid,
+    ) -> Result<Vec<EntryKey>> {
+        self.planner().entries_for_anchor(store, id, anchor)
+    }
+
+    /// All entry keys of index `id` that contain `oid` at any position,
+    /// under the current store state. This is the exact set an update of
+    /// `oid` can add or remove, so maintenance costs stay proportional to
+    /// the entries actually touched (the paper's §3.5 update analysis).
+    pub fn entries_involving(
+        &self,
+        store: &ObjectStore,
+        id: IndexId,
+        oid: Oid,
+    ) -> Result<Vec<EntryKey>> {
+        self.planner().entries_involving(store, id, oid)
+    }
+
+    /// Anchors (position-0 objects) whose entries involve `oid` in index
+    /// `id`, under the current store state.
+    pub fn anchors_affected(&self, store: &ObjectStore, id: IndexId, oid: Oid) -> Result<Vec<Oid>> {
+        self.planner().anchors_affected(store, id, oid)
+    }
+
+    // ----- maintenance ---------------------------------------------------
+
+    /// Insert the given entries (replace semantics).
+    pub fn insert_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
+        let mut n = 0;
+        for e in entries {
+            if self.tree.insert(&e.encode()?, &[])?.is_none() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Remove the given entries; returns how many existed.
+    pub fn remove_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
+        let mut n = 0;
+        for e in entries {
+            if self.tree.delete(&e.encode()?)?.is_some() {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Build index `id` from the current store contents (incremental
+    /// inserts; see [`UIndex::build_all`] for the packed bulk path).
+    pub fn build(&mut self, store: &ObjectStore, id: IndexId) -> Result<u64> {
+        let spec = self.spec(id)?;
+        let anchors = if spec.include_subclasses {
+            store.extent_deep(spec.positions[0].class)
+        } else {
+            store.extent(spec.positions[0].class)
+        };
+        let mut keys = Vec::new();
+        for a in anchors {
+            for e in self.entries_for_anchor(store, id, a)? {
+                keys.push((e.encode()?, Vec::new()));
+            }
+        }
+        let n = keys.len() as u64;
+        self.tree.insert_batch(keys)?;
+        Ok(n)
+    }
+
+    /// Build **all** registered indexes at once with a packed bulk load.
+    /// The tree must be empty.
+    pub fn build_all(&mut self, store: &ObjectStore) -> Result<u64> {
+        let mut keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for id in 0..self.specs.len() as u16 {
+            let spec = self.spec(id)?;
+            let anchors = if spec.include_subclasses {
+                store.extent_deep(spec.positions[0].class)
+            } else {
+                store.extent(spec.positions[0].class)
+            };
+            for a in anchors {
+                for e in self.entries_for_anchor(store, id, a)? {
+                    keys.push((e.encode()?, Vec::new()));
+                }
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        let n = keys.len() as u64;
+        self.tree.bulk_replace(keys)?;
+        Ok(n)
+    }
+
+    /// Bulk-load explicit entries into an empty tree (used by experiment
+    /// harnesses that synthesize entries without an object store).
+    pub fn bulk_load_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
+        let mut keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(entries.len());
+        for e in entries {
+            keys.push((e.encode()?, Vec::new()));
+        }
+        keys.sort();
+        keys.dedup();
+        let n = keys.len() as u64;
+        self.tree.bulk_replace(keys)?;
+        Ok(n)
+    }
+
+    // ----- querying ------------------------------------------------------
+
+    /// The tree-free planning/enumeration view over this index's spec
+    /// table and class encoding.
+    pub(crate) fn planner(&self) -> Planner<'_> {
+        Planner {
+            specs: &self.specs,
+            encoding: &self.encoding,
+        }
+    }
+
+    /// Build the scan [`Matcher`] for `q` (query planning). Planning only
+    /// reads the spec table and the class encoding, so it is also available
+    /// without the tree via [`Planner`].
+    pub(crate) fn matcher(&self, q: &Query) -> Result<Matcher> {
+        self.planner().matcher(q)
+    }
+
+    /// Run a query, returning hits and the scan cost counters.
+    pub fn query(&self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
+        let (hits, stats, _) = self.query_traced(q)?;
+        Ok((hits, stats))
+    }
+
+    /// Run a query collecting the full executed trace: registry-derived
+    /// breakdowns (reseek tiers, pool hits/misses, partial keys expanded)
+    /// and the per-phase span tree `query` → `plan` / `descend` / `scan`.
+    pub fn query_traced(
+        &self,
+        q: &Query,
+    ) -> Result<(Vec<QueryHit>, ScanStats, crate::scan::QueryTrace)> {
+        let root = telemetry::Span::enter("query");
+        let planned = {
+            let _plan = telemetry::Span::enter("plan");
+            self.matcher(q)
+        };
+        let result = planned.and_then(|matcher| {
+            scan::execute_traced(&self.tree.view(), &matcher, q.algorithm, q.distinct_upto)
+        });
+        drop(root);
+        // The freshly closed "query" root is the last finished span; keep it
+        // in the trace and drop older undrained roots.
+        let span = telemetry::take_spans()
+            .into_iter()
+            .rev()
+            .find(|s| s.name == "query");
+        let (hits, stats, mut trace) = result?;
+        trace.span = span;
+        Ok((hits, stats, trace))
+    }
+
+    /// Verify the underlying B-tree and return its shape statistics.
+    pub fn verify(&self) -> Result<TreeStats> {
+        Ok(self.tree.verify()?)
+    }
+}
+
+/// Query planner over a spec table and class encoding — everything needed
+/// to translate a [`Query`] into a scan [`Matcher`] without touching the
+/// tree. [`UIndex::matcher`] delegates here; [`crate::DatabaseReader`]
+/// uses it to plan against cloned metadata on other threads.
+pub(crate) struct Planner<'a> {
+    pub(crate) specs: &'a [IndexSpec],
+    pub(crate) encoding: &'a Encoding,
+}
+
+impl Planner<'_> {
+    pub(crate) fn spec(&self, id: IndexId) -> Result<&IndexSpec> {
+        self.specs.get(id as usize).ok_or(Error::UnknownIndex(id))
+    }
+
+    // ----- entry enumeration ---------------------------------------------
+    //
+    // These walk the object store only, which is what makes the degraded
+    // query path possible: when the tree is quarantined or faulting, a
+    // reader holding (specs, encoding, store) can still compute the exact
+    // entry set a healthy index would contain.
 
     fn class_in_scope(
         &self,
@@ -132,10 +328,9 @@ impl<S: PageStore> UIndex<S> {
         }
     }
 
-    /// All entry keys anchored at `anchor` (a would-be position-0 object),
-    /// computed from the current store state. Empty if the object is out of
-    /// scope or has no value for the indexed attribute.
-    pub fn entries_for_anchor(
+    /// All entry keys anchored at `anchor`; see
+    /// [`UIndex::entries_for_anchor`].
+    pub(crate) fn entries_for_anchor(
         &self,
         store: &ObjectStore,
         id: IndexId,
@@ -268,11 +463,9 @@ impl<S: PageStore> UIndex<S> {
             .collect()
     }
 
-    /// All entry keys of index `id` that contain `oid` at any position,
-    /// under the current store state. This is the exact set an update of
-    /// `oid` can add or remove, so maintenance costs stay proportional to
-    /// the entries actually touched (the paper's §3.5 update analysis).
-    pub fn entries_involving(
+    /// All entry keys of index `id` that contain `oid` at any position;
+    /// see [`UIndex::entries_involving`].
+    pub(crate) fn entries_involving(
         &self,
         store: &ObjectStore,
         id: IndexId,
@@ -364,9 +557,14 @@ impl<S: PageStore> UIndex<S> {
         Ok(out)
     }
 
-    /// Anchors (position-0 objects) whose entries involve `oid` in index
-    /// `id`, under the current store state.
-    pub fn anchors_affected(&self, store: &ObjectStore, id: IndexId, oid: Oid) -> Result<Vec<Oid>> {
+    /// Anchors (position-0 objects) whose entries involve `oid`; see
+    /// [`UIndex::anchors_affected`].
+    pub(crate) fn anchors_affected(
+        &self,
+        store: &ObjectStore,
+        id: IndexId,
+        oid: Oid,
+    ) -> Result<Vec<Oid>> {
         let spec = self.spec(id)?;
         let schema = store.schema();
         if !store.exists(oid) {
@@ -413,154 +611,6 @@ impl<S: PageStore> UIndex<S> {
             }
         }
         Ok(())
-    }
-
-    // ----- maintenance ---------------------------------------------------
-
-    /// Insert the given entries (replace semantics).
-    pub fn insert_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
-        let mut n = 0;
-        for e in entries {
-            if self.tree.insert(&e.encode()?, &[])?.is_none() {
-                n += 1;
-            }
-        }
-        Ok(n)
-    }
-
-    /// Remove the given entries; returns how many existed.
-    pub fn remove_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
-        let mut n = 0;
-        for e in entries {
-            if self.tree.delete(&e.encode()?)?.is_some() {
-                n += 1;
-            }
-        }
-        Ok(n)
-    }
-
-    /// Build index `id` from the current store contents (incremental
-    /// inserts; see [`UIndex::build_all`] for the packed bulk path).
-    pub fn build(&mut self, store: &ObjectStore, id: IndexId) -> Result<u64> {
-        let spec = self.spec(id)?;
-        let anchors = if spec.include_subclasses {
-            store.extent_deep(spec.positions[0].class)
-        } else {
-            store.extent(spec.positions[0].class)
-        };
-        let mut keys = Vec::new();
-        for a in anchors {
-            for e in self.entries_for_anchor(store, id, a)? {
-                keys.push((e.encode()?, Vec::new()));
-            }
-        }
-        let n = keys.len() as u64;
-        self.tree.insert_batch(keys)?;
-        Ok(n)
-    }
-
-    /// Build **all** registered indexes at once with a packed bulk load.
-    /// The tree must be empty.
-    pub fn build_all(&mut self, store: &ObjectStore) -> Result<u64> {
-        let mut keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        for id in 0..self.specs.len() as u16 {
-            let spec = self.spec(id)?;
-            let anchors = if spec.include_subclasses {
-                store.extent_deep(spec.positions[0].class)
-            } else {
-                store.extent(spec.positions[0].class)
-            };
-            for a in anchors {
-                for e in self.entries_for_anchor(store, id, a)? {
-                    keys.push((e.encode()?, Vec::new()));
-                }
-            }
-        }
-        keys.sort();
-        keys.dedup();
-        let n = keys.len() as u64;
-        self.tree.bulk_replace(keys)?;
-        Ok(n)
-    }
-
-    /// Bulk-load explicit entries into an empty tree (used by experiment
-    /// harnesses that synthesize entries without an object store).
-    pub fn bulk_load_entries(&mut self, entries: &[EntryKey]) -> Result<u64> {
-        let mut keys: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(entries.len());
-        for e in entries {
-            keys.push((e.encode()?, Vec::new()));
-        }
-        keys.sort();
-        keys.dedup();
-        let n = keys.len() as u64;
-        self.tree.bulk_replace(keys)?;
-        Ok(n)
-    }
-
-    // ----- querying ------------------------------------------------------
-
-    /// Build the scan [`Matcher`] for `q` (query planning). Planning only
-    /// reads the spec table and the class encoding, so it is also available
-    /// without the tree via [`Planner`].
-    pub(crate) fn matcher(&self, q: &Query) -> Result<Matcher> {
-        Planner {
-            specs: &self.specs,
-            encoding: &self.encoding,
-        }
-        .matcher(q)
-    }
-
-    /// Run a query, returning hits and the scan cost counters.
-    pub fn query(&self, q: &Query) -> Result<(Vec<QueryHit>, ScanStats)> {
-        let (hits, stats, _) = self.query_traced(q)?;
-        Ok((hits, stats))
-    }
-
-    /// Run a query collecting the full executed trace: registry-derived
-    /// breakdowns (reseek tiers, pool hits/misses, partial keys expanded)
-    /// and the per-phase span tree `query` → `plan` / `descend` / `scan`.
-    pub fn query_traced(
-        &self,
-        q: &Query,
-    ) -> Result<(Vec<QueryHit>, ScanStats, crate::scan::QueryTrace)> {
-        let root = telemetry::Span::enter("query");
-        let planned = {
-            let _plan = telemetry::Span::enter("plan");
-            self.matcher(q)
-        };
-        let result = planned.and_then(|matcher| {
-            scan::execute_traced(&self.tree.view(), &matcher, q.algorithm, q.distinct_upto)
-        });
-        drop(root);
-        // The freshly closed "query" root is the last finished span; keep it
-        // in the trace and drop older undrained roots.
-        let span = telemetry::take_spans()
-            .into_iter()
-            .rev()
-            .find(|s| s.name == "query");
-        let (hits, stats, mut trace) = result?;
-        trace.span = span;
-        Ok((hits, stats, trace))
-    }
-
-    /// Verify the underlying B-tree and return its shape statistics.
-    pub fn verify(&self) -> Result<TreeStats> {
-        Ok(self.tree.verify()?)
-    }
-}
-
-/// Query planner over a spec table and class encoding — everything needed
-/// to translate a [`Query`] into a scan [`Matcher`] without touching the
-/// tree. [`UIndex::matcher`] delegates here; [`crate::DatabaseReader`]
-/// uses it to plan against cloned metadata on other threads.
-pub(crate) struct Planner<'a> {
-    pub(crate) specs: &'a [IndexSpec],
-    pub(crate) encoding: &'a Encoding,
-}
-
-impl Planner<'_> {
-    fn spec(&self, id: IndexId) -> Result<&IndexSpec> {
-        self.specs.get(id as usize).ok_or(Error::UnknownIndex(id))
     }
 
     fn resolve_class_sel(

@@ -34,7 +34,7 @@ use schema::{AttrType, ClassId, Encoding, Schema};
 
 use crate::db::Database;
 use crate::error::Result;
-use crate::index::{IndexId, UIndex};
+use crate::index::{IndexId, Planner, UIndex};
 use crate::key::EntryKey;
 use crate::query::{ClassSel, OidSel, PosPred, Query, QueryHit, ValuePred};
 use crate::scan::{ScanAlgorithm, ScanStats};
@@ -190,34 +190,50 @@ pub fn entry_matches(
 // ----- brute-force evaluation --------------------------------------------
 
 /// All entry keys of index `id` recomputed from scratch, object by object,
-/// from the current store state (never consulting the B-tree).
-pub fn all_entries<S: PageStore>(
-    index: &UIndex<S>,
+/// from the current store state — using only a spec table and a class
+/// encoding, never a [`UIndex`] or its B-tree. This is the form the
+/// reader-side degraded path calls when the tree itself is unavailable.
+pub fn all_entries_with(
+    specs: &[IndexSpec],
+    encoding: &Encoding,
     store: &ObjectStore,
     id: IndexId,
 ) -> Result<Vec<EntryKey>> {
+    let planner = Planner { specs, encoding };
     let mut out = Vec::new();
     for oid in store.oids() {
-        out.extend(index.entries_for_anchor(store, id, oid)?);
+        out.extend(planner.entries_for_anchor(store, id, oid)?);
     }
     out.sort_by_key(|e| e.encode().ok());
     out.dedup();
     Ok(out)
 }
 
-/// Evaluate `q` by brute force: recompute the index's entries from the
-/// store and filter them with [`entry_matches`]. Hits come back in key
-/// order, exactly as the scans produce them.
-pub fn eval<S: PageStore>(
+/// [`all_entries_with`] over an index's own spec table and encoding.
+pub fn all_entries<S: PageStore>(
     index: &UIndex<S>,
+    store: &ObjectStore,
+    id: IndexId,
+) -> Result<Vec<EntryKey>> {
+    all_entries_with(index.specs(), index.encoding(), store, id)
+}
+
+/// Evaluate `q` by brute force against a spec table, class encoding and
+/// object store: recompute the index's entries and filter them with
+/// [`entry_matches`]. Hits come back in key order, exactly as the scans
+/// produce them. Tree-free, like [`all_entries_with`].
+pub fn eval_with(
+    specs: &[IndexSpec],
+    encoding: &Encoding,
     store: &ObjectStore,
     q: &Query,
 ) -> Result<Vec<QueryHit>> {
-    let spec = index.spec(q.index)?;
+    let planner = Planner { specs, encoding };
+    let spec = planner.spec(q.index)?;
     let schema = store.schema();
     let mut hits: Vec<(Vec<u8>, QueryHit)> = Vec::new();
-    for entry in all_entries(index, store, q.index)? {
-        if let Some(assignment) = entry_matches(schema, index.encoding(), spec, q, &entry) {
+    for entry in all_entries_with(specs, encoding, store, q.index)? {
+        if let Some(assignment) = entry_matches(schema, encoding, spec, q, &entry) {
             let enc = entry.encode()?;
             hits.push((
                 enc,
@@ -230,6 +246,15 @@ pub fn eval<S: PageStore>(
     }
     hits.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(hits.into_iter().map(|(_, h)| h).collect())
+}
+
+/// [`eval_with`] over an index's own spec table and encoding.
+pub fn eval<S: PageStore>(
+    index: &UIndex<S>,
+    store: &ObjectStore,
+    q: &Query,
+) -> Result<Vec<QueryHit>> {
+    eval_with(index.specs(), index.encoding(), store, q)
 }
 
 /// Apply `distinct_through(pos)` semantics to an ordered hit list: after a

@@ -1,0 +1,190 @@
+//! The serving tier's storage fault policy, end to end over the real
+//! database stacks:
+//!
+//! * **transient I/O** is absorbed by the buffer pool's bounded retries
+//!   (`pagestore.pool.retries`) — the query answers from the index and
+//!   nothing degrades;
+//! * **exhausted retries** degrade a fallback-armed reader to the object
+//!   store *without* quarantining, so the next query tries the index
+//!   again;
+//! * **corruption** is never retried: it quarantines on the spot (the
+//!   flag shared between writer and readers), every degraded answer still
+//!   matches the healthy one, and a clean `check()` lifts the quarantine.
+
+use objstore::Value;
+use pagestore::Fault;
+use schema::{AttrType, Schema};
+use uindex::{Database, DiskDatabase, DiskOptions, IndexSpec, Query, ValuePred};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("uindex_pool_retry_{}_{}", std::process::id(), name));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn vehicle_schema() -> Schema {
+    let mut s = Schema::new();
+    let vehicle = s.add_class("Vehicle").unwrap();
+    s.add_attr(vehicle, "Color", AttrType::Str).unwrap();
+    s
+}
+
+const COLORS: [&str; 5] = ["Red", "Blue", "Green", "Black", "White"];
+
+fn red_query(id: uindex::IndexId) -> Query {
+    Query::on(id).value(ValuePred::eq(Value::Str("Red".into())))
+}
+
+fn populate<P: pagestore::PageStore>(db: &mut Database<P>, n: usize) -> uindex::IndexId {
+    let vehicle = db.schema().class_by_name("Vehicle").unwrap();
+    let id = db
+        .define_index(IndexSpec::class_hierarchy("by_color", vehicle, "Color"))
+        .unwrap();
+    for i in 0..n {
+        let v = db.create_object(vehicle).unwrap();
+        db.set_attr(v, "Color", Value::Str(COLORS[i % COLORS.len()].into()))
+            .unwrap();
+    }
+    id
+}
+
+#[test]
+fn disk_pool_retries_absorb_transient_io_burst() {
+    let dir = tmpdir("transient");
+    let mut db = DiskDatabase::create(
+        vehicle_schema(),
+        &dir,
+        DiskOptions {
+            page_size: 256,
+            pool_pages: 64,
+            ..DiskOptions::default()
+        },
+    )
+    .unwrap();
+    let id = populate(&mut db, 60);
+    db.checkpoint().unwrap();
+    let healthy = db.query(&red_query(id)).unwrap();
+    assert!(!healthy.is_empty());
+
+    // Drop the cache so the next scan actually reads through the stack,
+    // then schedule two consecutive transient failures right where the
+    // scan's first page read will land.
+    let pool = db.index().tree().pool();
+    pool.flush().unwrap();
+    pool.invalidate_cache().unwrap();
+    let h = db.fault_handle();
+    let retries0 = telemetry::counter_value("pagestore.pool.retries");
+    let successes0 = telemetry::counter_value("pagestore.pool.retry_successes");
+    h.inject_burst(h.ops(), 2, Fault::IoError);
+
+    let hits = db.query(&red_query(id)).unwrap();
+    assert_eq!(hits, healthy, "answers under transient faults must match");
+    assert!(!db.quarantined(), "transient I/O must not quarantine");
+    assert_eq!(h.pending_faults(), 0, "the burst was consumed");
+    assert!(
+        telemetry::counter_value("pagestore.pool.retries") >= retries0 + 2,
+        "each absorbed failure is a counted retry"
+    );
+    assert!(
+        telemetry::counter_value("pagestore.pool.retry_successes") > successes0,
+        "the recovered fetch is counted"
+    );
+    db.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_reader_degrades_on_exhausted_retries_without_quarantine() {
+    let dir = tmpdir("exhausted");
+    let mut db = DiskDatabase::create(
+        vehicle_schema(),
+        &dir,
+        DiskOptions {
+            page_size: 256,
+            pool_pages: 64,
+            ..DiskOptions::default()
+        },
+    )
+    .unwrap();
+    let id = populate(&mut db, 60);
+    db.checkpoint().unwrap();
+    let healthy = db.query(&red_query(id)).unwrap();
+    let reader = db.reader_with_fallback();
+
+    let pool = db.index().tree().pool();
+    pool.flush().unwrap();
+    pool.invalidate_cache().unwrap();
+    let h = db.fault_handle();
+    let degraded0 = telemetry::counter_value("uindex.degraded.queries");
+    // Three consecutive failures exhaust the pool's 3 bounded attempts.
+    h.inject_burst(h.ops(), 3, Fault::IoError);
+
+    let (hits, _, degraded) = reader.query_guarded(&red_query(id)).unwrap();
+    assert!(degraded, "exhausted retries must degrade, not fail");
+    assert_eq!(hits, healthy, "degraded answers must match healthy ones");
+    assert!(
+        !reader.quarantined() && !db.quarantined(),
+        "transient I/O degrades without quarantining"
+    );
+    assert_eq!(
+        telemetry::counter_value("uindex.degraded.queries"),
+        degraded0 + 1
+    );
+
+    // The faults are gone; the very next query uses the index again.
+    let (hits2, _, degraded2) = reader.query_guarded(&red_query(id)).unwrap();
+    assert!(!degraded2, "no quarantine, so the index path is retried");
+    assert_eq!(hits2, healthy);
+    db.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corruption_is_never_retried_and_quarantines_shared_flag() {
+    let mut db = Database::in_memory(vehicle_schema()).unwrap();
+    let id = populate(&mut db, 60);
+    let healthy = db.query(&red_query(id)).unwrap();
+    assert!(!healthy.is_empty());
+    let reader = db.reader_with_fallback();
+
+    let pool = db.index().tree().pool();
+    pool.flush().unwrap();
+    pool.invalidate_cache().unwrap();
+    let h = db.fault_handle();
+    let retries0 = telemetry::counter_value("pagestore.pool.retries");
+    let quarantines0 = telemetry::counter_value("uindex.degraded.quarantines");
+    // Silent single-bit damage below the checksum layer: the next read
+    // detects it as corruption.
+    h.inject(h.ops(), Fault::BitFlip { bit: 7 });
+
+    let (hits, _, degraded) = reader.query_guarded(&red_query(id)).unwrap();
+    assert!(degraded, "corruption mid-scan degrades the answer");
+    assert_eq!(hits, healthy, "degraded answers must match healthy ones");
+    assert_eq!(
+        telemetry::counter_value("pagestore.pool.retries"),
+        retries0,
+        "corruption must never be retried"
+    );
+    assert_eq!(
+        telemetry::counter_value("uindex.degraded.quarantines"),
+        quarantines0 + 1
+    );
+    assert!(
+        reader.quarantined() && db.quarantined(),
+        "the quarantine flag is shared between reader and writer"
+    );
+
+    // The flag sticks even though the one-shot fault is consumed.
+    let (hits2, _, degraded2) = reader.query_guarded(&red_query(id)).unwrap();
+    assert!(degraded2, "quarantine persists until a clean check");
+    assert_eq!(hits2, healthy);
+
+    // A clean check lifts the quarantine for writer and readers alike.
+    let report = db.check().unwrap();
+    assert!(report.clean(), "damage was transient, the pages are intact");
+    assert!(!reader.quarantined() && !db.quarantined());
+    let (hits3, _, degraded3) = reader.query_guarded(&red_query(id)).unwrap();
+    assert!(!degraded3, "a clean check restores the index path");
+    assert_eq!(hits3, healthy);
+}
